@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file regenerates one table or figure from the paper's
+evaluation (Section 4.4).  Generated programs and engine runs are cached
+at session scope so that asserting counts and timing the engines do not
+redo identical work; pytest-benchmark timings use pedantic single-round
+mode because each measured unit is itself a full whole-program analysis.
+"""
+
+import pytest
+
+from repro.benchsuite.suite import PAPER_BENCHMARKS, generate_source, load_program
+from repro.constinfer.engine import run_mono, run_poly
+from repro.constinfer.results import make_row
+
+
+@pytest.fixture(scope="session")
+def programs():
+    """name -> (spec, Program, compile_seconds, lines) for the suite."""
+    out = {}
+    for spec in PAPER_BENCHMARKS:
+        program, compile_seconds, lines = load_program(spec)
+        out[spec.name] = (spec, program, compile_seconds, lines)
+    return out
+
+
+@pytest.fixture(scope="session")
+def suite_rows(programs):
+    """Fully-analysed Table 2 rows for every benchmark."""
+    rows = []
+    for name, (spec, program, compile_seconds, lines) in programs.items():
+        mono = run_mono(program)
+        poly = run_poly(program)
+        rows.append(
+            make_row(spec.name, lines, spec.description, compile_seconds, mono, poly)
+        )
+    return rows
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run a whole-program analysis exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

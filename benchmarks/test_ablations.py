@@ -1,0 +1,185 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **(SubRef) vs the (Unsound) covariant rule** (Section 2.4): the
+   unsound rule admits the paper's nonzero counterexample, which then
+   fails at run time; the sound rule rejects it statically.
+2. **Polymorphism granularity** (Section 4.3): per-SCC generalisation vs
+   whole-program monomorphic — the Mono vs Poly columns, measured here as
+   a count delta and a constraint-volume/time cost.
+3. **Struct field sharing** (Section 4.2): disabling the shared field
+   qualifiers (fresh per access) inflates the const count by ignoring
+   aliasing through the shared declaration.
+4. **Library conservatism** (Section 4.2): treating undeclared extern
+   parameters optimistically inflates the count by assuming libraries
+   never write.
+"""
+
+import pytest
+
+from repro.cfront.sema import Program
+from repro.constinfer.engine import run_mono, run_poly
+from repro.lam.eval import AssertionFailure, Evaluator
+from repro.lam.infer import QualTypeError, QualifiedLanguage, infer
+from repro.lam.parser import parse
+from repro.qual.qualifiers import make_lattice
+from conftest import one_shot
+
+
+class TestRefRuleAblation:
+    SOURCE = """
+    let x = ref ({nonzero} 37) in
+    let u = ((fn y. y := ({} 0)) x) in
+    (!x)|{nonzero}
+    ni ni
+    """
+
+    def setup_method(self):
+        self.lattice = make_lattice("const", "nonzero")
+        self.lang = QualifiedLanguage(self.lattice, assign_restrictions=("const",))
+        self.expr = parse(self.SOURCE)
+
+    def test_sound_rule_rejects(self):
+        with pytest.raises(QualTypeError):
+            infer(self.expr, self.lang, ref_rule="sound")
+
+    def test_unsound_rule_admits_then_fails_at_runtime(self):
+        infer(self.expr, self.lang, ref_rule="unsound")
+        with pytest.raises(AssertionFailure):
+            Evaluator(self.lattice).run(self.expr)
+
+    def test_bench_sound_vs_unsound_cost(self, benchmark):
+        # soundness costs nothing: the equality rule emits one extra atom
+        # per ref level, measured here on a ref-heavy program.
+        source = "let a = ref 1 in " * 30 + "0" + " ni" * 30
+        expr = parse(source)
+
+        def run():
+            return infer(expr, self.lang, ref_rule="unsound"), infer(
+                expr, self.lang, ref_rule="sound"
+            )
+
+        unsound_result, sound_result = benchmark(run)
+        assert len(sound_result.constraints) >= len(unsound_result.constraints)
+
+
+MIXED_USE = """
+int *id(int *x) { return x; }
+void put(void) { int a; *id(&a) = 1; }
+int get(void) { int b; return *id(&b); }
+int reader(const int *p) { return *p; }
+int scan(int *q) { return *q + reader(q); }
+"""
+
+
+class TestPolymorphismGranularity:
+    def test_count_delta(self):
+        program = Program.from_source(MIXED_USE)
+        mono = run_mono(program)
+        poly = run_poly(program)
+        assert poly.inferred_const_count() - mono.inferred_const_count() == 2
+        # poly pays in constraint volume (instantiation copies)
+        assert poly.constraint_count > mono.constraint_count
+
+    def test_bench_mono(self, benchmark):
+        program = Program.from_source(MIXED_USE)
+        run = one_shot(benchmark, run_mono, program)
+        assert run.total_positions() == 4
+
+    def test_bench_poly(self, benchmark):
+        program = Program.from_source(MIXED_USE)
+        run = one_shot(benchmark, run_poly, program)
+        assert run.total_positions() == 4
+
+
+SHARED_FIELDS = """
+struct st { int *slot; };
+void put(struct st *s, int *p) { s->slot = p; }
+void zap(struct st *t) { *(t->slot) = 2; }
+int probe(struct st *u, int *q) { u->slot = q; return 0; }
+"""
+
+
+class TestStructFieldSharing:
+    def test_sharing_links_instances(self):
+        program = Program.from_source(SHARED_FIELDS)
+        shared = run_mono(program)
+        unshared = run_mono(program, share_struct_fields=False)
+        # with sharing, the write through t->slot pins p and q (stored
+        # into the same field declaration); without, they stay free.
+        assert unshared.inferred_const_count() > shared.inferred_const_count()
+
+    def test_unshared_is_the_unsound_overcount(self):
+        program = Program.from_source(SHARED_FIELDS)
+        unshared = run_mono(program, share_struct_fields=False)
+        from repro.qual.solver import Classification
+
+        verdicts = {
+            f"{p.function}/{p.where}": v
+            for p, v in unshared.classified_positions()
+        }
+        # the ablation wrongly reports p as const-able even though the
+        # cell it stores is written through the shared field elsewhere.
+        assert verdicts["put/param 1 (p)"] is Classification.EITHER
+
+
+LIBRARY_USE = """
+extern void lib_fill(int *dst, int n);
+extern int lib_len(const char *s);
+void wrap1(int *a) { lib_fill(a, 3); }
+void wrap2(int *b) { lib_fill(b, 4); }
+int wrap3(char *s) { return lib_len(s); }
+"""
+
+
+class TestPolymorphicRecursionVsFDG:
+    """Section 4.3: let-style polymorphism needs the FDG; polymorphic
+    recursion avoids it at the cost of fixpoint iteration.  The bench
+    quantifies the trade-off: identical counts, more rounds of work."""
+
+    def test_results_identical_without_fdg(self):
+        from repro.benchsuite import PAPER_BENCHMARKS, load_program
+        from repro.constinfer.engine import run_polyrec
+
+        program, _c, _l = load_program(PAPER_BENCHMARKS[0])
+        poly = run_poly(program)
+        polyrec = run_polyrec(program)
+        assert polyrec.inferred_const_count() == poly.inferred_const_count()
+        assert polyrec.total_positions() == poly.total_positions()
+
+    def test_bench_letpoly_with_fdg(self, benchmark):
+        from repro.benchsuite import PAPER_BENCHMARKS, load_program
+
+        program, _c, _l = load_program(PAPER_BENCHMARKS[0])
+        run = one_shot(benchmark, run_poly, program)
+        assert run.mode == "poly"
+
+    def test_bench_polyrec_without_fdg(self, benchmark):
+        from repro.benchsuite import PAPER_BENCHMARKS, load_program
+        from repro.constinfer.engine import run_polyrec
+
+        program, _c, _l = load_program(PAPER_BENCHMARKS[0])
+        run = one_shot(benchmark, run_polyrec, program)
+        assert run.mode == "polyrec"
+
+
+class TestLibraryConservatism:
+    def test_conservative_vs_optimistic_counts(self):
+        program = Program.from_source(LIBRARY_USE)
+        conservative = run_mono(program)
+        optimistic = run_mono(program, conservative_libraries=False)
+        # optimistically, wrap1/wrap2's params look const-able (unsound:
+        # lib_fill writes); declared-const library params are unaffected.
+        assert (
+            optimistic.inferred_const_count()
+            - conservative.inferred_const_count()
+            == 2
+        )
+
+    def test_declared_const_library_param_same_either_way(self):
+        program = Program.from_source(LIBRARY_USE)
+        from repro.qual.solver import Classification
+
+        for options in ({}, {"conservative_libraries": False}):
+            run = run_mono(program, **options)
+            verdicts = {p.function: v for p, v in run.classified_positions()}
+            assert verdicts["wrap3"] is Classification.EITHER

@@ -1,0 +1,64 @@
+"""Figure 2: the example qualifier lattice (const x dynamic x nonzero).
+
+Regenerates the eight-element lattice the paper draws, checks its
+structure (a three-dimensional diamond whose Hasse diagram has levels of
+size 1/3/3/1 and exactly 12 cover edges), and prints it.  The benchmark
+times the core lattice operations the solver leans on.
+"""
+
+import itertools
+
+from repro.qual.qualifiers import paper_figure2_lattice
+
+
+def test_figure2_structure():
+    lattice = paper_figure2_lattice()
+    elements = list(lattice.elements())
+    assert len(elements) == 8
+
+    levels = lattice.hasse_levels()
+    assert [len(level) for level in levels] == [1, 3, 3, 1]
+    assert levels[0] == [lattice.bottom]
+    assert levels[-1] == [lattice.top]
+
+    covers = [
+        (a, b)
+        for a, b in itertools.permutations(elements, 2)
+        if lattice.covers(a, b)
+    ]
+    assert len(covers) == 12  # the edges of a 3-cube
+
+    # the labelled corners of Figure 2
+    assert str(lattice.bottom) == "nonzero"
+    assert str(lattice.top) == "const dynamic"
+    assert lattice.element("const", "dynamic", "nonzero") in elements
+
+
+def test_figure2_render(capsys):
+    lattice = paper_figure2_lattice()
+    art = lattice.render_hasse()
+    print()
+    print("Figure 2 (regenerated):")
+    print(art)
+    lines = art.split("\n")
+    assert len(lines) == 4
+    assert "nonzero" in lines[-1]  # bottom row
+    assert "const dynamic" in lines[0]  # top row
+
+
+def test_bench_lattice_operations(benchmark):
+    lattice = paper_figure2_lattice()
+    elements = list(lattice.elements())
+
+    def workload():
+        total = 0
+        for a, b in itertools.product(elements, elements):
+            if lattice.leq(a, b):
+                total += 1
+            lattice.meet(a, b)
+            lattice.join(a, b)
+        return total
+
+    comparable_pairs = benchmark(workload)
+    # of the 64 ordered pairs of the 2^3 lattice, 27 are comparable
+    assert comparable_pairs == 27

@@ -1,0 +1,59 @@
+"""Figure 6: inferred consts as stacked percentages of total possible.
+
+The figure presents Table 2's counts normalised per benchmark:
+Declared / Mono-extra / Poly-extra / Other must sum to 100%.  The
+regenerated percentages are checked against the values derived from the
+paper's published counts, and the textual figure is printed.
+"""
+
+import pytest
+
+from repro.benchsuite.suite import PAPER_BENCHMARKS
+from repro.constinfer.results import format_figure6
+
+
+def paper_percentages(spec):
+    total = spec.total
+    return {
+        "declared": 100.0 * spec.declared / total,
+        "mono": 100.0 * (spec.mono - spec.declared) / total,
+        "poly": 100.0 * (spec.poly - spec.mono) / total,
+        "other": 100.0 * (spec.total - spec.poly) / total,
+    }
+
+
+def test_percentages_match_paper(suite_rows):
+    by_name = {r.name: r for r in suite_rows}
+    for spec in PAPER_BENCHMARKS:
+        measured = by_name[spec.name].percentages()
+        expected = paper_percentages(spec)
+        for key in ("declared", "mono", "poly", "other"):
+            assert measured[key] == pytest.approx(expected[key], abs=1e-9), (
+                spec.name,
+                key,
+            )
+
+
+def test_each_bar_sums_to_100(suite_rows):
+    for row in suite_rows:
+        assert sum(row.percentages().values()) == pytest.approx(100.0)
+
+
+def test_declared_fraction_spread(suite_rows):
+    """Figure 6's visual spread: woman/patch are heavily annotated
+    (declared > 50%), m4/ssh/uucp much less (< 30%)."""
+    by_name = {r.name: r for r in suite_rows}
+    assert by_name["woman-3.0a"].percentages()["declared"] > 50
+    assert by_name["patch-2.5"].percentages()["declared"] > 50
+    for name in ("m4-1.4", "ssh-1.2.26", "uucp-1.04"):
+        assert by_name[name].percentages()["declared"] < 30
+
+
+def test_print_figure6(suite_rows, capsys):
+    print()
+    print(format_figure6(suite_rows))
+
+
+def test_bench_figure_rendering(suite_rows, benchmark):
+    text = benchmark(format_figure6, suite_rows)
+    assert text.count("|") == 2 * len(suite_rows)

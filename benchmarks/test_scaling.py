@@ -1,0 +1,87 @@
+"""Timing-shape claims of Section 4.4.
+
+The paper makes two quantitative timing claims:
+
+* "the inference scales roughly linearly with the program size", and
+* "the polymorphic inference takes at most 3 times longer than the
+  monomorphic inference".
+
+Absolute seconds are incomparable across a 1999 ML prototype and this
+Python implementation, so the harness verifies the *shape*: a size sweep
+of generated programs must show sub-quadratic growth, and poly/mono time
+ratios must stay within a modest constant across the suite.
+"""
+
+import time
+
+import pytest
+
+from repro.benchsuite.generator import PositionMix, generate_benchmark
+from repro.cfront.sema import Program
+from repro.constinfer.engine import run_mono, run_poly
+from conftest import one_shot
+
+
+def timed(fn, *args):
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def sweep_program(scale):
+    mix = PositionMix(10 * scale, 10 * scale, 9 * scale, 10 * scale)
+    source = generate_benchmark(f"sweep{scale}", 42 + scale, mix, 0)
+    return Program.from_source(source), source.count("\n") + 1
+
+
+class TestLinearScaling:
+    def test_mono_scales_roughly_linearly(self, capsys):
+        sizes, times = [], []
+        for scale in (1, 2, 4, 8):
+            program, lines = sweep_program(scale)
+            best = min(timed(run_mono, program) for _ in range(3))
+            sizes.append(lines)
+            times.append(best)
+        print()
+        for lines, seconds in zip(sizes, times):
+            print(f"  {lines:>7} lines  mono {seconds * 1000:8.1f} ms")
+        # 8x the program size must cost well under 8x^2 the time; allow a
+        # generous constant for noise: time ratio <= 3x the size ratio.
+        size_ratio = sizes[-1] / sizes[0]
+        time_ratio = times[-1] / times[0]
+        assert time_ratio <= 3.0 * size_ratio
+
+    def test_poly_scales_roughly_linearly(self):
+        sizes, times = [], []
+        for scale in (1, 4):
+            program, lines = sweep_program(scale)
+            best = min(timed(run_poly, program) for _ in range(3))
+            sizes.append(lines)
+            times.append(best)
+        assert times[1] / times[0] <= 3.0 * (sizes[1] / sizes[0])
+
+
+class TestPolyOverMonoFactor:
+    def test_factor_bounded_across_suite(self, suite_rows, capsys):
+        print()
+        worst = 0.0
+        for row in suite_rows:
+            factor = row.poly_time_factor
+            worst = max(worst, factor)
+            print(f"  {row.name:<15} poly/mono time = {factor:4.2f}x")
+        # the paper observed at most 3x; allow slack for timer noise on
+        # the small benchmarks.
+        assert worst <= 4.0
+
+    def test_factor_on_sweep(self):
+        program, _lines = sweep_program(6)
+        mono = min(timed(run_mono, program) for _ in range(3))
+        poly = min(timed(run_poly, program) for _ in range(3))
+        assert poly / mono <= 4.0
+
+
+@pytest.mark.parametrize("scale", [1, 4])
+def test_bench_sweep_mono(scale, benchmark):
+    program, _lines = sweep_program(scale)
+    run = one_shot(benchmark, run_mono, program)
+    assert run.total_positions() == 39 * scale

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the atomic constraint solver: the Section 3.1
+claim that qualifier constraints solve "in linear time for a fixed set
+of qualifiers" [HR97], measured on the graph shapes inference produces
+(chains, fan-outs, cycles, and a const-inference-like mix)."""
+
+import pytest
+
+from repro.qual.constraints import QualConstraint
+from repro.qual.qtypes import fresh_qual_var
+from repro.qual.qualifiers import const_lattice, paper_figure2_lattice
+from repro.qual.solver import solve
+
+
+def chain_system(lattice, n):
+    variables = [fresh_qual_var() for _ in range(n)]
+    constraints = [QualConstraint(lattice.atom("const"), variables[0])]
+    constraints += [
+        QualConstraint(variables[i], variables[i + 1]) for i in range(n - 1)
+    ]
+    return variables, constraints
+
+
+def fanout_system(lattice, n):
+    hub = fresh_qual_var()
+    leaves = [fresh_qual_var() for _ in range(n)]
+    constraints = [QualConstraint(lattice.atom("const"), hub)]
+    constraints += [QualConstraint(hub, leaf) for leaf in leaves]
+    return leaves, constraints
+
+
+def cyclic_system(lattice, n):
+    variables = [fresh_qual_var() for _ in range(n)]
+    constraints = [
+        QualConstraint(variables[i], variables[(i + 1) % n]) for i in range(n)
+    ]
+    constraints.append(QualConstraint(lattice.atom("const"), variables[0]))
+    return variables, constraints
+
+
+@pytest.mark.parametrize("size", [1_000, 10_000])
+def test_bench_chain(benchmark, size):
+    lattice = const_lattice()
+    variables, constraints = chain_system(lattice, size)
+    solution = benchmark(solve, constraints, lattice)
+    assert solution.least_of(variables[-1]).has("const")
+
+
+@pytest.mark.parametrize("size", [1_000, 10_000])
+def test_bench_fanout(benchmark, size):
+    lattice = const_lattice()
+    leaves, constraints = fanout_system(lattice, size)
+    solution = benchmark(solve, constraints, lattice)
+    assert solution.least_of(leaves[0]).has("const")
+
+
+def test_bench_cycle(benchmark):
+    lattice = const_lattice()
+    variables, constraints = cyclic_system(lattice, 5_000)
+    solution = benchmark(solve, constraints, lattice)
+    assert all(solution.least_of(v).has("const") for v in variables)
+
+
+def test_bench_product_lattice(benchmark):
+    """A three-qualifier lattice costs a constant factor, not more."""
+    lattice = paper_figure2_lattice()
+    variables, constraints = chain_system(lattice, 5_000)
+    solution = benchmark(solve, constraints, lattice)
+    assert solution.least_of(variables[-1]).has("const")
+
+
+def test_linear_scaling_shape():
+    """Doubling the system size should not quadruple the time."""
+    import time
+
+    lattice = const_lattice()
+
+    def timed(n):
+        _vars, constraints = chain_system(lattice, n)
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            solve(constraints, lattice)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    small = timed(20_000)
+    large = timed(40_000)
+    assert large <= small * 3.5  # linear up to noise (2x size)

@@ -1,0 +1,40 @@
+"""Table 1: the benchmark suite (names, line counts, descriptions).
+
+Regenerates the six benchmarks' metadata from the synthetic suite and
+checks the line counts land near the paper's (the generator pads to the
+paper's published size).  The pytest-benchmark measurement is the
+"compile" column's substrate: tokenising + parsing + building semantic
+tables for one benchmark.
+"""
+
+import pytest
+
+from repro.benchsuite.suite import PAPER_BENCHMARKS, generate_source
+from repro.cfront.sema import Program
+from repro.constinfer.results import format_table1
+from conftest import one_shot
+
+
+def test_table1_metadata(suite_rows, capsys):
+    rows = suite_rows
+    assert [r.name for r in rows] == [s.name for s in PAPER_BENCHMARKS]
+    print()
+    print(format_table1(rows))
+    for row, spec in zip(rows, PAPER_BENCHMARKS):
+        assert row.description == spec.description
+        # generated size within 25% of the paper's published line count
+        assert spec.lines <= row.lines <= spec.lines * 1.25
+
+
+def test_sizes_strictly_increasing(suite_rows):
+    sizes = [r.lines for r in suite_rows]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > 20 * sizes[0] / 2  # uucp dwarfs woman, as in Table 1
+
+
+@pytest.mark.parametrize("spec", PAPER_BENCHMARKS[:3], ids=lambda s: s.name)
+def test_bench_compile(spec, benchmark):
+    """Time the front end (the Table 2 'Compile' column) per benchmark."""
+    source = generate_source(spec)
+    program = one_shot(benchmark, Program.from_source, source, spec.name)
+    assert program.functions

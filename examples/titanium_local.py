@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Titanium local pointers: qualifier-driven cost optimisation
+(Section 5's [YSP+98] instance).
+
+In the Titanium SPMD language, dereferencing a possibly-remote pointer
+costs a network round trip; a pointer proven local is a plain load.  The
+local qualifier lets the compiler remove the run-time dispatch.  This
+example runs local-pointer inference over a small "stencil" program and
+reports how much of the access cost the qualifier analysis eliminates.
+
+Run: python examples/titanium_local.py
+"""
+
+from repro.apps.localptr import analyze_locality
+from repro.lam.parser import parse
+
+
+def main() -> None:
+    # All cells allocated locally except the neighbour's halo cell,
+    # which arrives from the network ({} removes the local qualifier).
+    source = """
+    let own_a = ref 1 in
+    let own_b = ref 2 in
+    let own_c = ref 3 in
+    let halo = {} ref 0 in
+    let step = fn unused.
+        let a = !own_a in
+        let b = !own_b in
+        let c = !own_c in
+        let h = !halo in
+        (own_a := (if a then b else h fi))
+        ni ni ni ni in
+    step 0
+    ni ni ni ni ni
+    """
+    expr = parse(source)
+    costs = analyze_locality(expr, remote_factor=100)
+
+    print("dereference cost after local-pointer inference:")
+    for node, cost in costs.dereference_costs(expr):
+        kind = "local load " if cost == 1 else "REMOTE get "
+        print(f"  {kind} cost={cost:>3}  {node}")
+    print()
+    print(f"total cost:     {costs.total_cost(expr)}")
+    print(f"local fraction: {costs.local_fraction(expr):.0%}")
+    print()
+
+    # Without the qualifier every access must be treated as possibly
+    # remote: the run-time-test world Titanium's annotation removes.
+    naive = sum(100 for _ in costs.dereference_costs(expr))
+    print(f"without the qualifier (all accesses dispatched): {naive}")
+    print(
+        f"speedup from inference: "
+        f"{naive / costs.total_cost(expr):.1f}x on this access mix"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of *A Theory of Type Qualifiers* (Foster, Fähndrich, Aiken;
+PLDI 1999).
+
+Top-level packages:
+
+* :mod:`repro.qual` — the qualifier framework: lattices, qualified types,
+  constraints, the atomic solver, well-formedness, polymorphism.
+* :mod:`repro.lam` — the paper's example lambda language with updateable
+  references: parser, standard typing, qualified checking and inference,
+  let-polymorphism, and the small-step operational semantics of Figure 5.
+* :mod:`repro.cfront` — a from-scratch C front end (lexer, parser, types,
+  semantic analysis) plus the Section 4.1 translation of C types to
+  ref types.
+* :mod:`repro.constinfer` — the Section 4 const-inference system for C,
+  monomorphic and polymorphic, with result counting and source
+  re-annotation.
+* :mod:`repro.apps` — further qualifier instances: binding-time analysis,
+  taint tracking, nonnull pointers, sorted lists, Titanium local pointers.
+* :mod:`repro.benchsuite` — the deterministic synthetic benchmark programs
+  standing in for the paper's six C packages (see DESIGN.md).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,21 @@
+"""Further qualifier instances from the paper's survey (Sections 1, 5).
+
+Each module configures the generic framework for one qualifier and adds
+the thin domain layer around it:
+
+* :mod:`repro.apps.bta` — binding-time analysis (static/dynamic) with the
+  "nothing dynamic under static" well-formedness condition.
+* :mod:`repro.apps.taint` — Volpano–Smith-style secure information flow
+  (tainted/untainted) with source/sink checking.
+* :mod:`repro.apps.nonnull` — lclint-style nonnull pointers with a
+  dereference discipline.
+* :mod:`repro.apps.sortedlist` — the Section 2.3 sorted-list library.
+* :mod:`repro.apps.localptr` — Titanium local pointers with the
+  dereference cost model the qualifier exists to improve.
+* :mod:`repro.apps.trust` — multi-level trust chains embedded into the
+  product lattice (the [O/P97] extension).
+"""
+
+from . import bta, localptr, nonnull, sortedlist, taint, trust
+
+__all__ = ["bta", "localptr", "nonnull", "sortedlist", "taint", "trust"]

@@ -1,0 +1,99 @@
+"""Binding-time analysis as a qualifier instance (Sections 1–2, [DHM95]).
+
+Binding-time analysis marks values known at specialisation time
+``static`` and possibly-run-time values ``dynamic``.  In qualifier terms
+(the paper's own framing): ``dynamic`` is a *positive* qualifier,
+``static`` is just the name of its absence, and values may be promoted
+``static -> dynamic`` but never back.
+
+The binding-time well-formedness condition — "nothing dynamic may appear
+within a value that is static", so ``static (dynamic a -> dynamic b)``
+is ill-formed — is the paper's flagship example of a per-qualifier
+well-formedness rule; here it is
+:data:`~repro.qual.wellformed.ChildQualLeqParent` over ``dynamic``.
+
+The analysis itself: annotate program inputs ``{dynamic}``, run ordinary
+qualifier inference, and read each expression's binding time off the
+least solution.  Everything not forced dynamic is static — exactly the
+code a partial evaluator may execute at specialisation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lam.ast import Expr
+from ..lam.infer import Inference, QualifiedLanguage, infer
+from ..qual.lattice import QualifierLattice
+from ..qual.qtypes import QType, QualVar
+from ..qual.qualifiers import binding_time_lattice
+from ..qual.wellformed import ChildQualLeqParent
+
+
+def binding_time_language() -> QualifiedLanguage:
+    """The lambda language configured for binding-time analysis."""
+    return QualifiedLanguage(
+        binding_time_lattice(),
+        wellformed=(ChildQualLeqParent("dynamic"),),
+        # The BTA-specific rule modification: the branch taken depends on
+        # the guard, so a dynamic guard makes the if-result dynamic.
+        guard_flows_to_result=True,
+    )
+
+
+@dataclass
+class BindingTimes:
+    """Binding-time classification of a program's subexpressions."""
+
+    inference: Inference
+
+    def is_dynamic(self, node: Expr) -> bool:
+        """Whether the node's value may depend on run-time input."""
+        qtype = self.inference.node_qtypes.get(id(node))
+        if qtype is None:
+            raise KeyError(f"no type recorded for node {node}")
+        qual = qtype.qual
+        if isinstance(qual, QualVar):
+            return self.inference.solution.least_of(qual).has("dynamic")
+        return qual.has("dynamic")
+
+    def is_static(self, node: Expr) -> bool:
+        """Static is the absence of dynamic."""
+        return not self.is_dynamic(node)
+
+    def static_fraction(self) -> float:
+        """Fraction of typed nodes that stay static — the quantity a
+        partial evaluator cares about (more static = more specialised)."""
+        nodes = list(self.inference.node_qtypes)
+        if not nodes:
+            return 1.0
+        static = 0
+        for key, qtype in self.inference.node_qtypes.items():
+            qual = qtype.qual
+            if isinstance(qual, QualVar):
+                dynamic = self.inference.solution.least_of(qual).has("dynamic")
+            else:
+                dynamic = qual.has("dynamic")
+            if not dynamic:
+                static += 1
+        return static / len(nodes)
+
+
+def analyze_binding_times(
+    expr: Expr,
+    env: dict[str, QType] | None = None,
+    polymorphic: bool = False,
+) -> BindingTimes:
+    """Infer binding times for a program.
+
+    Inputs should be annotated ``{dynamic}`` in the source (or given
+    dynamic types through ``env``); the least solution then says which
+    expressions a specialiser must residualise.
+    """
+    language = binding_time_language()
+    result = infer(expr, language, env=env, polymorphic=polymorphic)
+    return BindingTimes(result)
+
+
+def lattice() -> QualifierLattice:
+    return binding_time_lattice()

@@ -1,0 +1,70 @@
+"""lclint-style nonnull pointers as a qualifier instance ([Eva96]).
+
+``nonnull`` is a *negative* qualifier: the set of definitely-non-null
+references is a subset of all references, so ``nonnull tau <= tau``.  A
+freshly created reference is non-null by construction (negative
+qualifiers are present at lattice bottom, which is where ``ref`` cells
+enter the system); a pointer that may be null has been *promoted* by
+removing the qualifier with the annotation ``{} e``.
+
+The dereference discipline is a per-qualifier rule hook (Section 2.4
+style): every ``!e`` requires the reference's qualifier to retain
+``nonnull``, so any value that lost the qualifier on some path cannot be
+dereferenced at all.  Qualifiers are flow-insensitive (types are fixed
+for the whole program), so a run-time null test cannot restore the
+qualifier — exactly the limitation the paper's Future Work section
+raises about expressing lclint in the framework, which this instance
+makes concrete and the tests document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lam.ast import Expr
+from ..lam.infer import Inference, QualTypeError, QualifiedLanguage, infer
+from ..lam.parser import parse
+from ..qual.qtypes import QType
+from ..qual.qualifiers import nonnull_lattice
+
+
+def nonnull_language() -> QualifiedLanguage:
+    """Lambda language where dereference demands a nonnull reference."""
+    return QualifiedLanguage(
+        nonnull_lattice(),
+        deref_requirements=("nonnull",),
+    )
+
+
+@dataclass
+class NullnessReport:
+    inference: Inference | None
+    violation: str | None
+
+    @property
+    def safe(self) -> bool:
+        """Every dereference is of a provably non-null reference."""
+        return self.violation is None
+
+
+def analyze_nonnull(
+    expr: Expr,
+    env: dict[str, QType] | None = None,
+    polymorphic: bool = False,
+) -> NullnessReport:
+    """Check that no possibly-null reference is dereferenced.
+
+    Possibly-null values are marked ``{} e`` (removing nonnull) at their
+    creation points — e.g. a lookup that can fail.  Inference rejects the
+    program if such a value can reach a dereference.
+    """
+    language = nonnull_language()
+    try:
+        result = infer(expr, language, env=env, polymorphic=polymorphic)
+    except QualTypeError as exc:
+        return NullnessReport(None, str(exc))
+    return NullnessReport(result, None)
+
+
+def check_source(source: str, **kwargs) -> NullnessReport:
+    return analyze_nonnull(parse(source), **kwargs)

@@ -1,0 +1,84 @@
+"""Secure information flow as a qualifier instance ([VS97], Section 5).
+
+Volpano–Smith-style security typing annotates data with security levels;
+in qualifier terms a two-level policy is the positive qualifier
+``tainted`` (high/untrusted) whose absence is ``untainted`` (low/
+trusted).  Subtyping allows untainted data to flow anywhere, while
+tainted data may only flow into tainted positions; a *sink* is expressed
+as a qualifier assertion ``e|{}`` (top-level qualifier at most the
+untainted element), which inference then checks globally.
+
+Taint propagates through containers via the well-formedness rule
+``ChildQualLeqParent("tainted")`` read in reverse — here we instead use
+``ParentQualLeqChild`` so that anything *inside* a tainted value is
+itself tainted (reading a field of an untrusted record yields untrusted
+data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lam.ast import Expr
+from ..lam.infer import Inference, QualTypeError, QualifiedLanguage, infer
+from ..lam.parser import parse
+from ..qual.qtypes import QType, QualVar
+from ..qual.qualifiers import taint_lattice
+from ..qual.wellformed import ParentQualLeqChild
+
+
+def taint_language(deep: bool = True) -> QualifiedLanguage:
+    """The lambda language configured for taint tracking.
+
+    With ``deep=True`` a tainted container taints its contents.
+    """
+    rules = (ParentQualLeqChild("tainted"),) if deep else ()
+    return QualifiedLanguage(taint_lattice(), wellformed=rules)
+
+
+@dataclass
+class TaintReport:
+    """Outcome of taint analysis over one program."""
+
+    inference: Inference | None
+    violation: str | None
+
+    @property
+    def secure(self) -> bool:
+        """No tainted value can reach an untainted sink."""
+        return self.violation is None
+
+    def is_tainted(self, node: Expr) -> bool:
+        assert self.inference is not None, "analysis failed; no node info"
+        qtype = self.inference.node_qtypes.get(id(node))
+        if qtype is None:
+            raise KeyError(f"no type recorded for {node}")
+        qual = qtype.qual
+        if isinstance(qual, QualVar):
+            return self.inference.solution.least_of(qual).has("tainted")
+        return qual.has("tainted")
+
+
+def analyze_taint(
+    expr: Expr,
+    env: dict[str, QType] | None = None,
+    polymorphic: bool = False,
+    deep: bool = True,
+) -> TaintReport:
+    """Check a program against the taint policy.
+
+    Sources are written ``{tainted} e`` in the program text; sinks assert
+    ``e|{}``.  Returns a report whose ``secure`` flag says whether every
+    sink is provably reached only by untainted data.
+    """
+    language = taint_language(deep)
+    try:
+        result = infer(expr, language, env=env, polymorphic=polymorphic)
+    except QualTypeError as exc:
+        return TaintReport(None, str(exc))
+    return TaintReport(result, None)
+
+
+def check_source(source: str, **kwargs) -> TaintReport:
+    """Parse and analyze a program for taint flows."""
+    return analyze_taint(parse(source), **kwargs)

@@ -1,0 +1,93 @@
+"""Multi-level trust as a qualifier chain ([O/P97], Section 5).
+
+Ørbæk and Palsberg's trust analysis has two levels; their paper (and
+this one's related-work section) suggests generalising to *multiple*
+levels of trust — "similar to our idea of a lattice of type
+qualifiers".  A total order of n+1 trust levels
+
+    level_0 (fully trusted)  <  level_1  <  ...  <  level_n (untrusted)
+
+embeds into the product-of-two-point-lattices framework as n positive
+qualifiers ``atleast_1 .. atleast_n`` ("distrust at least i") with the
+*chain invariant* ``atleast_{i+1} present => atleast_i present``: the
+upward-closed subsets of a chain are exactly the chain again, so the
+invariant carves the (i+1)-element total order out of the 2^n product.
+
+The invariant is enforced with ordinary atomic constraints (for ground
+elements it is checked directly), so nothing in the solver changes —
+the point of the exercise, as with every other instance.
+
+:class:`TrustLevels` packages the encoding: building level constants,
+reading a level back off a lattice element, the chain's well-formedness
+check, and a :func:`trust_language` for the lambda language where sinks
+requiring at most level i are assertions ``e|bound(i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lam.infer import QualifiedLanguage
+from ..qual.lattice import LatticeElement, QualifierLattice, positive
+
+
+@dataclass
+class TrustLevels:
+    """An (n+1)-level total order of trust encoded as n chained positive
+    qualifiers."""
+
+    count: int
+    lattice: QualifierLattice = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.count < 2:
+            raise ValueError("need at least two trust levels")
+        names = [f"atleast_{i}" for i in range(1, self.count)]
+        self.lattice = QualifierLattice([positive(n) for n in names])
+
+    # -- encoding --------------------------------------------------------
+    def level(self, index: int) -> LatticeElement:
+        """The lattice element of trust level ``index`` (0 = trusted)."""
+        if not 0 <= index < self.count:
+            raise ValueError(f"level {index} out of range 0..{self.count - 1}")
+        return self.lattice.element(
+            *(f"atleast_{i}" for i in range(1, index + 1))
+        )
+
+    def level_of(self, element: LatticeElement) -> int:
+        """Read a chain element's level; reject non-chain elements."""
+        if not self.is_chain_element(element):
+            raise ValueError(f"{element} violates the chain invariant")
+        return sum(
+            1
+            for i in range(1, self.count)
+            if element.has(f"atleast_{i}")
+        )
+
+    def is_chain_element(self, element: LatticeElement) -> bool:
+        """The chain invariant: atleast_{i+1} implies atleast_i."""
+        present = [element.has(f"atleast_{i}") for i in range(1, self.count)]
+        return all(
+            earlier or not later for earlier, later in zip(present, present[1:])
+        )
+
+    def sink_bound(self, max_level: int) -> LatticeElement:
+        """Assertion constant for a sink accepting at most ``max_level``:
+        exactly :meth:`level`, since ``e|l`` checks ``Q <= l`` and the
+        chain order coincides with the lattice order on chain elements."""
+        return self.level(max_level)
+
+    # -- properties ------------------------------------------------------
+    def all_levels(self) -> list[LatticeElement]:
+        return [self.level(i) for i in range(self.count)]
+
+    def join_is_max(self, a: int, b: int) -> bool:
+        """On chain elements, lattice join computes max of levels."""
+        joined = self.lattice.join(self.level(a), self.level(b))
+        return self.level_of(joined) == max(a, b)
+
+
+def trust_language(levels: TrustLevels) -> QualifiedLanguage:
+    """The lambda language over a trust chain: plain subsumption up the
+    chain, sinks as assertions."""
+    return QualifiedLanguage(levels.lattice)

@@ -1,0 +1,23 @@
+"""Synthetic benchmark suite standing in for the paper's six C packages.
+
+* :mod:`repro.benchsuite.generator` — deterministic C program generator
+  whose programs have exactly the interesting-const-position mix a spec
+  requests (see DESIGN.md's substitution rationale).
+* :mod:`repro.benchsuite.suite` — the six Table 1 benchmarks with the
+  paper's published counts, and the harness that reruns the whole
+  Section 4.4 experiment.
+"""
+
+from .generator import BenchmarkGenerator, PositionMix, generate_benchmark
+from .suite import (
+    BenchmarkSpec,
+    PAPER_BENCHMARKS,
+    PAPER_TIMINGS,
+    benchmark_rows,
+    generate_source,
+    load_program,
+    run_benchmark,
+    spec_by_name,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,530 @@
+"""Deterministic synthetic C benchmark generator.
+
+The paper's experiment (Section 4.4) ran const inference over six
+1996-era C packages.  Those exact sources are not available offline, so
+— per the substitution policy in DESIGN.md — this module generates C
+programs with the same *shape statistics* the experiment measures.  The
+inference is syntax-directed, so four ingredients fully determine the
+Declared / Mono / Poly / Total columns of Table 2:
+
+``a`` positions whose const is **declared** in the source,
+``b`` undeclared read-only positions (monomorphic inference adds these),
+``c`` positions monomorphic analysis loses to context mixing but
+      polymorphic analysis keeps (the Poly − Mono gap: a function used
+      with both const and non-const arguments, à la the paper's ``id``
+      and ``strchr`` discussion),
+``d`` positions genuinely written through (or passed to conservative
+      library functions), which no analysis can make const.
+
+Each ingredient is produced by a small family of *units* — clusters of
+functions whose classification under the analysis is known by
+construction:
+
+* declared/plain readers (a/b), pointer pipelines (b), struct walkers
+  (a/b), strchr-style scanners with a cast (a + b),
+* selector / forwarder / global-getter units (c: 3, 2, and 1 positions
+  respectively, so any gap count is composable),
+* writers and library-call wrappers (d).
+
+The generator composes units to hit the requested (a, b, c, d) exactly,
+then pads with position-free filler functions (string tables, hash
+functions, switch-heavy dispatchers) to reach the requested line count.
+Everything is driven by a seeded :class:`random.Random`, so a given spec
+always yields byte-identical source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PositionMix:
+    """Exact interesting-position counts a generated program must have."""
+
+    declared: int  # a
+    mono_extra: int  # b
+    poly_extra: int  # c
+    other: int  # d
+
+    @property
+    def mono(self) -> int:
+        return self.declared + self.mono_extra
+
+    @property
+    def poly(self) -> int:
+        return self.mono + self.poly_extra
+
+    @property
+    def total(self) -> int:
+        return self.poly + self.other
+
+    @classmethod
+    def from_table2(
+        cls, declared: int, mono: int, poly: int, total: int
+    ) -> "PositionMix":
+        if not declared <= mono <= poly <= total:
+            raise ValueError("Table 2 counts must be monotone")
+        return cls(declared, mono - declared, poly - mono, total - poly)
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.chunks: list[str] = []
+        self.protos: list[str] = []
+        self.externs: list[str] = []
+        self.preamble: list[str] = []
+        self.line_count = 0
+
+    def _count(self, text: str) -> None:
+        self.line_count += text.count("\n") + 1
+
+    def add(self, proto: str, body: str) -> None:
+        self.protos.append(proto + ";")
+        self.chunks.append(body)
+        self._count(proto)
+        self._count(body)
+
+    def proto(self, text: str) -> None:
+        self.protos.append(text)
+        self._count(text)
+
+    def extern(self, decl: str) -> None:
+        self.externs.append(decl)
+        self._count(decl)
+
+    def top(self, text: str) -> None:
+        self.preamble.append(text)
+        self._count(text)
+
+    def render(self, header: str) -> str:
+        parts = [header, ""]
+        parts.extend(self.preamble)
+        parts.append("")
+        parts.extend(self.externs)
+        parts.append("")
+        parts.extend(self.protos)
+        parts.append("")
+        parts.extend(self.chunks)
+        return "\n".join(parts) + "\n"
+
+
+class BenchmarkGenerator:
+    """Generates one benchmark program for a position mix and line target."""
+
+    def __init__(self, name: str, seed: int):
+        self.name = name
+        self.rng = random.Random(seed)
+        self.em = _Emitter()
+        self._counter = 0
+        self._reader_names: list[str] = []
+        self._filler_names: list[str] = []
+
+    def _k(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    # ------------------------------------------------------------------
+    # a-units: declared const readers
+    # ------------------------------------------------------------------
+    def unit_declared_reader(self) -> None:
+        """1 declared position: a const pointer parameter, read only."""
+        k = self._k()
+        n = self.rng.randint(3, 8)
+        body = (
+            f"static int rd_{k}(const int *p) {{\n"
+            f"    int acc = 0;\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {n}; i = i + 1) {{\n"
+            f"        acc = acc + p[i];\n"
+            f"    }}\n"
+            f"    return acc;\n"
+            f"}}\n"
+            f"static int use_rd_{k}(void) {{\n"
+            f"    int buf[{n}];\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {n}; i = i + 1) {{\n"
+            f"        buf[i] = i * {self.rng.randint(2, 9)};\n"
+            f"    }}\n"
+            f"    return rd_{k}(buf);\n"
+            f"}}\n"
+        )
+        self.em.add(f"static int rd_{k}(const int *p)", body)
+        self.em.proto(f"static int use_rd_{k}(void);")
+        self._reader_names.append(f"use_rd_{k}")
+
+    def unit_declared_struct_reader(self) -> None:
+        """1 declared position: const struct pointer, fields read only."""
+        k = self._k()
+        self.em.top(
+            f"struct rec_{k} {{ int tag_{k}; int weight_{k}; }};"
+        )
+        body = (
+            f"static int recw_{k}(const struct rec_{k} *r) {{\n"
+            f"    if (r->tag_{k} > {self.rng.randint(1, 5)}) {{\n"
+            f"        return r->weight_{k} * 2;\n"
+            f"    }}\n"
+            f"    return r->weight_{k};\n"
+            f"}}\n"
+            f"static int use_recw_{k}(void) {{\n"
+            f"    struct rec_{k} r;\n"
+            f"    r.tag_{k} = {self.rng.randint(0, 9)};\n"
+            f"    r.weight_{k} = {self.rng.randint(1, 99)};\n"
+            f"    return recw_{k}(&r);\n"
+            f"}}\n"
+        )
+        self.em.add(f"static int recw_{k}(const struct rec_{k} *r)", body)
+        self.em.proto(f"static int use_recw_{k}(void);")
+        self._reader_names.append(f"use_recw_{k}")
+
+    # ------------------------------------------------------------------
+    # b-units: undeclared read-only positions
+    # ------------------------------------------------------------------
+    def unit_plain_reader(self) -> None:
+        """1 mono-extra position: read-only pointer, const not written."""
+        k = self._k()
+        n = self.rng.randint(3, 8)
+        body = (
+            f"static int scan_sum_{k}(int *p) {{\n"
+            f"    int acc = {self.rng.randint(0, 4)};\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {n}; i = i + 1) {{\n"
+            f"        acc = acc + p[i] * {self.rng.randint(1, 4)};\n"
+            f"    }}\n"
+            f"    return acc;\n"
+            f"}}\n"
+            f"static int use_scan_sum_{k}(void) {{\n"
+            f"    int data[{n}];\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {n}; i = i + 1) {{\n"
+            f"        data[i] = i + {self.rng.randint(1, 7)};\n"
+            f"    }}\n"
+            f"    return scan_sum_{k}(data);\n"
+            f"}}\n"
+        )
+        self.em.add(f"static int scan_sum_{k}(int *p)", body)
+        self.em.proto(f"static int use_scan_sum_{k}(void);")
+        self._reader_names.append(f"use_scan_sum_{k}")
+
+    def unit_pipeline(self, depth: int = 2) -> None:
+        """``depth`` mono-extra positions: a read-only pointer threaded
+        through a chain of calls (const propagates along the chain)."""
+        k = self._k()
+        names = [f"pipe_{k}_{i}" for i in range(depth)]
+        chunks = []
+        # Innermost: plain read.
+        chunks.append(
+            f"static int {names[0]}(int *p) {{\n"
+            f"    return p[0] + p[1];\n"
+            f"}}\n"
+        )
+        for i in range(1, depth):
+            chunks.append(
+                f"static int {names[i]}(int *p) {{\n"
+                f"    int bias = {self.rng.randint(0, 9)};\n"
+                f"    return {names[i - 1]}(p) + bias;\n"
+                f"}}\n"
+            )
+        chunks.append(
+            f"static int use_pipe_{k}(void) {{\n"
+            f"    int cells[4];\n"
+            f"    cells[0] = {self.rng.randint(1, 9)};\n"
+            f"    cells[1] = {self.rng.randint(1, 9)};\n"
+            f"    cells[2] = 0;\n"
+            f"    cells[3] = 0;\n"
+            f"    return {names[-1]}(cells);\n"
+            f"}}\n"
+        )
+        for name in names:
+            self.em.proto(f"static int {name}(int *p);")
+        self.em.proto(f"static int use_pipe_{k}(void);")
+        self.em.chunks.append("".join(chunks))
+        self._reader_names.append(f"use_pipe_{k}")
+
+    def unit_strchr_like(self) -> None:
+        """1 declared + 1 mono-extra: the paper's strchr pattern — a
+        const parameter returned through a cast, result read only."""
+        k = self._k()
+        body = (
+            f"static char *find_{k}(const char *s, int c) {{\n"
+            f"    while (*s) {{\n"
+            f"        if (*s == c) {{\n"
+            f"            return (char *)s;\n"
+            f"        }}\n"
+            f"        s++;\n"
+            f"    }}\n"
+            f"    return (char *)0;\n"
+            f"}}\n"
+            f"static int use_find_{k}(void) {{\n"
+            f"    char word[8];\n"
+            f"    char *hit;\n"
+            f"    word[0] = 'a';\n"
+            f"    word[1] = 'b';\n"
+            f"    word[2] = 0;\n"
+            f"    hit = find_{k}(word, 'b');\n"
+            f"    if (hit) {{\n"
+            f"        return *hit;\n"
+            f"    }}\n"
+            f"    return 0;\n"
+            f"}}\n"
+        )
+        self.em.add(f"static char *find_{k}(const char *s, int c)", body)
+        self.em.proto(f"static int use_find_{k}(void);")
+        self._reader_names.append(f"use_find_{k}")
+
+    # ------------------------------------------------------------------
+    # c-units: the polymorphism gap
+    # ------------------------------------------------------------------
+    def unit_selector(self) -> None:
+        """3 poly-extra positions: a two-pointer selector used by both a
+        writing and a reading caller; monomorphic inference poisons the
+        selector's own signature, polymorphic inference does not."""
+        k = self._k()
+        body = (
+            f"static int *sel_{k}(int *a, int *b, int w) {{\n"
+            f"    if (w > 0) {{\n"
+            f"        return a;\n"
+            f"    }}\n"
+            f"    return b;\n"
+            f"}}\n"
+            f"static void sel_put_{k}(void) {{\n"
+            f"    int x;\n"
+            f"    int y;\n"
+            f"    int *r;\n"
+            f"    x = 0;\n"
+            f"    y = 0;\n"
+            f"    r = sel_{k}(&x, &y, {self.rng.randint(0, 1)});\n"
+            f"    *r = {self.rng.randint(1, 99)};\n"
+            f"}}\n"
+            f"static int sel_get_{k}(void) {{\n"
+            f"    int u;\n"
+            f"    int v;\n"
+            f"    u = {self.rng.randint(1, 9)};\n"
+            f"    v = {self.rng.randint(1, 9)};\n"
+            f"    return *sel_{k}(&u, &v, 0);\n"
+            f"}}\n"
+        )
+        self.em.add(f"static int *sel_{k}(int *a, int *b, int w)", body)
+        self.em.proto(f"static void sel_put_{k}(void);")
+        self.em.proto(f"static int sel_get_{k}(void);")
+        self._reader_names.append(f"sel_get_{k}")
+
+    def unit_forwarder(self) -> None:
+        """2 poly-extra positions: identity-style forwarder (the paper's
+        ``id1``/``id2`` example) with mixed const/non-const use."""
+        k = self._k()
+        body = (
+            f"static int *fwd_{k}(int *x) {{\n"
+            f"    return x;\n"
+            f"}}\n"
+            f"static void fwd_put_{k}(void) {{\n"
+            f"    int slot;\n"
+            f"    slot = 0;\n"
+            f"    *fwd_{k}(&slot) = {self.rng.randint(1, 50)};\n"
+            f"}}\n"
+            f"static int fwd_get_{k}(void) {{\n"
+            f"    int cell;\n"
+            f"    cell = {self.rng.randint(1, 50)};\n"
+            f"    return *fwd_{k}(&cell);\n"
+            f"}}\n"
+        )
+        self.em.add(f"static int *fwd_{k}(int *x)", body)
+        self.em.proto(f"static void fwd_put_{k}(void);")
+        self.em.proto(f"static int fwd_get_{k}(void);")
+        self._reader_names.append(f"fwd_get_{k}")
+
+    def unit_global_getter(self) -> None:
+        """1 poly-extra position: pointer-returning accessor of a global,
+        written through by one caller and read by another."""
+        k = self._k()
+        self.em.top(f"static int slot_{k};")
+        body = (
+            f"static int *get_slot_{k}(void) {{\n"
+            f"    return &slot_{k};\n"
+            f"}}\n"
+            f"static void set_slot_{k}(int v) {{\n"
+            f"    *get_slot_{k}() = v;\n"
+            f"}}\n"
+            f"static int read_slot_{k}(void) {{\n"
+            f"    return *get_slot_{k}();\n"
+            f"}}\n"
+        )
+        self.em.add(f"static int *get_slot_{k}(void)", body)
+        self.em.proto(f"static void set_slot_{k}(int v);")
+        self.em.proto(f"static int read_slot_{k}(void);")
+        self._reader_names.append(f"read_slot_{k}")
+
+    # ------------------------------------------------------------------
+    # d-units: genuinely non-const positions
+    # ------------------------------------------------------------------
+    def unit_writer(self) -> None:
+        """1 other position: the parameter is written through."""
+        k = self._k()
+        n = self.rng.randint(3, 8)
+        body = (
+            f"static void fill_{k}(int *dst) {{\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {n}; i = i + 1) {{\n"
+            f"        dst[i] = i * {self.rng.randint(1, 6)};\n"
+            f"    }}\n"
+            f"}}\n"
+            f"static int use_fill_{k}(void) {{\n"
+            f"    int area[{n}];\n"
+            f"    fill_{k}(area);\n"
+            f"    return area[0];\n"
+            f"}}\n"
+        )
+        self.em.add(f"static void fill_{k}(int *dst)", body)
+        self.em.proto(f"static int use_fill_{k}(void);")
+        self._reader_names.append(f"use_fill_{k}")
+
+    def unit_library_wrapper(self) -> None:
+        """1 other position: the parameter flows to an undefined library
+        function whose undeclared pointer parameters are pinned non-const
+        (Section 4.2's conservative rule)."""
+        k = self._k()
+        self.em.extern(f"extern void sys_fill_{k}(int *dst, int n);")
+        body = (
+            f"static void wrap_fill_{k}(int *out, int n) {{\n"
+            f"    sys_fill_{k}(out, n);\n"
+            f"}}\n"
+            f"static int use_wrap_{k}(void) {{\n"
+            f"    int room[5];\n"
+            f"    wrap_fill_{k}(room, 5);\n"
+            f"    return room[2];\n"
+            f"}}\n"
+        )
+        self.em.add(f"static void wrap_fill_{k}(int *out, int n)", body)
+        self.em.proto(f"static int use_wrap_{k}(void);")
+        self._reader_names.append(f"use_wrap_{k}")
+
+    # ------------------------------------------------------------------
+    # filler: position-free realism and line-count padding
+    # ------------------------------------------------------------------
+    def unit_filler(self) -> None:
+        style = self.rng.randrange(3)
+        k = self._k()
+        if style == 0:
+            cases = self.rng.randint(3, 7)
+            lines = [f"static int classify_{k}(int code) {{", "    switch (code) {"]
+            for c in range(cases):
+                lines.append(f"    case {c}:")
+                lines.append(f"        return {self.rng.randint(0, 99)};")
+            lines.append("    default:")
+            lines.append(f"        return {self.rng.randint(100, 199)};")
+            lines.append("    }")
+            lines.append("}")
+            self.em.add(f"static int classify_{k}(int code)", "\n".join(lines) + "\n")
+            self._filler_names.append(f"classify_{k}")
+        elif style == 1:
+            mult = self.rng.randint(3, 31)
+            add = self.rng.randint(1, 17)
+            body = (
+                f"static int hash_step_{k}(int h, int c) {{\n"
+                f"    h = h * {mult} + c;\n"
+                f"    h = h ^ (h >> {self.rng.randint(2, 6)});\n"
+                f"    return h + {add};\n"
+                f"}}\n"
+            )
+            self.em.add(f"static int hash_step_{k}(int h, int c)", body)
+            self._filler_names.append(f"hash_step_{k}")
+        else:
+            n = self.rng.randint(3, 6)
+            body_lines = [f"static int poly_eval_{k}(int x) {{", "    int acc = 0;"]
+            for i in range(n):
+                body_lines.append(
+                    f"    acc = acc * x + {self.rng.randint(-9, 9)};"
+                )
+            body_lines.append("    return acc;")
+            body_lines.append("}")
+            self.em.add(
+                f"static int poly_eval_{k}(int x)", "\n".join(body_lines) + "\n"
+            )
+            self._filler_names.append(f"poly_eval_{k}")
+
+    def unit_driver(self, batch: list[str]) -> None:
+        """A driver calling a batch of entry points, connecting the FDG."""
+        k = self._k()
+        lines = [f"static int drive_{k}(void) {{", "    int total = 0;"]
+        for name in batch:
+            lines.append(f"    total = total + {name}();")
+        lines.append("    return total;")
+        lines.append("}")
+        self.em.add(f"static int drive_{k}(void)", "\n".join(lines) + "\n")
+
+    # ------------------------------------------------------------------
+    def generate(self, mix: PositionMix, target_lines: int, description: str) -> str:
+        rng = self.rng
+
+        # -- c-units first (their composition is the most constrained).
+        remaining_c = mix.poly_extra
+        while remaining_c >= 3 and (remaining_c % 2 == 1 or rng.random() < 0.6):
+            self.unit_selector()
+            remaining_c -= 3
+        while remaining_c >= 2:
+            self.unit_forwarder()
+            remaining_c -= 2
+        if remaining_c == 1:
+            self.unit_global_getter()
+            remaining_c = 0
+
+        # -- a/b: interleave strchr units (1a + 1b each) with singles.
+        a, b = mix.declared, mix.mono_extra
+        strchr_units = min(a, b, max(1, min(a, b) // 3)) if a and b else 0
+        for _ in range(strchr_units):
+            self.unit_strchr_like()
+        a -= strchr_units
+        b -= strchr_units
+        while a > 0:
+            if rng.random() < 0.3:
+                self.unit_declared_struct_reader()
+            else:
+                self.unit_declared_reader()
+            a -= 1
+        while b > 0:
+            if b >= 3 and rng.random() < 0.25:
+                self.unit_pipeline(3)
+                b -= 3
+            elif b >= 2 and rng.random() < 0.35:
+                self.unit_pipeline(2)
+                b -= 2
+            else:
+                self.unit_plain_reader()
+                b -= 1
+
+        # -- d-units.
+        d = mix.other
+        while d > 0:
+            if rng.random() < 0.35:
+                self.unit_library_wrapper()
+            else:
+                self.unit_writer()
+            d -= 1
+
+        # -- drivers connecting everything.
+        entries = list(self._reader_names)
+        rng.shuffle(entries)
+        for i in range(0, len(entries), 8):
+            self.unit_driver(entries[i : i + 8])
+
+        # -- pad with filler to the line target.
+        header = (
+            f"/* {self.name}: synthetic benchmark ({description}).\n"
+            f" * Generated deterministically; see repro.benchsuite. */"
+        )
+        overhead = header.count("\n") + 8
+        while self.em.line_count + overhead < target_lines:
+            self.unit_filler()
+        return self.em.render(header)
+
+
+def generate_benchmark(
+    name: str,
+    seed: int,
+    mix: PositionMix,
+    target_lines: int,
+    description: str = "",
+) -> str:
+    """Generate one benchmark's C source, deterministic in ``seed``."""
+    return BenchmarkGenerator(name, seed).generate(mix, target_lines, description)

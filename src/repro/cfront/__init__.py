@@ -1,0 +1,45 @@
+"""From-scratch C front end (Section 4's substrate).
+
+* :mod:`repro.cfront.clexer` — C lexer (comments, constants, operators,
+  preprocessor-line skipping).
+* :mod:`repro.cfront.cparser` — recursive-descent parser: declarators,
+  typedefs, structs/unions/enums, statements, the full expression grammar.
+* :mod:`repro.cfront.cast` — the C AST.
+* :mod:`repro.cfront.ctypes` — C types and the Section 4.1 ``l``
+  translation of C types into qualified ref types.
+* :mod:`repro.cfront.sema` — whole-program symbol tables and traversals.
+* :mod:`repro.cfront.cpretty` — AST back to C text (round-trip tested).
+"""
+
+from .clexer import CLexError, CToken, CTokenKind, tokenize_c
+from .cparser import CParseError, parse_c
+from .cast import TranslationUnit
+from .ctypes import (
+    CArray,
+    CBase,
+    CEnum,
+    CFunc,
+    CPointer,
+    CStruct,
+    CType,
+    LevelInfo,
+    TranslatedType,
+    decay,
+    format_ctype,
+    is_const,
+    is_pointerish,
+    lvalue_qtype,
+    pointee,
+    pointer_depth,
+)
+from .cpretty import (
+    format_expr,
+    format_stmt,
+    format_toplevel,
+    format_unit,
+    normalize_stmt,
+    normalize_toplevel,
+)
+from .sema import Program, SemaError, expressions_of, occurring_names
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,321 @@
+"""Abstract syntax for the analysed C subset.
+
+The AST deliberately stays close to concrete C: declarations carry their
+resolved :mod:`repro.cfront.ctypes` types (the parser resolves declarators
+and typedefs while parsing), and every node records a source line for
+diagnostics and for the source re-annotator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .ctypes import CType
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CExpr:
+    line: int = field(default=0, kw_only=True, compare=False)
+
+
+@dataclass(frozen=True)
+class Ident(CExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class IntConst(CExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatConst(CExpr):
+    text: str
+
+
+@dataclass(frozen=True)
+class CharConst(CExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class StringConst(CExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class Unary(CExpr):
+    """Prefix unary: one of ``- + ~ ! * & ++ --`` (and postfix ``p++ p--``
+    distinguished by ``postfix``)."""
+
+    op: str
+    operand: CExpr
+    postfix: bool = False
+
+
+@dataclass(frozen=True)
+class Binary(CExpr):
+    op: str
+    left: CExpr
+    right: CExpr
+
+
+@dataclass(frozen=True)
+class Assignment(CExpr):
+    """``lhs op rhs`` where op is ``=`` or a compound assignment."""
+
+    op: str
+    target: CExpr
+    value: CExpr
+
+
+@dataclass(frozen=True)
+class Conditional(CExpr):
+    cond: CExpr
+    then: CExpr
+    other: CExpr
+
+
+@dataclass(frozen=True)
+class Call(CExpr):
+    func: CExpr
+    args: tuple[CExpr, ...]
+
+
+@dataclass(frozen=True)
+class Member(CExpr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: CExpr
+    field_name: str
+    arrow: bool
+
+
+@dataclass(frozen=True)
+class Index(CExpr):
+    base: CExpr
+    index: CExpr
+
+
+@dataclass(frozen=True)
+class Cast(CExpr):
+    target_type: CType
+    operand: CExpr
+
+
+@dataclass(frozen=True)
+class SizeofType(CExpr):
+    target_type: CType
+
+
+@dataclass(frozen=True)
+class Comma(CExpr):
+    left: CExpr
+    right: CExpr
+
+
+@dataclass(frozen=True)
+class InitList(CExpr):
+    items: tuple[CExpr, ...]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CStmt:
+    line: int = field(default=0, kw_only=True, compare=False)
+
+
+@dataclass(frozen=True)
+class ExprStmt(CStmt):
+    expr: CExpr
+
+
+@dataclass(frozen=True)
+class EmptyStmt(CStmt):
+    pass
+
+
+@dataclass(frozen=True)
+class DeclStmt(CStmt):
+    decls: tuple["VarDecl", ...]
+
+
+@dataclass(frozen=True)
+class Compound(CStmt):
+    body: tuple[CStmt, ...]
+
+
+@dataclass(frozen=True)
+class IfStmt(CStmt):
+    cond: CExpr
+    then: CStmt
+    other: Optional[CStmt]
+
+
+@dataclass(frozen=True)
+class WhileStmt(CStmt):
+    cond: CExpr
+    body: CStmt
+
+
+@dataclass(frozen=True)
+class DoWhileStmt(CStmt):
+    body: CStmt
+    cond: CExpr
+
+
+@dataclass(frozen=True)
+class ForStmt(CStmt):
+    init: Optional[Union[CExpr, "DeclStmt"]]
+    cond: Optional[CExpr]
+    step: Optional[CExpr]
+    body: CStmt
+
+
+@dataclass(frozen=True)
+class ReturnStmt(CStmt):
+    value: Optional[CExpr]
+
+
+@dataclass(frozen=True)
+class BreakStmt(CStmt):
+    pass
+
+
+@dataclass(frozen=True)
+class ContinueStmt(CStmt):
+    pass
+
+
+@dataclass(frozen=True)
+class GotoStmt(CStmt):
+    label: str
+
+
+@dataclass(frozen=True)
+class LabeledStmt(CStmt):
+    label: str
+    stmt: CStmt
+
+
+@dataclass(frozen=True)
+class SwitchStmt(CStmt):
+    value: CExpr
+    body: CStmt
+
+
+@dataclass(frozen=True)
+class CaseStmt(CStmt):
+    value: Optional[CExpr]  # None for default:
+    stmt: CStmt
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    """One function parameter: possibly unnamed in prototypes."""
+
+    name: Optional[str]
+    type: CType
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    name: str
+    type: CType
+    init: Optional[CExpr] = None
+    storage: Optional[str] = None  # "extern", "static", "typedef" handled upstream
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    name: str
+    type: CType
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class StructDef:
+    tag: str
+    fields: tuple[FieldDecl, ...]
+    is_union: bool = False
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class EnumDef:
+    tag: str
+    enumerators: tuple[tuple[str, Optional[CExpr]], ...]
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class FuncDecl:
+    """A function prototype (no body)."""
+
+    name: str
+    ret: CType
+    params: tuple[ParamDecl, ...]
+    varargs: bool = False
+    storage: Optional[str] = None
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class FuncDef:
+    """A function definition with a body."""
+
+    name: str
+    ret: CType
+    params: tuple[ParamDecl, ...]
+    body: Compound
+    varargs: bool = False
+    storage: Optional[str] = None
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class TypedefDecl:
+    name: str
+    type: CType
+    line: int = field(default=0, compare=False)
+
+
+TopLevel = Union[VarDecl, FuncDecl, FuncDef, StructDef, EnumDef, TypedefDecl]
+
+
+@dataclass
+class TranslationUnit:
+    """A parsed C file (or concatenation of files, as the paper analysed
+    whole packages at once)."""
+
+    items: list[TopLevel] = field(default_factory=list)
+    filename: str = "<input>"
+
+    def functions(self) -> list[FuncDef]:
+        return [d for d in self.items if isinstance(d, FuncDef)]
+
+    def prototypes(self) -> list[FuncDecl]:
+        return [d for d in self.items if isinstance(d, FuncDecl)]
+
+    def globals(self) -> list[VarDecl]:
+        return [d for d in self.items if isinstance(d, VarDecl)]
+
+    def structs(self) -> list[StructDef]:
+        return [d for d in self.items if isinstance(d, StructDef)]

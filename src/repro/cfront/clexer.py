@@ -1,0 +1,264 @@
+"""Lexer for the C subset analysed by the const-inference system.
+
+Handles identifiers, keywords, integer/floating/character/string
+constants (with the usual escapes), all the operators and punctuation the
+parser needs, ``//`` and ``/* */`` comments, and line continuations.
+Preprocessor directives are skipped line-wise: the analysis consumes
+post-preprocessing C (the paper's benchmarks were similarly fed through
+the system after preprocessing), so ``#include``/``#define`` lines carry
+no information here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CTokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_CONST = "int_const"
+    FLOAT_CONST = "float_const"
+    CHAR_CONST = "char_const"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+C_KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "int", "long", "register", "return", "short", "signed",
+        "sizeof", "static", "struct", "switch", "typedef", "union",
+        "unsigned", "void", "volatile", "while", "inline",
+    }
+)
+
+# Longest-match-first punctuation table.
+_PUNCTUATION = (
+    "...",
+    "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+)
+
+
+@dataclass(frozen=True)
+class CToken:
+    kind: CTokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"
+
+
+class CLexError(Exception):
+    def __init__(self, message: str, line: int, column: int):
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} at {line}:{column}")
+
+
+def tokenize_c(source: str, filename: str = "<input>") -> list[CToken]:
+    """Tokenize C source; returns tokens ending with EOF."""
+    tokens: list[CToken] = []
+    i = 0
+    n = len(source)
+    line, col = 1, 1
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    def at_line_start() -> bool:
+        j = i - 1
+        while j >= 0 and source[j] in " \t":
+            j -= 1
+        return j < 0 or source[j] == "\n"
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "\\" and i + 1 < n and source[i + 1] == "\n":
+            advance(2)
+            continue
+        if ch == "#" and at_line_start():
+            # Preprocessor directive: skip to end of (logical) line.
+            while i < n and source[i] != "\n":
+                if source[i] == "\\" and i + 1 < n and source[i + 1] == "\n":
+                    advance(2)
+                    continue
+                advance(1)
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col
+            advance(2)
+            while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                advance(1)
+            if i + 1 >= n:
+                raise CLexError("unterminated comment", start_line, start_col)
+            advance(2)
+            continue
+
+        tok_line, tok_col = line, col
+
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = CTokenKind.KEYWORD if text in C_KEYWORDS else CTokenKind.IDENT
+            tokens.append(CToken(kind, text, tok_line, tok_col))
+            advance(j - i)
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source[j] == "0" and j + 1 < n and source[j + 1] in "xX":
+                j += 2
+                while j < n and (source[j].isdigit() or source[j].lower() in "abcdef"):
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                if j < n and source[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                if j < n and source[j] in "eE":
+                    is_float = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+            # integer/float suffixes
+            while j < n and source[j] in "uUlLfF":
+                if source[j] in "fF":
+                    is_float = True
+                j += 1
+            text = source[i:j]
+            kind = CTokenKind.FLOAT_CONST if is_float else CTokenKind.INT_CONST
+            tokens.append(CToken(kind, text, tok_line, tok_col))
+            advance(j - i)
+            continue
+
+        if ch == "'":
+            j = i + 1
+            while j < n and source[j] != "'":
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise CLexError("unterminated character constant", tok_line, tok_col)
+            text = source[i : j + 1]
+            tokens.append(CToken(CTokenKind.CHAR_CONST, text, tok_line, tok_col))
+            advance(j + 1 - i)
+            continue
+
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise CLexError("unterminated string literal", tok_line, tok_col)
+            text = source[i : j + 1]
+            tokens.append(CToken(CTokenKind.STRING, text, tok_line, tok_col))
+            advance(j + 1 - i)
+            continue
+
+        for punct in _PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(CToken(CTokenKind.PUNCT, punct, tok_line, tok_col))
+                advance(len(punct))
+                break
+        else:
+            raise CLexError(f"unexpected character {ch!r}", tok_line, tok_col)
+
+    tokens.append(CToken(CTokenKind.EOF, "", line, col))
+    return tokens
+
+
+def parse_int_constant(text: str) -> int:
+    """Value of an integer constant token (handles hex, octal, suffixes)."""
+    body = text.rstrip("uUlL")
+    if body.lower().startswith("0x"):
+        return int(body, 16)
+    if body.startswith("0") and len(body) > 1:
+        return int(body, 8)
+    return int(body)
+
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+}
+
+
+def parse_string_literal(body: str) -> str:
+    """Decode the escapes inside a string literal's body (no quotes)."""
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch != "\\" or i + 1 >= len(body):
+            out.append(ch)
+            i += 1
+            continue
+        nxt = body[i + 1]
+        if nxt == "x":
+            j = i + 2
+            while j < len(body) and body[j] in "0123456789abcdefABCDEF":
+                j += 1
+            out.append(chr(int(body[i + 2 : j], 16)))
+            i = j
+            continue
+        if nxt.isdigit():
+            j = i + 1
+            while j < len(body) and j < i + 4 and body[j].isdigit():
+                j += 1
+            out.append(chr(int(body[i + 1 : j], 8)))
+            i = j
+            continue
+        out.append(_ESCAPES.get(nxt, nxt))
+        i += 2
+    return "".join(out)
+
+
+def parse_char_constant(text: str) -> int:
+    """Value of a character constant token like ``'a'`` or ``'\\n'``."""
+    body = text[1:-1]
+    if body.startswith("\\"):
+        tail = body[1:]
+        if tail and tail[0] == "x":
+            return int(tail[1:], 16)
+        if tail and tail[0].isdigit():
+            return int(tail, 8)
+        if tail and tail[0] in _ESCAPES:
+            return ord(_ESCAPES[tail[0]])
+        raise ValueError(f"bad escape in {text!r}")
+    if len(body) != 1:
+        raise ValueError(f"bad character constant {text!r}")
+    return ord(body)

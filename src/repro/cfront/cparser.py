@@ -1,0 +1,806 @@
+"""Recursive-descent parser for the analysed C subset.
+
+Covers the constructs the paper's benchmarks exercise: declarations with
+full declarator syntax (pointers with qualifier lists, arrays, function
+declarators and function pointers), struct/union/enum definitions,
+typedefs (tracked so the lexer-level ambiguity between type names and
+expressions resolves, and expanded macro-style per Section 4.2), function
+definitions, the full statement set, and the complete C expression
+grammar with standard precedence.  Not covered: K&R-style parameter
+declarations, bitfields' widths (parsed and ignored), and designated
+initializers.
+
+Typedefs resolve to their underlying :mod:`repro.cfront.ctypes` type at
+parse time, which directly implements the paper's rule that typedef'd
+declarations share no qualifiers: every declaration gets its own type
+value, and the const inference generates fresh qualifier variables per
+declaration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cast import (
+    Assignment,
+    Binary,
+    BreakStmt,
+    Call,
+    CaseStmt,
+    Cast,
+    CExpr,
+    CharConst,
+    Comma,
+    Compound,
+    Conditional,
+    ContinueStmt,
+    CStmt,
+    DeclStmt,
+    DoWhileStmt,
+    EmptyStmt,
+    EnumDef,
+    ExprStmt,
+    FieldDecl,
+    FloatConst,
+    ForStmt,
+    FuncDecl,
+    FuncDef,
+    GotoStmt,
+    Ident,
+    IfStmt,
+    Index,
+    InitList,
+    IntConst,
+    LabeledStmt,
+    Member,
+    ParamDecl,
+    ReturnStmt,
+    SizeofType,
+    StringConst,
+    StructDef,
+    SwitchStmt,
+    TopLevel,
+    TranslationUnit,
+    TypedefDecl,
+    Unary,
+    VarDecl,
+    WhileStmt,
+)
+from .clexer import (
+    CLexError,
+    CToken,
+    CTokenKind,
+    parse_char_constant,
+    parse_int_constant,
+    tokenize_c,
+)
+from .ctypes import (
+    CArray,
+    CBase,
+    CEnum,
+    CFunc,
+    CPointer,
+    CStruct,
+    CType,
+    add_qual,
+    with_quals,
+)
+
+
+class CParseError(Exception):
+    def __init__(self, message: str, token: CToken):
+        self.token = token
+        super().__init__(
+            f"{message} at {token.line}:{token.column} "
+            f"(found {token.kind.name} {token.text!r})"
+        )
+
+
+_TYPE_SPEC_KEYWORDS = frozenset(
+    {
+        "void", "char", "short", "int", "long", "float", "double",
+        "signed", "unsigned", "struct", "union", "enum",
+    }
+)
+_QUALIFIER_KEYWORDS = frozenset({"const", "volatile"})
+_STORAGE_KEYWORDS = frozenset({"typedef", "extern", "static", "auto", "register", "inline"})
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "<<=", ">>="})
+
+
+class _CParser:
+    def __init__(self, tokens: list[CToken], filename: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+        self.typedefs: dict[str, CType] = {}
+        self.items: list[TopLevel] = []
+        self._anon_counter = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, ahead: int = 0) -> CToken:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> CToken:
+        tok = self.tokens[self.pos]
+        if tok.kind is not CTokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def at_punct(self, text: str, ahead: int = 0) -> bool:
+        tok = self.peek(ahead)
+        return tok.kind is CTokenKind.PUNCT and tok.text == text
+
+    def at_keyword(self, *words: str) -> bool:
+        tok = self.peek()
+        return tok.kind is CTokenKind.KEYWORD and tok.text in words
+
+    def accept_punct(self, text: str) -> bool:
+        if self.at_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> CToken:
+        if not self.at_punct(text):
+            raise CParseError(f"expected {text!r}", self.peek())
+        return self.advance()
+
+    def expect_ident(self) -> CToken:
+        tok = self.peek()
+        if tok.kind is not CTokenKind.IDENT:
+            raise CParseError("expected identifier", tok)
+        return self.advance()
+
+    # -- type recognition -----------------------------------------------
+    def at_type_start(self, ahead: int = 0) -> bool:
+        tok = self.peek(ahead)
+        if tok.kind is CTokenKind.KEYWORD:
+            return tok.text in _TYPE_SPEC_KEYWORDS or tok.text in _QUALIFIER_KEYWORDS
+        return tok.kind is CTokenKind.IDENT and tok.text in self.typedefs
+
+    def at_declaration_start(self) -> bool:
+        tok = self.peek()
+        if tok.kind is CTokenKind.KEYWORD and tok.text in _STORAGE_KEYWORDS:
+            return True
+        return self.at_type_start()
+
+    def _anon_tag(self, prefix: str) -> str:
+        self._anon_counter += 1
+        return f"__{prefix}_{self._anon_counter}"
+
+    # -- declaration specifiers ------------------------------------------
+    def parse_decl_specifiers(self) -> tuple[CType, Optional[str]]:
+        """Parse storage classes, qualifiers, and type specifiers.
+
+        Returns the base type and the storage class (if any).
+        """
+        storage: Optional[str] = None
+        quals: set[str] = set()
+        kind_words: list[str] = []
+        base: Optional[CType] = None
+        line = self.peek().line
+
+        while True:
+            tok = self.peek()
+            if tok.kind is CTokenKind.KEYWORD and tok.text in _STORAGE_KEYWORDS:
+                self.advance()
+                if tok.text != "inline":
+                    storage = tok.text
+                continue
+            if tok.kind is CTokenKind.KEYWORD and tok.text in _QUALIFIER_KEYWORDS:
+                self.advance()
+                quals.add(tok.text)
+                continue
+            if tok.kind is CTokenKind.KEYWORD and tok.text in (
+                "void", "char", "short", "int", "long", "float", "double",
+                "signed", "unsigned",
+            ):
+                self.advance()
+                kind_words.append(tok.text)
+                continue
+            if tok.kind is CTokenKind.KEYWORD and tok.text in ("struct", "union"):
+                base = self.parse_struct_specifier(tok.text == "union")
+                continue
+            if tok.kind is CTokenKind.KEYWORD and tok.text == "enum":
+                base = self.parse_enum_specifier()
+                continue
+            if (
+                tok.kind is CTokenKind.IDENT
+                and tok.text in self.typedefs
+                and base is None
+                and not kind_words
+            ):
+                self.advance()
+                base = self.typedefs[tok.text]
+                continue
+            break
+
+        if base is None:
+            if kind_words:
+                base = CBase(_normalise_kind(kind_words))
+            else:
+                if not quals and storage is None:
+                    raise CParseError("expected declaration specifiers", self.peek())
+                base = CBase("int", )  # implicit int (pre-C99 style)
+        if quals:
+            existing = base.quals if not isinstance(base, CFunc) else frozenset()
+            base = with_quals(base, existing | frozenset(quals))
+        del line
+        return base, storage
+
+    def parse_struct_specifier(self, is_union: bool) -> CType:
+        kw = self.advance()  # struct / union
+        tag: Optional[str] = None
+        if self.peek().kind is CTokenKind.IDENT:
+            tag = self.advance().text
+        if self.at_punct("{"):
+            if tag is None:
+                tag = self._anon_tag("union" if is_union else "struct")
+            self.advance()
+            fields: list[FieldDecl] = []
+            while not self.at_punct("}"):
+                base, _storage = self.parse_decl_specifiers()
+                while True:
+                    name, full_type, line = self.parse_declarator(base)
+                    if self.accept_punct(":"):
+                        self.parse_conditional()  # bitfield width, ignored
+                    if name is not None:
+                        fields.append(FieldDecl(name, full_type, line))
+                    if not self.accept_punct(","):
+                        break
+                self.expect_punct(";")
+            self.expect_punct("}")
+            self.items.append(StructDef(tag, tuple(fields), is_union, kw.line))
+        elif tag is None:
+            raise CParseError("struct/union requires a tag or a body", self.peek())
+        return CStruct(tag, is_union)
+
+    def parse_enum_specifier(self) -> CType:
+        kw = self.advance()  # enum
+        tag: Optional[str] = None
+        if self.peek().kind is CTokenKind.IDENT:
+            tag = self.advance().text
+        if self.at_punct("{"):
+            if tag is None:
+                tag = self._anon_tag("enum")
+            self.advance()
+            enumerators: list[tuple[str, Optional[CExpr]]] = []
+            while not self.at_punct("}"):
+                name = self.expect_ident().text
+                value: Optional[CExpr] = None
+                if self.accept_punct("="):
+                    value = self.parse_conditional()
+                enumerators.append((name, value))
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct("}")
+            self.items.append(EnumDef(tag, tuple(enumerators), kw.line))
+        elif tag is None:
+            raise CParseError("enum requires a tag or a body", self.peek())
+        return CEnum(tag)
+
+    # -- declarators ------------------------------------------------------
+    def parse_declarator(
+        self, base: CType, abstract: bool = False
+    ) -> tuple[Optional[str], CType, int]:
+        """Parse a (possibly abstract) declarator against a base type.
+
+        Returns (name, full type, line).  Uses the standard two-phase
+        technique: build a "type transformer" while descending, apply it
+        inside-out.
+        """
+        line = self.peek().line
+        # Pointer prefix: each * may carry qualifiers that attach to the
+        # pointer level itself (e.g. ``int * const p``).
+        pointer_quals: list[frozenset[str]] = []
+        while self.at_punct("*"):
+            self.advance()
+            quals: set[str] = set()
+            while self.at_keyword("const", "volatile"):
+                quals.add(self.advance().text)
+            pointer_quals.append(frozenset(quals))
+
+        name: Optional[str] = None
+        inner_transform = None
+
+        if self.peek().kind is CTokenKind.IDENT:
+            name = self.advance().text
+        elif self.at_punct("(") and self._paren_is_declarator(abstract):
+            self.advance()
+            # Parse the inner declarator with a placeholder base; we apply
+            # the outer suffixes first, then the inner transformations.
+            inner_name, placeholder_type, _line = self.parse_declarator(
+                CBase("__placeholder"), abstract
+            )
+            self.expect_punct(")")
+            name = inner_name
+            inner_transform = placeholder_type
+        elif not abstract and not self.at_punct("(") and not self.at_punct("["):
+            raise CParseError("expected declarator", self.peek())
+
+        # Suffixes: arrays and function parameter lists (left to right).
+        suffixes: list[tuple] = []
+        while True:
+            if self.at_punct("["):
+                self.advance()
+                size: Optional[int] = None
+                if not self.at_punct("]"):
+                    size_expr = self.parse_conditional()
+                    if isinstance(size_expr, IntConst):
+                        size = size_expr.value
+                self.expect_punct("]")
+                suffixes.append(("array", size))
+            elif self.at_punct("("):
+                self.advance()
+                params, varargs = self.parse_parameter_list()
+                self.expect_punct(")")
+                suffixes.append(("func", params, varargs))
+            else:
+                break
+
+        # Apply inside-out: pointer prefixes bind to the base (so
+        # ``int *f(void)`` returns int*), then suffixes wrap that, with
+        # the first suffix outermost (``a[3][4]`` is array-3 of array-4).
+        result = base
+        for quals in pointer_quals:
+            result = CPointer(result, quals)
+        for suffix in reversed(suffixes):
+            if suffix[0] == "array":
+                result = CArray(result, suffix[1])
+            else:
+                _tag, params, varargs = suffix
+                result = CFunc(result, tuple(p.type for p in params), varargs)
+                # Parameter names survive only on the outermost function
+                # declarator, handled by parse_external_declaration.
+                self._last_params = params
+        if inner_transform is not None:
+            result = _substitute_placeholder(inner_transform, result)
+        return name, result, line
+
+    def _paren_is_declarator(self, abstract: bool) -> bool:
+        """Disambiguate ``(`` after a base type: grouped declarator vs
+        function parameter list (for abstract declarators)."""
+        nxt = self.peek(1)
+        if nxt.kind is CTokenKind.PUNCT and nxt.text in ("*", "("):
+            return True
+        if nxt.kind is CTokenKind.IDENT and nxt.text not in self.typedefs:
+            return True
+        if not abstract:
+            return True
+        return False
+
+    def parse_parameter_list(self) -> tuple[list[ParamDecl], bool]:
+        params: list[ParamDecl] = []
+        varargs = False
+        if self.at_punct(")"):
+            return params, varargs
+        # (void) means no parameters
+        if (
+            self.at_keyword("void")
+            and self.peek(1).kind is CTokenKind.PUNCT
+            and self.peek(1).text == ")"
+        ):
+            self.advance()
+            return params, varargs
+        while True:
+            if self.at_punct("..."):
+                self.advance()
+                varargs = True
+                break
+            base, _storage = self.parse_decl_specifiers()
+            name, full_type, line = self.parse_declarator(base, abstract=True)
+            from .ctypes import decay as _decay
+
+            params.append(ParamDecl(name, _decay(full_type), line))
+            if not self.accept_punct(","):
+                break
+        return params, varargs
+
+    def parse_type_name(self) -> CType:
+        base, _storage = self.parse_decl_specifiers()
+        _name, full_type, _line = self.parse_declarator(base, abstract=True)
+        return full_type
+
+    # -- external declarations --------------------------------------------
+    def parse_translation_unit(self) -> TranslationUnit:
+        while self.peek().kind is not CTokenKind.EOF:
+            self.parse_external_declaration()
+        return TranslationUnit(self.items, self.filename)
+
+    def parse_external_declaration(self) -> None:
+        if self.accept_punct(";"):
+            return
+        base, storage = self.parse_decl_specifiers()
+        if self.accept_punct(";"):
+            # Pure struct/union/enum definition (already recorded).
+            return
+
+        first = True
+        while True:
+            self._last_params = []
+            name, full_type, line = self.parse_declarator(base)
+            params: list[ParamDecl] = list(self._last_params)
+
+            if storage == "typedef":
+                if name is None:
+                    raise CParseError("typedef requires a name", self.peek())
+                self.typedefs[name] = full_type
+                self.items.append(TypedefDecl(name, full_type, line))
+            elif isinstance(full_type, CFunc) and first and self.at_punct("{"):
+                body = self.parse_compound()
+                assert name is not None
+                self.items.append(
+                    FuncDef(
+                        name,
+                        full_type.ret,
+                        tuple(params),
+                        body,
+                        full_type.varargs,
+                        storage,
+                        line,
+                    )
+                )
+                return
+            elif isinstance(full_type, CFunc):
+                assert name is not None
+                self.items.append(
+                    FuncDecl(
+                        name,
+                        full_type.ret,
+                        tuple(params),
+                        full_type.varargs,
+                        storage,
+                        line,
+                    )
+                )
+            else:
+                init: Optional[CExpr] = None
+                if self.accept_punct("="):
+                    init = self.parse_initializer()
+                assert name is not None
+                self.items.append(VarDecl(name, full_type, init, storage, line))
+
+            first = False
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(";")
+
+    def parse_initializer(self) -> CExpr:
+        if self.at_punct("{"):
+            brace = self.advance()
+            items: list[CExpr] = []
+            while not self.at_punct("}"):
+                items.append(self.parse_initializer())
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct("}")
+            return InitList(tuple(items), line=brace.line)
+        return self.parse_assignment_expr()
+
+    # -- statements ---------------------------------------------------------
+    def parse_compound(self) -> Compound:
+        brace = self.expect_punct("{")
+        body: list[CStmt] = []
+        while not self.at_punct("}"):
+            body.append(self.parse_statement())
+        self.expect_punct("}")
+        return Compound(tuple(body), line=brace.line)
+
+    def parse_local_declaration(self) -> DeclStmt:
+        base, storage = self.parse_decl_specifiers()
+        decls: list[VarDecl] = []
+        if not self.at_punct(";"):
+            while True:
+                name, full_type, line = self.parse_declarator(base)
+                if storage == "typedef":
+                    assert name is not None
+                    self.typedefs[name] = full_type
+                    if not self.accept_punct(","):
+                        break
+                    continue
+                init: Optional[CExpr] = None
+                if self.accept_punct("="):
+                    init = self.parse_initializer()
+                assert name is not None
+                decls.append(VarDecl(name, full_type, init, storage, line))
+                if not self.accept_punct(","):
+                    break
+        line = self.expect_punct(";").line
+        return DeclStmt(tuple(decls), line=line)
+
+    def parse_statement(self) -> CStmt:
+        tok = self.peek()
+        if self.at_punct("{"):
+            return self.parse_compound()
+        if self.at_punct(";"):
+            self.advance()
+            return EmptyStmt(line=tok.line)
+        if self.at_declaration_start():
+            return self.parse_local_declaration()
+        if tok.kind is CTokenKind.KEYWORD:
+            match tok.text:
+                case "if":
+                    self.advance()
+                    self.expect_punct("(")
+                    cond = self.parse_expression()
+                    self.expect_punct(")")
+                    then = self.parse_statement()
+                    other = None
+                    if self.at_keyword("else"):
+                        self.advance()
+                        other = self.parse_statement()
+                    return IfStmt(cond, then, other, line=tok.line)
+                case "while":
+                    self.advance()
+                    self.expect_punct("(")
+                    cond = self.parse_expression()
+                    self.expect_punct(")")
+                    return WhileStmt(cond, self.parse_statement(), line=tok.line)
+                case "do":
+                    self.advance()
+                    body = self.parse_statement()
+                    if not self.at_keyword("while"):
+                        raise CParseError("expected while after do-body", self.peek())
+                    self.advance()
+                    self.expect_punct("(")
+                    cond = self.parse_expression()
+                    self.expect_punct(")")
+                    self.expect_punct(";")
+                    return DoWhileStmt(body, cond, line=tok.line)
+                case "for":
+                    self.advance()
+                    self.expect_punct("(")
+                    init: Optional[CExpr | DeclStmt] = None
+                    if self.at_declaration_start():
+                        init = self.parse_local_declaration()
+                    elif not self.at_punct(";"):
+                        init = self.parse_expression()
+                        self.expect_punct(";")
+                    else:
+                        self.advance()
+                    cond = None
+                    if not self.at_punct(";"):
+                        cond = self.parse_expression()
+                    self.expect_punct(";")
+                    step = None
+                    if not self.at_punct(")"):
+                        step = self.parse_expression()
+                    self.expect_punct(")")
+                    return ForStmt(init, cond, step, self.parse_statement(), line=tok.line)
+                case "return":
+                    self.advance()
+                    value = None
+                    if not self.at_punct(";"):
+                        value = self.parse_expression()
+                    self.expect_punct(";")
+                    return ReturnStmt(value, line=tok.line)
+                case "break":
+                    self.advance()
+                    self.expect_punct(";")
+                    return BreakStmt(line=tok.line)
+                case "continue":
+                    self.advance()
+                    self.expect_punct(";")
+                    return ContinueStmt(line=tok.line)
+                case "goto":
+                    self.advance()
+                    label = self.expect_ident().text
+                    self.expect_punct(";")
+                    return GotoStmt(label, line=tok.line)
+                case "switch":
+                    self.advance()
+                    self.expect_punct("(")
+                    value = self.parse_expression()
+                    self.expect_punct(")")
+                    return SwitchStmt(value, self.parse_statement(), line=tok.line)
+                case "case":
+                    self.advance()
+                    value = self.parse_conditional()
+                    self.expect_punct(":")
+                    return CaseStmt(value, self.parse_statement(), line=tok.line)
+                case "default":
+                    self.advance()
+                    self.expect_punct(":")
+                    return CaseStmt(None, self.parse_statement(), line=tok.line)
+        # Label?
+        if (
+            tok.kind is CTokenKind.IDENT
+            and self.peek(1).kind is CTokenKind.PUNCT
+            and self.peek(1).text == ":"
+        ):
+            self.advance()
+            self.advance()
+            return LabeledStmt(tok.text, self.parse_statement(), line=tok.line)
+        expr = self.parse_expression()
+        self.expect_punct(";")
+        return ExprStmt(expr, line=tok.line)
+
+    # -- expressions ----------------------------------------------------------
+    def parse_expression(self) -> CExpr:
+        expr = self.parse_assignment_expr()
+        while self.at_punct(","):
+            line = self.advance().line
+            expr = Comma(expr, self.parse_assignment_expr(), line=line)
+        return expr
+
+    def parse_assignment_expr(self) -> CExpr:
+        left = self.parse_conditional()
+        tok = self.peek()
+        if tok.kind is CTokenKind.PUNCT and tok.text in _ASSIGN_OPS:
+            self.advance()
+            right = self.parse_assignment_expr()
+            return Assignment(tok.text, left, right, line=tok.line)
+        return left
+
+    def parse_conditional(self) -> CExpr:
+        cond = self.parse_binary(0)
+        if self.at_punct("?"):
+            line = self.advance().line
+            then = self.parse_expression()
+            self.expect_punct(":")
+            other = self.parse_conditional()
+            return Conditional(cond, then, other, line=line)
+        return cond
+
+    _BINARY_LEVELS: list[frozenset[str]] = [
+        frozenset({"||"}),
+        frozenset({"&&"}),
+        frozenset({"|"}),
+        frozenset({"^"}),
+        frozenset({"&"}),
+        frozenset({"==", "!="}),
+        frozenset({"<", ">", "<=", ">="}),
+        frozenset({"<<", ">>"}),
+        frozenset({"+", "-"}),
+        frozenset({"*", "/", "%"}),
+    ]
+
+    def parse_binary(self, level: int) -> CExpr:
+        if level >= len(self._BINARY_LEVELS):
+            return self.parse_cast_expr()
+        left = self.parse_binary(level + 1)
+        ops = self._BINARY_LEVELS[level]
+        while self.peek().kind is CTokenKind.PUNCT and self.peek().text in ops:
+            tok = self.advance()
+            right = self.parse_binary(level + 1)
+            left = Binary(tok.text, left, right, line=tok.line)
+        return left
+
+    def parse_cast_expr(self) -> CExpr:
+        if self.at_punct("(") and self.at_type_start(1):
+            line = self.advance().line
+            target = self.parse_type_name()
+            self.expect_punct(")")
+            # Compound literal `(type){...}` parsed as cast of init list.
+            if self.at_punct("{"):
+                operand = self.parse_initializer()
+            else:
+                operand = self.parse_cast_expr()
+            return Cast(target, operand, line=line)
+        return self.parse_unary()
+
+    def parse_unary(self) -> CExpr:
+        tok = self.peek()
+        if tok.kind is CTokenKind.PUNCT and tok.text in ("++", "--"):
+            self.advance()
+            return Unary(tok.text, self.parse_unary(), line=tok.line)
+        if tok.kind is CTokenKind.PUNCT and tok.text in ("&", "*", "+", "-", "~", "!"):
+            self.advance()
+            return Unary(tok.text, self.parse_cast_expr(), line=tok.line)
+        if tok.kind is CTokenKind.KEYWORD and tok.text == "sizeof":
+            self.advance()
+            if self.at_punct("(") and self.at_type_start(1):
+                self.advance()
+                target = self.parse_type_name()
+                self.expect_punct(")")
+                return SizeofType(target, line=tok.line)
+            return Unary("sizeof", self.parse_unary(), line=tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> CExpr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if self.at_punct("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_punct("]")
+                expr = Index(expr, index, line=tok.line)
+            elif self.at_punct("("):
+                self.advance()
+                args: list[CExpr] = []
+                if not self.at_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment_expr())
+                        if not self.accept_punct(","):
+                            break
+                self.expect_punct(")")
+                expr = Call(expr, tuple(args), line=tok.line)
+            elif self.at_punct("."):
+                self.advance()
+                field_name = self.expect_ident().text
+                expr = Member(expr, field_name, False, line=tok.line)
+            elif self.at_punct("->"):
+                self.advance()
+                field_name = self.expect_ident().text
+                expr = Member(expr, field_name, True, line=tok.line)
+            elif self.at_punct("++") or self.at_punct("--"):
+                op = self.advance()
+                expr = Unary(op.text, expr, postfix=True, line=op.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> CExpr:
+        tok = self.peek()
+        if tok.kind is CTokenKind.IDENT:
+            self.advance()
+            return Ident(tok.text, line=tok.line)
+        if tok.kind is CTokenKind.INT_CONST:
+            self.advance()
+            return IntConst(parse_int_constant(tok.text), line=tok.line)
+        if tok.kind is CTokenKind.FLOAT_CONST:
+            self.advance()
+            return FloatConst(tok.text, line=tok.line)
+        if tok.kind is CTokenKind.CHAR_CONST:
+            self.advance()
+            return CharConst(parse_char_constant(tok.text), line=tok.line)
+        if tok.kind is CTokenKind.STRING:
+            from .clexer import parse_string_literal
+
+            # Adjacent string literals concatenate; escapes are decoded.
+            parts = []
+            while self.peek().kind is CTokenKind.STRING:
+                parts.append(parse_string_literal(self.advance().text[1:-1]))
+            return StringConst("".join(parts), line=tok.line)
+        if self.at_punct("("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        raise CParseError("expected an expression", tok)
+
+
+def _normalise_kind(words: list[str]) -> str:
+    """Collapse multi-word arithmetic specifiers to a canonical kind."""
+    wordset = set(words)
+    if "void" in wordset:
+        return "void"
+    if "double" in wordset or "float" in wordset:
+        return "double" if "double" in wordset else "float"
+    if "char" in wordset:
+        return "char"
+    if words.count("long") >= 2:
+        return "long long"
+    if "long" in wordset:
+        return "long"
+    if "short" in wordset:
+        return "short"
+    return "int"
+
+
+def _substitute_placeholder(shape: CType, replacement: CType) -> CType:
+    """Replace the ``__placeholder`` base inside a grouped declarator's
+    type with the type built from the outer context."""
+    if isinstance(shape, CBase) and shape.kind == "__placeholder":
+        return replacement
+    if isinstance(shape, CPointer):
+        return CPointer(_substitute_placeholder(shape.target, replacement), shape.quals)
+    if isinstance(shape, CArray):
+        return CArray(_substitute_placeholder(shape.element, replacement), shape.size, shape.quals)
+    if isinstance(shape, CFunc):
+        return CFunc(
+            _substitute_placeholder(shape.ret, replacement), shape.params, shape.varargs
+        )
+    return shape
+
+
+def parse_c(source: str, filename: str = "<input>") -> TranslationUnit:
+    """Parse C source into a :class:`TranslationUnit`.
+
+    Raises :class:`CParseError` or :class:`~repro.cfront.clexer.CLexError`
+    on malformed input.
+    """
+    tokens = tokenize_c(source, filename)
+    return _CParser(tokens, filename).parse_translation_unit()

@@ -1,0 +1,330 @@
+"""Pretty-printer for the C subset: AST back to compilable C text.
+
+Used by the tests for parse → print → parse round-trips (the printer is
+a faithful inverse of the parser up to layout), and by tooling that
+wants to emit analysed-and-transformed programs.  Declarations are
+rendered through :func:`repro.cfront.ctypes.format_ctype`, which handles
+the inside-out declarator syntax (function pointers, arrays, qualifier
+placement).
+"""
+
+from __future__ import annotations
+
+from .cast import (
+    Assignment,
+    Binary,
+    BreakStmt,
+    Call,
+    CaseStmt,
+    Cast,
+    CExpr,
+    CharConst,
+    Comma,
+    Compound,
+    Conditional,
+    ContinueStmt,
+    CStmt,
+    DeclStmt,
+    DoWhileStmt,
+    EmptyStmt,
+    EnumDef,
+    ExprStmt,
+    FloatConst,
+    ForStmt,
+    FuncDecl,
+    FuncDef,
+    GotoStmt,
+    Ident,
+    IfStmt,
+    Index,
+    InitList,
+    IntConst,
+    LabeledStmt,
+    Member,
+    ReturnStmt,
+    SizeofType,
+    StringConst,
+    StructDef,
+    SwitchStmt,
+    TopLevel,
+    TranslationUnit,
+    TypedefDecl,
+    Unary,
+    VarDecl,
+    WhileStmt,
+)
+from .ctypes import format_ctype
+
+# C operator precedence, higher binds tighter; used to parenthesise
+# exactly where needed.
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_PREC_ASSIGN = 0
+_PREC_CONDITIONAL = 0.5
+_PREC_UNARY = 11
+_PREC_POSTFIX = 12
+_PREC_PRIMARY = 13
+
+
+_ESCAPES = {
+    "\n": "\\n", "\t": "\\t", "\r": "\\r", "\0": "\\0",
+    "\\": "\\\\", '"': '\\"', "\a": "\\a", "\b": "\\b",
+    "\f": "\\f", "\v": "\\v",
+}
+
+
+def _escape_string(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _escape_char(code: int) -> str:
+    ch = chr(code) if 0 <= code < 0x110000 else "?"
+    if ch == "'":
+        return "\\'"
+    if ch in _ESCAPES:
+        return _ESCAPES[ch].replace('\\"', '"')
+    if 32 <= code < 127:
+        return ch
+    return f"\\x{code:x}"
+
+
+def format_expr(expr: CExpr, parent_precedence: float = -1) -> str:
+    """Render an expression, parenthesising against the given context."""
+    text, precedence = _expr(expr)
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _expr(expr: CExpr) -> tuple[str, float]:
+    match expr:
+        case Ident(name=name):
+            return name, _PREC_PRIMARY
+        case IntConst(value=value):
+            return str(value), _PREC_PRIMARY
+        case FloatConst(text=text):
+            return text, _PREC_PRIMARY
+        case CharConst(value=value):
+            return f"'{_escape_char(value)}'", _PREC_PRIMARY
+        case StringConst(value=value):
+            return f'"{_escape_string(value)}"', _PREC_PRIMARY
+        case Unary(op="sizeof", operand=operand):
+            return f"sizeof {format_expr(operand, _PREC_UNARY)}", _PREC_UNARY
+        case Unary(op=op, operand=operand, postfix=True):
+            return f"{format_expr(operand, _PREC_POSTFIX)}{op}", _PREC_POSTFIX
+        case Unary(op=op, operand=operand):
+            inner = format_expr(operand, _PREC_UNARY)
+            # avoid `- -x` gluing into `--x`
+            spacer = " " if op in ("-", "+", "--", "++") and inner.startswith(op[0]) else ""
+            return f"{op}{spacer}{inner}", _PREC_UNARY
+        case Binary(op=op, left=left, right=right):
+            precedence = _BINARY_PRECEDENCE[op]
+            left_text = format_expr(left, precedence)
+            right_text = format_expr(right, precedence + 0.1)  # left assoc
+            return f"{left_text} {op} {right_text}", precedence
+        case Assignment(op=op, target=target, value=value):
+            target_text = format_expr(target, _PREC_UNARY)
+            value_text = format_expr(value, _PREC_ASSIGN)
+            return f"{target_text} {op} {value_text}", _PREC_ASSIGN
+        case Conditional(cond=cond, then=then, other=other):
+            return (
+                f"{format_expr(cond, 1)} ? {format_expr(then, _PREC_ASSIGN)} "
+                f": {format_expr(other, _PREC_CONDITIONAL)}",
+                _PREC_CONDITIONAL,
+            )
+        case Call(func=func, args=args):
+            arg_text = ", ".join(format_expr(a, _PREC_ASSIGN) for a in args)
+            return f"{format_expr(func, _PREC_POSTFIX)}({arg_text})", _PREC_POSTFIX
+        case Member(base=base, field_name=name, arrow=arrow):
+            op = "->" if arrow else "."
+            return f"{format_expr(base, _PREC_POSTFIX)}{op}{name}", _PREC_POSTFIX
+        case Index(base=base, index=index):
+            return (
+                f"{format_expr(base, _PREC_POSTFIX)}[{format_expr(index)}]",
+                _PREC_POSTFIX,
+            )
+        case Cast(target_type=target, operand=operand):
+            return (
+                f"({format_ctype(target)}){format_expr(operand, _PREC_UNARY)}",
+                _PREC_UNARY,
+            )
+        case SizeofType(target_type=target):
+            return f"sizeof({format_ctype(target)})", _PREC_UNARY
+        case Comma(left=left, right=right):
+            return f"{format_expr(left, _PREC_ASSIGN)}, {format_expr(right, -1)}", -1
+        case InitList(items=items):
+            inner = ", ".join(format_expr(i, _PREC_ASSIGN) for i in items)
+            return f"{{ {inner} }}", _PREC_PRIMARY
+        case _:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown expression {expr!r}")
+
+
+def format_stmt(stmt: CStmt, indent: int = 0) -> str:
+    pad = "    " * indent
+    match stmt:
+        case ExprStmt(expr=expr):
+            return f"{pad}{format_expr(expr)};"
+        case EmptyStmt():
+            return f"{pad};"
+        case DeclStmt(decls=decls):
+            lines = []
+            for decl in decls:
+                init = f" = {format_expr(decl.init, 0)}" if decl.init is not None else ""
+                storage = f"{decl.storage} " if decl.storage else ""
+                lines.append(f"{pad}{storage}{format_ctype(decl.type, decl.name)}{init};")
+            return "\n".join(lines)
+        case Compound(body=body):
+            inner = "\n".join(format_stmt(s, indent + 1) for s in body)
+            if not inner:
+                return f"{pad}{{\n{pad}}}"
+            return f"{pad}{{\n{inner}\n{pad}}}"
+        case IfStmt(cond=cond, then=then, other=other):
+            out = f"{pad}if ({format_expr(cond)})\n{format_stmt(_blockify(then), indent)}"
+            if other is not None:
+                out += f"\n{pad}else\n{format_stmt(_blockify(other), indent)}"
+            return out
+        case WhileStmt(cond=cond, body=body):
+            return f"{pad}while ({format_expr(cond)})\n{format_stmt(_blockify(body), indent)}"
+        case DoWhileStmt(body=body, cond=cond):
+            return (
+                f"{pad}do\n{format_stmt(_blockify(body), indent)}\n"
+                f"{pad}while ({format_expr(cond)});"
+            )
+        case ForStmt(init=init, cond=cond, step=step, body=body):
+            if init is None:
+                init_text = ""
+            elif isinstance(init, DeclStmt):
+                init_text = format_stmt(init).strip().rstrip(";")
+            else:
+                init_text = format_expr(init)
+            cond_text = format_expr(cond) if cond is not None else ""
+            step_text = format_expr(step) if step is not None else ""
+            return (
+                f"{pad}for ({init_text}; {cond_text}; {step_text})\n"
+                f"{format_stmt(_blockify(body), indent)}"
+            )
+        case ReturnStmt(value=value):
+            if value is None:
+                return f"{pad}return;"
+            return f"{pad}return {format_expr(value)};"
+        case BreakStmt():
+            return f"{pad}break;"
+        case ContinueStmt():
+            return f"{pad}continue;"
+        case GotoStmt(label=label):
+            return f"{pad}goto {label};"
+        case LabeledStmt(label=label, stmt=inner):
+            return f"{pad[4:] if pad else ''}{label}:\n{format_stmt(inner, indent)}"
+        case SwitchStmt(value=value, body=body):
+            return f"{pad}switch ({format_expr(value)})\n{format_stmt(_blockify(body), indent)}"
+        case CaseStmt(value=value, stmt=inner):
+            head = f"{pad}case {format_expr(value)}:" if value is not None else f"{pad}default:"
+            return f"{head}\n{format_stmt(inner, indent + 1)}"
+        case _:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _blockify(stmt: CStmt) -> CStmt:
+    """Wrap non-compound statements so bodies always print as blocks,
+    avoiding every dangling-else ambiguity."""
+    if isinstance(stmt, Compound):
+        return stmt
+    return Compound((stmt,))
+
+
+def normalize_stmt(stmt: CStmt) -> CStmt:
+    """Canonicalise statement bodies by blockifying every control-flow
+    body.  Two ASTs that differ only in optional braces normalise to the
+    same tree; round-trip tests compare modulo this, since the printer
+    always emits braces."""
+    match stmt:
+        case Compound(body=body):
+            flat: list[CStmt] = []
+            for child in body:
+                flat.append(normalize_stmt(child))
+            return Compound(tuple(flat))
+        case IfStmt(cond=cond, then=then, other=other):
+            return IfStmt(
+                cond,
+                normalize_stmt(_blockify(then)),
+                normalize_stmt(_blockify(other)) if other is not None else None,
+            )
+        case WhileStmt(cond=cond, body=body):
+            return WhileStmt(cond, normalize_stmt(_blockify(body)))
+        case DoWhileStmt(body=body, cond=cond):
+            return DoWhileStmt(normalize_stmt(_blockify(body)), cond)
+        case ForStmt(init=init, cond=cond, step=step, body=body):
+            return ForStmt(init, cond, step, normalize_stmt(_blockify(body)))
+        case SwitchStmt(value=value, body=body):
+            return SwitchStmt(value, normalize_stmt(_blockify(body)))
+        case CaseStmt(value=value, stmt=inner):
+            return CaseStmt(value, normalize_stmt(inner))
+        case LabeledStmt(label=label, stmt=inner):
+            return LabeledStmt(label, normalize_stmt(inner))
+        case _:
+            return stmt
+
+
+def normalize_toplevel(item: TopLevel) -> TopLevel:
+    """Normalise a top-level item (function bodies get canonical braces)."""
+    if isinstance(item, FuncDef):
+        body = normalize_stmt(item.body)
+        assert isinstance(body, Compound)
+        return FuncDef(
+            item.name, item.ret, item.params, body, item.varargs, item.storage, item.line
+        )
+    return item
+
+
+def format_toplevel(item: TopLevel) -> str:
+    match item:
+        case VarDecl(name=name, type=ctype, init=init, storage=storage):
+            prefix = f"{storage} " if storage else ""
+            init_text = f" = {format_expr(init, 0)}" if init is not None else ""
+            return f"{prefix}{format_ctype(ctype, name)}{init_text};"
+        case FuncDecl(name=name, ret=ret, params=params, varargs=varargs, storage=storage):
+            prefix = f"{storage} " if storage else ""
+            return f"{prefix}{_signature(name, ret, params, varargs)};"
+        case FuncDef(
+            name=name, ret=ret, params=params, body=body, varargs=varargs, storage=storage
+        ):
+            prefix = f"{storage} " if storage else ""
+            return f"{prefix}{_signature(name, ret, params, varargs)}\n{format_stmt(body)}"
+        case StructDef(tag=tag, fields=fields, is_union=is_union):
+            kw = "union" if is_union else "struct"
+            lines = [f"{kw} {tag} {{"]
+            for field in fields:
+                lines.append(f"    {format_ctype(field.type, field.name)};")
+            lines.append("};")
+            return "\n".join(lines)
+        case EnumDef(tag=tag, enumerators=enumerators):
+            parts = []
+            for name, value in enumerators:
+                if value is not None:
+                    parts.append(f"{name} = {format_expr(value)}")
+                else:
+                    parts.append(name)
+            return f"enum {tag} {{ {', '.join(parts)} }};"
+        case TypedefDecl(name=name, type=ctype):
+            return f"typedef {format_ctype(ctype, name)};"
+        case _:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown top-level item {item!r}")
+
+
+def _signature(name, ret, params, varargs) -> str:
+    rendered = [format_ctype(p.type, p.name or "") for p in params]
+    if varargs:
+        rendered.append("...")
+    param_text = ", ".join(rendered) if rendered else "void"
+    return f"{format_ctype(ret, '')} {name}({param_text})".replace("  ", " ")
+
+
+def format_unit(unit: TranslationUnit) -> str:
+    """Render a whole translation unit back to C source."""
+    return "\n\n".join(format_toplevel(item) for item in unit.items) + "\n"

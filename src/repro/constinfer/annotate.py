@@ -1,0 +1,125 @@
+"""Source re-annotation: write inferred consts back into C text.
+
+"Ultimately we would like the analysis result to be the text of the
+original C program with some extra const qualifiers inserted"
+(Section 4.2).  This module does that for the most useful case — the
+directly pointed-to level of pointer-typed function parameters, which is
+where the overwhelming majority of interesting const positions live:
+``char *s`` becomes ``const char *s`` when inference shows the function
+never writes through ``s``.
+
+Deeper levels (``char **argv``'s inner cells) are reported in the textual
+summary but not rewritten: inserting them correctly requires declarator
+surgery the simple line-based rewriter below deliberately avoids.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..qual.solver import Classification
+from .analysis import ConstPosition
+from .engine import InferenceRun
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One const the analysis would add to the program text."""
+
+    function: str
+    where: str
+    depth: int
+    line: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.function}: {self.where} (pointer depth {self.depth}, "
+            f"line {self.line}) may be declared const"
+        )
+
+
+def suggestions(run: InferenceRun) -> list[Suggestion]:
+    """Positions not declared const that inference allows to be const."""
+    out = []
+    for position, verdict in run.classified_positions():
+        if position.declared:
+            continue
+        if verdict is Classification.MUST_NOT:
+            continue
+        out.append(
+            Suggestion(position.function, position.where, position.depth, position.line)
+        )
+    return out
+
+
+_PARAM_NAME = re.compile(r"param \d+ \((?P<name>\w+)\)")
+
+
+def annotate_source(source: str, run: InferenceRun) -> str:
+    """Insert ``const`` into parameter declarations the analysis proved
+    const-able (depth-1 only).  Returns the rewritten source text.
+
+    The rewriter is resolutely textual: it finds the parameter by name on
+    the function's definition line(s) and prefixes its type with
+    ``const`` if the parameter's declarator contains a ``*`` and does not
+    already say const.  Anything it cannot confidently rewrite is left
+    untouched (the suggestion list still reports it).
+    """
+    lines = source.split("\n")
+    for suggestion in suggestions(run):
+        if suggestion.depth != 1:
+            continue
+        match = _PARAM_NAME.search(suggestion.where)
+        if match is None:
+            continue
+        param = match.group("name")
+        line_index = suggestion.line - 1
+        if not 0 <= line_index < len(lines):
+            continue
+        lines[line_index] = _annotate_param(lines[line_index], param)
+    return "\n".join(lines)
+
+
+def _annotate_param(line: str, param: str) -> str:
+    """Prefix the declaration of ``param`` on this line with const.
+
+    Only single-star declarators are rewritten: for ``T **p`` a textual
+    ``const`` prefix would qualify the *deepest* level, not the depth-1
+    position the suggestion refers to, so multi-level pointers are left
+    to the suggestion list.
+    """
+    pattern = re.compile(
+        r"(?P<const>\bconst\s+)?"
+        r"(?P<spec>\b(?:unsigned\s+|signed\s+)?(?:struct\s+\w+|union\s+\w+|\w+)\s*)"
+        r"\*(?!\s*\*)\s*" + re.escape(param) + r"\b"
+    )
+
+    def replace(match: re.Match[str]) -> str:
+        if match.group("const"):
+            return match.group(0)
+        return "const " + match.group(0)
+
+    return pattern.sub(replace, line, count=1)
+
+
+def format_report(run: InferenceRun, limit: int | None = None) -> str:
+    """Human-readable classification of every interesting position."""
+    out = [
+        f"{run.mode} const inference: {run.total_positions()} interesting "
+        f"positions, {run.constraint_count} constraints, "
+        f"{run.elapsed_seconds:.3f}s",
+        "",
+    ]
+    rows = run.classified_positions()
+    if limit is not None:
+        rows = rows[:limit]
+    for position, verdict in rows:
+        marker = {
+            Classification.MUST: "must be const",
+            Classification.MUST_NOT: "must NOT be const",
+            Classification.EITHER: "may be const",
+        }[verdict]
+        declared = " (declared)" if position.declared else ""
+        out.append(f"  {position.describe():<50} {marker}{declared}")
+    return "\n".join(out)

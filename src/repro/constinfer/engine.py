@@ -1,0 +1,295 @@
+"""Monomorphic and polymorphic const-inference engines (Section 4.3–4.4).
+
+Both engines share :class:`~repro.constinfer.analysis.ConstInference` for
+constraint generation and differ only in how function signatures are
+shared:
+
+* **monomorphic** — every call site constrains the one shared signature,
+  exactly C's type system;
+* **polymorphic** — the function dependence graph's strongly connected
+  components are traversed callees-first; each SCC is analysed
+  monomorphically, then every member's signature is generalised over the
+  qualifier variables created while analysing the SCC (Letv), so later
+  call sites instantiate fresh copies (Var').  Global variable
+  initialisers are analysed after the traversal, as the paper specifies.
+
+The result carries the solved constraint system plus the classification
+of every interesting const position, ready for the Section 4.4 counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..cfront.sema import Program
+from ..qual.lattice import QualifierLattice
+from ..qual.poly import generalize
+from ..qual.qtypes import QualVar, qual_vars
+from ..qual.solver import Classification, Solution, UnsatisfiableError, solve
+from .analysis import ConstInference, ConstPosition
+from .fdg import FunctionDependenceGraph
+
+
+class ConstInferenceError(Exception):
+    """The program's const constraints are unsatisfiable — a write through
+    a cell that must be const.  Correct C programs never trigger this."""
+
+
+@dataclass
+class InferenceRun:
+    """Outcome of one engine run over a whole program."""
+
+    mode: str  # "mono" or "poly"
+    solution: Solution
+    positions: list[ConstPosition]
+    constraint_count: int
+    elapsed_seconds: float
+    inference: ConstInference = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def classify(self, position: ConstPosition) -> Classification:
+        return self.solution.classify(position.var, "const")
+
+    def classified_positions(
+        self,
+    ) -> list[tuple[ConstPosition, Classification]]:
+        return [(p, self.classify(p)) for p in self.positions]
+
+    # -- the Section 4.4 counts ----------------------------------------
+    def declared_count(self) -> int:
+        return sum(1 for p in self.positions if p.declared)
+
+    def inferred_const_count(self) -> int:
+        """Positions that must or may be const — the paper's (1) + (3),
+        i.e. the Mono/Poly columns of Table 2."""
+        return sum(
+            1
+            for p in self.positions
+            if self.classify(p) is not Classification.MUST_NOT
+        )
+
+    def must_not_count(self) -> int:
+        return sum(
+            1 for p in self.positions if self.classify(p) is Classification.MUST_NOT
+        )
+
+    def either_count(self) -> int:
+        return sum(
+            1 for p in self.positions if self.classify(p) is Classification.EITHER
+        )
+
+    def total_positions(self) -> int:
+        return len(self.positions)
+
+
+def run_mono(
+    program: Program,
+    lattice: QualifierLattice | None = None,
+    **inference_options,
+) -> InferenceRun:
+    """Monomorphic const inference over a whole program.
+
+    ``inference_options`` are forwarded to
+    :class:`~repro.constinfer.analysis.ConstInference` (the Section 4.2
+    ablation switches).
+    """
+    start = time.perf_counter()
+    inference = ConstInference(program, lattice, **inference_options)
+    _create_shared_cells(inference)
+
+    # Signatures first (shared by every call site), prototypes included.
+    for fdef in program.functions.values():
+        inference.signature_for(fdef)
+
+    for fdef in program.functions.values():
+        inference.analyze_function(fdef)
+    inference.analyze_global_initializers()
+
+    solution = _solve(inference)
+    elapsed = time.perf_counter() - start
+    return InferenceRun(
+        "mono", solution, inference.positions, len(inference.constraints), elapsed, inference
+    )
+
+
+def run_poly(
+    program: Program,
+    lattice: QualifierLattice | None = None,
+    **inference_options,
+) -> InferenceRun:
+    """Polymorphic const inference: per-SCC generalisation (Section 4.3).
+
+    ``inference_options`` are forwarded to
+    :class:`~repro.constinfer.analysis.ConstInference`.
+    """
+    start = time.perf_counter()
+    inference = ConstInference(program, lattice, **inference_options)
+    _create_shared_cells(inference)
+
+    graph = FunctionDependenceGraph.build(program)
+    for component in graph.sccs():
+        # Variables created from here on are local to this SCC and are
+        # candidates for quantification; anything older is "free in the
+        # environment" (globals, struct fields, library signatures,
+        # previously generalised functions).  Shared cells were all
+        # pre-created above, so nothing monomorphic is captured.
+        boundary = _uid_boundary()
+        mark = len(inference.constraints)
+        for name in component:
+            inference.signature_for(program.functions[name])
+        for name in component:
+            inference.analyze_function(program.functions[name])
+        local = inference.constraints[mark:]
+        for name in component:
+            sig = inference.signatures[name]
+            body = sig.fun_qtype
+            involved = qual_vars(body)
+            for c in local:
+                for q in (c.lhs, c.rhs):
+                    if isinstance(q, QualVar):
+                        involved.add(q)
+            env_vars = {v for v in involved if v.uid < boundary}
+            inference.schemes[name] = generalize(body, local, env_vars)
+
+    inference.analyze_global_initializers()
+
+    solution = _solve(inference)
+    elapsed = time.perf_counter() - start
+    return InferenceRun(
+        "poly", solution, inference.positions, len(inference.constraints), elapsed, inference
+    )
+
+
+def run_polyrec(
+    program: Program,
+    lattice: QualifierLattice | None = None,
+    max_iterations: int = 8,
+    **inference_options,
+) -> InferenceRun:
+    """Polymorphic-*recursive* const inference (Section 4.3's preferred
+    design: "we would prefer to use polymorphic recursion rather than
+    let-style polymorphism to avoid working with the FDG").
+
+    No function dependence graph is computed.  Instead, every call —
+    including recursive and mutually recursive ones — instantiates the
+    callee's scheme from the *previous* fixpoint iteration (initially
+    the fully unconstrained scheme), and iteration repeats until every
+    function's signature summary (the least/greatest solution of each
+    signature qualifier position) stabilises.  Because the qualifier
+    lattice is finite and qualifiers do not change the type structure,
+    this is decidable and converges quickly, exactly as the paper
+    observes; ``max_iterations`` is a safety cap.
+
+    Shared monomorphic state (globals, struct fields, library
+    signatures) is created once and survives all iterations; per-
+    function state is rolled back between rounds.
+    """
+    start = time.perf_counter()
+    inference = ConstInference(program, lattice, **inference_options)
+    _create_shared_cells(inference)
+    boundary = _uid_boundary()
+    base_constraints = len(inference.constraints)
+    library_sigs = dict(inference.signatures)
+
+    previous_summary: dict[str, tuple] | None = None
+    assumptions: dict[str, "object"] = {}
+
+    for _round in range(max_iterations):
+        # roll back per-function state
+        inference.constraints[base_constraints:] = []
+        inference.positions.clear()
+        inference.signatures = dict(library_sigs)
+        inference.schemes = dict(assumptions)
+
+        for fdef in program.functions.values():
+            inference.signature_for(fdef)
+        # NOTE: function_value prefers schemes, so every call to a
+        # defined function instantiates its assumed scheme — recursion
+        # included.  (On the first round there are no assumptions yet
+        # and calls share the round's signatures, which only makes the
+        # first summary more conservative, never unsound.)
+        for fdef in program.functions.values():
+            inference.analyze_function(fdef)
+        inference.analyze_global_initializers()
+
+        solution = _solve(inference)
+        summary = _signature_summary(inference, solution)
+        if summary == previous_summary:
+            break
+        previous_summary = summary
+
+        # generalise fresh assumptions for the next round
+        local = inference.constraints[base_constraints:]
+        assumptions = {}
+        for name in program.functions:
+            sig = inference.signatures[name]
+            involved = qual_vars(sig.fun_qtype)
+            for c in local:
+                for q in (c.lhs, c.rhs):
+                    if isinstance(q, QualVar):
+                        involved.add(q)
+            env_vars = {v for v in involved if v.uid < boundary}
+            assumptions[name] = generalize(sig.fun_qtype, local, env_vars)
+    else:
+        solution = _solve(inference)
+
+    elapsed = time.perf_counter() - start
+    return InferenceRun(
+        "polyrec",
+        solution,
+        inference.positions,
+        len(inference.constraints),
+        elapsed,
+        inference,
+    )
+
+
+def _signature_summary(inference: ConstInference, solution: Solution):
+    """Per function, the (least, greatest) bounds of every qualifier
+    position in its signature, in deterministic structural order — the
+    fixpoint-comparison key for :func:`run_polyrec`."""
+    from ..qual.qtypes import quals_of
+
+    out: dict[str, tuple] = {}
+    for name, sig in inference.signatures.items():
+        bounds = []
+        for qual in quals_of(sig.fun_qtype):
+            if isinstance(qual, QualVar):
+                bounds.append(
+                    (solution.least_of(qual).present, solution.greatest_of(qual).present)
+                )
+            else:
+                bounds.append((qual.present, qual.present))
+        out[name] = tuple(bounds)
+    return out
+
+
+def _create_shared_cells(inference: ConstInference) -> None:
+    """Pre-create every monomorphic shared cell — globals, struct fields,
+    and library-function signatures — so the polymorphic engine's
+    uid-watermark never mistakes them for SCC-local variables."""
+    program = inference.program
+    for name in program.globals:
+        inference.global_cell(name)
+    for tag, struct in program.structs.items():
+        for field_decl in struct.fields:
+            inference.field_cell(tag, field_decl.name)
+    for proto in program.prototypes.values():
+        if proto.name not in program.functions:
+            inference.prototype_signature(proto)
+
+
+def _uid_boundary() -> int:
+    """Current fresh-variable watermark: variables allocated after this
+    call have strictly larger uids."""
+    from ..qual.qtypes import fresh_qual_var
+
+    return fresh_qual_var("boundary").uid
+
+
+def _solve(inference: ConstInference) -> Solution:
+    extra = [p.var for p in inference.positions]
+    try:
+        return solve(inference.constraints, inference.lattice, extra_vars=extra)
+    except UnsatisfiableError as exc:
+        raise ConstInferenceError(str(exc)) from exc

@@ -1,0 +1,138 @@
+"""Constraint-system statistics for inference runs.
+
+The paper argues the whole approach is practical because the constraint
+system stays *small and atomic*: linear in program size, solvable in one
+pass.  This module measures that claim on real runs — constraints per
+source line, variable counts, the breakdown by constraint form
+(var/var edges vs constant bounds), classification tallies — and
+renders the result, both per run and as a suite table used in
+EXPERIMENTS.md's scaling discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..qual.lattice import LatticeElement
+from ..qual.qtypes import QualVar
+from ..qual.solver import Classification
+from .engine import InferenceRun
+
+
+@dataclass(frozen=True)
+class ConstraintStats:
+    """Shape statistics of one inference run's constraint system."""
+
+    mode: str
+    constraint_count: int
+    variable_count: int
+    var_var_edges: int
+    constant_lower_bounds: int
+    constant_upper_bounds: int
+    ground_constraints: int
+    positions: int
+    must: int
+    must_not: int
+    either: int
+    elapsed_seconds: float
+    lines: int | None = None
+
+    @property
+    def constraints_per_line(self) -> float | None:
+        if not self.lines:
+            return None
+        return self.constraint_count / self.lines
+
+    @property
+    def edges_per_variable(self) -> float:
+        if not self.variable_count:
+            return 0.0
+        return self.var_var_edges / self.variable_count
+
+    def summary(self) -> str:
+        per_line = (
+            f"{self.constraints_per_line:.2f} constraints/line, "
+            if self.constraints_per_line is not None
+            else ""
+        )
+        return (
+            f"{self.mode}: {self.constraint_count} constraints over "
+            f"{self.variable_count} variables ({per_line}"
+            f"{self.edges_per_variable:.2f} edges/var); "
+            f"{self.var_var_edges} var<=var, "
+            f"{self.constant_lower_bounds} const-lower, "
+            f"{self.constant_upper_bounds} const-upper, "
+            f"{self.ground_constraints} ground; "
+            f"positions: {self.must} must / {self.either} either / "
+            f"{self.must_not} must-not; "
+            f"{self.elapsed_seconds * 1000:.1f} ms"
+        )
+
+
+def collect_stats(run: InferenceRun, lines: int | None = None) -> ConstraintStats:
+    """Measure one engine run."""
+    var_var = 0
+    lower = 0
+    upper = 0
+    ground = 0
+    variables: set[QualVar] = set()
+    for c in run.inference.constraints:
+        lhs_var = isinstance(c.lhs, QualVar)
+        rhs_var = isinstance(c.rhs, QualVar)
+        if lhs_var:
+            variables.add(c.lhs)
+        if rhs_var:
+            variables.add(c.rhs)
+        if lhs_var and rhs_var:
+            var_var += 1
+        elif rhs_var:
+            lower += 1
+        elif lhs_var:
+            upper += 1
+        else:
+            ground += 1
+
+    tallies = {
+        Classification.MUST: 0,
+        Classification.MUST_NOT: 0,
+        Classification.EITHER: 0,
+    }
+    for _position, verdict in run.classified_positions():
+        tallies[verdict] += 1
+
+    return ConstraintStats(
+        mode=run.mode,
+        constraint_count=len(run.inference.constraints),
+        variable_count=len(variables),
+        var_var_edges=var_var,
+        constant_lower_bounds=lower,
+        constant_upper_bounds=upper,
+        ground_constraints=ground,
+        positions=run.total_positions(),
+        must=tallies[Classification.MUST],
+        must_not=tallies[Classification.MUST_NOT],
+        either=tallies[Classification.EITHER],
+        elapsed_seconds=run.elapsed_seconds,
+        lines=lines,
+    )
+
+
+def format_stats_table(rows: list[tuple[str, ConstraintStats]]) -> str:
+    """Suite-level statistics table (one row per benchmark/run)."""
+    header = (
+        f"{'Name':<16} {'Mode':<8} {'Lines':>7} {'Constraints':>12} "
+        f"{'Vars':>8} {'C/line':>7} {'ms':>8}"
+    )
+    out = [header]
+    for name, stats in rows:
+        per_line = (
+            f"{stats.constraints_per_line:7.2f}"
+            if stats.constraints_per_line is not None
+            else "      -"
+        )
+        out.append(
+            f"{name:<16} {stats.mode:<8} {stats.lines or 0:>7} "
+            f"{stats.constraint_count:>12} {stats.variable_count:>8} "
+            f"{per_line} {stats.elapsed_seconds * 1000:>8.1f}"
+        )
+    return "\n".join(out)

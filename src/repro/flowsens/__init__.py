@@ -1,0 +1,48 @@
+"""Flow-sensitive type qualifiers — the paper's Section 6 proposal,
+prototyped.
+
+The base framework gives each location one qualified type for the whole
+program; lclint-style checking needs qualifiers that vary per program
+point.  This package implements the paper's sketched solution: a
+distinct qualifier variable per location per point, with subtyping
+constraints between adjacent points except across strong updates.
+
+* :mod:`repro.flowsens.language` — the small imperative language
+  (assignments, havoc, annotations/assertions, conditional refinement,
+  branches, loops).
+* :mod:`repro.flowsens.analysis` — the constraint-based forward
+  analysis, solved with the unchanged atomic solver.
+* :mod:`repro.flowsens.heap` — the weak-update half: flow-insensitive
+  heap cells behind a small flow-sensitive points-to map.
+"""
+
+from .analysis import (
+    CheckFailure,
+    FlowAnalysis,
+    FlowError,
+    FlowResult,
+    analyze_flow,
+)
+from .heap import HeapFlowAnalysis, analyze_heap_flow
+from .language import (
+    AnnotStmt,
+    Assign,
+    AssertStmt,
+    Block,
+    CopyPtr,
+    FlowExpr,
+    FlowStmt,
+    Havoc,
+    If,
+    Join,
+    Literal,
+    LoadCell,
+    NewCell,
+    Refine,
+    StoreCell,
+    VarRef,
+    While,
+    block,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,252 @@
+"""Flow-sensitive qualifier inference (the Section 6 proposal).
+
+Every variable gets a *distinct* qualifier variable at every program
+point.  Statements relate adjacent points:
+
+* a statement that does not strongly update ``x`` links ``x``'s types
+  with ``before <= after``;
+* a strong update (assignment, havoc, refinement) starts a fresh
+  variable with no inflow from the old one;
+* control-flow merges join (``<=`` into a fresh merge variable), and
+  loop back edges flow into the loop-head variable — the atomic solver's
+  fixpoint handles the cycle directly.
+
+The result is a classic forward dataflow analysis, obtained purely by
+constraint generation over the existing :mod:`repro.qual.solver` — no
+new solving machinery, which is the point of the paper's sketch.
+
+Assertions are evaluated as a *linter*: the system is solved without
+them and every check is then reported against the least solution (the
+join of the values actually flowing to that point), so a single run
+reports all violations instead of stopping at the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..qual.constraints import Origin, QualConstraint
+from ..qual.lattice import LatticeElement, QualifierLattice
+from ..qual.qtypes import Qual, QualVar, fresh_qual_var
+from ..qual.solver import Solution, solve
+from .language import (
+    AnnotStmt,
+    Assign,
+    AssertStmt,
+    Block,
+    FlowExpr,
+    FlowStmt,
+    Havoc,
+    If,
+    Join,
+    Literal,
+    Refine,
+    VarRef,
+    While,
+)
+
+
+class FlowError(Exception):
+    """Malformed flow program (e.g. use of an undefined variable)."""
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One assertion that does not hold at its program point."""
+
+    kind: str  # "assert" or "annot"
+    variable: str
+    required: LatticeElement
+    actual: LatticeElement
+    label: str
+
+    def __str__(self) -> str:
+        where = f" [{self.label}]" if self.label else ""
+        return (
+            f"{self.kind} on {self.variable}{where}: value {self.actual} "
+            f"is not below {self.required}"
+        )
+
+
+@dataclass
+class FlowResult:
+    """Solved flow-sensitive analysis of one program."""
+
+    lattice: QualifierLattice
+    solution: Solution
+    failures: list[CheckFailure]
+    final_env: dict[str, Qual]
+    #: the qualifier variable checked by each assert, in program order,
+    #: keyed by (kind, label) for inspection in tests.
+    check_points: list[tuple[str, str, str, Qual]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def value_of(self, qual: Qual) -> LatticeElement:
+        if isinstance(qual, QualVar):
+            return self.solution.least_of(qual)
+        return qual
+
+    def final_value(self, variable: str) -> LatticeElement:
+        """Least solution of a variable's type at program exit."""
+        if variable not in self.final_env:
+            raise FlowError(f"unknown variable {variable!r}")
+        return self.value_of(self.final_env[variable])
+
+
+class FlowAnalysis:
+    """Forward flow-sensitive qualifier analysis over a fixed lattice."""
+
+    def __init__(self, lattice: QualifierLattice):
+        self.lattice = lattice
+        self.constraints: list[QualConstraint] = []
+        #: (kind, variable, label, qual at the point, required bound)
+        self.checks: list[tuple[str, str, str, Qual, LatticeElement]] = []
+
+    # -- helpers ---------------------------------------------------------
+    def _emit(self, lhs: Qual, rhs: Qual, reason: str) -> None:
+        self.constraints.append(QualConstraint(lhs, rhs, Origin(reason)))
+
+    def _eval(self, expr: FlowExpr, env: dict[str, Qual]) -> Qual:
+        match expr:
+            case VarRef(name=name):
+                if name not in env:
+                    raise FlowError(f"use of undefined variable {name!r}")
+                return env[name]
+            case Literal(qual=q):
+                if q.lattice != self.lattice:
+                    raise FlowError(f"literal {q} is not from lattice {self.lattice}")
+                return q
+            case Join(left=left, right=right):
+                out = fresh_qual_var("join")
+                self._emit(self._eval(left, env), out, "join-left")
+                self._emit(self._eval(right, env), out, "join-right")
+                return out
+            case _:  # pragma: no cover - exhaustive
+                raise FlowError(f"unknown expression {expr!r}")
+
+    def _merge(
+        self, a: dict[str, Qual], b: dict[str, Qual], reason: str
+    ) -> dict[str, Qual]:
+        """Join two environments: fresh merge variables where they differ."""
+        out: dict[str, Qual] = {}
+        for name in set(a) | set(b):
+            qa, qb = a.get(name), b.get(name)
+            if qa is None or qb is None:
+                # defined on one path only: conservative, keep the one
+                # that exists (uses on the other path would be errors).
+                out[name] = qa if qa is not None else qb  # type: ignore[assignment]
+                continue
+            if qa == qb:
+                out[name] = qa
+                continue
+            merged = fresh_qual_var("merge")
+            self._emit(qa, merged, f"{reason}-left")
+            self._emit(qb, merged, f"{reason}-right")
+            out[name] = merged
+        return out
+
+    # -- statement transfer ------------------------------------------------
+    def _stmt(self, stmt: FlowStmt, env: dict[str, Qual]) -> dict[str, Qual]:
+        match stmt:
+            case Assign(target=x, value=rhs):
+                value = self._eval(rhs, env)
+                after = fresh_qual_var(f"{x}_")
+                self._emit(value, after, f"assign {x}")
+                return {**env, x: after}  # strong update: no old inflow
+
+            case Havoc(target=x):
+                return {**env, x: fresh_qual_var(f"{x}_any")}
+
+            case AnnotStmt(target=x, level=level):
+                if x not in env:
+                    raise FlowError(f"annot of undefined variable {x!r}")
+                self.checks.append(("annot", x, stmt.label, env[x], level))
+                # (Annot): the type at this point becomes exactly l.
+                return {**env, x: level}
+
+            case AssertStmt(target=x, level=level):
+                if x not in env:
+                    raise FlowError(f"assert of undefined variable {x!r}")
+                self.checks.append(("assert", x, stmt.label, env[x], level))
+                return env
+
+            case Refine(target=x, qualifier=q, body=body):
+                if x not in env:
+                    raise FlowError(f"refinement of undefined variable {x!r}")
+                # Branch entry strong-updates x to the join of all values
+                # satisfying the test — sound, and exact on the tested
+                # coordinate.
+                refined = self.lattice.assertion_bound(q)
+                inner = {**env, x: refined}
+                exit_env = self._block(body, inner)
+                # Merge the not-taken path (env) with the body exit.
+                return self._merge(env, exit_env, f"refine-{x}-merge")
+
+            case If(cond=cond, then=then, else_=else_):
+                if cond not in env:
+                    raise FlowError(f"branch on undefined variable {cond!r}")
+                then_env = self._block(then, dict(env))
+                else_env = self._block(else_, dict(env))
+                return self._merge(then_env, else_env, "if-merge")
+
+            case While(cond=cond, body=body):
+                if cond not in env:
+                    raise FlowError(f"loop on undefined variable {cond!r}")
+                # Loop head: fresh variables receiving entry + back edge.
+                head: dict[str, Qual] = {}
+                for name, qual in env.items():
+                    hv = fresh_qual_var(f"{name}_loop")
+                    self._emit(qual, hv, "loop-entry")
+                    head[name] = hv
+                exit_env = self._block(body, dict(head))
+                for name, hv in head.items():
+                    if name in exit_env and exit_env[name] != hv:
+                        self._emit(exit_env[name], hv, "loop-back-edge")
+                # Variables first defined inside the loop body do not
+                # escape (their scope is the body).
+                return head
+
+            case _:  # pragma: no cover - exhaustive
+                raise FlowError(f"unknown statement {stmt!r}")
+
+    def _block(self, stmts: Block, env: dict[str, Qual]) -> dict[str, Qual]:
+        for stmt in stmts:
+            env = self._stmt(stmt, env)
+        return env
+
+    # -- entry point ----------------------------------------------------
+    def analyze(
+        self,
+        program: Block,
+        initial: dict[str, LatticeElement] | None = None,
+    ) -> FlowResult:
+        env: dict[str, Qual] = dict(initial or {})
+        final_env = self._block(program, env)
+
+        mentioned = [q for _k, _x, _l, q, _r in self.checks if isinstance(q, QualVar)]
+        solution = solve(self.constraints, self.lattice, extra_vars=mentioned)
+
+        failures = []
+        points = []
+        for kind, variable, label, qual, required in self.checks:
+            actual = (
+                solution.least_of(qual) if isinstance(qual, QualVar) else qual
+            )
+            points.append((kind, label, variable, qual))
+            if not self.lattice.leq(actual, required):
+                failures.append(
+                    CheckFailure(kind, variable, required, actual, label)
+                )
+        return FlowResult(self.lattice, solution, failures, final_env, points)
+
+
+def analyze_flow(
+    program: Block,
+    lattice: QualifierLattice,
+    initial: dict[str, LatticeElement] | None = None,
+) -> FlowResult:
+    """Run the flow-sensitive analysis over a program."""
+    return FlowAnalysis(lattice).analyze(program, initial)

@@ -1,0 +1,263 @@
+"""Heap-cell layer for the flow-sensitive prototype.
+
+Scalars in :mod:`repro.flowsens.analysis` are strongly updated per
+program point.  Heap cells, reached through pointers that may alias, get
+the dual treatment the Section 6 sketch prescribes for non-strong
+updates: each allocation *site* has **one** flow-insensitive qualifier
+variable, stores join values in (``value <= cell``), and loads read the
+accumulated contents out.  A small flow-sensitive points-to map tracks
+which sites each pointer variable may reference (strong updates on the
+pointer variables themselves, set-union at merges, fixpoint over loop
+back edges).
+
+The result composes with the scalar layer: programs mix strongly-updated
+locals and weakly-updated cells, which is exactly the shape of the
+lclint workloads the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..qual.constraints import Origin, QualConstraint
+from ..qual.lattice import LatticeElement, QualifierLattice
+from ..qual.qtypes import Qual, QualVar, fresh_qual_var
+from ..qual.solver import solve
+from .analysis import CheckFailure, FlowError, FlowResult
+from .language import (
+    AnnotStmt,
+    Assign,
+    AssertStmt,
+    Block,
+    CopyPtr,
+    FlowStmt,
+    Havoc,
+    If,
+    Join,
+    Literal,
+    LoadCell,
+    NewCell,
+    Refine,
+    StoreCell,
+    VarRef,
+    While,
+)
+
+PointsTo = dict[str, frozenset[str]]
+
+
+@dataclass
+class _State:
+    """Per-program-point environment: scalar types + points-to sets."""
+
+    vals: dict[str, Qual] = field(default_factory=dict)
+    ptrs: PointsTo = field(default_factory=dict)
+
+    def copy(self) -> "_State":
+        return _State(dict(self.vals), dict(self.ptrs))
+
+
+class HeapFlowAnalysis:
+    """Flow-sensitive scalars + flow-insensitive heap cells."""
+
+    def __init__(self, lattice: QualifierLattice):
+        self.lattice = lattice
+        self.constraints: list[QualConstraint] = []
+        self.checks: list[tuple[str, str, str, Qual, LatticeElement]] = []
+        self.cell_vars: dict[str, QualVar] = {}
+
+    # -- plumbing --------------------------------------------------------
+    def _emit(self, lhs: Qual, rhs: Qual, reason: str) -> None:
+        self.constraints.append(QualConstraint(lhs, rhs, Origin(reason)))
+
+    def cell(self, site: str) -> QualVar:
+        if site not in self.cell_vars:
+            self.cell_vars[site] = fresh_qual_var(f"cell_{site}_")
+        return self.cell_vars[site]
+
+    def _eval(self, expr, state: _State) -> Qual:
+        match expr:
+            case VarRef(name=name):
+                if name not in state.vals:
+                    raise FlowError(f"use of undefined variable {name!r}")
+                return state.vals[name]
+            case Literal(qual=q):
+                return q
+            case Join(left=left, right=right):
+                out = fresh_qual_var("join")
+                self._emit(self._eval(left, state), out, "join-left")
+                self._emit(self._eval(right, state), out, "join-right")
+                return out
+            case _:
+                raise FlowError(f"unknown expression {expr!r}")
+
+    def _sites_of(self, state: _State, pointer: str) -> frozenset[str]:
+        if pointer not in state.ptrs:
+            raise FlowError(f"{pointer!r} is not a pointer variable here")
+        return state.ptrs[pointer]
+
+    def _merge(self, a: _State, b: _State, reason: str) -> _State:
+        out = _State()
+        for name in set(a.vals) | set(b.vals):
+            qa, qb = a.vals.get(name), b.vals.get(name)
+            if qa is None or qb is None:
+                out.vals[name] = qa if qa is not None else qb  # type: ignore[assignment]
+            elif qa == qb:
+                out.vals[name] = qa
+            else:
+                merged = fresh_qual_var("merge")
+                self._emit(qa, merged, f"{reason}-left")
+                self._emit(qb, merged, f"{reason}-right")
+                out.vals[name] = merged
+        for name in set(a.ptrs) | set(b.ptrs):
+            out.ptrs[name] = a.ptrs.get(name, frozenset()) | b.ptrs.get(
+                name, frozenset()
+            )
+        return out
+
+    # -- transfer ---------------------------------------------------------
+    def _stmt(self, stmt: FlowStmt, state: _State) -> _State:
+        match stmt:
+            case NewCell(target=p, site=site):
+                self.cell(site)
+                out = state.copy()
+                out.ptrs[p] = frozenset({site})
+                out.vals.pop(p, None)
+                return out
+
+            case CopyPtr(target=q, source=p):
+                sites = self._sites_of(state, p)
+                out = state.copy()
+                out.ptrs[q] = sites
+                out.vals.pop(q, None)
+                return out
+
+            case StoreCell(pointer=p, value=value):
+                stored = self._eval(value, state)
+                for site in self._sites_of(state, p):
+                    # weak update: the value joins the cell's contents
+                    self._emit(stored, self.cell(site), f"store into {site}")
+                return state
+
+            case LoadCell(target=x, pointer=p):
+                loaded = fresh_qual_var(f"{x}_load")
+                for site in self._sites_of(state, p):
+                    self._emit(self.cell(site), loaded, f"load from {site}")
+                out = state.copy()
+                out.vals[x] = loaded
+                out.ptrs.pop(x, None)
+                return out
+
+            case Assign(target=x, value=value):
+                rhs = self._eval(value, state)
+                after = fresh_qual_var(f"{x}_")
+                self._emit(rhs, after, f"assign {x}")
+                out = state.copy()
+                out.vals[x] = after
+                out.ptrs.pop(x, None)
+                return out
+
+            case Havoc(target=x):
+                out = state.copy()
+                out.vals[x] = fresh_qual_var(f"{x}_any")
+                return out
+
+            case AnnotStmt(target=x, level=level):
+                if x not in state.vals:
+                    raise FlowError(f"annot of undefined variable {x!r}")
+                self.checks.append(("annot", x, stmt.label, state.vals[x], level))
+                out = state.copy()
+                out.vals[x] = level
+                return out
+
+            case AssertStmt(target=x, level=level):
+                if x not in state.vals:
+                    raise FlowError(f"assert of undefined variable {x!r}")
+                self.checks.append(("assert", x, stmt.label, state.vals[x], level))
+                return state
+
+            case Refine(target=x, qualifier=q, body=body):
+                if x not in state.vals:
+                    raise FlowError(f"refinement of undefined variable {x!r}")
+                inner = state.copy()
+                inner.vals[x] = self.lattice.assertion_bound(q)
+                exit_state = self._block(body, inner)
+                return self._merge(state, exit_state, f"refine-{x}-merge")
+
+            case If(cond=cond, then=then, else_=else_):
+                if cond not in state.vals and cond not in state.ptrs:
+                    raise FlowError(f"branch on undefined variable {cond!r}")
+                then_state = self._block(then, state.copy())
+                else_state = self._block(else_, state.copy())
+                return self._merge(then_state, else_state, "if-merge")
+
+            case While(cond=cond, body=body):
+                if cond not in state.vals and cond not in state.ptrs:
+                    raise FlowError(f"loop on undefined variable {cond!r}")
+                # points-to fixpoint: iterate until the head's sets are
+                # stable (bounded by the number of sites).
+                head = state.copy()
+                for name, qual in state.vals.items():
+                    hv = fresh_qual_var(f"{name}_loop")
+                    self._emit(qual, hv, "loop-entry")
+                    head.vals[name] = hv
+                while True:
+                    trial = self._block(body, head.copy())
+                    grown = False
+                    for name, sites in trial.ptrs.items():
+                        old = head.ptrs.get(name, frozenset())
+                        if name in head.ptrs and not sites <= old:
+                            head.ptrs[name] = old | sites
+                            grown = True
+                    if not grown:
+                        break
+                exit_state = self._block(body, head.copy())
+                for name, hv in head.vals.items():
+                    if name in exit_state.vals and exit_state.vals[name] != hv:
+                        self._emit(exit_state.vals[name], hv, "loop-back-edge")
+                return head
+
+            case _:
+                raise FlowError(f"unknown statement {stmt!r}")
+
+    def _block(self, stmts: Block, state: _State) -> _State:
+        for stmt in stmts:
+            state = self._stmt(stmt, state)
+        return state
+
+    # -- entry point ------------------------------------------------------
+    def analyze(
+        self,
+        program: Block,
+        initial: dict[str, LatticeElement] | None = None,
+    ) -> FlowResult:
+        state = _State(dict(initial or {}), {})
+        final = self._block(program, state)
+
+        mentioned = [
+            q for _k, _x, _l, q, _r in self.checks if isinstance(q, QualVar)
+        ]
+        mentioned.extend(self.cell_vars.values())
+        solution = solve(self.constraints, self.lattice, extra_vars=mentioned)
+
+        failures = []
+        points = []
+        for kind, variable, label, qual, required in self.checks:
+            actual = (
+                solution.least_of(qual) if isinstance(qual, QualVar) else qual
+            )
+            points.append((kind, label, variable, qual))
+            if not self.lattice.leq(actual, required):
+                failures.append(
+                    CheckFailure(kind, variable, required, actual, label)
+                )
+        return FlowResult(self.lattice, solution, failures, final.vals, points)
+
+
+def analyze_heap_flow(
+    program: Block,
+    lattice: QualifierLattice,
+    initial: dict[str, LatticeElement] | None = None,
+) -> FlowResult:
+    """Run the combined scalar+heap flow-sensitive analysis."""
+    return HeapFlowAnalysis(lattice).analyze(program, initial)

@@ -1,0 +1,71 @@
+"""The paper's example language (Figures 1, 4, 5; Sections 2–3).
+
+* :mod:`repro.lam.ast` — abstract syntax, values, substitution, and the
+  strip / bottom-embedding program translations.
+* :mod:`repro.lam.lexer`, :mod:`repro.lam.parser` — concrete syntax.
+* :mod:`repro.lam.stdtypes` — standard simply-typed inference
+  (unification), the substrate of the factorised qualifier phase.
+* :mod:`repro.lam.infer` — qualified type inference, monomorphic and
+  polymorphic, with per-qualifier rule hooks.
+* :mod:`repro.lam.check` — high-level checking API and Observation 1.
+* :mod:`repro.lam.eval` — the Figure 5 small-step operational semantics.
+* :mod:`repro.lam.derivation` — Figure 4b derivation trees, reconstructed
+  from inference results and independently verifiable.
+* :mod:`repro.lam.cli` — the ``quals-lam`` command-line driver.
+"""
+
+from .ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Loc,
+    QualLiteral,
+    Ref,
+    Span,
+    UnitLit,
+    Var,
+    embed_bottom_expr,
+    free_vars,
+    is_runtime_value,
+    is_syntactic_value,
+    qual_literal,
+    strip_expr,
+    substitute,
+    walk,
+)
+from .lexer import LexError, Token, TokenKind, tokenize
+from .parser import ParseError, parse
+from .stdtypes import StdInference, StdTypeError, infer_std
+from .infer import (
+    Inference,
+    QualTypeError,
+    QualifiedLanguage,
+    const_language,
+    infer,
+    plain_language,
+)
+from .check import (
+    check_source,
+    is_well_typed,
+    observation1_backward,
+    observation1_forward,
+    typecheck,
+)
+from .eval import (
+    AnnotationFailure,
+    AssertionFailure,
+    Evaluator,
+    OutOfFuel,
+    Store,
+    StuckError,
+)
+from .derivation import Derivation, DerivationError, derive, verify
+
+__all__ = [name for name in dir() if not name.startswith("_")]

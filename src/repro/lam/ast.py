@@ -1,0 +1,386 @@
+"""Abstract syntax for the paper's example language (Figures 1 and 5).
+
+The language is a call-by-value lambda calculus with integers, ``if``,
+``let``, ML-style updateable references (Section 2.4), and the two
+qualifier constructs of Section 2.2:
+
+* **annotation** ``l e`` — raises ``e``'s top-level qualifier to ``l``
+  (checking it was at most ``l`` already, per rule (Annot));
+* **assertion** ``e|l`` — checks ``e``'s top-level qualifier is at most
+  ``l``, per rule (Assert).
+
+Annotation and assertion constants are recorded syntactically as the set
+of qualifier names present (concrete syntax ``{const nonzero}``) and only
+resolved to lattice elements once a lattice is chosen, so the same AST can
+be typed against different qualifier sets.
+
+The module also provides the Section 2.3 program translations: ``strip``
+(remove all annotations/assertions) and ``embed_bottom`` (insert bottom
+annotations, the expression half of Observation 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from ..qual.lattice import LatticeElement, QualifierLattice
+
+
+@dataclass(frozen=True)
+class Span:
+    """Source location (1-based line/column) for diagnostics."""
+
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+NO_SPAN = Span()
+
+
+def _operand(e: "Expr") -> str:
+    """Render a subexpression for an operand position: binder forms
+    (if/let) print bare and must be parenthesised to re-parse there."""
+    if isinstance(e, (If, Let)):
+        return f"({e})"
+    return str(e)
+
+
+@dataclass(frozen=True)
+class QualLiteral:
+    """A syntactic qualifier constant: the set of qualifier names present.
+
+    ``resolve`` turns it into a :class:`LatticeElement` of a concrete
+    lattice; names absent from the lattice are an error at resolution time,
+    not parse time.
+    """
+
+    names: frozenset[str]
+
+    def resolve(self, lattice: QualifierLattice) -> LatticeElement:
+        return lattice.element(*self.names)
+
+    def __str__(self) -> str:
+        return "{" + " ".join(sorted(self.names)) + "}"
+
+
+BOTTOM_LITERAL = QualLiteral(frozenset())
+
+
+def qual_literal(*names: str) -> QualLiteral:
+    return QualLiteral(frozenset(names))
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions.  Subclasses are immutable records."""
+
+    span: Span = field(default=NO_SPAN, kw_only=True, compare=False)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class UnitLit(Expr):
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Lam(Expr):
+    param: str
+    body: Expr
+
+    def __str__(self) -> str:
+        return f"(fn {self.param}. {self.body})"
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    func: Expr
+    arg: Expr
+
+    def __str__(self) -> str:
+        return f"({_operand(self.func)} {_operand(self.arg)})"
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+    def __str__(self) -> str:
+        return f"if {self.cond} then {self.then} else {self.other} fi"
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    name: str
+    bound: Expr
+    body: Expr
+
+    def __str__(self) -> str:
+        return f"let {self.name} = {self.bound} in {self.body} ni"
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    init: Expr
+
+    def __str__(self) -> str:
+        return f"(ref {_operand(self.init)})"
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    ref: Expr
+
+    def __str__(self) -> str:
+        return f"(!{_operand(self.ref)})"
+
+
+@dataclass(frozen=True)
+class Assign(Expr):
+    target: Expr
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"({_operand(self.target)} := {_operand(self.value)})"
+
+
+@dataclass(frozen=True)
+class Annot(Expr):
+    """Qualifier annotation ``l e``."""
+
+    qual: QualLiteral
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"({self.qual} {_operand(self.expr)})"
+
+
+@dataclass(frozen=True)
+class Assert(Expr):
+    """Qualifier assertion ``e|l``."""
+
+    expr: Expr
+    qual: QualLiteral
+
+    def __str__(self) -> str:
+        return f"({_operand(self.expr)}|{self.qual})"
+
+
+# A store location; only produced by evaluation (Figure 5), never by the
+# parser.  It appears in the AST type so the small-step semantics can be
+# expressed as expression rewriting, exactly as the paper does.
+@dataclass(frozen=True)
+class Loc(Expr):
+    address: int
+
+    def __str__(self) -> str:
+        return f"<loc {self.address}>"
+
+
+Value = Union[IntLit, UnitLit, Lam, Loc, Var]
+
+
+def is_syntactic_value(e: Expr) -> bool:
+    """Syntactic values ``v`` of Figure 1/Section 2.4 (plus locations).
+
+    An annotated value ``l v`` is *not* itself a syntactic value in the
+    grammar, but the semantics treats ``l v`` as the canonical run-time
+    value form; :func:`is_runtime_value` covers that case.
+    """
+    return isinstance(e, (IntLit, UnitLit, Lam, Loc, Var))
+
+
+def is_runtime_value(e: Expr) -> bool:
+    """Run-time values: an annotation wrapping a syntactic value."""
+    return isinstance(e, Annot) and is_syntactic_value(e.expr)
+
+
+def children(e: Expr) -> tuple[Expr, ...]:
+    """Immediate subexpressions, in evaluation order."""
+    match e:
+        case App(func=f, arg=a):
+            return (f, a)
+        case If(cond=c, then=t, other=o):
+            return (c, t, o)
+        case Let(bound=b, body=body):
+            return (b, body)
+        case Lam(body=b):
+            return (b,)
+        case Ref(init=i):
+            return (i,)
+        case Deref(ref=r):
+            return (r,)
+        case Assign(target=t, value=v):
+            return (t, v)
+        case Annot(expr=inner):
+            return (inner,)
+        case Assert(expr=inner):
+            return (inner,)
+        case _:
+            return ()
+
+
+def walk(e: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of an expression tree."""
+    yield e
+    for child in children(e):
+        yield from walk(child)
+
+
+def free_vars(e: Expr) -> set[str]:
+    """Free program variables of an expression."""
+    match e:
+        case Var(name=n):
+            return {n}
+        case Lam(param=p, body=b):
+            return free_vars(b) - {p}
+        case Let(name=n, bound=b, body=body):
+            return free_vars(b) | (free_vars(body) - {n})
+        case _:
+            out: set[str] = set()
+            for child in children(e):
+                out |= free_vars(child)
+            return out
+
+
+_subst_counter = 0
+
+
+def _fresh_name(base: str) -> str:
+    global _subst_counter
+    _subst_counter += 1
+    return f"{base}#{_subst_counter}"
+
+
+def substitute(e: Expr, name: str, value: Expr) -> Expr:
+    """Capture-avoiding substitution ``e[name -> value]``."""
+    match e:
+        case Var(name=n):
+            return value if n == name else e
+        case IntLit() | UnitLit() | Loc():
+            return e
+        case Lam(param=p, body=b):
+            if p == name:
+                return e
+            if p in free_vars(value):
+                fresh = _fresh_name(p)
+                b = substitute(b, p, Var(fresh))
+                return Lam(fresh, substitute(b, name, value), span=e.span)
+            return Lam(p, substitute(b, name, value), span=e.span)
+        case Let(name=n, bound=b, body=body):
+            new_bound = substitute(b, name, value)
+            if n == name:
+                return Let(n, new_bound, body, span=e.span)
+            if n in free_vars(value):
+                fresh = _fresh_name(n)
+                body = substitute(body, n, Var(fresh))
+                return Let(fresh, new_bound, substitute(body, name, value), span=e.span)
+            return Let(n, new_bound, substitute(body, name, value), span=e.span)
+        case App(func=f, arg=a):
+            return App(substitute(f, name, value), substitute(a, name, value), span=e.span)
+        case If(cond=c, then=t, other=o):
+            return If(
+                substitute(c, name, value),
+                substitute(t, name, value),
+                substitute(o, name, value),
+                span=e.span,
+            )
+        case Ref(init=i):
+            return Ref(substitute(i, name, value), span=e.span)
+        case Deref(ref=r):
+            return Deref(substitute(r, name, value), span=e.span)
+        case Assign(target=t, value=v):
+            return Assign(substitute(t, name, value), substitute(v, name, value), span=e.span)
+        case Annot(qual=q, expr=inner):
+            return Annot(q, substitute(inner, name, value), span=e.span)
+        case Assert(expr=inner, qual=q):
+            return Assert(substitute(inner, name, value), q, span=e.span)
+        case _:  # pragma: no cover - exhaustive over AST
+            raise TypeError(f"unknown expression {e!r}")
+
+
+# ---------------------------------------------------------------------------
+# The Section 2.3 expression translations
+# ---------------------------------------------------------------------------
+
+
+def strip_expr(e: Expr) -> Expr:
+    """``strip(e)``: remove every annotation and assertion."""
+    match e:
+        case Annot(expr=inner):
+            return strip_expr(inner)
+        case Assert(expr=inner):
+            return strip_expr(inner)
+        case Var() | IntLit() | UnitLit() | Loc():
+            return e
+        case Lam(param=p, body=b):
+            return Lam(p, strip_expr(b), span=e.span)
+        case App(func=f, arg=a):
+            return App(strip_expr(f), strip_expr(a), span=e.span)
+        case If(cond=c, then=t, other=o):
+            return If(strip_expr(c), strip_expr(t), strip_expr(o), span=e.span)
+        case Let(name=n, bound=b, body=body):
+            return Let(n, strip_expr(b), strip_expr(body), span=e.span)
+        case Ref(init=i):
+            return Ref(strip_expr(i), span=e.span)
+        case Deref(ref=r):
+            return Deref(strip_expr(r), span=e.span)
+        case Assign(target=t, value=v):
+            return Assign(strip_expr(t), strip_expr(v), span=e.span)
+        case _:  # pragma: no cover - exhaustive over AST
+            raise TypeError(f"unknown expression {e!r}")
+
+
+def embed_bottom_expr(e: Expr) -> Expr:
+    """``bottom(e)``: the annotated-language embedding with only bottom
+    annotations on syntactic values and no assertions (Observation 1)."""
+    match e:
+        case Var() | IntLit() | UnitLit() | Loc():
+            return Annot(BOTTOM_LITERAL, e, span=e.span) if not isinstance(e, Var) else e
+        case Lam(param=p, body=b):
+            return Annot(BOTTOM_LITERAL, Lam(p, embed_bottom_expr(b), span=e.span), span=e.span)
+        case App(func=f, arg=a):
+            return App(embed_bottom_expr(f), embed_bottom_expr(a), span=e.span)
+        case If(cond=c, then=t, other=o):
+            return If(
+                embed_bottom_expr(c), embed_bottom_expr(t), embed_bottom_expr(o), span=e.span
+            )
+        case Let(name=n, bound=b, body=body):
+            return Let(n, embed_bottom_expr(b), embed_bottom_expr(body), span=e.span)
+        case Ref(init=i):
+            return Ref(embed_bottom_expr(i), span=e.span)
+        case Deref(ref=r):
+            return Deref(embed_bottom_expr(r), span=e.span)
+        case Assign(target=t, value=v):
+            return Assign(embed_bottom_expr(t), embed_bottom_expr(v), span=e.span)
+        case Annot() | Assert():
+            raise ValueError("embed_bottom_expr expects an unannotated program")
+        case _:  # pragma: no cover - exhaustive over AST
+            raise TypeError(f"unknown expression {e!r}")

@@ -1,0 +1,88 @@
+"""High-level checking API for the example language.
+
+Wraps parsing, standard typing, qualified inference, and solving into the
+operations a user of the system performs:
+
+* :func:`typecheck` — infer the least qualified type of a program (or
+  raise :class:`~repro.lam.infer.QualTypeError`).
+* :func:`check_source` — same, starting from concrete syntax.
+* :func:`observation1_forward` / :func:`observation1_backward` — the two
+  halves of Observation 1 (Section 2.3): a standard-typable program's
+  bottom embedding is qualified-typable at the bottom embedding of its
+  type, and a qualified-typable program's strip is standard-typable at the
+  stripped type.  The property tests instantiate these on random terms.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..qual.poly import QualScheme
+from ..qual.qtypes import QType, StdType, embed_bottom, strip
+from .ast import Expr, embed_bottom_expr, strip_expr
+from .infer import Inference, QualTypeError, QualifiedLanguage, infer
+from .parser import parse
+from .stdtypes import StdTypeError, infer_std
+
+
+def typecheck(
+    expr: Expr,
+    language: QualifiedLanguage,
+    env: Mapping[str, QType | QualScheme] | None = None,
+    polymorphic: bool = False,
+) -> QType:
+    """Infer and return the least qualified type of ``expr``."""
+    result = infer(expr, language, env=env, polymorphic=polymorphic)
+    return result.least_qtype()
+
+
+def check_source(
+    source: str,
+    language: QualifiedLanguage,
+    env: Mapping[str, QType | QualScheme] | None = None,
+    polymorphic: bool = False,
+) -> Inference:
+    """Parse and infer, returning the full inference result."""
+    return infer(parse(source), language, env=env, polymorphic=polymorphic)
+
+
+def is_well_typed(
+    expr: Expr,
+    language: QualifiedLanguage,
+    env: Mapping[str, QType | QualScheme] | None = None,
+    polymorphic: bool = False,
+) -> bool:
+    """Whether qualified inference succeeds on ``expr``."""
+    try:
+        infer(expr, language, env=env, polymorphic=polymorphic)
+    except QualTypeError:
+        return False
+    return True
+
+
+def observation1_forward(
+    expr: Expr, language: QualifiedLanguage
+) -> tuple[StdType, QType]:
+    """If ``expr`` is standard-typable, type its bottom embedding.
+
+    Returns the standard type and the qualified type of ``bottom(expr)``;
+    Observation 1 promises the latter exists and strips back to the former.
+    Raises :class:`StdTypeError` if ``expr`` has no standard type.
+    """
+    std = infer_std(expr)
+    embedded = embed_bottom_expr(expr)
+    result = infer(embedded, language)
+    return std.type, result.least_qtype()
+
+
+def observation1_backward(
+    expr: Expr, language: QualifiedLanguage
+) -> tuple[QType, StdType]:
+    """If ``expr`` (an annotated program) is qualified-typable, type its
+    strip.  Returns the qualified type and the standard type of
+    ``strip(expr)``; Observation 1 promises the latter exists and equals
+    the stripped qualified type."""
+    result = infer(expr, language)
+    stripped = strip_expr(expr)
+    std = infer_std(stripped)
+    return result.least_qtype(), std.type

@@ -1,0 +1,192 @@
+"""Typing derivations for the qualified checking system (Figure 4b).
+
+Inference (:mod:`repro.lam.infer`) answers *whether* a program has a
+qualified type; this module reconstructs the *evidence*: a derivation
+tree in the paper's syntax-directed rules, with explicit (Sub) steps
+wherever subsumption was used.  Each node records the rule name, the
+judgment ``A |- e : rho`` with ground qualifiers (the least solution),
+and its premises, and the whole tree is locally *checkable*: every (Sub)
+edge is validated against the declarative subtype relation and every
+qualifier side condition (annotation/assertion bounds, the (Assign')
+non-const requirement) is re-verified by :func:`verify`.
+
+This is the artifact the paper's Figure 4 describes directly — useful
+for teaching, debugging, and as an independent certificate that the
+constraint-based inference produced a real typing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..qual.lattice import QualifierLattice
+from ..qual.qtypes import QType, format_qtype
+from ..qual.subtype import is_subtype
+from .ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Ref,
+    UnitLit,
+    Var,
+)
+from .infer import Inference, QualifiedLanguage, infer
+
+
+@dataclass
+class Derivation:
+    """One node of a Figure 4b derivation tree."""
+
+    rule: str
+    expr: Expr
+    qtype: QType
+    premises: list["Derivation"] = field(default_factory=list)
+    side_condition: str = ""
+
+    def judgment(self) -> str:
+        return f"|- {self.expr} : {format_qtype(self.qtype)}"
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        side = f"   [{self.side_condition}]" if self.side_condition else ""
+        lines = [f"{pad}({self.rule}) {self.judgment()}{side}"]
+        for premise in self.premises:
+            lines.append(premise.render(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def nodes(self) -> Iterator["Derivation"]:
+        yield self
+        for premise in self.premises:
+            yield from premise.nodes()
+
+
+class DerivationError(Exception):
+    """The reconstructed tree failed local validation."""
+
+
+def _ground(inference: Inference, node: Expr) -> QType:
+    qtype = inference.node_qtypes.get(id(node))
+    if qtype is None:
+        raise DerivationError(f"no type recorded for {node}")
+    return inference.least_qtype(qtype)
+
+
+class _Builder:
+    def __init__(self, inference: Inference, language: QualifiedLanguage):
+        self.inference = inference
+        self.language = language
+        self.lattice = language.lattice
+
+    def build(self, e: Expr) -> Derivation:
+        qtype = _ground(self.inference, e)
+        match e:
+            case IntLit():
+                return Derivation("Int", e, qtype)
+            case UnitLit():
+                return Derivation("Unit", e, qtype)
+            case Var():
+                return Derivation("Var", e, qtype)
+            case Lam(body=body):
+                return Derivation("Lam", e, qtype, [self.build(body)])
+            case App(func=f, arg=a):
+                fun = self.build(f)
+                arg = self._subsume(self.build(a), fun.qtype.args[0])
+                return Derivation("App", e, qtype, [fun, arg])
+            case If(cond=c, then=t, other=o):
+                cond = self.build(c)
+                then = self._subsume(self.build(t), qtype)
+                other = self._subsume(self.build(o), qtype)
+                return Derivation("If", e, qtype, [cond, then, other])
+            case Let(bound=b, body=body):
+                rule = "Letv" if id(e) in self.inference.let_schemes else "Let"
+                return Derivation(rule, e, qtype, [self.build(b), self.build(body)])
+            case Ref(init=i):
+                return Derivation("Ref", e, qtype, [self.build(i)])
+            case Deref(ref=r):
+                return Derivation("Deref", e, qtype, [self.build(r)])
+            case Assign(target=t, value=v):
+                target = self.build(t)
+                value = self._subsume(self.build(v), target.qtype.args[0])
+                side = ""
+                for name in self.language.assign_restrictions:
+                    side = f"target not {name}"
+                return Derivation("Assign'", e, qtype, [target, value], side)
+            case Annot(expr=inner):
+                level = e.qual.resolve(self.lattice)
+                premise = self.build(inner)
+                return Derivation(
+                    "Annot", e, qtype, [premise], f"Q <= {level or '<none>'}"
+                )
+            case Assert(expr=inner):
+                level = e.qual.resolve(self.lattice)
+                premise = self.build(inner)
+                return Derivation(
+                    "Assert", e, qtype, [premise], f"Q <= {level or '<none>'}"
+                )
+            case _:  # pragma: no cover - exhaustive
+                raise DerivationError(f"no rule for {e!r}")
+
+    def _subsume(self, premise: Derivation, expected: QType) -> Derivation:
+        """Insert an explicit (Sub) node when the premise's type is not
+        syntactically the expected one."""
+        target = self.inference.least_qtype(expected)
+        if premise.qtype == target:
+            return premise
+        return Derivation("Sub", premise.expr, target, [premise])
+
+
+def derive(
+    expr: Expr,
+    language: QualifiedLanguage,
+    env: Mapping[str, QType] | None = None,
+    polymorphic: bool = False,
+) -> Derivation:
+    """Infer and reconstruct the Figure 4b derivation of ``expr``."""
+    inference = infer(expr, language, env=env, polymorphic=polymorphic)
+    return _Builder(inference, language).build(expr)
+
+
+def verify(derivation: Derivation, lattice: QualifierLattice) -> None:
+    """Independently validate a derivation's local side conditions.
+
+    Checks every (Sub) node against the declarative ground subtype
+    relation, every annotation/assertion bound, and every (Assign')
+    restriction; raises :class:`DerivationError` on any violation.
+    The subtype checker comes from :mod:`repro.qual.subtype`, not from
+    the solver — so this is a genuinely independent certificate check.
+    """
+    for node in derivation.nodes():
+        if node.rule == "Sub":
+            (premise,) = node.premises
+            if not is_subtype(premise.qtype, node.qtype, lattice):
+                raise DerivationError(
+                    f"invalid subsumption: {format_qtype(premise.qtype)} "
+                    f"!<= {format_qtype(node.qtype)}"
+                )
+        elif node.rule in ("Annot", "Assert"):
+            assert isinstance(node.expr, (Annot, Assert))
+            level = node.expr.qual.resolve(lattice)
+            (premise,) = node.premises
+            under = premise.qtype.qual
+            if not lattice.leq(under, level):  # type: ignore[arg-type]
+                raise DerivationError(
+                    f"{node.rule} bound violated: {under} !<= {level}"
+                )
+        elif node.rule == "Assign'":
+            target = node.premises[0]
+            for name in ("const",):
+                if name in lattice and target.qtype.qual.has(name):  # type: ignore[union-attr]
+                    raise DerivationError(
+                        f"assignment through {name} reference in derivation"
+                    )

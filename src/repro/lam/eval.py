@@ -1,0 +1,249 @@
+"""Small-step operational semantics (paper Figure 5).
+
+Configurations are pairs ``<store, expr>``.  The semantics assumes every
+value is qualified — a run-time value is an annotation wrapping a
+syntactic value, ``l v``.  Programs need not be written that way: a bare
+syntactic value canonicalises to ``bottom v`` in one administrative step
+("a program can always be rewritten in this form by inserting bottom
+annotations").
+
+Reduction rules (l ranges over lattice elements)::
+
+    <s, R[(l2 v)|l1]>                  -> <s, R[l2 v]>        if l2 <= l1
+    <s, R[l1 (l2 v)]>                  -> <s, R[l1 v]>        if l2 <= l1
+    <s, R[if (l n) then e2 else e3]>   -> <s, R[e2]>          if n != 0
+    <s, R[if (l 0) then e2 else e3]>   -> <s, R[e3]>
+    <s, R[(l fn x.e) v]>               -> <s, R[e[x -> v]]>
+    <s, R[let x = v in e]>             -> <s, R[e[x -> v]]>
+    <s, R[ref v]>                      -> <s[a -> v], R[bottom a]>   a fresh
+    <s, R[!(l a)]>                     -> <s, R[s(a)]>        a in dom(s)
+    <s, R[(l a) := v]>                 -> <s[a -> v], R[bottom ()]>  a in dom(s)
+
+A failed assertion or annotation check makes the configuration *stuck*;
+the type system's soundness theorem says well-typed programs never reach
+such a state, which the property-based tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..qual.lattice import LatticeElement, QualifierLattice
+from .ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Loc,
+    QualLiteral,
+    Ref,
+    UnitLit,
+    Var,
+    is_runtime_value,
+    is_syntactic_value,
+    substitute,
+)
+
+
+class StuckError(Exception):
+    """The configuration is stuck: no reduction applies and the expression
+    is not a value.  Well-typed programs never raise this."""
+
+    def __init__(self, message: str, expr: Expr):
+        self.expr = expr
+        super().__init__(f"{message}: {expr}")
+
+
+class AssertionFailure(StuckError):
+    """A qualifier assertion ``e|l`` failed at run time."""
+
+
+class AnnotationFailure(StuckError):
+    """An annotation ``l e`` found a value above ``l`` at run time."""
+
+
+class OutOfFuel(Exception):
+    """Evaluation exceeded the step budget (the program may diverge)."""
+
+
+@dataclass
+class Store:
+    """The mutable store ``s``: locations to run-time values."""
+
+    cells: dict[int, Expr] = field(default_factory=dict)
+    _next: int = 0
+
+    def alloc(self, value: Expr) -> int:
+        address = self._next
+        self._next += 1
+        self.cells[address] = value
+        return address
+
+    def read(self, address: int) -> Expr:
+        return self.cells[address]
+
+    def write(self, address: int, value: Expr) -> None:
+        if address not in self.cells:
+            raise KeyError(address)
+        self.cells[address] = value
+
+    def __contains__(self, address: int) -> bool:
+        return address in self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def _element_literal(element: LatticeElement) -> QualLiteral:
+    return QualLiteral(element.present)
+
+
+class Evaluator:
+    """Small-step evaluator for a fixed qualifier lattice."""
+
+    def __init__(self, lattice: QualifierLattice):
+        self.lattice = lattice
+
+    # ------------------------------------------------------------------
+    def _resolve(self, literal: QualLiteral) -> LatticeElement:
+        return literal.resolve(self.lattice)
+
+    def _is_value(self, e: Expr) -> bool:
+        return is_runtime_value(e)
+
+    def step(self, e: Expr, store: Store) -> Expr | None:
+        """One reduction step; returns None when ``e`` is a value.
+
+        The store is updated in place (allocation and assignment).
+        """
+        if self._is_value(e):
+            return None
+        # Canonicalisation: bare syntactic values (except variables, which
+        # are only values under a binder) acquire a bottom annotation.
+        if is_syntactic_value(e):
+            if isinstance(e, Var):
+                raise StuckError(f"free variable {e.name!r}", e)
+            return Annot(_element_literal(self.lattice.bottom), e, span=e.span)
+
+        match e:
+            case Annot(qual=l1, expr=inner):
+                if is_runtime_value(inner):
+                    assert isinstance(inner, Annot)
+                    outer = self._resolve(l1)
+                    under = self._resolve(inner.qual)
+                    if not self.lattice.leq(under, outer):
+                        raise AnnotationFailure(
+                            f"annotation {l1} over value qualified {inner.qual}", e
+                        )
+                    return Annot(l1, inner.expr, span=e.span)
+                return Annot(l1, self._force(inner, store), span=e.span)
+
+            case Assert(expr=inner, qual=l1):
+                if is_runtime_value(inner):
+                    assert isinstance(inner, Annot)
+                    bound = self._resolve(l1)
+                    under = self._resolve(inner.qual)
+                    if not self.lattice.leq(under, bound):
+                        raise AssertionFailure(
+                            f"assertion {l1} failed on value qualified {inner.qual}", e
+                        )
+                    return inner
+                return Assert(self._force(inner, store), l1, span=e.span)
+
+            case App(func=f, arg=a):
+                if not self._is_value(f):
+                    return App(self._force(f, store), a, span=e.span)
+                if not self._is_value(a):
+                    return App(f, self._force(a, store), span=e.span)
+                assert isinstance(f, Annot)
+                if not isinstance(f.expr, Lam):
+                    raise StuckError("application of a non-function", e)
+                return substitute(f.expr.body, f.expr.param, a)
+
+            case If(cond=c, then=t, other=o):
+                if not self._is_value(c):
+                    return If(self._force(c, store), t, o, span=e.span)
+                assert isinstance(c, Annot)
+                if not isinstance(c.expr, IntLit):
+                    raise StuckError("if-guard is not an integer", e)
+                return t if c.expr.value != 0 else o
+
+            case Let(name=n, bound=b, body=body):
+                if not self._is_value(b):
+                    return Let(n, self._force(b, store), body, span=e.span)
+                return substitute(body, n, b)
+
+            case Ref(init=i):
+                if not self._is_value(i):
+                    return Ref(self._force(i, store), span=e.span)
+                address = store.alloc(i)
+                return Annot(
+                    _element_literal(self.lattice.bottom), Loc(address), span=e.span
+                )
+
+            case Deref(ref=r):
+                if not self._is_value(r):
+                    return Deref(self._force(r, store), span=e.span)
+                assert isinstance(r, Annot)
+                if not isinstance(r.expr, Loc) or r.expr.address not in store:
+                    raise StuckError("dereference of a non-location", e)
+                return store.read(r.expr.address)
+
+            case Assign(target=t, value=v):
+                if not self._is_value(t):
+                    return Assign(self._force(t, store), v, span=e.span)
+                if not self._is_value(v):
+                    return Assign(t, self._force(v, store), span=e.span)
+                assert isinstance(t, Annot)
+                if not isinstance(t.expr, Loc) or t.expr.address not in store:
+                    raise StuckError("assignment to a non-location", e)
+                store.write(t.expr.address, v)
+                return Annot(
+                    _element_literal(self.lattice.bottom), UnitLit(), span=e.span
+                )
+
+            case _:  # pragma: no cover - exhaustive over AST
+                raise StuckError("no rule applies", e)
+
+    def _force(self, e: Expr, store: Store) -> Expr:
+        """Step a subterm that is known not to be a value."""
+        out = self.step(e, store)
+        if out is None:  # pragma: no cover - guarded by callers
+            raise StuckError("expected a reducible expression", e)
+        return out
+
+    # ------------------------------------------------------------------
+    def trace(self, e: Expr, store: Store | None = None) -> Iterator[tuple[Expr, Store]]:
+        """Yield every configuration from ``e`` to its final value."""
+        s = store if store is not None else Store()
+        current: Expr | None = e
+        while current is not None:
+            yield current, s
+            current = self.step(current, s)
+
+    def run(self, e: Expr, fuel: int = 100_000) -> tuple[Expr, Store]:
+        """Evaluate to a value; raises :class:`OutOfFuel` after ``fuel``
+        steps and :class:`StuckError` on a stuck configuration."""
+        store = Store()
+        current = e
+        for _ in range(fuel):
+            nxt = self.step(current, store)
+            if nxt is None:
+                return current, store
+            current = nxt
+        raise OutOfFuel(f"no value after {fuel} steps")
+
+    def run_to_int(self, e: Expr, fuel: int = 100_000) -> int:
+        """Evaluate and project out an integer result."""
+        value, _ = self.run(e, fuel)
+        assert isinstance(value, Annot)
+        if not isinstance(value.expr, IntLit):
+            raise StuckError("result is not an integer", value)
+        return value.expr.value

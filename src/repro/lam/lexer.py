@@ -1,0 +1,124 @@
+"""Lexer for the example language's concrete syntax.
+
+The token set is deliberately small; qualifier constants are written in
+braces as the set of present qualifier names (``{const nonzero}``), which
+keeps the lexer and parser changes over the base language "minimal" in the
+sense of Section 2.5.
+
+Comments run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .ast import Span
+
+
+class TokenKind(enum.Enum):
+    INT = "int"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    DOT = "."
+    PIPE = "|"
+    BANG = "!"
+    ASSIGN = ":="
+    EQUALS = "="
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({"fn", "let", "in", "ni", "if", "then", "else", "fi", "ref"})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.span}"
+
+
+class LexError(Exception):
+    """Raised on an unrecognised character."""
+
+    def __init__(self, message: str, span: Span):
+        self.span = span
+        super().__init__(f"{message} at {span}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a whole program; always ends with an EOF token."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+
+    def span() -> Span:
+        return Span(line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start = span()
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            j = i + 1
+            while j < n and source[j].isdigit():
+                j += 1
+            text = source[i:j]
+            tokens.append(Token(TokenKind.INT, text, start))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start))
+            col += j - i
+            i = j
+            continue
+        if ch == ":" and i + 1 < n and source[i + 1] == "=":
+            tokens.append(Token(TokenKind.ASSIGN, ":=", start))
+            i += 2
+            col += 2
+            continue
+        simple = {
+            "(": TokenKind.LPAREN,
+            ")": TokenKind.RPAREN,
+            "{": TokenKind.LBRACE,
+            "}": TokenKind.RBRACE,
+            ".": TokenKind.DOT,
+            "|": TokenKind.PIPE,
+            "!": TokenKind.BANG,
+            "=": TokenKind.EQUALS,
+        }
+        if ch in simple:
+            tokens.append(Token(simple[ch], ch, start))
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", start)
+
+    tokens.append(Token(TokenKind.EOF, "", Span(line, col)))
+    return tokens

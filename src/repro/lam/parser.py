@@ -1,0 +1,185 @@
+"""Recursive-descent parser for the example language.
+
+Grammar (binder forms are also allowed inside parentheses)::
+
+    expr     := 'fn' IDENT '.' expr
+              | 'let' IDENT '=' expr 'in' expr 'ni'
+              | 'if' expr 'then' expr 'else' expr 'fi'
+              | assign
+    assign   := annot (':=' assign)?                 -- right associative
+    annot    := '{' IDENT* '}' annot | unary         -- qualifier annotation
+    unary    := 'ref' unary | '!' unary | app
+    app      := postfix postfix+ | postfix           -- left associative
+    postfix  := atom ('|' '{' IDENT* '}')*           -- qualifier assertion
+    atom     := INT | IDENT | '(' ')' | '(' expr ')'
+
+Examples from the paper::
+
+    let x = ref ({nonzero} 37) in
+    let y = x in
+      y := 0;                      -- written: let _ = y := 0 in ... ni
+      (!x)|{nonzero}
+    ni ni
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    QualLiteral,
+    Ref,
+    Span,
+    UnitLit,
+    Var,
+)
+from .lexer import Token, TokenKind, tokenize
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with the offending token's location."""
+
+    def __init__(self, message: str, token: Token):
+        self.token = token
+        super().__init__(f"{message} at {token.span} (found {token.kind.name} {token.text!r})")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind.name
+            raise ParseError(f"expected {want}", tok)
+        return self.advance()
+
+    def at_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        return tok.kind is TokenKind.KEYWORD and tok.text == word
+
+    # -- grammar -------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        if self.at_keyword("fn"):
+            start = self.advance().span
+            param = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.DOT)
+            body = self.parse_expr()
+            return Lam(param, body, span=start)
+        if self.at_keyword("let"):
+            start = self.advance().span
+            name = self.expect(TokenKind.IDENT).text
+            self.expect(TokenKind.EQUALS)
+            bound = self.parse_expr()
+            self.expect(TokenKind.KEYWORD, "in")
+            body = self.parse_expr()
+            self.expect(TokenKind.KEYWORD, "ni")
+            return Let(name, bound, body, span=start)
+        if self.at_keyword("if"):
+            start = self.advance().span
+            cond = self.parse_expr()
+            self.expect(TokenKind.KEYWORD, "then")
+            then = self.parse_expr()
+            self.expect(TokenKind.KEYWORD, "else")
+            other = self.parse_expr()
+            self.expect(TokenKind.KEYWORD, "fi")
+            return If(cond, then, other, span=start)
+        return self.parse_assign()
+
+    def parse_assign(self) -> Expr:
+        lhs = self.parse_annot()
+        if self.peek().kind is TokenKind.ASSIGN:
+            span = self.advance().span
+            rhs = self.parse_assign()
+            return Assign(lhs, rhs, span=span)
+        return lhs
+
+    def parse_qual_literal(self) -> QualLiteral:
+        self.expect(TokenKind.LBRACE)
+        names: list[str] = []
+        while self.peek().kind is TokenKind.IDENT:
+            names.append(self.advance().text)
+        self.expect(TokenKind.RBRACE)
+        return QualLiteral(frozenset(names))
+
+    def parse_annot(self) -> Expr:
+        if self.peek().kind is TokenKind.LBRACE:
+            span = self.peek().span
+            qual = self.parse_qual_literal()
+            inner = self.parse_annot()
+            return Annot(qual, inner, span=span)
+        return self.parse_unary()
+
+    def parse_unary(self) -> Expr:
+        if self.at_keyword("ref"):
+            span = self.advance().span
+            return Ref(self.parse_unary(), span=span)
+        if self.peek().kind is TokenKind.BANG:
+            span = self.advance().span
+            return Deref(self.parse_unary(), span=span)
+        return self.parse_app()
+
+    _ATOM_STARTS = frozenset({TokenKind.INT, TokenKind.IDENT, TokenKind.LPAREN})
+
+    def parse_app(self) -> Expr:
+        expr = self.parse_postfix()
+        while self.peek().kind in self._ATOM_STARTS:
+            arg = self.parse_postfix()
+            expr = App(expr, arg, span=expr.span)
+        return expr
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_atom()
+        while self.peek().kind is TokenKind.PIPE:
+            span = self.advance().span
+            qual = self.parse_qual_literal()
+            expr = Assert(expr, qual, span=span)
+        return expr
+
+    def parse_atom(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.INT:
+            self.advance()
+            return IntLit(int(tok.text), span=tok.span)
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            return Var(tok.text, span=tok.span)
+        if tok.kind is TokenKind.LPAREN:
+            self.advance()
+            if self.peek().kind is TokenKind.RPAREN:
+                self.advance()
+                return UnitLit(span=tok.span)
+            inner = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        raise ParseError("expected an expression", tok)
+
+
+def parse(source: str) -> Expr:
+    """Parse a complete program; raises :class:`ParseError` on bad input."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    tok = parser.peek()
+    if tok.kind is not TokenKind.EOF:
+        raise ParseError("trailing input after expression", tok)
+    return expr

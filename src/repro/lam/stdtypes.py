@@ -1,0 +1,191 @@
+"""Standard (unqualified) type inference for the example language.
+
+This is the substrate the qualified system refines: the simply-typed
+lambda calculus with unit and ML-style references, inferred by unification
+(Algorithm J).  Qualifier annotations and assertions are transparent at
+this level — ``strip`` of a qualified program types exactly like the
+qualified program's shape, which is what makes the factorisation of
+Section 3.1 work: we run standard inference first, then compute qualifiers
+over the resulting shapes in a separate phase.
+
+The result records a standard type for *every* AST node (keyed by node
+identity), which the qualified phase spreads into qualified types with
+fresh qualifier variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..qual.qtypes import (
+    STD_INT,
+    STD_UNIT,
+    StdCon,
+    StdType,
+    StdVar,
+    std_fun,
+    std_ref,
+)
+from .ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Loc,
+    Ref,
+    UnitLit,
+    Var,
+)
+
+
+class StdTypeError(Exception):
+    """The underlying (unqualified) program does not typecheck."""
+
+
+class _Unifier:
+    """Substitution-based unification over standard types."""
+
+    def __init__(self) -> None:
+        self._subst: dict[str, StdType] = {}
+        self._fresh = itertools.count()
+
+    def fresh(self) -> StdVar:
+        return StdVar(f"t{next(self._fresh)}")
+
+    def resolve(self, t: StdType) -> StdType:
+        """Follow variable bindings one level (with path compression)."""
+        seen = []
+        while isinstance(t, StdVar) and t.name in self._subst:
+            seen.append(t.name)
+            t = self._subst[t.name]
+        for name in seen:
+            self._subst[name] = t
+        return t
+
+    def resolve_deep(self, t: StdType) -> StdType:
+        t = self.resolve(t)
+        if isinstance(t, StdVar):
+            return t
+        return StdCon(t.con, tuple(self.resolve_deep(a) for a in t.args))
+
+    def occurs(self, name: str, t: StdType) -> bool:
+        t = self.resolve(t)
+        if isinstance(t, StdVar):
+            return t.name == name
+        return any(self.occurs(name, a) for a in t.args)
+
+    def unify(self, a: StdType, b: StdType, context: str) -> None:
+        a, b = self.resolve(a), self.resolve(b)
+        if isinstance(a, StdVar) and isinstance(b, StdVar) and a.name == b.name:
+            return
+        if isinstance(a, StdVar):
+            if self.occurs(a.name, b):
+                raise StdTypeError(f"infinite type: {a} = {self.resolve_deep(b)} ({context})")
+            self._subst[a.name] = b
+            return
+        if isinstance(b, StdVar):
+            self.unify(b, a, context)
+            return
+        if a.con != b.con:
+            raise StdTypeError(
+                f"type mismatch: {self.resolve_deep(a)} vs {self.resolve_deep(b)} ({context})"
+            )
+        for x, y in zip(a.args, b.args):
+            self.unify(x, y, context)
+
+
+@dataclass
+class StdInference:
+    """Result of standard inference over one expression tree."""
+
+    type: StdType
+    #: Standard type of every node, keyed by ``id(node)``.  The expression
+    #: tree must be kept alive while this mapping is in use.
+    node_types: dict[int, StdType] = field(default_factory=dict)
+
+
+def infer_std(
+    expr: Expr,
+    env: dict[str, StdType] | None = None,
+    store_env: dict[int, StdType] | None = None,
+) -> StdInference:
+    """Infer the standard type of ``expr``.
+
+    ``env`` gives the types of free program variables; ``store_env`` gives
+    contents types for store locations (used when typing run-time
+    configurations in the subject-reduction tests).  Raises
+    :class:`StdTypeError` if the program has no simple type.
+    """
+    unifier = _Unifier()
+    node_types: dict[int, StdType] = {}
+    base_env = dict(env or {})
+    locations = store_env or {}
+
+    def visit(e: Expr, scope: dict[str, StdType]) -> StdType:
+        t = _visit(e, scope)
+        node_types[id(e)] = t
+        return t
+
+    def _visit(e: Expr, scope: dict[str, StdType]) -> StdType:
+        match e:
+            case IntLit():
+                return STD_INT
+            case UnitLit():
+                return STD_UNIT
+            case Var(name=n):
+                if n not in scope:
+                    raise StdTypeError(f"unbound variable {n!r} at {e.span}")
+                return scope[n]
+            case Loc(address=a):
+                if a not in locations:
+                    raise StdTypeError(f"unknown store location {a}")
+                return std_ref(locations[a])
+            case Lam(param=p, body=b):
+                pt = unifier.fresh()
+                bt = visit(b, {**scope, p: pt})
+                return std_fun(pt, bt)
+            case App(func=f, arg=a):
+                ft = visit(f, scope)
+                at = visit(a, scope)
+                rt = unifier.fresh()
+                unifier.unify(ft, std_fun(at, rt), f"application at {e.span}")
+                return rt
+            case If(cond=c, then=t, other=o):
+                ct = visit(c, scope)
+                unifier.unify(ct, STD_INT, f"if-guard at {e.span}")
+                tt = visit(t, scope)
+                ot = visit(o, scope)
+                unifier.unify(tt, ot, f"if-branches at {e.span}")
+                return tt
+            case Let(name=n, bound=b, body=body):
+                bt = visit(b, scope)
+                return visit(body, {**scope, n: bt})
+            case Ref(init=i):
+                return std_ref(visit(i, scope))
+            case Deref(ref=r):
+                rt = visit(r, scope)
+                contents = unifier.fresh()
+                unifier.unify(rt, std_ref(contents), f"dereference at {e.span}")
+                return contents
+            case Assign(target=t, value=v):
+                tt = visit(t, scope)
+                vt = visit(v, scope)
+                unifier.unify(tt, std_ref(vt), f"assignment at {e.span}")
+                return STD_UNIT
+            case Annot(expr=inner):
+                return visit(inner, scope)
+            case Assert(expr=inner):
+                return visit(inner, scope)
+            case _:  # pragma: no cover - exhaustive over AST
+                raise TypeError(f"unknown expression {e!r}")
+
+    result = visit(expr, base_env)
+    resolved = {k: unifier.resolve_deep(t) for k, t in node_types.items()}
+    return StdInference(unifier.resolve_deep(result), resolved)

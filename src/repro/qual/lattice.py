@@ -1,0 +1,413 @@
+"""Qualifier lattices (paper Section 2, Definitions 1 and 2).
+
+A *type qualifier* ``q`` is **positive** if ``tau <= q tau`` for every
+standard type ``tau`` (e.g. ``const``: a non-const l-value may be promoted to
+a const l-value) and **negative** if ``q tau <= tau`` (e.g. ``nonzero``: a
+known-nonzero integer may be used wherever any integer is expected).
+
+Each positive qualifier ``q`` induces the two-point lattice
+``absent(q) <= q`` and each negative qualifier the two-point lattice
+``q <= absent(q)``.  A *qualifier lattice* over qualifiers ``q1 .. qn`` is
+the product ``L = L_q1 x ... x L_qn``; its elements are the sets of
+qualifiers that may decorate a single level of a type.  Moving *up* the
+lattice adds positive qualifiers and removes negative ones (Figure 2).
+
+This module implements:
+
+* :class:`Qualifier` — a named qualifier with a polarity.
+* :class:`QualifierLattice` — the product lattice with ``leq``, ``meet``,
+  ``join``, ``bottom``, ``top``, the ``not q`` element :meth:`QualifierLattice.negate`
+  used by rules such as (Assign'), and enumeration/pretty-printing helpers.
+* :class:`LatticeElement` — an immutable element of a particular lattice.
+
+The lattice is deliberately independent of any type structure: the rest of
+the framework (``repro.qual.qtypes``, ``repro.qual.solver``) treats lattice
+elements as opaque constants ordered by :meth:`QualifierLattice.leq`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+class Polarity(enum.Enum):
+    """Whether a qualifier sits above or below the unqualified type.
+
+    ``POSITIVE``: ``tau <= q tau`` (const, dynamic, tainted, ...).
+    ``NEGATIVE``: ``q tau <= tau`` (nonzero, nonnull, sorted, local, ...).
+    """
+
+    POSITIVE = "positive"
+    NEGATIVE = "negative"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Polarity.{self.name}"
+
+
+@dataclass(frozen=True, order=True)
+class Qualifier:
+    """A single user-defined type qualifier.
+
+    Attributes:
+        name: the surface syntax of the qualifier (e.g. ``"const"``).
+        polarity: whether the qualifier is positive or negative.
+    """
+
+    name: str
+    polarity: Polarity
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"invalid qualifier name: {self.name!r}")
+
+    @property
+    def positive(self) -> bool:
+        return self.polarity is Polarity.POSITIVE
+
+    @property
+    def negative(self) -> bool:
+        return self.polarity is Polarity.NEGATIVE
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def positive(name: str) -> Qualifier:
+    """Construct a positive qualifier (``tau <= q tau``)."""
+    return Qualifier(name, Polarity.POSITIVE)
+
+
+def negative(name: str) -> Qualifier:
+    """Construct a negative qualifier (``q tau <= tau``)."""
+    return Qualifier(name, Polarity.NEGATIVE)
+
+
+class LatticeError(Exception):
+    """Raised for ill-formed lattice operations (unknown qualifiers, or
+    mixing elements of different lattices)."""
+
+
+@dataclass(frozen=True)
+class LatticeElement:
+    """An element of a :class:`QualifierLattice`.
+
+    The element is represented by the *present* qualifiers: the set of
+    qualifier names whose two-point lattice coordinate is the named point
+    (rather than the anonymous ``absent`` point).  So for the lattice over
+    ``{const (+), nonzero (-)}``:
+
+    * ``{}`` is the element with no const and no nonzero,
+    * ``{"const", "nonzero"}`` has both.
+
+    Ordering: a positive qualifier present moves the element *up*; a
+    negative qualifier present moves it *down*.  Bottom therefore has no
+    positive qualifiers and all negative ones; top has all positive
+    qualifiers and no negative ones.
+
+    Elements are immutable and hashable so they can be used as constraint
+    constants and dictionary keys.
+    """
+
+    lattice: "QualifierLattice"
+    present: frozenset[str]
+
+    def __post_init__(self) -> None:
+        unknown = self.present - self.lattice.names
+        if unknown:
+            raise LatticeError(f"unknown qualifiers {sorted(unknown)} for lattice {self.lattice}")
+
+    def has(self, qualifier: str | Qualifier) -> bool:
+        """Whether the named qualifier is present on this element."""
+        name = qualifier.name if isinstance(qualifier, Qualifier) else qualifier
+        if name not in self.lattice.names:
+            raise LatticeError(f"unknown qualifier {name!r} for lattice {self.lattice}")
+        return name in self.present
+
+    def with_qualifier(self, qualifier: str | Qualifier) -> "LatticeElement":
+        """This element with the named qualifier added (present)."""
+        name = qualifier.name if isinstance(qualifier, Qualifier) else qualifier
+        if name not in self.lattice.names:
+            raise LatticeError(f"unknown qualifier {name!r} for lattice {self.lattice}")
+        return LatticeElement(self.lattice, self.present | {name})
+
+    def without_qualifier(self, qualifier: str | Qualifier) -> "LatticeElement":
+        """This element with the named qualifier removed (absent)."""
+        name = qualifier.name if isinstance(qualifier, Qualifier) else qualifier
+        if name not in self.lattice.names:
+            raise LatticeError(f"unknown qualifier {name!r} for lattice {self.lattice}")
+        return LatticeElement(self.lattice, self.present - {name})
+
+    def __str__(self) -> str:
+        if not self.present:
+            return "<none>"
+        return " ".join(sorted(self.present))
+
+    def __repr__(self) -> str:
+        return f"LatticeElement({sorted(self.present)})"
+
+    # Convenience operator aliases.  These require both operands to belong
+    # to the same lattice; mixing lattices raises LatticeError.
+    def __le__(self, other: "LatticeElement") -> bool:
+        return self.lattice.leq(self, other)
+
+    def __ge__(self, other: "LatticeElement") -> bool:
+        return self.lattice.leq(other, self)
+
+    def __lt__(self, other: "LatticeElement") -> bool:
+        return self != other and self.lattice.leq(self, other)
+
+    def __gt__(self, other: "LatticeElement") -> bool:
+        return self != other and self.lattice.leq(other, self)
+
+    def __and__(self, other: "LatticeElement") -> "LatticeElement":
+        return self.lattice.meet(self, other)
+
+    def __or__(self, other: "LatticeElement") -> "LatticeElement":
+        return self.lattice.join(self, other)
+
+
+class QualifierLattice:
+    """The product lattice ``L = L_q1 x ... x L_qn`` of Definition 2.
+
+    Construct one from an iterable of :class:`Qualifier`; qualifier names
+    must be distinct.  The lattice exposes the standard order-theoretic
+    operations plus :meth:`negate`, the ``not q`` element used by type rules
+    such as (Assign') to say "definitely lacks positive qualifier q".
+    """
+
+    def __init__(self, qualifiers: Iterable[Qualifier]):
+        quals = list(qualifiers)
+        names = [q.name for q in quals]
+        if len(set(names)) != len(names):
+            raise LatticeError(f"duplicate qualifier names in {names}")
+        self._qualifiers: dict[str, Qualifier] = {q.name: q for q in quals}
+        self.names: frozenset[str] = frozenset(names)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def qualifiers(self) -> tuple[Qualifier, ...]:
+        """All qualifiers, sorted by name for determinism."""
+        return tuple(self._qualifiers[n] for n in sorted(self._qualifiers))
+
+    def qualifier(self, name: str) -> Qualifier:
+        """Look up a qualifier by name."""
+        try:
+            return self._qualifiers[name]
+        except KeyError:
+            raise LatticeError(f"unknown qualifier {name!r}; have {sorted(self.names)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._qualifiers
+
+    def __len__(self) -> int:
+        return len(self._qualifiers)
+
+    def __str__(self) -> str:
+        parts = [f"{q.name}{'+' if q.positive else '-'}" for q in self.qualifiers]
+        return "L(" + ", ".join(parts) + ")"
+
+    __repr__ = __str__
+
+    def __eq__(self, other: object) -> bool:
+        # Structural equality: two lattices over the same qualifiers are the
+        # same lattice, so elements built from independently-constructed but
+        # identical lattices compare equal.
+        if not isinstance(other, QualifierLattice):
+            return NotImplemented
+        return self._qualifiers == other._qualifiers
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._qualifiers.values()))
+
+    # ------------------------------------------------------------------
+    # Element construction
+    # ------------------------------------------------------------------
+    def element(self, *names: str) -> LatticeElement:
+        """The element with exactly the given qualifiers present."""
+        return LatticeElement(self, frozenset(names))
+
+    @property
+    def bottom(self) -> LatticeElement:
+        """Least element: no positive qualifiers, all negative ones."""
+        return self.element(*(q.name for q in self.qualifiers if q.negative))
+
+    @property
+    def top(self) -> LatticeElement:
+        """Greatest element: all positive qualifiers, no negative ones."""
+        return self.element(*(q.name for q in self.qualifiers if q.positive))
+
+    def negate(self, name: str) -> LatticeElement:
+        """The element ``not q`` from Section 2: the extremal element on
+        which ``q`` is absent.
+
+        For positive ``q`` this is the *maximal* element lacking ``q`` (all
+        other coordinates at their tops), used as an upper bound — rules
+        like (Assign') demand ``Q <= negate("const")`` to force ``Q`` to
+        definitely lack ``const``.  For negative ``q`` it is the *minimal*
+        element lacking ``q``, used as a lower bound — ``negate(q) <= Q``
+        forces ``Q`` to definitely lack ``q``.
+        """
+        q = self.qualifier(name)
+        if q.positive:
+            return self.top.without_qualifier(name)
+        return self.bottom.without_qualifier(name)
+
+    def atom(self, name: str) -> LatticeElement:
+        """The least annotation constant that *mentions* qualifier ``name``.
+
+        Annotations raise the top-level qualifier monotonically from bottom
+        (Section 2.2).  For a positive qualifier the atom is bottom plus the
+        qualifier — the least element on which ``q`` holds.  For a negative
+        qualifier, where presence is *low*, annotation can only remove it:
+        the atom is the least element lacking ``q`` (e.g. annotating a list
+        as possibly-unsorted removes ``sorted``).
+        """
+        q = self.qualifier(name)
+        if q.positive:
+            return self.bottom.with_qualifier(name)
+        return self.bottom.without_qualifier(name)
+
+    def assertion_bound(self, name: str) -> LatticeElement:
+        """The upper bound an assertion ``e|l`` uses to check ``name``'s
+        restrictive direction.
+
+        Assertions check ``Q <= l`` (Section 2.2).  For a positive
+        qualifier the restrictive check is *absence* (``e|not-const`` on
+        assignment targets): the bound is :meth:`negate`.  For a negative
+        qualifier the restrictive check is *presence* (asserting a list is
+        ``sorted`` before merging): the bound is the maximal element on
+        which the qualifier is still present.
+        """
+        q = self.qualifier(name)
+        if q.positive:
+            return self.negate(name)
+        return self.top.with_qualifier(name)
+
+    # ------------------------------------------------------------------
+    # Order-theoretic operations
+    # ------------------------------------------------------------------
+    def _check(self, *elements: LatticeElement) -> None:
+        for element in elements:
+            if element.lattice is not self and element.lattice != self:
+                raise LatticeError(f"element {element!r} does not belong to lattice {self}")
+
+    def leq(self, a: LatticeElement, b: LatticeElement) -> bool:
+        """The partial order: pointwise over each qualifier coordinate."""
+        self._check(a, b)
+        for q in self.qualifiers:
+            a_has, b_has = q.name in a.present, q.name in b.present
+            if q.positive and a_has and not b_has:
+                return False
+            if q.negative and b_has and not a_has:
+                return False
+        return True
+
+    def meet(self, a: LatticeElement, b: LatticeElement) -> LatticeElement:
+        """Greatest lower bound."""
+        self._check(a, b)
+        present: set[str] = set()
+        for q in self.qualifiers:
+            a_has, b_has = q.name in a.present, q.name in b.present
+            if q.positive and a_has and b_has:
+                present.add(q.name)
+            if q.negative and (a_has or b_has):
+                present.add(q.name)
+        return LatticeElement(self, frozenset(present))
+
+    def join(self, a: LatticeElement, b: LatticeElement) -> LatticeElement:
+        """Least upper bound."""
+        self._check(a, b)
+        present: set[str] = set()
+        for q in self.qualifiers:
+            a_has, b_has = q.name in a.present, q.name in b.present
+            if q.positive and (a_has or b_has):
+                present.add(q.name)
+            if q.negative and a_has and b_has:
+                present.add(q.name)
+        return LatticeElement(self, frozenset(present))
+
+    def meet_all(self, elements: Iterable[LatticeElement]) -> LatticeElement:
+        """Meet of a collection; the meet of nothing is top."""
+        result = self.top
+        for element in elements:
+            result = self.meet(result, element)
+        return result
+
+    def join_all(self, elements: Iterable[LatticeElement]) -> LatticeElement:
+        """Join of a collection; the join of nothing is bottom."""
+        result = self.bottom
+        for element in elements:
+            result = self.join(result, element)
+        return result
+
+    # ------------------------------------------------------------------
+    # Enumeration and display
+    # ------------------------------------------------------------------
+    def elements(self) -> Iterator[LatticeElement]:
+        """Enumerate all 2^n lattice elements (for small lattices/tests)."""
+        names = sorted(self.names)
+        for mask in itertools.product((False, True), repeat=len(names)):
+            chosen = frozenset(n for n, keep in zip(names, mask) if keep)
+            yield LatticeElement(self, chosen)
+
+    def covers(self, a: LatticeElement, b: LatticeElement) -> bool:
+        """Whether ``b`` covers ``a``: a < b with nothing strictly between.
+
+        In the product of two-point lattices, cover pairs differ in exactly
+        one coordinate, which makes Hasse-diagram rendering straightforward.
+        """
+        self._check(a, b)
+        if not (self.leq(a, b) and a != b):
+            return False
+        return len(a.present ^ b.present) == 1
+
+    def hasse_levels(self) -> list[list[LatticeElement]]:
+        """Group all elements by height (number of up-steps from bottom).
+
+        Used to render Figure 2-style diagrams of the lattice.
+        """
+        def height(e: LatticeElement) -> int:
+            h = 0
+            for q in self.qualifiers:
+                has = q.name in e.present
+                if q.positive and has:
+                    h += 1
+                if q.negative and not has:
+                    h += 1
+            return h
+
+        levels: dict[int, list[LatticeElement]] = {}
+        for e in self.elements():
+            levels.setdefault(height(e), []).append(e)
+        return [sorted(levels[h], key=str) for h in sorted(levels)]
+
+    def render_hasse(self) -> str:
+        """Render the lattice as ASCII art, one height level per line,
+        bottom-most level last (as Figure 2 draws it)."""
+        levels = self.hasse_levels()
+        width = max(
+            (sum(len(str(e)) + 3 for e in level) for level in levels), default=0
+        )
+        lines = []
+        for level in reversed(levels):
+            label = "   ".join(str(e) for e in level)
+            lines.append(label.center(width))
+        return "\n".join(lines)
+
+
+def two_point(qualifier: Qualifier) -> QualifierLattice:
+    """The lattice ``L_q`` of a single qualifier (Definition 2)."""
+    return QualifierLattice([qualifier])
+
+
+def product(*lattices: QualifierLattice) -> QualifierLattice:
+    """Product of qualifier lattices; qualifier names must stay distinct."""
+    quals: list[Qualifier] = []
+    for lattice in lattices:
+        quals.extend(lattice.qualifiers)
+    return QualifierLattice(quals)

@@ -1,0 +1,410 @@
+"""Standard and qualified types (paper Sections 2 and 2.1).
+
+Standard types are terms over a set of type constructors and type
+variables::
+
+    Typ  ::= alpha | c(Typ_1, ..., Typ_arity(c))
+
+Qualified types annotate *every* constructor level with a qualifier — a
+lattice element or a qualifier variable::
+
+    QTyp ::= Q sigma
+    sigma ::= alpha | c(QTyp_1, ..., QTyp_arity(c))
+    Q    ::= kappa | l
+
+This module defines both type languages, the type constructors of the
+paper's example language (``int``, ``unit``, ``->``, ``ref``), and the
+translation functions of Section 2.3:
+
+* :func:`strip` — erase all qualifiers from a qualified type.
+* :func:`embed_bottom` — the ``bottom(tau)`` embedding: same structure with
+  all qualifiers at lattice bottom.
+* :func:`spread` — the ``sp`` operator of Section 3.1: rewrite a standard
+  type into a qualified type with *fresh qualifier variables* at every
+  constructor, consistently mapping standard type variables.
+
+Constructor variance drives the generic subtype decomposition rule
+(Section 2.1): function types are contravariant in their domain and
+covariant in their range, while ``ref`` is *invariant* in its contents —
+the (SubRef) rule of Section 2.4, required for soundness with updateable
+references.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Union
+
+from .lattice import LatticeElement, QualifierLattice
+
+
+class Variance(enum.Enum):
+    """How a constructor argument participates in subtyping."""
+
+    COVARIANT = "+"
+    CONTRAVARIANT = "-"
+    INVARIANT = "="
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Variance.{self.name}"
+
+
+@dataclass(frozen=True)
+class TypeConstructor:
+    """A type constructor ``c`` with its arity and per-argument variance."""
+
+    name: str
+    variances: tuple[Variance, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.variances)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The constructors of the paper's example language (Sections 2 and 2.4).
+INT = TypeConstructor("int", ())
+UNIT = TypeConstructor("unit", ())
+FUN = TypeConstructor("->", (Variance.CONTRAVARIANT, Variance.COVARIANT))
+REF = TypeConstructor("ref", (Variance.INVARIANT,))
+
+#: Extra constructors used by application instances and the C front end.
+PAIR = TypeConstructor("pair", (Variance.COVARIANT, Variance.COVARIANT))
+LIST = TypeConstructor("list", (Variance.COVARIANT,))
+
+
+# ---------------------------------------------------------------------------
+# Standard types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StdVar:
+    """A standard type variable ``alpha``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class StdCon:
+    """A constructed standard type ``c(tau_1, ..., tau_n)``."""
+
+    con: TypeConstructor
+    args: tuple["StdType", ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.con.arity:
+            raise TypeError(
+                f"constructor {self.con.name} expects {self.con.arity} "
+                f"arguments, got {len(self.args)}"
+            )
+
+    def __str__(self) -> str:
+        if self.con is FUN:
+            dom, rng = self.args
+            return f"({dom} -> {rng})"
+        if not self.args:
+            return self.con.name
+        return f"{self.con.name}({', '.join(map(str, self.args))})"
+
+
+StdType = Union[StdVar, StdCon]
+
+STD_INT = StdCon(INT)
+STD_UNIT = StdCon(UNIT)
+
+
+def std_fun(dom: StdType, rng: StdType) -> StdCon:
+    """Standard function type ``dom -> rng``."""
+    return StdCon(FUN, (dom, rng))
+
+
+def std_ref(contents: StdType) -> StdCon:
+    """Standard reference type ``ref(contents)``."""
+    return StdCon(REF, (contents,))
+
+
+def std_type_vars(t: StdType) -> set[str]:
+    """The free type variables of a standard type."""
+    if isinstance(t, StdVar):
+        return {t.name}
+    out: set[str] = set()
+    for arg in t.args:
+        out |= std_type_vars(arg)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Qualifiers on types: variables or lattice constants
+# ---------------------------------------------------------------------------
+
+
+_fresh_lock = threading.Lock()
+_fresh_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class QualVar:
+    """A qualifier variable ``kappa`` ranging over lattice elements."""
+
+    name: str
+    uid: int = field(default=-1)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"QualVar({self.name!r}, uid={self.uid})"
+
+
+def fresh_qual_var(hint: str = "k") -> QualVar:
+    """Allocate a globally fresh qualifier variable."""
+    with _fresh_lock:
+        uid = next(_fresh_counter)
+    return QualVar(f"{hint}{uid}", uid)
+
+
+Qual = Union[QualVar, LatticeElement]
+
+
+# ---------------------------------------------------------------------------
+# Qualified types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShapeVar:
+    """A qualified-type structure variable ``alpha`` (paired with a
+    qualifier, ``kappa alpha`` plays the role of a qualified type variable)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class QCon:
+    """A constructed shape ``c(rho_1, ..., rho_n)`` with qualified children."""
+
+    con: TypeConstructor
+    args: tuple["QType", ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.con.arity:
+            raise TypeError(
+                f"constructor {self.con.name} expects {self.con.arity} "
+                f"arguments, got {len(self.args)}"
+            )
+
+
+QShape = Union[ShapeVar, QCon]
+
+
+@dataclass(frozen=True)
+class QType:
+    """A qualified type ``Q sigma``: a qualifier atop a shape."""
+
+    qual: Qual
+    shape: QShape
+
+    def __str__(self) -> str:
+        return format_qtype(self)
+
+    @property
+    def constructor(self) -> TypeConstructor | None:
+        """The outermost constructor, or None for a shape variable."""
+        return self.shape.con if isinstance(self.shape, QCon) else None
+
+    @property
+    def args(self) -> tuple["QType", ...]:
+        """Children of the outermost constructor (empty for variables)."""
+        return self.shape.args if isinstance(self.shape, QCon) else ()
+
+    def with_qual(self, qual: Qual) -> "QType":
+        """This type with its top-level qualifier replaced."""
+        return QType(qual, self.shape)
+
+
+def qt(qual: Qual, con: TypeConstructor, *args: QType) -> QType:
+    """Convenience constructor for a qualified constructed type."""
+    return QType(qual, QCon(con, tuple(args)))
+
+
+def q_int(qual: Qual) -> QType:
+    return qt(qual, INT)
+
+
+def q_unit(qual: Qual) -> QType:
+    return qt(qual, UNIT)
+
+
+def q_fun(qual: Qual, dom: QType, rng: QType) -> QType:
+    return qt(qual, FUN, dom, rng)
+
+
+def q_ref(qual: Qual, contents: QType) -> QType:
+    return qt(qual, REF, contents)
+
+
+def q_var(qual: Qual, name: str) -> QType:
+    """A qualified type variable ``Q alpha``."""
+    return QType(qual, ShapeVar(name))
+
+
+def format_qual(q: Qual) -> str:
+    """Render a qualifier variable or lattice element for display."""
+    if isinstance(q, QualVar):
+        return q.name
+    if not q.present:
+        return ""
+    return " ".join(sorted(q.present))
+
+
+def format_qtype(t: QType) -> str:
+    """Pretty-print a qualified type in the paper's prefix notation."""
+    prefix = format_qual(t.qual)
+    prefix = prefix + " " if prefix else ""
+    shape = t.shape
+    if isinstance(shape, ShapeVar):
+        return f"{prefix}{shape.name}"
+    if shape.con is FUN:
+        dom, rng = shape.args
+        return f"{prefix}({format_qtype(dom)} -> {format_qtype(rng)})"
+    if not shape.args:
+        return f"{prefix}{shape.con.name}"
+    inner = ", ".join(format_qtype(a) for a in shape.args)
+    return f"{prefix}{shape.con.name}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+
+def qual_vars(t: QType) -> set[QualVar]:
+    """All qualifier variables occurring anywhere in a qualified type."""
+    out: set[QualVar] = set()
+    stack = [t]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur.qual, QualVar):
+            out.add(cur.qual)
+        if isinstance(cur.shape, QCon):
+            stack.extend(cur.shape.args)
+    return out
+
+
+def shape_vars(t: QType) -> set[str]:
+    """All shape (structure) variables occurring in a qualified type."""
+    out: set[str] = set()
+    stack = [t]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur.shape, ShapeVar):
+            out.add(cur.shape.name)
+        else:
+            stack.extend(cur.shape.args)
+    return out
+
+
+def quals_of(t: QType) -> Iterator[Qual]:
+    """Iterate over every qualifier position in the type, outermost first."""
+    yield t.qual
+    if isinstance(t.shape, QCon):
+        for arg in t.shape.args:
+            yield from quals_of(arg)
+
+
+def map_quals(t: QType, f: Callable[[Qual], Qual]) -> QType:
+    """Rebuild a qualified type applying ``f`` to every qualifier position."""
+    shape: QShape = t.shape
+    if isinstance(shape, QCon):
+        shape = QCon(shape.con, tuple(map_quals(a, f) for a in shape.args))
+    return QType(f(t.qual), shape)
+
+
+def apply_qual_subst(t: QType, subst: Mapping[QualVar, Qual]) -> QType:
+    """Substitute qualifier variables throughout a qualified type."""
+    return map_quals(t, lambda q: subst.get(q, q) if isinstance(q, QualVar) else q)
+
+
+def apply_shape_subst(t: QType, subst: Mapping[str, QType]) -> QType:
+    """Substitute shape variables by qualified types.
+
+    When a shape variable ``alpha`` carrying qualifier ``Q`` is replaced by a
+    qualified type ``Q' sigma``, the result keeps the *outer* qualifier
+    ``Q`` only if the replacement's own qualifier is a variable that is
+    itself being eliminated; otherwise the replacement's qualifier stands.
+    In this framework shape substitutions arise only from standard-type
+    unification, where the replacement carries the canonical qualifier for
+    that node, so the replacement's qualifier always wins.
+    """
+    shape = t.shape
+    if isinstance(shape, ShapeVar):
+        replacement = subst.get(shape.name)
+        return replacement if replacement is not None else t
+    return QType(
+        t.qual, QCon(shape.con, tuple(apply_shape_subst(a, subst) for a in shape.args))
+    )
+
+
+def same_shape(a: QType, b: QType) -> bool:
+    """Whether two qualified types have identical underlying structure."""
+    return strip(a) == strip(b)
+
+
+# ---------------------------------------------------------------------------
+# The Section 2.3 translations
+# ---------------------------------------------------------------------------
+
+
+def strip(t: QType) -> StdType:
+    """``strip(rho)``: the standard type obtained by erasing all qualifiers."""
+    shape = t.shape
+    if isinstance(shape, ShapeVar):
+        return StdVar(shape.name)
+    return StdCon(shape.con, tuple(strip(a) for a in shape.args))
+
+
+def embed_bottom(t: StdType, lattice: QualifierLattice) -> QType:
+    """``bottom(tau)``: same structure as ``tau``, all qualifiers at bottom."""
+    return embed_const(t, lattice.bottom)
+
+
+def embed_const(t: StdType, qual: Qual) -> QType:
+    """Embed a standard type with the same qualifier at every level."""
+    if isinstance(t, StdVar):
+        return QType(qual, ShapeVar(t.name))
+    return QType(qual, QCon(t.con, tuple(embed_const(a, qual) for a in t.args)))
+
+
+def spread(
+    t: StdType,
+    var_map: dict[str, QType] | None = None,
+    fresh: Callable[[], Qual] | None = None,
+) -> QType:
+    """The ``sp`` operator of Section 3.1.
+
+    Rewrites a standard type into a qualified type, placing a fresh
+    qualifier variable on every constructor and consistently mapping each
+    standard type variable ``alpha`` to a fixed ``kappa alpha`` (recorded in
+    ``var_map`` so repeated occurrences agree, as the paper requires).
+    """
+    if fresh is None:
+        fresh = fresh_qual_var
+    if var_map is None:
+        var_map = {}
+    if isinstance(t, StdVar):
+        if t.name not in var_map:
+            var_map[t.name] = QType(fresh(), ShapeVar(t.name))
+        return var_map[t.name]
+    return QType(fresh(), QCon(t.con, tuple(spread(a, var_map, fresh) for a in t.args)))

@@ -1,0 +1,325 @@
+"""Atomic qualifier-constraint solver (paper Section 3.1).
+
+After structural decomposition the constraint system consists solely of
+atomic constraints of the forms::
+
+    kappa <= kappa'      (variable/variable)
+    l     <= kappa       (constant lower bound)
+    kappa <= l           (constant upper bound)
+    l     <= l'          (ground check)
+
+over a fixed finite qualifier lattice.  Henglein and Rehof showed such
+systems are solvable in linear time for a fixed lattice; this solver uses
+the standard two-pass graph formulation:
+
+* **least solution** — start every variable at lattice bottom and propagate
+  constant *lower* bounds forward along ``kappa <= kappa'`` edges to a
+  fixpoint (each variable's value only ever rises, so with a lattice of
+  height h each variable is re-enqueued at most h times).
+* **greatest solution** — dually, start at top and propagate constant
+  *upper* bounds backward.
+
+The system is satisfiable iff the least solution satisfies every upper
+bound; equivalently iff ``least(kappa) <= greatest(kappa)`` for all
+``kappa``.  Both extreme solutions are exposed because qualifier inference
+needs them to classify each position (Section 4.4):
+
+* a variable **must** carry positive qualifier q if its least solution
+  already contains q;
+* it **cannot** carry q if its greatest solution lacks q;
+* otherwise it **may** carry q — these are the "could be either" positions
+  that the const experiment counts, and exactly the positions a
+  polymorphic type leaves as unconstrained variables.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .constraints import Origin, QualConstraint
+from .lattice import LatticeElement, QualifierLattice
+from .qtypes import QualVar
+
+
+class UnsatisfiableError(Exception):
+    """The constraint system has no solution.
+
+    Carries the offending constraint, the conflicting bounds, and — when
+    the solver tracked provenance — the *path* of constraints from the
+    constant lower-bound source through the variable chain to the
+    constant upper-bound sink, so callers can report the whole story:
+    "const declared at a.c:3 flows through the call at a.c:9 into the
+    assignment target at a.c:12".
+    """
+
+    def __init__(
+        self,
+        constraint: QualConstraint,
+        lower: LatticeElement,
+        upper: LatticeElement,
+        path: list[QualConstraint] | None = None,
+    ):
+        self.constraint = constraint
+        self.lower = lower
+        self.upper = upper
+        self.path = path or [constraint]
+        super().__init__(
+            f"unsatisfiable qualifier constraint: {constraint} "
+            f"(forced lower bound {lower} exceeds upper bound {upper}; {constraint.origin})"
+        )
+
+    def explain(self) -> str:
+        """Multi-line explanation following the conflicting flow."""
+        lines = [
+            f"conflict: lower bound {self.lower} cannot fit under "
+            f"upper bound {self.upper}"
+        ]
+        for step in self.path:
+            lines.append(f"  via {step}  ({step.origin})")
+        return "\n".join(lines)
+
+
+class Classification(enum.Enum):
+    """Three-way outcome of inference for one qualifier at one position
+    (Section 4.4: must be const / must not be const / could be either)."""
+
+    MUST = "must"
+    MUST_NOT = "must-not"
+    EITHER = "either"
+
+
+@dataclass
+class Solution:
+    """Extreme solutions of an atomic constraint system."""
+
+    lattice: QualifierLattice
+    least: dict[QualVar, LatticeElement]
+    greatest: dict[QualVar, LatticeElement]
+
+    def least_of(self, var: QualVar) -> LatticeElement:
+        """Least solution of a variable (bottom if unmentioned)."""
+        return self.least.get(var, self.lattice.bottom)
+
+    def greatest_of(self, var: QualVar) -> LatticeElement:
+        """Greatest solution of a variable (top if unmentioned)."""
+        return self.greatest.get(var, self.lattice.top)
+
+    def classify(self, var: QualVar, qualifier: str) -> Classification:
+        """Classify a variable with respect to one qualifier by name.
+
+        For a positive qualifier q: MUST if the least solution contains q,
+        MUST_NOT if the greatest solution lacks it, EITHER otherwise.  For
+        a negative qualifier the roles of the extremes swap (a negative
+        qualifier present moves the element *down* the lattice).
+        """
+        q = self.lattice.qualifier(qualifier)
+        lo, hi = self.least_of(var), self.greatest_of(var)
+        if q.positive:
+            if lo.has(q):
+                return Classification.MUST
+            if not hi.has(q):
+                return Classification.MUST_NOT
+        else:
+            if hi.has(q):
+                return Classification.MUST
+            if not lo.has(q):
+                return Classification.MUST_NOT
+        return Classification.EITHER
+
+    def is_unconstrained(self, var: QualVar) -> bool:
+        """Whether the variable ranges over the whole lattice."""
+        return (
+            self.least_of(var) == self.lattice.bottom
+            and self.greatest_of(var) == self.lattice.top
+        )
+
+
+def _as_element(q: QualVar | LatticeElement) -> LatticeElement | None:
+    return q if isinstance(q, LatticeElement) else None
+
+
+def solve(
+    constraints: Iterable[QualConstraint],
+    lattice: QualifierLattice,
+    extra_vars: Iterable[QualVar] = (),
+) -> Solution:
+    """Solve an atomic constraint system over ``lattice``.
+
+    Returns the least and greatest solutions; raises
+    :class:`UnsatisfiableError` if none exists.  ``extra_vars`` names
+    variables that should appear in the solution even if no constraint
+    mentions them (they solve to [bottom, top]).
+    """
+    constraint_list = list(constraints)
+
+    # Adjacency: succs[v] = variables w with an edge v <= w,
+    #            preds[v] = variables u with an edge u <= v.
+    # Each edge remembers the constraint that created it, so failures can
+    # be explained as a path through the program.
+    succs: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = defaultdict(list)
+    preds: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = defaultdict(list)
+    lower: dict[QualVar, LatticeElement] = {}
+    upper: dict[QualVar, LatticeElement] = {}
+    lower_origins: dict[QualVar, QualConstraint] = {}
+    upper_origins: dict[QualVar, list[QualConstraint]] = defaultdict(list)
+    variables: set[QualVar] = set(extra_vars)
+
+    for c in constraint_list:
+        lhs_const, rhs_const = _as_element(c.lhs), _as_element(c.rhs)
+        if lhs_const is not None and rhs_const is not None:
+            if not lattice.leq(lhs_const, rhs_const):
+                raise UnsatisfiableError(c, lhs_const, rhs_const)
+        elif lhs_const is not None:
+            assert isinstance(c.rhs, QualVar)
+            variables.add(c.rhs)
+            joined = lattice.join(lower.get(c.rhs, lattice.bottom), lhs_const)
+            if joined != lower.get(c.rhs, lattice.bottom):
+                lower_origins[c.rhs] = c
+            lower[c.rhs] = joined
+        elif rhs_const is not None:
+            assert isinstance(c.lhs, QualVar)
+            variables.add(c.lhs)
+            upper[c.lhs] = lattice.meet(upper.get(c.lhs, lattice.top), rhs_const)
+            upper_origins[c.lhs].append(c)
+        else:
+            assert isinstance(c.lhs, QualVar) and isinstance(c.rhs, QualVar)
+            variables.add(c.lhs)
+            variables.add(c.rhs)
+            succs[c.lhs].append((c.rhs, c))
+            preds[c.rhs].append((c.lhs, c))
+
+    least, lower_pred = _propagate(variables, succs, lower, lattice, up=True)
+    greatest, upper_pred = _propagate(variables, preds, upper, lattice, up=False)
+
+    # Satisfiability: every variable's forced lower bound must sit below
+    # its forced upper bound.
+    for var in variables:
+        lo = least.get(var, lattice.bottom)
+        hi = greatest.get(var, lattice.top)
+        if not lattice.leq(lo, hi):
+            path = _explain_path(
+                var, lower_pred, upper_pred, lower_origins, upper_origins
+            )
+            witnesses = upper_origins.get(var)
+            witness = (
+                path[-1]
+                if path
+                else (
+                    witnesses[0]
+                    if witnesses
+                    else QualConstraint(var, hi, Origin("derived bound"))
+                )
+            )
+            raise UnsatisfiableError(witness, lo, hi, path)
+
+    return Solution(lattice, least, greatest)
+
+
+def _explain_path(
+    var: QualVar,
+    lower_pred: Mapping[QualVar, tuple[QualVar, QualConstraint]],
+    upper_pred: Mapping[QualVar, tuple[QualVar, QualConstraint]],
+    lower_origins: Mapping[QualVar, QualConstraint],
+    upper_origins: Mapping[QualVar, list[QualConstraint]],
+) -> list[QualConstraint]:
+    """Reconstruct source-constant -> ... -> var -> ... -> sink-constant."""
+    down: list[QualConstraint] = []
+    cursor = var
+    seen = {cursor}
+    while cursor in lower_pred:
+        origin_var, constraint = lower_pred[cursor]
+        down.append(constraint)
+        cursor = origin_var
+        if cursor in seen:
+            break
+        seen.add(cursor)
+    if cursor in lower_origins:
+        down.append(lower_origins[cursor])
+    down.reverse()
+
+    up: list[QualConstraint] = []
+    cursor = var
+    seen = {cursor}
+    while cursor in upper_pred:
+        origin_var, constraint = upper_pred[cursor]
+        up.append(constraint)
+        cursor = origin_var
+        if cursor in seen:
+            break
+        seen.add(cursor)
+    if upper_origins.get(cursor):
+        up.append(upper_origins[cursor][0])
+    return down + up
+
+
+def _propagate(
+    variables: set[QualVar],
+    edges: Mapping[QualVar, list[tuple[QualVar, QualConstraint]]],
+    init: Mapping[QualVar, LatticeElement],
+    lattice: QualifierLattice,
+    up: bool,
+) -> tuple[dict[QualVar, LatticeElement], dict[QualVar, tuple[QualVar, QualConstraint]]]:
+    """Worklist fixpoint with provenance.
+
+    With ``up=True`` computes the least solution: values start at bottom
+    (or the variable's constant lower bound) and flow along edges via join.
+    With ``up=False`` computes the greatest solution dually via meet.
+    Returns the values plus, per variable, the (predecessor, constraint)
+    whose propagation last changed it — enough to walk a blame path.
+    """
+    default = lattice.bottom if up else lattice.top
+    combine = lattice.join if up else lattice.meet
+    values: dict[QualVar, LatticeElement] = {
+        v: init.get(v, default) for v in variables
+    }
+    provenance: dict[QualVar, tuple[QualVar, QualConstraint]] = {}
+    work = deque(v for v in variables if values[v] != default)
+    queued = set(work)
+    while work:
+        v = work.popleft()
+        queued.discard(v)
+        value = values[v]
+        for w, constraint in edges.get(v, ()):
+            merged = combine(values[w], value)
+            if merged != values[w]:
+                values[w] = merged
+                provenance[w] = (v, constraint)
+                if w not in queued:
+                    work.append(w)
+                    queued.add(w)
+    return values, provenance
+
+
+def satisfiable(
+    constraints: Iterable[QualConstraint], lattice: QualifierLattice
+) -> bool:
+    """Whether the atomic system has any solution."""
+    try:
+        solve(constraints, lattice)
+    except UnsatisfiableError:
+        return False
+    return True
+
+
+def check_ground(
+    constraints: Iterable[QualConstraint],
+    lattice: QualifierLattice,
+    assignment: Mapping[QualVar, LatticeElement],
+) -> QualConstraint | None:
+    """Check a candidate assignment; return the first violated constraint.
+
+    Used by property-based tests to validate that solver solutions really
+    satisfy the system, and by the checking (non-inference) pipeline.
+    """
+    def value(q: QualVar | LatticeElement) -> LatticeElement:
+        if isinstance(q, LatticeElement):
+            return q
+        return assignment.get(q, lattice.bottom)
+
+    for c in constraints:
+        if not lattice.leq(value(c.lhs), value(c.rhs)):
+            return c
+    return None

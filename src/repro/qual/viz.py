@@ -1,0 +1,139 @@
+"""Constraint-graph visualisation: atomic systems as Graphviz DOT.
+
+Qualifier inference over a real program produces thousands of atomic
+constraints; seeing the flow graph — variables as nodes, ``<=`` edges,
+constant bounds as labelled source/sink boxes — is the fastest way to
+understand why a position was classified the way it was.  ``to_dot``
+renders a system (optionally decorated with a solution's least/greatest
+bounds per node); ``neighborhood`` restricts the rendering to the
+variables within a given distance of a focus variable, which is what
+you want on whole-program systems.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+from .constraints import QualConstraint
+from .lattice import LatticeElement
+from .qtypes import QualVar
+from .solver import Solution
+
+
+def _node_id(q: QualVar | LatticeElement, constant_ids: dict) -> str:
+    if isinstance(q, QualVar):
+        return f"v{q.uid}"
+    key = q.present
+    if key not in constant_ids:
+        constant_ids[key] = f"c{len(constant_ids)}"
+    return constant_ids[key]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(
+    constraints: Iterable[QualConstraint],
+    solution: Solution | None = None,
+    title: str = "qualifier constraints",
+) -> str:
+    """Render an atomic constraint system as a DOT digraph.
+
+    Variables become ellipse nodes (annotated ``[least..greatest]`` when
+    a solution is supplied); lattice constants become grey boxes; each
+    constraint ``a <= b`` becomes an edge labelled with its origin.
+    """
+    lines = [
+        "digraph constraints {",
+        f'    label="{_escape(title)}";',
+        "    rankdir=LR;",
+        '    node [fontname="monospace"];',
+    ]
+    constant_ids: dict = {}
+    seen_nodes: set[str] = set()
+    edges: list[str] = []
+
+    def declare(q) -> str:
+        node = _node_id(q, constant_ids)
+        if node in seen_nodes:
+            return node
+        seen_nodes.add(node)
+        if isinstance(q, QualVar):
+            label = q.name
+            if solution is not None:
+                lo = solution.least_of(q)
+                hi = solution.greatest_of(q)
+                label += f"\\n[{lo}..{hi}]"
+            lines.append(f'    {node} [label="{_escape(label)}"];')
+        else:
+            text = str(q)
+            lines.append(
+                f'    {node} [label="{_escape(text)}", shape=box, '
+                f"style=filled, fillcolor=lightgrey];"
+            )
+        return node
+
+    for c in constraints:
+        src = declare(c.lhs)
+        dst = declare(c.rhs)
+        reason = _escape(c.origin.reason[:40])
+        edges.append(f'    {src} -> {dst} [label="{reason}"];')
+
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def neighborhood(
+    constraints: Iterable[QualConstraint],
+    focus: QualVar,
+    distance: int = 2,
+) -> list[QualConstraint]:
+    """The constraints within ``distance`` edges of ``focus`` (treating
+    edges as undirected for reachability)."""
+    constraint_list = list(constraints)
+    adjacency: dict[QualVar, set[QualVar]] = {}
+    for c in constraint_list:
+        if isinstance(c.lhs, QualVar) and isinstance(c.rhs, QualVar):
+            adjacency.setdefault(c.lhs, set()).add(c.rhs)
+            adjacency.setdefault(c.rhs, set()).add(c.lhs)
+
+    reached: dict[QualVar, int] = {focus: 0}
+    queue = deque([focus])
+    while queue:
+        current = queue.popleft()
+        depth = reached[current]
+        if depth >= distance:
+            continue
+        for neighbour in adjacency.get(current, ()):
+            if neighbour not in reached:
+                reached[neighbour] = depth + 1
+                queue.append(neighbour)
+
+    out = []
+    for c in constraint_list:
+        members = [q for q in (c.lhs, c.rhs) if isinstance(q, QualVar)]
+        if members and all(q in reached for q in members):
+            out.append(c)
+    return out
+
+
+def position_dot(
+    run,
+    position_description: str,
+    distance: int = 2,
+) -> str:
+    """DOT for the constraint neighbourhood of one const-inference
+    position (by its ``describe()`` string) — a debugging one-liner:
+
+        print(position_dot(run_mono(program), "id: return depth 1"))
+    """
+    for position, _verdict in run.classified_positions():
+        if position.describe() == position_description:
+            nearby = neighborhood(
+                run.inference.constraints, position.var, distance
+            )
+            return to_dot(nearby, run.solution, position_description)
+    raise KeyError(f"no position {position_description!r}")

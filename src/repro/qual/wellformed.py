@@ -1,0 +1,193 @@
+"""Well-formedness conditions on qualified types (paper Sections 1 and 2).
+
+Each qualifier may come with rules restricting which qualified types are
+meaningful.  The paper's running example is binding-time analysis: nothing
+``dynamic`` may appear inside a value that is ``static``, so the type
+``static (dynamic a -> dynamic b)`` is ill-formed.  Another kind of
+condition restricts which constructors a qualifier may decorate at all
+(``const`` only qualifies updateable references; ``nonzero`` only
+integers).
+
+Rules come in two flavours:
+
+* :class:`ChildQualLeqParent` / :class:`ParentQualLeqChild` — ordering
+  conditions between a constructor's qualifier and its children's
+  qualifiers, expressed as ordinary atomic constraints so they integrate
+  with inference (a single worklist solve enforces them).
+* :class:`OnlyOnConstructors` — a qualifier may only appear on a given set
+  of constructors; elsewhere the position receives the upper bound
+  ``negate(q)`` (for positive q) or lower bound (for negative q).
+
+:func:`generate` emits the atomic constraints a type's structure demands;
+:func:`violations` checks a *ground* type directly and reports each
+offence, which is what the checking (non-inference) pipeline and the tests
+use.
+
+Ordering rules relate whole lattice elements.  Because the qualifier
+lattice is a product of independent two-point lattices and every atomic
+constraint decomposes coordinatewise, applications that need an ordering
+on just one qualifier run that qualifier in its own lattice (as all the
+``repro.apps`` instances do) — this loses no generality and keeps the
+solver a plain graph fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+from .constraints import Origin, QualConstraint, UNKNOWN_ORIGIN
+from .lattice import LatticeElement, QualifierLattice
+from .qtypes import QCon, QType, TypeConstructor, format_qtype
+
+
+class WellFormednessRule(Protocol):
+    """A rule contributes atomic constraints for each type node."""
+
+    def constraints_for(
+        self, node: QType, lattice: QualifierLattice, origin: Origin
+    ) -> list[QualConstraint]:
+        """Constraints this rule imposes on ``node`` (and its children)."""
+        ...
+
+    def describe(self) -> str:
+        """Human-readable statement of the rule."""
+        ...
+
+
+@dataclass(frozen=True)
+class ChildQualLeqParent:
+    """Every child's qualifier must lie below its parent's.
+
+    With a single positive qualifier q this says: if the parent lacks q,
+    every child lacks q — the binding-time condition ("nothing dynamic
+    inside a static value") with q = dynamic.
+    """
+
+    qualifier: str
+
+    def constraints_for(
+        self, node: QType, lattice: QualifierLattice, origin: Origin
+    ) -> list[QualConstraint]:
+        out = []
+        for child in node.args:
+            out.append(QualConstraint(child.qual, node.qual, origin))
+        return out
+
+    def describe(self) -> str:
+        return f"no {self.qualifier} may appear under a value lacking {self.qualifier}"
+
+
+@dataclass(frozen=True)
+class ParentQualLeqChild:
+    """Every child's qualifier must lie above its parent's (dual rule)."""
+
+    qualifier: str
+
+    def constraints_for(
+        self, node: QType, lattice: QualifierLattice, origin: Origin
+    ) -> list[QualConstraint]:
+        out = []
+        for child in node.args:
+            out.append(QualConstraint(node.qual, child.qual, origin))
+        return out
+
+    def describe(self) -> str:
+        return f"{self.qualifier} on a value propagates to everything it contains"
+
+
+@dataclass(frozen=True)
+class OnlyOnConstructors:
+    """A qualifier may decorate only the named constructors.
+
+    On any other constructor the qualifier is pinned to its absent state:
+    positions get the upper bound ``negate(q)`` for positive q (the element
+    that definitely lacks q) or the lower bound for negative q.
+    """
+
+    qualifier: str
+    constructors: frozenset[str]
+
+    def __init__(self, qualifier: str, constructors: Iterable[str | TypeConstructor]):
+        names = frozenset(
+            c.name if isinstance(c, TypeConstructor) else c for c in constructors
+        )
+        object.__setattr__(self, "qualifier", qualifier)
+        object.__setattr__(self, "constructors", names)
+
+    def constraints_for(
+        self, node: QType, lattice: QualifierLattice, origin: Origin
+    ) -> list[QualConstraint]:
+        con = node.constructor
+        if con is None or con.name in self.constructors:
+            return []
+        q = lattice.qualifier(self.qualifier)
+        if q.positive:
+            return [QualConstraint(node.qual, lattice.negate(self.qualifier), origin)]
+        return [QualConstraint(lattice.negate(self.qualifier), node.qual, origin)]
+
+    def describe(self) -> str:
+        allowed = ", ".join(sorted(self.constructors))
+        return f"{self.qualifier} may only qualify: {allowed}"
+
+
+def generate(
+    t: QType,
+    rules: Sequence[WellFormednessRule],
+    lattice: QualifierLattice,
+    origin: Origin = UNKNOWN_ORIGIN,
+) -> list[QualConstraint]:
+    """Emit the atomic constraints all rules impose everywhere in ``t``."""
+    out: list[QualConstraint] = []
+    stack = [t]
+    while stack:
+        node = stack.pop()
+        for rule in rules:
+            out.extend(rule.constraints_for(node, lattice, origin))
+        if isinstance(node.shape, QCon):
+            stack.extend(node.shape.args)
+    return out
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A well-formedness failure at a specific node of a ground type."""
+
+    node: QType
+    rule_description: str
+
+    def __str__(self) -> str:
+        return f"ill-formed type {format_qtype(self.node)}: {self.rule_description}"
+
+
+def violations(
+    t: QType, rules: Sequence[WellFormednessRule], lattice: QualifierLattice
+) -> list[Violation]:
+    """Check a ground qualified type; list every rule violation.
+
+    All qualifier positions must be lattice elements (no variables).
+    """
+    out: list[Violation] = []
+    stack = [t]
+    while stack:
+        node = stack.pop()
+        for rule in rules:
+            for c in rule.constraints_for(node, lattice, UNKNOWN_ORIGIN):
+                if not isinstance(c.lhs, LatticeElement) or not isinstance(
+                    c.rhs, LatticeElement
+                ):
+                    raise TypeError(
+                        f"violations() requires a ground type; found variable in {c}"
+                    )
+                if not lattice.leq(c.lhs, c.rhs):
+                    out.append(Violation(node, rule.describe()))
+        if isinstance(node.shape, QCon):
+            stack.extend(node.shape.args)
+    return out
+
+
+def is_wellformed(
+    t: QType, rules: Sequence[WellFormednessRule], lattice: QualifierLattice
+) -> bool:
+    """Whether a ground qualified type satisfies all rules."""
+    return not violations(t, rules, lattice)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.qual.qualifiers import (
+    binding_time_lattice,
+    const_lattice,
+    const_nonzero_lattice,
+    paper_figure2_lattice,
+)
+
+
+@pytest.fixture
+def const_lat():
+    return const_lattice()
+
+
+@pytest.fixture
+def cn_lat():
+    return const_nonzero_lattice()
+
+
+@pytest.fixture
+def fig2_lat():
+    return paper_figure2_lattice()
+
+
+@pytest.fixture
+def bt_lat():
+    return binding_time_lattice()

@@ -1,0 +1,107 @@
+"""Unit tests for source re-annotation (Section 4.2's goal: the original
+program text with extra consts inserted)."""
+
+from repro.cfront.sema import Program
+from repro.constinfer.annotate import (
+    annotate_source,
+    format_report,
+    suggestions,
+)
+from repro.constinfer.engine import run_mono, run_poly
+
+
+SOURCE = """\
+int peek(int *p) { return *p; }
+void poke(int *q) { *q = 1; }
+int skim(const char *s) { return *s; }
+int deep(int **pp) { return **pp; }
+"""
+
+
+def run_on(source, poly=False):
+    program = Program.from_source(source)
+    return run_poly(program) if poly else run_mono(program)
+
+
+class TestSuggestions:
+    def test_read_only_param_suggested(self):
+        run = run_on(SOURCE)
+        names = {s.function for s in suggestions(run)}
+        assert "peek" in names
+
+    def test_writer_not_suggested(self):
+        run = run_on(SOURCE)
+        assert "poke" not in {s.function for s in suggestions(run)}
+
+    def test_declared_not_suggested_again(self):
+        run = run_on(SOURCE)
+        assert "skim" not in {s.function for s in suggestions(run)}
+
+    def test_deep_positions_reported(self):
+        run = run_on(SOURCE)
+        deep_suggestions = [s for s in suggestions(run) if s.function == "deep"]
+        assert any(s.depth == 2 for s in deep_suggestions)
+
+    def test_str(self):
+        run = run_on(SOURCE)
+        text = str(suggestions(run)[0])
+        assert "may be declared const" in text
+
+
+class TestAnnotateSource:
+    def test_const_inserted_on_reader(self):
+        run = run_on(SOURCE)
+        out = annotate_source(SOURCE, run)
+        assert "int peek(const int *p)" in out
+
+    def test_writer_untouched(self):
+        run = run_on(SOURCE)
+        out = annotate_source(SOURCE, run)
+        assert "void poke(int *q)" in out
+
+    def test_already_const_untouched(self):
+        run = run_on(SOURCE)
+        out = annotate_source(SOURCE, run)
+        assert out.count("const char *s") == 1
+        assert "const const" not in out
+
+    def test_annotated_source_reanalyzes_clean(self):
+        # the rewritten program must still be type-correct, with the
+        # suggested positions now declared.
+        run = run_on(SOURCE)
+        rewritten = annotate_source(SOURCE, run)
+        new_run = run_on(rewritten)
+        assert new_run.declared_count() > run.declared_count()
+        assert new_run.total_positions() == run.total_positions()
+
+    def test_idempotent(self):
+        run = run_on(SOURCE)
+        once = annotate_source(SOURCE, run)
+        run2 = run_on(once)
+        twice = annotate_source(once, run2)
+        assert once == twice
+
+    def test_struct_pointer_param(self):
+        src = "struct st { int v; };\nint get(struct st *s) { return s->v; }\n"
+        run = run_on(src)
+        out = annotate_source(src, run)
+        assert "const struct st *s" in out
+
+
+class TestFormatReport:
+    def test_mentions_all_positions(self):
+        run = run_on(SOURCE)
+        report = format_report(run)
+        for name in ("peek", "poke", "skim", "deep"):
+            assert name in report
+
+    def test_verdict_labels(self):
+        report = format_report(run_on(SOURCE))
+        assert "may be const" in report
+        assert "must NOT be const" in report
+        assert "must be const" in report
+
+    def test_limit(self):
+        full = format_report(run_on(SOURCE))
+        limited = format_report(run_on(SOURCE), limit=1)
+        assert len(limited.split("\n")) < len(full.split("\n"))

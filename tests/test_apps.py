@@ -1,0 +1,208 @@
+"""Tests for the qualifier application instances (Sections 1, 2.3, 5):
+binding time, taint, nonnull, sorted lists, and Titanium local pointers."""
+
+import pytest
+
+from repro.lam.ast import Let, walk
+from repro.lam.infer import QualTypeError, infer
+from repro.lam.parser import parse
+
+
+class TestBindingTime:
+    def test_dynamic_input_propagates(self):
+        from repro.apps.bta import analyze_binding_times
+
+        expr = parse("let x = {dynamic} 1 in if x then 2 else 3 fi ni")
+        result = analyze_binding_times(expr)
+        lets = [n for n in walk(expr) if isinstance(n, Let)]
+        assert result.is_dynamic(lets[0].bound)
+        # the whole if depends on the dynamic guard
+        assert result.is_dynamic(lets[0].body)
+
+    def test_static_stays_static(self):
+        from repro.apps.bta import analyze_binding_times
+
+        expr = parse("let x = 1 in if x then 2 else 3 fi ni")
+        result = analyze_binding_times(expr)
+        assert result.is_static(expr)
+
+    def test_static_fraction_bounds(self):
+        from repro.apps.bta import analyze_binding_times
+
+        all_static = analyze_binding_times(parse("if 1 then 2 else 3 fi"))
+        assert all_static.static_fraction() == 1.0
+        some_dynamic = analyze_binding_times(
+            parse("if {dynamic} 1 then 2 else 3 fi")
+        )
+        assert 0.0 < some_dynamic.static_fraction() < 1.0
+
+    def test_wellformedness_rejects_static_closure_over_dynamic(self):
+        from repro.apps.bta import binding_time_language
+
+        bad = """
+        let input = {dynamic} 1 in
+        let f = fn x. if input then x else 0 fi in
+        (f)|{}
+        ni ni
+        """
+        with pytest.raises(QualTypeError):
+            infer(parse(bad), binding_time_language())
+
+    def test_dynamic_closure_accepted(self):
+        from repro.apps.bta import binding_time_language
+
+        ok = """
+        let input = {dynamic} 1 in
+        let f = fn x. if input then x else 0 fi in
+        (f)|{dynamic}
+        ni ni
+        """
+        infer(parse(ok), binding_time_language())
+
+
+class TestTaint:
+    def test_direct_leak_rejected(self):
+        from repro.apps.taint import check_source
+
+        report = check_source("let d = {tainted} 1 in (d)|{} ni")
+        assert not report.secure
+        assert report.violation is not None
+
+    def test_clean_flow_accepted(self):
+        from repro.apps.taint import check_source
+
+        assert check_source("let c = 1 in (c)|{} ni").secure
+
+    def test_leak_through_ref_rejected(self):
+        from repro.apps.taint import check_source
+
+        source = """
+        let d = {tainted} 1 in
+        let cell = ref 0 in
+        let w = (cell := d) in
+        (!cell)|{}
+        ni ni ni
+        """
+        assert not check_source(source).secure
+
+    def test_sanitizer_env(self):
+        from repro.apps.taint import analyze_taint
+        from repro.qual.qtypes import q_fun, q_int
+        from repro.qual.qualifiers import taint_lattice
+
+        lat = taint_lattice()
+        env = {"sanitize": q_fun(lat.bottom, q_int(lat.top), q_int(lat.bottom))}
+        good = parse("let d = {tainted} 1 in (sanitize d)|{} ni")
+        assert analyze_taint(good, env=env).secure
+
+    def test_merge_taints_result(self):
+        from repro.apps.taint import analyze_taint
+
+        expr = parse("let d = {tainted} 1 in if 1 then d else 2 fi ni")
+        report = analyze_taint(expr)
+        assert report.secure  # no sink: nothing to violate
+        assert report.is_tainted(expr)
+
+    def test_is_tainted_requires_success(self):
+        from repro.apps.taint import check_source
+
+        report = check_source("let d = {tainted} 1 in (d)|{} ni")
+        with pytest.raises(AssertionError):
+            report.is_tainted(parse("1"))
+
+
+class TestNonnull:
+    def test_fresh_ref_dereferencable(self):
+        from repro.apps.nonnull import check_source
+
+        assert check_source("let p = ref 5 in !p ni").safe
+
+    def test_maybe_null_deref_rejected(self):
+        from repro.apps.nonnull import check_source
+
+        report = check_source("let p = {} ref 5 in !p ni")
+        assert not report.safe
+        assert "nonnull" in (report.violation or "")
+
+    def test_maybe_null_can_be_passed_around(self):
+        from repro.apps.nonnull import check_source
+
+        # holding a maybe-null pointer is fine; only deref is restricted
+        assert check_source("let p = {} ref 5 in 1 ni").safe
+
+    def test_flow_insensitivity_documented(self):
+        from repro.apps.nonnull import check_source
+
+        # Even behind a guard, a maybe-null pointer cannot be deref'd:
+        # the system is flow-insensitive (paper, Future Work).
+        source = "let p = {} ref 5 in if 1 then !p else 0 fi ni"
+        assert not check_source(source).safe
+
+
+class TestSortedLists:
+    def setup_method(self):
+        from repro.apps.sortedlist import library_env, sorted_language
+
+        self.env = library_env()
+        self.lang = sorted_language()
+
+    def check(self, source):
+        return infer(parse(source), self.lang, env=self.env)
+
+    def test_nil_is_sorted(self):
+        self.check("merge nil nil")
+
+    def test_sort_launders(self):
+        self.check("merge (sort (cons 2 nil)) nil")
+
+    def test_cons_result_not_sorted(self):
+        with pytest.raises(QualTypeError):
+            self.check("merge (cons 2 nil) nil")
+
+    def test_head_accepts_anything(self):
+        self.check("head (cons 1 nil)")
+        self.check("head nil")
+
+    def test_merge_result_is_sorted(self):
+        self.check("merge (merge nil nil) nil")
+
+
+class TestLocalPointers:
+    def test_local_and_remote_costs(self):
+        from repro.apps.localptr import analyze_locality
+
+        expr = parse("let p = ref 1 in let q = {} ref 2 in let a = !p in !q ni ni ni")
+        costs = analyze_locality(expr, remote_factor=50)
+        by_cost = sorted(cost for _n, cost in costs.dereference_costs(expr))
+        assert by_cost == [1, 50]
+        assert costs.local_fraction(expr) == 0.5
+        assert costs.total_cost(expr) == 51
+
+    def test_all_local(self):
+        from repro.apps.localptr import analyze_locality
+
+        expr = parse("let p = ref 1 in let a = !p in !p ni ni")
+        costs = analyze_locality(expr)
+        assert costs.local_fraction(expr) == 1.0
+        assert costs.total_cost(expr) == 2
+
+    def test_remote_taints_alias(self):
+        from repro.apps.localptr import analyze_locality
+
+        # merging a remote pointer into a local one makes derefs remote
+        source = """
+        let p = ref 1 in
+        let q = {} ref 2 in
+        let r = if 1 then p else q fi in
+        !r
+        ni ni ni
+        """
+        expr = parse(source)
+        costs = analyze_locality(expr, remote_factor=10)
+        assert costs.local_fraction(expr) == 0.0
+
+    def test_no_derefs_fraction_one(self):
+        from repro.apps.localptr import analyze_locality
+
+        expr = parse("42")
+        assert analyze_locality(expr).local_fraction(expr) == 1.0

@@ -1,0 +1,146 @@
+"""Polymorphic-mode tests for the application instances: every app runs
+on the same inference core, so qualifier polymorphism must compose with
+each of them."""
+
+import pytest
+
+from repro.lam.infer import QualTypeError, infer
+from repro.lam.parser import parse
+
+
+class TestBindingTimePolymorphic:
+    def test_poly_helper_used_static_and_dynamic(self):
+        from repro.apps.bta import analyze_binding_times
+
+        # `twice` is applied to a static and a dynamic argument; with
+        # polymorphism the static use stays static.
+        source = """
+        let choose = fn x. if x then x else 0 fi in
+        let s = choose 1 in
+        let d = choose ({dynamic} 2) in
+        s
+        ni ni ni
+        """
+        expr = parse(source)
+        poly = analyze_binding_times(expr, polymorphic=True)
+        mono = analyze_binding_times(expr, polymorphic=False)
+        # whole-program result is the static s
+        assert poly.is_static(expr)
+        # monomorphic analysis merges the uses: s is dragged dynamic
+        assert not mono.is_static(expr)
+
+    def test_wellformedness_still_enforced_under_poly(self):
+        from repro.apps.bta import binding_time_language
+
+        bad = """
+        let input = {dynamic} 1 in
+        let f = fn x. if input then x else 0 fi in
+        (f)|{}
+        ni ni
+        """
+        with pytest.raises(QualTypeError):
+            infer(parse(bad), binding_time_language(), polymorphic=True)
+
+
+class TestTaintPolymorphic:
+    def test_poly_identity_does_not_cross_contaminate(self):
+        from repro.apps.taint import analyze_taint
+
+        source = """
+        let id = fn x. x in
+        let secret = id ({tainted} 1) in
+        let clean = id 2 in
+        (clean)|{}
+        ni ni ni
+        """
+        expr = parse(source)
+        assert analyze_taint(expr, polymorphic=True).secure
+        assert not analyze_taint(expr, polymorphic=False).secure
+
+    def test_poly_still_catches_real_leak(self):
+        from repro.apps.taint import analyze_taint
+
+        source = """
+        let id = fn x. x in
+        let secret = id ({tainted} 1) in
+        (secret)|{}
+        ni ni
+        """
+        assert not analyze_taint(parse(source), polymorphic=True).secure
+
+
+class TestNonnullPolymorphic:
+    def test_poly_wrapper_over_both_kinds(self):
+        from repro.apps.nonnull import analyze_nonnull
+
+        # `hold` wraps both a definite and a maybe-null ref; only the
+        # definite one is dereferenced.
+        source = """
+        let hold = fn r. r in
+        let sure = hold (ref 1) in
+        let maybe = hold ({} ref 2) in
+        !sure
+        ni ni ni
+        """
+        expr = parse(source)
+        assert analyze_nonnull(expr, polymorphic=True).safe
+        # monomorphic sharing poisons `sure` through the shared wrapper
+        assert not analyze_nonnull(expr, polymorphic=False).safe
+
+    def test_poly_rejects_deref_of_maybe(self):
+        from repro.apps.nonnull import analyze_nonnull
+
+        source = """
+        let hold = fn r. r in
+        let maybe = hold ({} ref 2) in
+        !maybe
+        ni ni
+        """
+        assert not analyze_nonnull(parse(source), polymorphic=True).safe
+
+
+class TestLocalPolymorphic:
+    def test_poly_accessor_keeps_local_fast(self):
+        from repro.apps.localptr import analyze_locality
+
+        source = """
+        let pass = fn r. r in
+        let near = pass (ref 1) in
+        let far = pass ({} ref 2) in
+        let a = !near in
+        !far
+        ni ni ni ni
+        """
+        expr = parse(source)
+        poly = analyze_locality(expr, polymorphic=True)
+        mono = analyze_locality(expr, polymorphic=False)
+        assert poly.local_fraction(expr) == 0.5
+        # monomorphically, the remote use contaminates the local one
+        assert mono.local_fraction(expr) == 0.0
+
+
+class TestSortedPolymorphic:
+    def test_generic_passthrough_preserves_sortedness(self):
+        from repro.apps.sortedlist import library_env, sorted_language
+
+        env = library_env()
+        lang = sorted_language()
+        source = """
+        let keep = fn l. l in
+        merge (keep (sort (cons 1 nil))) (keep nil)
+        ni
+        """
+        infer(parse(source), lang, env=env, polymorphic=True)
+
+    def test_generic_passthrough_no_free_sortedness(self):
+        from repro.apps.sortedlist import library_env, sorted_language
+
+        env = library_env()
+        lang = sorted_language()
+        source = """
+        let keep = fn l. l in
+        merge (keep (cons 1 nil)) nil
+        ni
+        """
+        with pytest.raises(QualTypeError):
+            infer(parse(source), lang, env=env, polymorphic=True)

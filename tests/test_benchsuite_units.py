@@ -1,0 +1,132 @@
+"""Per-unit regression tests for the benchmark generator: each unit
+template must produce exactly the classification it is documented to
+produce, independent of the mix composer."""
+
+import pytest
+
+from repro.benchsuite.generator import BenchmarkGenerator, PositionMix
+from repro.cfront.sema import Program
+from repro.constinfer.engine import run_mono, run_poly
+from repro.qual.solver import Classification
+
+
+def analyze_unit(build, seed=5):
+    generator = BenchmarkGenerator("unit", seed)
+    build(generator)
+    source = generator.em.render("/* unit test */")
+    program = Program.from_source(source)
+    return run_mono(program), run_poly(program)
+
+
+class TestAUnits:
+    def test_declared_reader(self):
+        mono, poly = analyze_unit(lambda g: g.unit_declared_reader())
+        assert mono.total_positions() == 1
+        assert mono.declared_count() == 1
+        assert mono.inferred_const_count() == 1
+        assert poly.inferred_const_count() == 1
+
+    def test_declared_struct_reader(self):
+        mono, poly = analyze_unit(lambda g: g.unit_declared_struct_reader())
+        assert (mono.declared_count(), mono.total_positions()) == (1, 1)
+        assert mono.inferred_const_count() == poly.inferred_const_count() == 1
+
+
+class TestBUnits:
+    def test_plain_reader(self):
+        mono, poly = analyze_unit(lambda g: g.unit_plain_reader())
+        assert mono.total_positions() == 1
+        assert mono.declared_count() == 0
+        assert mono.inferred_const_count() == 1  # EITHER counts
+        assert poly.inferred_const_count() == 1
+
+    @pytest.mark.parametrize("depth", [2, 3])
+    def test_pipeline(self, depth):
+        mono, poly = analyze_unit(lambda g: g.unit_pipeline(depth))
+        assert mono.total_positions() == depth
+        assert mono.inferred_const_count() == depth
+        assert poly.inferred_const_count() == depth
+
+    def test_strchr_like(self):
+        mono, poly = analyze_unit(lambda g: g.unit_strchr_like())
+        assert mono.total_positions() == 2
+        assert mono.declared_count() == 1
+        assert mono.inferred_const_count() == 2
+        assert poly.inferred_const_count() == 2
+
+
+class TestCUnits:
+    def test_selector_gap_is_three(self):
+        mono, poly = analyze_unit(lambda g: g.unit_selector())
+        assert mono.total_positions() == 3
+        assert mono.inferred_const_count() == 0
+        assert poly.inferred_const_count() == 3
+
+    def test_forwarder_gap_is_two(self):
+        mono, poly = analyze_unit(lambda g: g.unit_forwarder())
+        assert mono.total_positions() == 2
+        assert mono.inferred_const_count() == 0
+        assert poly.inferred_const_count() == 2
+
+    def test_global_getter_gap_is_one(self):
+        mono, poly = analyze_unit(lambda g: g.unit_global_getter())
+        assert mono.total_positions() == 1
+        assert mono.inferred_const_count() == 0
+        assert poly.inferred_const_count() == 1
+
+
+class TestDUnits:
+    def test_writer(self):
+        mono, poly = analyze_unit(lambda g: g.unit_writer())
+        assert mono.total_positions() == 1
+        assert mono.inferred_const_count() == 0
+        assert poly.inferred_const_count() == 0
+
+    def test_library_wrapper(self):
+        mono, poly = analyze_unit(lambda g: g.unit_library_wrapper())
+        assert mono.total_positions() == 1
+        assert mono.inferred_const_count() == 0
+        assert poly.inferred_const_count() == 0
+
+
+class TestFillerAndDrivers:
+    def test_filler_has_no_positions(self):
+        def build(g):
+            for _ in range(5):
+                g.unit_filler()
+
+        mono, _poly = analyze_unit(build)
+        assert mono.total_positions() == 0
+
+    def test_driver_does_not_change_classification(self):
+        def build(g):
+            g.unit_plain_reader()
+            g.unit_writer()
+            g.unit_driver(list(g._reader_names))
+
+        mono, poly = analyze_unit(build)
+        assert mono.total_positions() == 2
+        assert mono.inferred_const_count() == 1
+        assert poly.inferred_const_count() == 1
+
+    def test_units_compose_additively(self):
+        def build(g):
+            g.unit_declared_reader()
+            g.unit_plain_reader()
+            g.unit_selector()
+            g.unit_writer()
+            g.unit_library_wrapper()
+
+        mono, poly = analyze_unit(build)
+        # 1a + 1b + 3c + 2d
+        assert mono.total_positions() == 7
+        assert mono.declared_count() == 1
+        assert mono.inferred_const_count() == 2
+        assert poly.inferred_const_count() == 5
+
+
+class TestSeedsStable:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 17])
+    def test_selector_gap_stable_across_seeds(self, seed):
+        mono, poly = analyze_unit(lambda g: g.unit_selector(), seed=seed)
+        assert poly.inferred_const_count() - mono.inferred_const_count() == 3

@@ -1,0 +1,323 @@
+"""Behavioural tests for C const inference (Section 4): classification of
+interesting positions under the monomorphic engine, and the Section 4.2
+special cases (structs, typedefs, casts, libraries, varargs)."""
+
+import pytest
+
+from repro.cfront.sema import Program
+from repro.constinfer.engine import ConstInferenceError, run_mono, run_poly
+from repro.qual.solver import Classification
+
+
+def classify(source, mode="mono"):
+    """Map 'function/where' -> Classification for a program."""
+    program = Program.from_source(source)
+    run = run_mono(program) if mode == "mono" else run_poly(program)
+    out = {}
+    for position, verdict in run.classified_positions():
+        out[f"{position.function}/{position.where}@{position.depth}"] = verdict
+    return run, out
+
+
+class TestBasicClassification:
+    def test_read_only_param_may_be_const(self):
+        _, c = classify("int peek(int *p) { return *p; }")
+        assert c["peek/param 0 (p)@1"] is Classification.EITHER
+
+    def test_written_param_must_not_be_const(self):
+        _, c = classify("void poke(int *p) { *p = 1; }")
+        assert c["poke/param 0 (p)@1"] is Classification.MUST_NOT
+
+    def test_declared_const_is_must(self):
+        _, c = classify("int peek(const int *p) { return *p; }")
+        assert c["peek/param 0 (p)@1"] is Classification.MUST
+
+    def test_index_write(self):
+        _, c = classify("void fill(int *p) { p[3] = 1; }")
+        assert c["fill/param 0 (p)@1"] is Classification.MUST_NOT
+
+    def test_increment_write(self):
+        _, c = classify("void bump(int *p) { (*p)++; }")
+        assert c["bump/param 0 (p)@1"] is Classification.MUST_NOT
+
+    def test_compound_assignment_write(self):
+        _, c = classify("void add(int *p, int d) { *p += d; }")
+        assert c["add/param 0 (p)@1"] is Classification.MUST_NOT
+
+    def test_pointer_increment_is_not_a_write_through(self):
+        # s++ changes the (by-value) parameter, not the pointed-to cell.
+        _, c = classify("int len(char *s) { int n = 0; while (*s) { s++; n++; } return n; }")
+        assert c["len/param 0 (s)@1"] is Classification.EITHER
+
+    def test_scalar_params_not_counted(self):
+        run, c = classify("int add(int a, int b) { return a + b; }")
+        assert run.total_positions() == 0
+
+    def test_return_pointer_position_counted(self):
+        run, c = classify("int *f(int *x) { return x; }")
+        assert "f/return@1" in c
+        assert run.total_positions() == 2
+
+    def test_double_pointer_two_positions(self):
+        run, c = classify("int probe(int **pp) { return **pp; }")
+        assert "probe/param 0 (pp)@1" in c
+        assert "probe/param 0 (pp)@2" in c
+
+
+class TestFlowPropagation:
+    def test_write_via_callee_propagates_to_caller_param(self):
+        _, c = classify(
+            """
+            void inner(int *q) { *q = 1; }
+            void outer(int *p) { inner(p); }
+            """
+        )
+        assert c["outer/param 0 (p)@1"] is Classification.MUST_NOT
+
+    def test_read_only_chain_stays_constable(self):
+        _, c = classify(
+            """
+            int inner(int *q) { return *q; }
+            int outer(int *p) { return inner(p); }
+            """
+        )
+        assert c["outer/param 0 (p)@1"] is Classification.EITHER
+        assert c["inner/param 0 (q)@1"] is Classification.EITHER
+
+    def test_declared_const_does_not_force_caller(self):
+        # passing a writable buffer to a const param is fine (top-level
+        # promotion): the caller's own positions stay unconstrained.
+        _, c = classify(
+            """
+            int reader(const int *p) { return *p; }
+            int relay(int *q) { return reader(q); }
+            """
+        )
+        assert c["relay/param 0 (q)@1"] is Classification.EITHER
+
+    def test_write_through_returned_pointer(self):
+        _, c = classify(
+            """
+            int *id(int *x) { return x; }
+            void user(void) { int v; *id(&v) = 3; }
+            """
+        )
+        assert c["id/return@1"] is Classification.MUST_NOT
+        assert c["id/param 0 (x)@1"] is Classification.MUST_NOT
+
+    def test_address_of_shares_cell(self):
+        _, c = classify(
+            """
+            void writer(int *p) { *p = 1; }
+            int probe(int *q) { writer(q); return *q; }
+            """
+        )
+        assert c["probe/param 0 (q)@1"] is Classification.MUST_NOT
+
+    def test_conditional_merges_aliases(self):
+        _, c = classify(
+            """
+            void pick(int *a, int *b, int w) {
+                int *r;
+                r = w ? a : b;
+                *r = 9;
+            }
+            """
+        )
+        assert c["pick/param 0 (a)@1"] is Classification.MUST_NOT
+        assert c["pick/param 1 (b)@1"] is Classification.MUST_NOT
+
+    def test_assignment_to_const_declared_param_is_error(self):
+        with pytest.raises(ConstInferenceError):
+            run_mono(Program.from_source("void bad(const int *p) { *p = 1; }"))
+
+
+class TestStructs:
+    def test_shared_field_links_different_instances(self):
+        # Section 4.2: fields share one annotation per struct definition,
+        # so a pointer stored into the field by one function is equated
+        # with the field contents every other function sees: the write in
+        # `zap` (through its own struct) pins `put`'s stored pointer.
+        _, c = classify(
+            """
+            struct st { int *slot; };
+            void put(struct st *s, int *p) { s->slot = p; }
+            void zap(struct st *t) { *(t->slot) = 2; }
+            """
+        )
+        assert c["put/param 1 (p)@1"] is Classification.MUST_NOT
+
+    def test_returning_shared_field_stays_promotable(self):
+        # A const VIEW of a cell written through another alias is still
+        # legal C (top-level promotion), so expose's return may be const
+        # even though `writer` writes the pointee.
+        _, c = classify(
+            """
+            struct st { int *slot; };
+            void writer(struct st *s) { *(s->slot) = 1; }
+            int *expose(struct st *u) { return u->slot; }
+            """
+        )
+        assert c["expose/return@1"] is Classification.EITHER
+
+    def test_struct_assignment_requires_nonconst_target(self):
+        _, c = classify(
+            """
+            struct st { int x; };
+            void copy(struct st *dst, struct st *src) { *dst = *src; }
+            """
+        )
+        assert c["copy/param 0 (dst)@1"] is Classification.MUST_NOT
+        assert c["copy/param 1 (src)@1"] is Classification.EITHER
+
+    def test_dot_and_arrow_agree(self):
+        _, c = classify(
+            """
+            struct p { int v; };
+            void set1(struct p *s) { s->v = 1; }
+            """
+        )
+        # writing a scalar field does not pin the struct pointer itself
+        # (the field cell, not the struct cell, is written)... but the
+        # field cell is shared and not an interesting position.
+        assert c["set1/param 0 (s)@1"] is Classification.EITHER
+
+
+class TestTypedefs:
+    def test_typedef_instances_independent(self):
+        # Section 4.2: typedefs are macro-expanded; c and d share nothing.
+        _, c = classify(
+            """
+            typedef int *ip;
+            void wr(ip c) { *c = 1; }
+            int rd(ip d) { return *d; }
+            """
+        )
+        assert c["wr/param 0 (c)@1"] is Classification.MUST_NOT
+        assert c["rd/param 0 (d)@1"] is Classification.EITHER
+
+    def test_typedef_const_carries(self):
+        _, c = classify(
+            """
+            typedef const int ci;
+            int rd(ci *p) { return *p; }
+            """
+        )
+        assert c["rd/param 0 (p)@1"] is Classification.MUST
+
+
+class TestCasts:
+    def test_explicit_cast_severs_association(self):
+        # the strchr pattern: const param, cast return stays free
+        _, c = classify(
+            """
+            char *find(const char *s) { return (char *)s; }
+            """
+        )
+        assert c["find/param 0 (s)@1"] is Classification.MUST
+        assert c["find/return@1"] is Classification.EITHER
+
+    def test_write_through_cast_result_does_not_reach_source(self):
+        _, c = classify(
+            """
+            void sneak(const char *s) { *(char *)s = 'x'; }
+            """
+        )
+        # the write lands on the severed cast cell; s keeps its const.
+        assert c["sneak/param 0 (s)@1"] is Classification.MUST
+
+    def test_cast_type_consts_still_apply(self):
+        run, _ = classify("void f(void) { int x; x = *(const int *)0; }")
+        assert run is not None  # no crash; constraints satisfiable
+
+
+class TestLibrariesAndVarargs:
+    def test_library_param_pinned_nonconst(self):
+        _, c = classify(
+            """
+            extern void lib_fill(int *dst);
+            void wrap(int *out) { lib_fill(out); }
+            """
+        )
+        assert c["wrap/param 0 (out)@1"] is Classification.MUST_NOT
+
+    def test_library_const_param_not_pinned(self):
+        _, c = classify(
+            """
+            extern int lib_len(const char *s);
+            int wrap(char *s) { return lib_len(s); }
+            """
+        )
+        assert c["wrap/param 0 (s)@1"] is Classification.EITHER
+
+    def test_unknown_function_conservative(self):
+        _, c = classify(
+            "void wrap(int *out) { totally_unknown(out); }"
+        )
+        assert c["wrap/param 0 (out)@1"] is Classification.MUST_NOT
+
+    def test_extra_arguments_ignored(self):
+        run, c = classify(
+            """
+            int one(int *p) { return *p; }
+            int call(void) { int v; return one(&v, 1, 2, 3); }
+            """
+        )
+        assert c["one/param 0 (p)@1"] is Classification.EITHER
+
+    def test_varargs_extra_args_ignored(self):
+        _, c = classify(
+            """
+            int logmsg(const char *fmt, ...) { return *fmt; }
+            int use(void) { int x; return logmsg("hi", &x, x); }
+            """
+        )
+        assert c["logmsg/param 0 (fmt)@1"] is Classification.MUST
+
+
+class TestGlobals:
+    def test_global_written_by_pointer(self):
+        _, c = classify(
+            """
+            int counter;
+            int *get(void) { return &counter; }
+            void set(void) { *get() = 1; }
+            """
+        )
+        assert c["get/return@1"] is Classification.MUST_NOT
+
+    def test_global_initializer_analyzed(self):
+        run, c = classify(
+            """
+            int make(int *p) { return *p; }
+            int seed;
+            int start = 0;
+            """
+        )
+        assert run.total_positions() == 1
+
+    def test_string_literal_contents_free(self):
+        _, c = classify(
+            """
+            int use(char *s) { return *s; }
+            int go(void) { return use("hi"); }
+            """
+        )
+        # passing a literal must not pin use's parameter either way
+        assert c["use/param 0 (s)@1"] is Classification.EITHER
+
+
+class TestCounts:
+    def test_count_arithmetic(self):
+        run, _ = classify(
+            """
+            int a(const int *p) { return *p; }      /* declared */
+            int b(int *p) { return *p; }            /* either */
+            void c(int *p) { *p = 1; }              /* must not */
+            """
+        )
+        assert run.total_positions() == 3
+        assert run.declared_count() == 1
+        assert run.inferred_const_count() == 2  # declared + either
+        assert run.must_not_count() == 1
+        assert run.either_count() == 1

@@ -1,0 +1,350 @@
+"""Unit tests for the C parser: declarators, typedefs, structs,
+statements, and the expression grammar."""
+
+import pytest
+
+from repro.cfront.cast import (
+    Assignment,
+    Binary,
+    Call,
+    Cast,
+    Conditional,
+    FuncDecl,
+    FuncDef,
+    Ident,
+    Index,
+    IntConst,
+    Member,
+    StructDef,
+    TypedefDecl,
+    Unary,
+    VarDecl,
+)
+from repro.cfront.cparser import CParseError, parse_c
+from repro.cfront.ctypes import (
+    CArray,
+    CBase,
+    CFunc,
+    CPointer,
+    CStruct,
+    format_ctype,
+)
+
+
+def only(unit, kind):
+    out = [i for i in unit.items if isinstance(i, kind)]
+    assert len(out) == 1
+    return out[0]
+
+
+class TestDeclarations:
+    def test_simple_int(self):
+        decl = only(parse_c("int x;"), VarDecl)
+        assert decl.name == "x" and decl.type == CBase("int")
+
+    def test_const_int(self):
+        decl = only(parse_c("const int x;"), VarDecl)
+        assert "const" in decl.type.quals
+
+    def test_multi_declarator(self):
+        unit = parse_c("int a, *b, c[4];")
+        names = {d.name: d.type for d in unit.items}
+        assert names["a"] == CBase("int")
+        assert isinstance(names["b"], CPointer)
+        assert isinstance(names["c"], CArray) and names["c"].size == 4
+
+    def test_pointer_to_const(self):
+        decl = only(parse_c("const char *s;"), VarDecl)
+        assert isinstance(decl.type, CPointer)
+        assert "const" in decl.type.target.quals
+
+    def test_const_pointer(self):
+        decl = only(parse_c("char * const p;"), VarDecl)
+        assert "const" in decl.type.quals
+        assert "const" not in decl.type.target.quals
+
+    def test_double_pointer(self):
+        decl = only(parse_c("int **pp;"), VarDecl)
+        assert isinstance(decl.type, CPointer)
+        assert isinstance(decl.type.target, CPointer)
+
+    def test_storage_classes(self):
+        decl = only(parse_c("static int x;"), VarDecl)
+        assert decl.storage == "static"
+        decl = only(parse_c("extern int y;"), VarDecl)
+        assert decl.storage == "extern"
+
+    def test_initializer(self):
+        decl = only(parse_c("int x = 42;"), VarDecl)
+        assert decl.init == IntConst(42)
+
+    def test_multiword_kinds(self):
+        assert only(parse_c("unsigned long x;"), VarDecl).type == CBase("long")
+        assert only(parse_c("long long y;"), VarDecl).type == CBase("long long")
+        assert only(parse_c("unsigned z;"), VarDecl).type == CBase("int")
+
+
+class TestFunctionDeclarators:
+    def test_prototype(self):
+        decl = only(parse_c("int f(int a, char *b);"), FuncDecl)
+        assert decl.name == "f"
+        assert [p.name for p in decl.params] == ["a", "b"]
+
+    def test_definition(self):
+        fdef = only(parse_c("int f(int a) { return a; }"), FuncDef)
+        assert fdef.name == "f" and len(fdef.body.body) == 1
+
+    def test_void_params(self):
+        decl = only(parse_c("int f(void);"), FuncDecl)
+        assert decl.params == ()
+
+    def test_varargs(self):
+        decl = only(parse_c("int printf(const char *fmt, ...);"), FuncDecl)
+        assert decl.varargs
+
+    def test_pointer_return(self):
+        fdef = only(parse_c("int *f(int *x) { return x; }"), FuncDef)
+        assert isinstance(fdef.ret, CPointer)
+
+    def test_function_pointer_param(self):
+        decl = only(parse_c("void apply(void (*cb)(int));"), FuncDecl)
+        param = decl.params[0].type
+        assert isinstance(param, CPointer)
+        assert isinstance(param.target, CFunc)
+
+    def test_function_pointer_variable(self):
+        decl = only(parse_c("int (*handler)(int, int);"), VarDecl)
+        assert isinstance(decl.type, CPointer)
+        assert isinstance(decl.type.target, CFunc)
+        assert len(decl.type.target.params) == 2
+
+    def test_array_param_decays(self):
+        decl = only(parse_c("int sum(int a[], int n);"), FuncDecl)
+        assert isinstance(decl.params[0].type, CPointer)
+
+    def test_format_roundtrip_style(self):
+        decl = only(parse_c("const char *s;"), VarDecl)
+        assert format_ctype(decl.type) == "const char *"
+
+
+class TestTypedefs:
+    def test_typedef_recorded(self):
+        unit = parse_c("typedef int myint; myint x;")
+        td = only(unit, TypedefDecl)
+        assert td.name == "myint"
+        decl = only(unit, VarDecl)
+        assert decl.type == CBase("int")
+
+    def test_typedef_pointer(self):
+        unit = parse_c("typedef int *ip; ip p;")
+        decl = only(unit, VarDecl)
+        assert isinstance(decl.type, CPointer)
+
+    def test_paper_ci_typedef(self):
+        # typedef const int ci; ci *x => pointer to const int
+        unit = parse_c("typedef const int ci; ci *x;")
+        decl = only(unit, VarDecl)
+        assert isinstance(decl.type, CPointer)
+        assert "const" in decl.type.target.quals
+
+    def test_typedef_of_struct(self):
+        unit = parse_c("typedef struct p { int x; } pt; pt v;")
+        decl = only(unit, VarDecl)
+        assert isinstance(decl.type, CStruct) and decl.type.tag == "p"
+
+
+class TestStructsAndEnums:
+    def test_struct_definition(self):
+        sd = only(parse_c("struct st { int x; char *name; };"), StructDef)
+        assert sd.tag == "st"
+        assert [f.name for f in sd.fields] == ["x", "name"]
+
+    def test_struct_multi_field_declarator(self):
+        sd = only(parse_c("struct p { int x, y; };"), StructDef)
+        assert [f.name for f in sd.fields] == ["x", "y"]
+
+    def test_anonymous_struct_gets_tag(self):
+        unit = parse_c("struct { int a; } v;")
+        sd = only(unit, StructDef)
+        assert sd.tag.startswith("__struct")
+
+    def test_union(self):
+        sd = only(parse_c("union u { int i; char c; };"), StructDef)
+        assert sd.is_union
+
+    def test_self_referential_struct(self):
+        sd = only(parse_c("struct node { struct node *next; int v; };"), StructDef)
+        next_type = sd.fields[0].type
+        assert isinstance(next_type, CPointer)
+        assert next_type.target.tag == "node"
+
+    def test_enum(self):
+        from repro.cfront.cast import EnumDef
+
+        unit = parse_c("enum color { RED, GREEN = 5, BLUE };")
+        ed = only(unit, EnumDef)
+        assert [name for name, _ in ed.enumerators] == ["RED", "GREEN", "BLUE"]
+
+    def test_bitfields_parsed_and_ignored(self):
+        sd = only(parse_c("struct flags { int a : 1; int b : 2; };"), StructDef)
+        assert len(sd.fields) == 2
+
+
+class TestStatements:
+    def _body(self, code):
+        fdef = only(parse_c(f"void f(void) {{ {code} }}"), FuncDef)
+        return fdef.body.body
+
+    def test_if_else(self):
+        from repro.cfront.cast import IfStmt
+
+        (stmt,) = self._body("if (1) { } else { }")
+        assert isinstance(stmt, IfStmt) and stmt.other is not None
+
+    def test_while(self):
+        from repro.cfront.cast import WhileStmt
+
+        (stmt,) = self._body("while (x) x--;")
+        assert isinstance(stmt, WhileStmt)
+
+    def test_do_while(self):
+        from repro.cfront.cast import DoWhileStmt
+
+        (stmt,) = self._body("do x++; while (x < 3);")
+        assert isinstance(stmt, DoWhileStmt)
+
+    def test_for_with_declaration(self):
+        from repro.cfront.cast import DeclStmt, ForStmt
+
+        (stmt,) = self._body("for (int i = 0; i < 3; i++) ;")
+        assert isinstance(stmt, ForStmt)
+        assert isinstance(stmt.init, DeclStmt)
+
+    def test_for_empty_clauses(self):
+        from repro.cfront.cast import ForStmt
+
+        (stmt,) = self._body("for (;;) break;")
+        assert isinstance(stmt, ForStmt)
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_switch_case_default(self):
+        from repro.cfront.cast import CaseStmt, SwitchStmt
+
+        (stmt,) = self._body("switch (x) { case 1: break; default: break; }")
+        assert isinstance(stmt, SwitchStmt)
+
+    def test_goto_and_label(self):
+        from repro.cfront.cast import GotoStmt, LabeledStmt
+
+        stmts = self._body("goto end; end: ;")
+        assert isinstance(stmts[0], GotoStmt)
+        assert isinstance(stmts[1], LabeledStmt)
+
+    def test_local_declarations(self):
+        from repro.cfront.cast import DeclStmt
+
+        stmts = self._body("int a = 1; const char *s; a++;")
+        assert isinstance(stmts[0], DeclStmt)
+        assert isinstance(stmts[1], DeclStmt)
+
+
+class TestExpressions:
+    def _expr(self, code):
+        fdef = only(parse_c(f"void f(void) {{ x = {code}; }}"), FuncDef)
+        stmt = fdef.body.body[0]
+        return stmt.expr.value  # type: ignore[attr-defined]
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, Binary) and e.op == "+"
+        assert isinstance(e.right, Binary) and e.right.op == "*"
+
+    def test_precedence_shift_vs_relational(self):
+        e = self._expr("1 << 2 < 3")
+        assert e.op == "<"
+
+    def test_logical_lowest(self):
+        e = self._expr("a == b && c | d")
+        assert e.op == "&&"
+
+    def test_conditional(self):
+        e = self._expr("a ? b : c ? d : e")
+        assert isinstance(e, Conditional)
+        assert isinstance(e.other, Conditional)  # right associative
+
+    def test_unary_chain(self):
+        e = self._expr("*&p")
+        assert isinstance(e, Unary) and e.op == "*"
+        assert isinstance(e.operand, Unary) and e.operand.op == "&"
+
+    def test_postfix_chain(self):
+        e = self._expr("a.b->c[1]")
+        assert isinstance(e, Index)
+        assert isinstance(e.base, Member) and e.base.arrow
+
+    def test_call_with_args(self):
+        e = self._expr("f(1, g(2), h)")
+        assert isinstance(e, Call) and len(e.args) == 3
+
+    def test_cast(self):
+        e = self._expr("(char *)s")
+        assert isinstance(e, Cast)
+        assert isinstance(e.target_type, CPointer)
+
+    def test_cast_vs_parenthesised_expr(self):
+        e = self._expr("(s)")
+        assert isinstance(e, Ident)
+
+    def test_cast_of_typedef_name(self):
+        unit = parse_c("typedef int myint; void f(void) { x = (myint)y; }")
+        fdef = [i for i in unit.items if isinstance(i, FuncDef)][0]
+        e = fdef.body.body[0].expr.value
+        assert isinstance(e, Cast)
+
+    def test_sizeof_type_and_expr(self):
+        from repro.cfront.cast import SizeofType
+
+        assert isinstance(self._expr("sizeof(int)"), SizeofType)
+        e = self._expr("sizeof x")
+        assert isinstance(e, Unary) and e.op == "sizeof"
+
+    def test_assignment_right_assoc(self):
+        fdef = only(parse_c("void f(void) { a = b = 1; }"), FuncDef)
+        e = fdef.body.body[0].expr
+        assert isinstance(e, Assignment)
+        assert isinstance(e.value, Assignment)
+
+    def test_compound_assignment(self):
+        fdef = only(parse_c("void f(void) { a += 2; }"), FuncDef)
+        assert fdef.body.body[0].expr.op == "+="
+
+    def test_string_concatenation(self):
+        from repro.cfront.cast import StringConst
+
+        e = self._expr('"ab" "cd"')
+        assert e == StringConst("abcd")
+
+    def test_comma_expression(self):
+        from repro.cfront.cast import Comma
+
+        fdef = only(parse_c("void f(void) { a = 1, b = 2; }"), FuncDef)
+        assert isinstance(fdef.body.body[0].expr, Comma)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(CParseError):
+            parse_c("int x")
+
+    def test_bad_declarator(self):
+        with pytest.raises(CParseError):
+            parse_c("int ;x")
+
+    def test_unclosed_brace(self):
+        with pytest.raises(CParseError):
+            parse_c("void f(void) { if (1) {")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(CParseError) as err:
+            parse_c("int x = ;")
+        assert "1:" in str(err.value)

@@ -1,0 +1,272 @@
+"""Extended C parser coverage: gnarlier declarators, abstract types,
+expression corner cases, and realistic code shapes from the paper's
+benchmark domain (string utilities, tables, parsers)."""
+
+import pytest
+
+from repro.cfront.cast import (
+    Cast,
+    FuncDecl,
+    FuncDef,
+    SizeofType,
+    StructDef,
+    VarDecl,
+)
+from repro.cfront.cparser import CParseError, parse_c
+from repro.cfront.ctypes import (
+    CArray,
+    CBase,
+    CFunc,
+    CPointer,
+    CStruct,
+    format_ctype,
+)
+
+
+def only(unit, kind):
+    out = [i for i in unit.items if isinstance(i, kind)]
+    assert len(out) == 1
+    return out[0]
+
+
+class TestDeclaratorZoo:
+    def test_array_of_pointers(self):
+        decl = only(parse_c("char *names[8];"), VarDecl)
+        assert isinstance(decl.type, CArray)
+        assert isinstance(decl.type.element, CPointer)
+
+    def test_pointer_to_array(self):
+        decl = only(parse_c("int (*grid)[4];"), VarDecl)
+        assert isinstance(decl.type, CPointer)
+        assert isinstance(decl.type.target, CArray)
+
+    def test_two_dimensional_array(self):
+        decl = only(parse_c("char screen[24][80];"), VarDecl)
+        assert isinstance(decl.type, CArray) and decl.type.size == 24
+        assert isinstance(decl.type.element, CArray)
+        assert decl.type.element.size == 80
+
+    def test_array_of_function_pointers(self):
+        decl = only(parse_c("int (*table[4])(int);"), VarDecl)
+        assert isinstance(decl.type, CArray)
+        assert isinstance(decl.type.element, CPointer)
+        assert isinstance(decl.type.element.target, CFunc)
+
+    def test_function_returning_function_pointer(self):
+        decl = only(parse_c("int (*pick(int which))(char);"), FuncDecl)
+        assert decl.name == "pick"
+        assert isinstance(decl.ret, CPointer)
+        assert isinstance(decl.ret.target, CFunc)
+
+    def test_const_pointer_to_const(self):
+        decl = only(parse_c("const char * const path;"), VarDecl)
+        assert "const" in decl.type.quals
+        assert "const" in decl.type.target.quals
+
+    def test_unnamed_prototype_params(self):
+        decl = only(parse_c("int cmp(const void *, const void *);"), FuncDecl)
+        assert [p.name for p in decl.params] == [None, None]
+        assert all(isinstance(p.type, CPointer) for p in decl.params)
+
+    def test_volatile_tracked(self):
+        decl = only(parse_c("volatile int ticks;"), VarDecl)
+        assert "volatile" in decl.type.quals
+
+    def test_unsigned_char_pointer(self):
+        decl = only(parse_c("unsigned char *bytes;"), VarDecl)
+        assert decl.type.target == CBase("char")
+
+    def test_format_of_complex_type(self):
+        decl = only(parse_c("int (*table[4])(int);"), VarDecl)
+        rendered = format_ctype(decl.type, "table")
+        reparsed = only(parse_c(rendered + ";"), VarDecl)
+        assert reparsed.type == decl.type
+
+
+class TestAbstractDeclarators:
+    def _cast_type(self, code):
+        unit = parse_c(f"void f(void) {{ x = {code}; }}")
+        expr = unit.functions()[0].body.body[0].expr.value
+        assert isinstance(expr, (Cast, SizeofType))
+        return expr.target_type
+
+    def test_cast_to_pointer_pointer(self):
+        t = self._cast_type("(char **)v")
+        assert isinstance(t, CPointer) and isinstance(t.target, CPointer)
+
+    def test_cast_to_function_pointer(self):
+        t = self._cast_type("(int (*)(int))v")
+        assert isinstance(t, CPointer)
+        assert isinstance(t.target, CFunc)
+
+    def test_sizeof_struct(self):
+        unit = parse_c("struct st { int a; }; void f(void) { x = sizeof(struct st); }")
+        fdef = unit.functions()[0]
+        expr = fdef.body.body[0].expr.value
+        assert isinstance(expr, SizeofType)
+        assert isinstance(expr.target_type, CStruct)
+
+    def test_sizeof_array_type(self):
+        t = self._cast_type("sizeof(int [4])")
+        assert isinstance(t, CArray)
+
+    def test_cast_to_const_pointer(self):
+        t = self._cast_type("(const char *)v")
+        assert "const" in t.target.quals
+
+
+class TestExpressionCorners:
+    def _expr(self, code):
+        unit = parse_c(f"void f(void) {{ x = {code}; }}")
+        return unit.functions()[0].body.body[0].expr.value
+
+    def test_nested_ternary_in_arg(self):
+        e = self._expr("g(a ? b : c, d)")
+        assert len(e.args) == 2
+
+    def test_call_of_call(self):
+        e = self._expr("outer(1)(2)")
+        assert e.func.func.name == "outer"
+
+    def test_address_of_member(self):
+        e = self._expr("&rec->field")
+        assert e.op == "&"
+
+    def test_dereference_of_cast(self):
+        e = self._expr("*(int *)blob")
+        assert e.op == "*"
+        assert isinstance(e.operand, Cast)
+
+    def test_postfix_on_parenthesised(self):
+        e = self._expr("(*p)++")
+        assert e.postfix and e.op == "++"
+
+    def test_chained_comparison_parses_left(self):
+        e = self._expr("a < b < c")  # legal C, means (a<b)<c
+        assert e.op == "<" and e.left.op == "<"
+
+    def test_bitwise_mix(self):
+        e = self._expr("a & b | c ^ d")
+        assert e.op == "|"
+
+    def test_shift_in_index(self):
+        e = self._expr("buf[i << 2]")
+        assert e.index.op == "<<"
+
+    def test_negative_literal_argument(self):
+        e = self._expr("g(-1, +2)")
+        assert len(e.args) == 2
+
+    def test_logical_not_chain(self):
+        e = self._expr("!!flag")
+        assert e.op == "!" and e.operand.op == "!"
+
+
+class TestRealisticShapes:
+    def test_string_table_module(self):
+        source = """
+        struct entry { const char *name; int code; };
+        static struct entry table[] = {
+            { "alpha", 1 },
+            { "beta", 2 },
+        };
+        static int table_size = 2;
+        int lookup(const char *name) {
+            int i;
+            for (i = 0; i < table_size; i++) {
+                const char *a = table[i].name;
+                const char *b = name;
+                while (*a && *b && *a == *b) { a++; b++; }
+                if (*a == *b) return table[i].code;
+            }
+            return -1;
+        }
+        """
+        unit = parse_c(source)
+        assert len(unit.functions()) == 1
+        assert only(unit, StructDef).tag == "entry"
+
+    def test_tokenizer_fragment(self):
+        source = """
+        enum tok { T_EOF, T_IDENT, T_NUM };
+        static const char *cursor;
+        static enum tok peeked;
+        enum tok next_token(void) {
+            while (*cursor == ' ' || *cursor == '\\t') cursor++;
+            if (*cursor == 0) return T_EOF;
+            if (*cursor >= '0' && *cursor <= '9') {
+                while (*cursor >= '0' && *cursor <= '9') cursor++;
+                return T_NUM;
+            }
+            cursor++;
+            return T_IDENT;
+        }
+        """
+        unit = parse_c(source)
+        fdef = unit.functions()[0]
+        assert fdef.name == "next_token"
+
+    def test_callback_dispatch(self):
+        source = """
+        typedef void (*handler_t)(int code, void *ctx);
+        struct dispatch { int code; handler_t fn; };
+        void run(struct dispatch *d, int n, void *ctx) {
+            int i;
+            for (i = 0; i < n; i++) {
+                if (d[i].fn) {
+                    d[i].fn(d[i].code, ctx);
+                }
+            }
+        }
+        """
+        unit = parse_c(source)
+        assert unit.functions()[0].name == "run"
+
+    def test_analysis_runs_on_realistic_module(self):
+        from repro.cfront.sema import Program
+        from repro.constinfer.engine import run_mono, run_poly
+
+        source = """
+        struct buf { char *data; int len; int cap; };
+        extern void *xmalloc(int n);
+        void buf_init(struct buf *b, int cap) {
+            b->data = (char *)xmalloc(cap);
+            b->len = 0;
+            b->cap = cap;
+        }
+        void buf_push(struct buf *b, char c) {
+            if (b->len < b->cap) {
+                b->data[b->len] = c;
+                b->len = b->len + 1;
+            }
+        }
+        int buf_sum(struct buf *b) {
+            int i, total = 0;
+            for (i = 0; i < b->len; i++) total += b->data[i];
+            return total;
+        }
+        """
+        program = Program.from_source(source)
+        mono = run_mono(program)
+        poly = run_poly(program)
+        assert mono.total_positions() == poly.total_positions() > 0
+
+
+class TestErrorRecoveryPositions:
+    def test_deep_error_reports_line(self):
+        source = "int ok;\nint also_ok;\nvoid f(void) {\n  int x = (;\n}\n"
+        with pytest.raises(CParseError) as err:
+            parse_c(source)
+        assert err.value.token.line == 4
+
+    def test_struct_without_tag_or_body(self):
+        with pytest.raises(CParseError):
+            parse_c("struct;")
+
+    def test_enum_without_tag_or_body(self):
+        with pytest.raises(CParseError):
+            parse_c("enum;")
+
+    def test_bad_parameter_list(self):
+        with pytest.raises(CParseError):
+            parse_c("int f(int,);")

@@ -1,0 +1,179 @@
+"""Tests for the C pretty-printer, including parse -> print -> parse
+round-trips over hand-written programs and the whole synthetic suite."""
+
+import pytest
+
+from repro.cfront.cparser import parse_c
+from repro.cfront.cpretty import (
+    format_expr,
+    format_stmt,
+    format_unit,
+    normalize_toplevel,
+)
+
+
+def roundtrip(source: str):
+    first = parse_c(source)
+    printed = format_unit(first)
+    second = parse_c(printed)
+    return first, printed, second
+
+
+def normalized(unit):
+    """Compare modulo optional braces: the printer always emits blocks,
+    so both sides are canonicalised before comparison."""
+    return [normalize_toplevel(item) for item in unit.items]
+
+
+class TestExpressions:
+    def _expr(self, code: str) -> str:
+        unit = parse_c(f"void f(void) {{ x = {code}; }}")
+        stmt = unit.functions()[0].body.body[0]
+        return format_expr(stmt.expr.value)  # type: ignore[attr-defined]
+
+    def test_precedence_no_spurious_parens(self):
+        assert self._expr("1 + 2 * 3") == "1 + 2 * 3"
+
+    def test_precedence_needed_parens(self):
+        assert self._expr("(1 + 2) * 3") == "(1 + 2) * 3"
+
+    def test_left_associativity(self):
+        assert self._expr("1 - 2 - 3") == "1 - 2 - 3"
+        assert self._expr("1 - (2 - 3)") == "1 - (2 - 3)"
+
+    def test_unary_spacing(self):
+        assert self._expr("- -x") == "- -x"
+        assert self._expr("-~x") == "-~x"
+
+    def test_conditional(self):
+        assert self._expr("a ? b : c") == "a ? b : c"
+
+    def test_member_chain(self):
+        assert self._expr("a.b->c[0]") == "a.b->c[0]"
+
+    def test_cast(self):
+        assert self._expr("(char *)s") == "(char *)s"
+
+    def test_sizeof(self):
+        assert self._expr("sizeof(int)") == "sizeof(int)"
+
+    def test_char_escapes(self):
+        assert self._expr(r"'\n'") == r"'\n'"
+        assert self._expr("'a'") == "'a'"
+
+    def test_string_escapes(self):
+        unit = parse_c(r'char *s = "a\tb";')
+        assert r'"a\tb"' in format_unit(unit)
+
+
+PROGRAMS = [
+    "int x;",
+    "const char *greeting = \"hi\";",
+    "int a, *b, c[4];",
+    "char * const p;",
+    "typedef struct pt { int x, y; } point;",
+    "struct node { struct node *next; int v; };",
+    "enum color { RED, GREEN = 5, BLUE };",
+    "extern int printf(const char *fmt, ...);",
+    "int (*handler)(int, char *);",
+    """
+    int fact(int n) {
+        if (n <= 1) return 1;
+        return n * fact(n - 1);
+    }
+    """,
+    """
+    void control(int n) {
+        int i;
+        for (i = 0; i < n; i++) {
+            while (i) { i--; }
+            do { i++; } while (i < 2);
+            switch (i) {
+                case 0: break;
+                default: continue;
+            }
+        }
+    }
+    """,
+    """
+    char *find(const char *s, int c) {
+        while (*s) {
+            if (*s == c) return (char *)s;
+            s++;
+        }
+        return (char *)0;
+    }
+    """,
+    """
+    void gotoish(int n) {
+        if (n) goto out;
+        n = 1;
+    out:
+        return;
+    }
+    """,
+    """
+    struct st { int *slot; };
+    void put(struct st *s, int *p) { s->slot = p; }
+    int probe(struct st *u) { return *(u->slot); }
+    """,
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_roundtrip_structural_equality(source):
+    first, printed, second = roundtrip(source)
+    assert normalized(first) == normalized(second), printed
+
+
+def test_roundtrip_idempotent():
+    source = PROGRAMS[-1]
+    unit = parse_c(source)
+    once = format_unit(unit)
+    twice = format_unit(parse_c(once))
+    assert once == twice
+
+
+class TestSuiteRoundTrip:
+    def test_generated_benchmark_roundtrips(self):
+        from repro.benchsuite.generator import PositionMix, generate_benchmark
+
+        source = generate_benchmark(
+            "roundtrip", 3, PositionMix(4, 4, 3, 4), target_lines=0
+        )
+        first, printed, second = roundtrip(source)
+        assert normalized(first) == normalized(second)
+
+    def test_roundtrip_preserves_analysis_results(self):
+        """The printer must not change the meaning the analysis sees."""
+        from repro.benchsuite.generator import PositionMix, generate_benchmark
+        from repro.cfront.sema import Program
+        from repro.constinfer.engine import run_mono
+
+        source = generate_benchmark(
+            "meaning", 9, PositionMix(3, 3, 3, 3), target_lines=0
+        )
+        original = run_mono(Program.from_source(source))
+        reprinted = run_mono(
+            Program.from_source(format_unit(parse_c(source)))
+        )
+        assert original.declared_count() == reprinted.declared_count()
+        assert original.inferred_const_count() == reprinted.inferred_const_count()
+        assert original.total_positions() == reprinted.total_positions()
+
+
+class TestStatements:
+    def test_empty_compound(self):
+        unit = parse_c("void f(void) { }")
+        assert "{" in format_unit(unit)
+
+    def test_decl_with_storage(self):
+        unit = parse_c("void f(void) { static int cache = 1; }")
+        assert "static int cache = 1;" in format_unit(unit)
+
+    def test_if_else_blocks(self):
+        unit = parse_c("void f(int n) { if (n) n--; else n++; }")
+        text = format_unit(unit)
+        assert "else" in text
+        # bodies are always blockified: no dangling-else hazards
+        assert text.count("{") >= 3

@@ -1,0 +1,190 @@
+"""Unit tests for C types and the Section 4.1 ``l`` translation."""
+
+import pytest
+
+from repro.cfront.ctypes import (
+    CArray,
+    CBase,
+    CEnum,
+    CFunc,
+    CPointer,
+    CStruct,
+    add_qual,
+    base_con,
+    decay,
+    format_ctype,
+    fun_con,
+    is_arithmetic,
+    is_const,
+    is_pointerish,
+    lvalue_qtype,
+    pointee,
+    pointer_depth,
+    pointer_levels,
+    with_quals,
+)
+from repro.qual.qtypes import QualVar, REF
+
+
+class TestCTypeBasics:
+    def test_quals(self):
+        t = add_qual(CBase("int"), "const")
+        assert is_const(t)
+        assert not is_const(CBase("int"))
+
+    def test_with_quals_replaces(self):
+        t = with_quals(add_qual(CBase("int"), "const"), frozenset())
+        assert not is_const(t)
+
+    def test_func_never_const(self):
+        f = CFunc(CBase("int"), ())
+        assert not is_const(f)
+        assert add_qual(f, "const") is f
+
+    def test_pointerish(self):
+        assert is_pointerish(CPointer(CBase("int")))
+        assert is_pointerish(CArray(CBase("int"), 4))
+        assert not is_pointerish(CBase("int"))
+
+    def test_pointee(self):
+        assert pointee(CPointer(CBase("char"))) == CBase("char")
+        assert pointee(CArray(CBase("char"), None)) == CBase("char")
+        with pytest.raises(TypeError):
+            pointee(CBase("int"))
+
+    def test_decay(self):
+        assert decay(CArray(CBase("int"), 3)) == CPointer(CBase("int"))
+        f = CFunc(CBase("int"), ())
+        assert decay(f) == CPointer(f)
+        assert decay(CBase("int")) == CBase("int")
+
+    def test_pointer_depth(self):
+        assert pointer_depth(CBase("int")) == 0
+        assert pointer_depth(CPointer(CPointer(CBase("int")))) == 2
+        assert pointer_depth(CArray(CPointer(CBase("int")), 2)) == 2
+
+    def test_pointer_levels(self):
+        t = CPointer(CPointer(CBase("int")))
+        levels = list(pointer_levels(t))
+        assert levels == [CPointer(CBase("int")), CBase("int")]
+
+    def test_is_arithmetic(self):
+        assert is_arithmetic(CBase("int"))
+        assert is_arithmetic(CEnum("e"))
+        assert not is_arithmetic(CBase("void"))
+        assert not is_arithmetic(CPointer(CBase("int")))
+
+
+class TestConstructorInterning:
+    def test_base_con_interned(self):
+        assert base_con("int") is base_con("int")
+        assert base_con("int") is not base_con("char")
+
+    def test_fun_con_variances(self):
+        con = fun_con(2)
+        assert con.arity == 3  # 2 params + result
+        from repro.qual.qtypes import Variance
+
+        assert con.variances[:2] == (Variance.CONTRAVARIANT,) * 2
+        assert con.variances[2] is Variance.COVARIANT
+
+    def test_fun_con_interned(self):
+        assert fun_con(3) is fun_con(3)
+
+
+class TestLTranslation:
+    """l(CTyp) = Q' ref(rho): one outer ref, C quals shifted up a level."""
+
+    def test_plain_int(self):
+        t = lvalue_qtype(CBase("int"))
+        assert t.qtype.constructor is REF
+        assert len(t.levels) == 1
+        assert t.levels[0].depth == 0
+        assert not t.levels[0].declared_const
+
+    def test_const_int_marks_level0(self):
+        # const int y: the const attaches to y's own cell (the ref).
+        t = lvalue_qtype(add_qual(CBase("int"), "const"))
+        assert t.levels[0].declared_const
+
+    def test_pointer_shape(self):
+        # int *x: ref(ref(int)) with depths 0 and 1.
+        t = lvalue_qtype(CPointer(CBase("int")))
+        assert t.qtype.constructor is REF
+        inner = t.qtype.args[0]
+        assert inner.constructor is REF
+        assert [lv.depth for lv in t.levels] == [0, 1]
+
+    def test_pointer_to_const_marks_depth1(self):
+        # const int *y: l = ref(const ref(int)) — paper Section 4.1.
+        t = lvalue_qtype(CPointer(add_qual(CBase("int"), "const")))
+        by_depth = {lv.depth: lv.declared_const for lv in t.levels}
+        assert by_depth == {0: False, 1: True}
+
+    def test_const_pointer_marks_depth0(self):
+        # int * const y: the pointer cell itself is const.
+        t = lvalue_qtype(add_qual(CPointer(CBase("int")), "const"))
+        by_depth = {lv.depth: lv.declared_const for lv in t.levels}
+        assert by_depth == {0: True, 1: False}
+
+    def test_double_pointer_depths(self):
+        t = lvalue_qtype(CPointer(CPointer(CBase("char"))))
+        assert sorted(lv.depth for lv in t.levels) == [0, 1, 2]
+
+    def test_array_treated_as_pointer(self):
+        t = lvalue_qtype(CArray(CBase("int"), 8))
+        assert [lv.depth for lv in t.levels] == [0, 1]
+
+    def test_fresh_vars_distinct(self):
+        t = lvalue_qtype(CPointer(CBase("int")))
+        vars_seen = [lv.var for lv in t.levels]
+        assert len(set(vars_seen)) == len(vars_seen)
+        assert all(isinstance(v, QualVar) for v in vars_seen)
+
+    def test_rvalue_drops_outer_ref(self):
+        t = lvalue_qtype(CPointer(CBase("int")))
+        rv = t.rvalue
+        assert rv.constructor is REF  # the pointer value is itself a ref
+
+    def test_function_type_shape(self):
+        t = lvalue_qtype(CFunc(CBase("int"), (CPointer(CBase("char")),)))
+        rv = t.rvalue
+        assert rv.constructor is not None
+        assert rv.constructor.name == "cfun1"
+
+    def test_struct_opaque_shape(self):
+        t = lvalue_qtype(CStruct("st"))
+        rv = t.rvalue
+        assert rv.constructor.name == "struct st"
+
+    def test_union_shape(self):
+        t = lvalue_qtype(CStruct("u", is_union=True))
+        assert t.rvalue.constructor.name == "union u"
+
+    def test_enum_is_int_shaped(self):
+        t = lvalue_qtype(CEnum("color"))
+        assert t.rvalue.constructor.name == "int"
+
+
+class TestFormatting:
+    def test_simple(self):
+        assert format_ctype(CBase("int")) == "int"
+
+    def test_pointer(self):
+        assert format_ctype(CPointer(CBase("char")), "s") == "char *s"
+
+    def test_const_levels(self):
+        t = CPointer(add_qual(CBase("int"), "const"))
+        assert format_ctype(t, "p") == "const int *p"
+        t2 = add_qual(CPointer(CBase("int")), "const")
+        assert format_ctype(t2, "p") == "int *const p"
+
+    def test_array(self):
+        assert format_ctype(CArray(CBase("int"), 4), "a") == "int a[4]"
+
+    def test_function_pointer(self):
+        t = CPointer(CFunc(CBase("void"), (CBase("int"),)))
+        assert format_ctype(t, "cb") == "void (*cb)(int)"
+
+    def test_struct(self):
+        assert format_ctype(CStruct("st"), "v") == "struct st v"

@@ -1,0 +1,142 @@
+"""Tests for Figure 4b derivation reconstruction and verification."""
+
+import pytest
+
+from repro.lam.derivation import Derivation, DerivationError, derive, verify
+from repro.lam.infer import QualifiedLanguage, const_language
+from repro.lam.parser import parse
+from repro.qual.qualifiers import const_nonzero_lattice, make_lattice
+
+
+@pytest.fixture
+def lang():
+    return const_language()
+
+
+@pytest.fixture
+def cn_lang():
+    return QualifiedLanguage(
+        const_nonzero_lattice(), assign_restrictions=("const",)
+    )
+
+
+class TestConstruction:
+    def test_literal(self, lang):
+        d = derive(parse("42"), lang)
+        assert d.rule == "Int"
+        assert "int" in d.judgment()
+
+    def test_application_has_sub_node_when_needed(self, lang):
+        d = derive(parse("(fn x. x|{const}) ({const} 1)"), lang)
+        rules = [n.rule for n in d.nodes()]
+        assert rules[0] == "App"
+        assert "Lam" in rules and "Annot" in rules
+
+    def test_if_subsumption(self, lang):
+        d = derive(parse("if 1 then {const} 2 else 3 fi"), lang)
+        rules = [n.rule for n in d.nodes()]
+        assert "Sub" in rules  # the plain branch is promoted to const
+
+    def test_assign_rule_named(self, lang):
+        d = derive(parse("let r = ref 1 in (r := 2) ni"), lang)
+        rules = [n.rule for n in d.nodes()]
+        assert "Assign'" in rules
+        assert "Ref" in rules and "Deref" not in rules
+
+    def test_let_vs_letv(self, lang):
+        mono = derive(parse("let f = fn x. x in f 1 ni"), lang)
+        assert any(n.rule == "Let" for n in mono.nodes())
+        poly = derive(parse("let f = fn x. x in f 1 ni"), lang, polymorphic=True)
+        assert any(n.rule == "Letv" for n in poly.nodes())
+
+    def test_deref(self, lang):
+        d = derive(parse("!(ref 1)"), lang)
+        assert d.rule == "Deref"
+
+    def test_render_is_indented_tree(self, lang):
+        d = derive(parse("(fn x. x) 1"), lang)
+        text = str(d)
+        lines = text.split("\n")
+        assert lines[0].startswith("(App)")
+        assert any(line.startswith("  (") for line in lines)
+
+    def test_side_conditions_recorded(self, lang):
+        d = derive(parse("(42)|{const}"), lang)
+        assert d.rule == "Assert"
+        assert "Q <=" in d.side_condition
+
+
+class TestVerification:
+    PROGRAMS = [
+        "42",
+        "(fn x. x) 7",
+        "let r = ref 1 in (r := 2) ni",
+        "if 1 then {const} 2 else 3 fi",
+        "let x = ref ({nonzero} 37) in (!x)|{nonzero} ni",
+        "let id = fn x. x in id (ref 1) ni",
+        "(fn x. x|{const}) ({const} 1)",
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_reconstructed_derivations_verify(self, source, cn_lang):
+        d = derive(parse(source), cn_lang)
+        verify(d, cn_lang.lattice)  # must not raise
+
+    def test_tampered_sub_rejected(self, cn_lang):
+        d = derive(parse("if 1 then {const} 2 else 3 fi"), cn_lang)
+        # find the Sub node and flip it to an invalid demotion
+        sub = next(n for n in d.nodes() if n.rule == "Sub")
+        tampered = Derivation("Sub", sub.expr, sub.premises[0].qtype, [sub])
+        # demoting const -> plain is not a valid subsumption
+        bad = Derivation(
+            "Sub",
+            sub.expr,
+            sub.premises[0].qtype,
+            [Derivation("Int", sub.expr, sub.qtype)],
+        )
+        with pytest.raises(DerivationError):
+            verify(bad, cn_lang.lattice)
+        del tampered
+
+    def test_tampered_assertion_rejected(self, cn_lang):
+        # derive `({} 1)|{}`: the inner value definitely lacks nonzero.
+        d = derive(parse("({} 1)|{}"), cn_lang)
+        inner = d.premises[0]
+        # tamper the bound into one demanding nonzero present: the
+        # checker must notice the inner qualifier cannot satisfy it.
+        from repro.lam.ast import Assert, qual_literal
+
+        fake_expr = Assert(inner.expr, qual_literal("const", "nonzero"))
+        bad = Derivation("Assert", fake_expr, d.qtype, [inner])
+        with pytest.raises(DerivationError):
+            verify(bad, cn_lang.lattice)
+
+    def test_polymorphic_derivations_verify(self, lang):
+        source = """
+        let id = fn x. x in
+        let y = id (ref 1) in
+        let z = id ({const} ref 1) in
+        !z ni ni ni
+        """
+        d = derive(parse(source), lang, polymorphic=True)
+        verify(d, lang.lattice)
+        assert any(n.rule == "Letv" for n in d.nodes())
+
+
+class TestPaperExamples:
+    def test_section41_example(self):
+        """The paper's x := !y derivation (Section 4.1) in lambda form."""
+        from repro.qual.qtypes import q_int, q_ref
+
+        lang = const_language()
+        lattice = lang.lattice
+        env = {
+            "x": q_ref(lattice.bottom, q_int(lattice.bottom)),
+            "y": q_ref(lattice.top, q_int(lattice.bottom)),  # const ref
+        }
+        d = derive(parse("x := !y"), lang, env=env)
+        verify(d, lattice)
+        assert d.rule == "Assign'"
+        # y's constness does not infect x: the derivation exists.
+        rules = [n.rule for n in d.nodes()]
+        assert "Deref" in rules

@@ -1,0 +1,116 @@
+"""Tests for unsatisfiability diagnostics: the solver's blame paths and
+their surfacing through the lambda and C pipelines."""
+
+import pytest
+
+from repro.cfront.sema import Program
+from repro.constinfer.engine import ConstInferenceError, run_mono
+from repro.lam.infer import QualTypeError, const_language, infer
+from repro.lam.parser import parse
+from repro.qual.constraints import Origin, QualConstraint
+from repro.qual.qtypes import fresh_qual_var
+from repro.qual.qualifiers import const_lattice
+from repro.qual.solver import UnsatisfiableError, solve
+
+
+class TestBlamePaths:
+    def test_direct_conflict_path(self):
+        lat = const_lattice()
+        k = fresh_qual_var()
+        lower = QualConstraint(lat.atom("const"), k, Origin("declared const", line=3))
+        upper = QualConstraint(k, lat.negate("const"), Origin("assignment", line=9))
+        with pytest.raises(UnsatisfiableError) as err:
+            solve([lower, upper], lat)
+        path = err.value.path
+        assert lower in path and upper in path
+
+    def test_chain_path_in_order(self):
+        lat = const_lattice()
+        ks = [fresh_qual_var() for _ in range(4)]
+        constraints = [
+            QualConstraint(lat.atom("const"), ks[0], Origin("source", line=1)),
+            QualConstraint(ks[0], ks[1], Origin("flow a", line=2)),
+            QualConstraint(ks[1], ks[2], Origin("flow b", line=3)),
+            QualConstraint(ks[2], ks[3], Origin("flow c", line=4)),
+            QualConstraint(ks[3], lat.negate("const"), Origin("sink", line=5)),
+        ]
+        with pytest.raises(UnsatisfiableError) as err:
+            solve(constraints, lat)
+        reasons = [c.origin.reason for c in err.value.path]
+        assert reasons[0] == "source"
+        assert reasons[-1] == "sink"
+        # the flow steps appear between source and sink
+        assert set(reasons[1:-1]) <= {"flow a", "flow b", "flow c"}
+        assert len(reasons) >= 3
+
+    def test_explain_text(self):
+        lat = const_lattice()
+        k = fresh_qual_var()
+        with pytest.raises(UnsatisfiableError) as err:
+            solve(
+                [
+                    QualConstraint(lat.atom("const"), k, Origin("here", line=1)),
+                    QualConstraint(k, lat.negate("const"), Origin("there", line=2)),
+                ],
+                lat,
+            )
+        text = err.value.explain()
+        assert "conflict" in text
+        assert "here" in text and "there" in text
+
+    def test_ground_conflict_single_step(self):
+        lat = const_lattice()
+        with pytest.raises(UnsatisfiableError) as err:
+            solve([QualConstraint(lat.top, lat.bottom, Origin("ground"))], lat)
+        assert len(err.value.path) == 1
+
+    def test_path_through_both_directions(self):
+        # upper bound reached through a downstream chain
+        lat = const_lattice()
+        a, b = fresh_qual_var(), fresh_qual_var()
+        constraints = [
+            QualConstraint(lat.atom("const"), a, Origin("decl")),
+            QualConstraint(a, b, Origin("call")),
+            QualConstraint(b, lat.negate("const"), Origin("write")),
+        ]
+        with pytest.raises(UnsatisfiableError) as err:
+            solve(constraints, lat)
+        reasons = {c.origin.reason for c in err.value.path}
+        assert {"decl", "write"} <= reasons
+
+
+class TestPipelinesSurfaceLocations:
+    def test_lambda_error_carries_line(self):
+        source = "let r = {const} ref 1 in\nr := 2\nni"
+        with pytest.raises(QualTypeError) as err:
+            infer(parse(source), const_language())
+        message = str(err.value)
+        assert "const" in message
+        assert "line" in message or ":" in message
+
+    def test_c_error_names_the_assignment(self):
+        source = "void bad(const int *p) {\n    *p = 1;\n}\n"
+        with pytest.raises(ConstInferenceError) as err:
+            run_mono(Program.from_source(source))
+        message = str(err.value)
+        assert "const" in message
+        assert "2" in message  # the write's line number
+
+    def test_c_error_flows_across_functions(self):
+        source = (
+            "void sink(int *q) { *q = 1; }\n"
+            "void entry(const int *p) { sink((int *)0 ? (int *)0 : 0); sink2(p); }\n"
+            "void sink2(const int *r) { }\n"
+        )
+        # this one is fine: no conflict
+        run_mono(Program.from_source(source))
+
+    def test_cross_function_conflict_reported(self):
+        source = (
+            "void writer(int *q) { *q = 1; }\n"
+            "void entry(const int *p) { writer(p); }\n"
+        )
+        # passing const into a writer: correct C rejects this, so do we.
+        with pytest.raises(ConstInferenceError) as err:
+            run_mono(Program.from_source(source))
+        assert "const" in str(err.value)

@@ -1,0 +1,109 @@
+"""Unit tests for the function dependence graph (Definition 4) and its
+SCC decomposition."""
+
+from repro.cfront.sema import Program
+from repro.constinfer.fdg import FunctionDependenceGraph
+
+
+def graph_of(source):
+    return FunctionDependenceGraph.build(Program.from_source(source))
+
+
+class TestBuild:
+    def test_edges_to_defined_functions_only(self):
+        g = graph_of(
+            """
+            extern int lib(int);
+            int callee(void) { return 0; }
+            int caller(void) { return callee() + lib(1); }
+            """
+        )
+        assert g.edges["caller"] == {"callee"}
+
+    def test_vertices_are_defined_functions(self):
+        g = graph_of("extern int lib(int); int f(void) { return 0; }")
+        assert g.vertices == ["f"]
+
+    def test_occurrence_not_call_still_edge(self):
+        g = graph_of(
+            """
+            int target(void) { return 0; }
+            void user(void) { int (*p)(void) = target; }
+            """
+        )
+        assert "target" in g.edges["user"]
+
+
+class TestSCCs:
+    def test_straight_line_reverse_topological(self):
+        g = graph_of(
+            """
+            int c(void) { return 0; }
+            int b(void) { return c(); }
+            int a(void) { return b(); }
+            """
+        )
+        order = [component[0] for component in g.sccs()]
+        assert order.index("c") < order.index("b") < order.index("a")
+
+    def test_mutual_recursion_single_component(self):
+        g = graph_of(
+            """
+            int is_odd(int n);
+            int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+            int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+            """
+        )
+        components = g.sccs()
+        assert ["is_even", "is_odd"] in components
+
+    def test_self_recursion(self):
+        g = graph_of("int fact(int n) { return n ? n * fact(n - 1) : 1; }")
+        assert g.sccs() == [["fact"]]
+        assert g.is_recursive(["fact"])
+
+    def test_non_recursive_component(self):
+        g = graph_of("int f(void) { return 1; }")
+        assert not g.is_recursive(["f"])
+
+    def test_callees_before_callers_with_scc(self):
+        g = graph_of(
+            """
+            int base(void) { return 1; }
+            int pong(int n);
+            int ping(int n) { return n ? pong(n - 1) : base(); }
+            int pong(int n) { return ping(n); }
+            int top(void) { return ping(3); }
+            """
+        )
+        components = g.sccs()
+        index = {name: i for i, comp in enumerate(components) for name in comp}
+        assert index["base"] < index["ping"]
+        assert index["ping"] == index["pong"]
+        assert index["ping"] < index["top"]
+
+    def test_all_functions_covered_once(self):
+        g = graph_of(
+            """
+            int a(void) { return b(); }
+            int b(void) { return a(); }
+            int c(void) { return a(); }
+            int d(void) { return 0; }
+            """
+        )
+        components = g.sccs()
+        flattened = [name for comp in components for name in comp]
+        assert sorted(flattened) == ["a", "b", "c", "d"]
+        assert len(flattened) == len(set(flattened))
+
+    def test_large_chain_no_recursion_limit(self):
+        # the iterative Tarjan must handle deep chains
+        n = 3000
+        parts = ["int f0(void) { return 0; }"]
+        for i in range(1, n):
+            parts.append(f"int f{i}(void) {{ return f{i-1}(); }}")
+        g = graph_of("\n".join(parts))
+        components = g.sccs()
+        assert len(components) == n
+        assert components[0] == ["f0"]
+        assert components[-1] == [f"f{n-1}"]

@@ -1,0 +1,279 @@
+"""Tests for the flow-sensitive qualifier prototype (Section 6).
+
+The headline behaviours: strong updates forget old qualifiers; weak
+flows keep them; conditional refinement makes the lclint null-check
+pattern typecheck flow-sensitively — none of which the base
+(flow-insensitive) framework can express, which
+``test_contrast_with_flow_insensitive`` demonstrates directly.
+"""
+
+import pytest
+
+from repro.flowsens import (
+    AnnotStmt,
+    Assign,
+    AssertStmt,
+    FlowError,
+    Havoc,
+    If,
+    Join,
+    Literal,
+    Refine,
+    VarRef,
+    While,
+    analyze_flow,
+    block,
+)
+from repro.qual.qualifiers import nonnull_lattice, taint_lattice
+
+
+@pytest.fixture
+def taint():
+    return taint_lattice()
+
+
+@pytest.fixture
+def nn():
+    return nonnull_lattice()
+
+
+def lit(lattice, *names):
+    return Literal(lattice.element(*names))
+
+
+class TestStrongVsWeakUpdates:
+    def test_strong_update_forgets(self, taint):
+        program = block(
+            Assign("x", lit(taint, "tainted")),
+            Assign("x", lit(taint)),  # strong update: clean again
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        result = analyze_flow(program, taint)
+        assert result.ok
+
+    def test_flow_insensitive_would_reject(self, taint):
+        # the same value-history expressed as one location in the base
+        # framework: a single qualifier must cover both writes.
+        from repro.lam.check import is_well_typed
+        from repro.lam.infer import plain_language
+        from repro.lam.parser import parse
+
+        source = """
+        let x = ref ({tainted} 1) in
+        let u = (x := 0) in
+        (!x)|{}
+        ni ni
+        """
+        assert not is_well_typed(parse(source), plain_language(taint))
+
+    def test_weak_flow_keeps_qualifier(self, taint):
+        program = block(
+            Assign("x", lit(taint, "tainted")),
+            Assign("y", lit(taint)),  # unrelated statement: weak for x
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        result = analyze_flow(program, taint)
+        assert not result.ok
+        assert result.failures[0].variable == "x"
+
+    def test_copy_propagates(self, taint):
+        program = block(
+            Assign("x", lit(taint, "tainted")),
+            Assign("y", VarRef("x")),
+            AssertStmt("y", taint.element(), label="sink"),
+        )
+        assert not analyze_flow(program, taint).ok
+
+    def test_join_taints(self, taint):
+        program = block(
+            Assign("a", lit(taint, "tainted")),
+            Assign("b", lit(taint)),
+            Assign("c", Join(VarRef("a"), VarRef("b"))),
+            AssertStmt("c", taint.element(), label="sink"),
+        )
+        result = analyze_flow(program, taint)
+        assert not result.ok
+        assert result.final_value("c").has("tainted")
+
+
+class TestAnnotations:
+    def test_annot_raises_and_checks(self, taint):
+        program = block(
+            Assign("x", lit(taint)),
+            AnnotStmt("x", taint.element("tainted")),
+        )
+        result = analyze_flow(program, taint)
+        assert result.ok
+        assert result.final_value("x").has("tainted")
+
+    def test_annot_downward_fails(self, taint):
+        program = block(
+            Assign("x", lit(taint, "tainted")),
+            AnnotStmt("x", taint.element(), label="cannot-lower"),
+        )
+        result = analyze_flow(program, taint)
+        assert not result.ok
+        assert result.failures[0].kind == "annot"
+
+
+class TestBranchesAndLoops:
+    def test_if_merge_joins(self, taint):
+        program = block(
+            Assign("flag", lit(taint)),
+            Assign("x", lit(taint)),
+            If(
+                "flag",
+                then=(Assign("x", lit(taint, "tainted")),),
+                else_=(),
+            ),
+            AssertStmt("x", taint.element(), label="after-if"),
+        )
+        result = analyze_flow(program, taint)
+        assert not result.ok  # one branch taints x
+
+    def test_if_both_branches_clean(self, taint):
+        program = block(
+            Assign("flag", lit(taint)),
+            Assign("x", lit(taint, "tainted")),
+            If(
+                "flag",
+                then=(Assign("x", lit(taint)),),
+                else_=(Assign("x", lit(taint)),),
+            ),
+            AssertStmt("x", taint.element(), label="after-if"),
+        )
+        assert analyze_flow(program, taint).ok
+
+    def test_loop_fixpoint(self, taint):
+        # x becomes tainted on some iteration: after the loop it may be.
+        program = block(
+            Assign("n", lit(taint)),
+            Assign("x", lit(taint)),
+            While(
+                "n",
+                body=(Assign("x", Join(VarRef("x"), lit(taint, "tainted"))),),
+            ),
+            AssertStmt("x", taint.element(), label="after-loop"),
+        )
+        result = analyze_flow(program, taint)
+        assert not result.ok
+
+    def test_loop_strong_update_each_iteration(self, taint):
+        # x is cleaned at the top of every iteration before use.
+        program = block(
+            Assign("n", lit(taint)),
+            Assign("x", lit(taint)),
+            While(
+                "n",
+                body=(
+                    Assign("x", lit(taint, "tainted")),
+                    Assign("x", lit(taint)),
+                ),
+            ),
+            AssertStmt("x", taint.element(), label="after-loop"),
+        )
+        assert analyze_flow(program, taint).ok
+
+
+class TestRefinement:
+    """The lclint pattern: a null test enables the dereference."""
+
+    def test_refined_branch_passes(self, nn):
+        maybe_null = nn.element()  # nonnull absent: may be null
+        program = block(
+            Assign("p", Literal(maybe_null)),
+            Refine(
+                "p",
+                "nonnull",
+                body=(
+                    AssertStmt(
+                        "p", nn.assertion_bound("nonnull"), label="deref"
+                    ),
+                ),
+            ),
+        )
+        assert analyze_flow(program, nn).ok
+
+    def test_unrefined_deref_fails(self, nn):
+        program = block(
+            Assign("p", Literal(nn.element())),
+            AssertStmt("p", nn.assertion_bound("nonnull"), label="deref"),
+        )
+        result = analyze_flow(program, nn)
+        assert not result.ok
+        assert result.failures[0].label == "deref"
+
+    def test_refinement_does_not_leak_past_merge(self, nn):
+        program = block(
+            Assign("p", Literal(nn.element())),
+            Refine("p", "nonnull", body=()),
+            # after the merge p may again be null (the not-taken path)
+            AssertStmt("p", nn.assertion_bound("nonnull"), label="after"),
+        )
+        result = analyze_flow(program, nn)
+        assert not result.ok
+
+    def test_contrast_with_flow_insensitive(self, nn):
+        # the base framework cannot express the refined deref at all:
+        from repro.apps.nonnull import check_source
+
+        assert not check_source(
+            "let p = {} ref 5 in if 1 then !p else 0 fi ni"
+        ).safe
+        # ...while the flow-sensitive prototype accepts the same shape
+        # (test then dereference), which is exactly the Section 6 gap.
+        program = block(
+            Assign("p", Literal(nn.element())),
+            Refine(
+                "p",
+                "nonnull",
+                body=(
+                    AssertStmt("p", nn.assertion_bound("nonnull"), label="ok"),
+                ),
+            ),
+        )
+        assert analyze_flow(program, nn).ok
+
+
+class TestErrorsAndPlumbing:
+    def test_undefined_variable_use(self, taint):
+        with pytest.raises(FlowError):
+            analyze_flow(block(Assign("x", VarRef("ghost"))), taint)
+
+    def test_undefined_assert(self, taint):
+        with pytest.raises(FlowError):
+            analyze_flow(block(AssertStmt("ghost", taint.element())), taint)
+
+    def test_initial_environment(self, taint):
+        program = block(AssertStmt("input", taint.element(), label="sink"))
+        result = analyze_flow(
+            program, taint, initial={"input": taint.element("tainted")}
+        )
+        assert not result.ok
+
+    def test_havoc_is_unconstrained(self, taint):
+        program = block(
+            Havoc("x"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        # least solution of an unconstrained input is bottom: the linter
+        # does not flag it (nothing tainted demonstrably flows).
+        assert analyze_flow(program, taint).ok
+
+    def test_final_value_unknown_var(self, taint):
+        result = analyze_flow(block(Assign("x", lit(taint))), taint)
+        with pytest.raises(FlowError):
+            result.final_value("y")
+
+    def test_wrong_lattice_literal(self, nn, taint):
+        program = block(Assign("x", lit(taint, "tainted")))
+        with pytest.raises(FlowError):
+            analyze_flow(program, nn)
+
+    def test_failure_str(self, taint):
+        program = block(
+            Assign("x", lit(taint, "tainted")),
+            AssertStmt("x", taint.element(), label="sink-7"),
+        )
+        result = analyze_flow(program, taint)
+        assert "sink-7" in str(result.failures[0])

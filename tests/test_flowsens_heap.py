@@ -1,0 +1,182 @@
+"""Tests for the heap-cell layer of the flow-sensitive prototype:
+weak updates on aliased cells vs strong updates on locals."""
+
+import pytest
+
+from repro.flowsens.heap import analyze_heap_flow
+from repro.flowsens.language import (
+    AnnotStmt,
+    Assign,
+    AssertStmt,
+    CopyPtr,
+    If,
+    Literal,
+    LoadCell,
+    NewCell,
+    StoreCell,
+    VarRef,
+    While,
+    block,
+)
+from repro.flowsens.analysis import FlowError
+from repro.qual.qualifiers import taint_lattice
+
+
+@pytest.fixture
+def taint():
+    return taint_lattice()
+
+
+def lit(lattice, *names):
+    return Literal(lattice.element(*names))
+
+
+class TestWeakCellUpdates:
+    def test_store_then_load(self, taint):
+        program = block(
+            NewCell("p", "buf"),
+            StoreCell("p", lit(taint, "tainted")),
+            LoadCell("x", "p"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        result = analyze_heap_flow(program, taint)
+        assert not result.ok  # the tainted store reaches the load
+
+    def test_weak_update_does_not_forget(self, taint):
+        # unlike a local, overwriting a cell does NOT clear it: the old
+        # value may still be visible through an alias, so stores join.
+        program = block(
+            NewCell("p", "buf"),
+            StoreCell("p", lit(taint, "tainted")),
+            StoreCell("p", lit(taint)),  # "clean" store joins, not replaces
+            LoadCell("x", "p"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        result = analyze_heap_flow(program, taint)
+        assert not result.ok
+
+    def test_local_contrast_is_strong(self, taint):
+        # the same history on a LOCAL is fine: assignment is strong.
+        program = block(
+            Assign("x", lit(taint, "tainted")),
+            Assign("x", lit(taint)),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        assert analyze_heap_flow(program, taint).ok
+
+    def test_clean_cell_passes(self, taint):
+        program = block(
+            NewCell("p", "buf"),
+            StoreCell("p", lit(taint)),
+            LoadCell("x", "p"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        assert analyze_heap_flow(program, taint).ok
+
+
+class TestAliasing:
+    def test_alias_sees_store(self, taint):
+        program = block(
+            NewCell("p", "buf"),
+            CopyPtr("q", "p"),
+            StoreCell("q", lit(taint, "tainted")),
+            LoadCell("x", "p"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        assert not analyze_heap_flow(program, taint).ok
+
+    def test_distinct_sites_independent(self, taint):
+        program = block(
+            NewCell("p", "dirty_site"),
+            NewCell("q", "clean_site"),
+            StoreCell("p", lit(taint, "tainted")),
+            StoreCell("q", lit(taint)),
+            LoadCell("x", "q"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        assert analyze_heap_flow(program, taint).ok
+
+    def test_merge_unions_points_to(self, taint):
+        program = block(
+            Assign("flag", lit(taint)),
+            NewCell("a", "site_a"),
+            NewCell("b", "site_b"),
+            CopyPtr("p", "a"),
+            If("flag", then=(CopyPtr("p", "b"),), else_=()),
+            StoreCell("p", lit(taint, "tainted")),  # may hit either site
+            LoadCell("x", "a"),
+            AssertStmt("x", taint.element(), label="sink-a"),
+        )
+        result = analyze_heap_flow(program, taint)
+        assert not result.ok  # site_a may have been written
+
+    def test_pointer_reassignment_is_strong(self, taint):
+        program = block(
+            NewCell("p", "old"),
+            StoreCell("p", lit(taint, "tainted")),
+            NewCell("p", "fresh"),  # strong update of the POINTER
+            StoreCell("p", lit(taint)),
+            LoadCell("x", "p"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        assert analyze_heap_flow(program, taint).ok
+
+
+class TestLoops:
+    def test_points_to_fixpoint_through_loop(self, taint):
+        # p alternates between two cells across iterations; the store
+        # must be seen to reach both.
+        program = block(
+            Assign("n", lit(taint)),
+            NewCell("a", "site_a"),
+            NewCell("b", "site_b"),
+            CopyPtr("p", "a"),
+            While(
+                "n",
+                body=(
+                    StoreCell("p", lit(taint, "tainted")),
+                    CopyPtr("p", "b"),
+                ),
+            ),
+            LoadCell("x", "b"),
+            AssertStmt("x", taint.element(), label="sink-b"),
+        )
+        result = analyze_heap_flow(program, taint)
+        assert not result.ok  # second iteration stores through b
+
+    def test_loop_clean_stores_ok(self, taint):
+        program = block(
+            Assign("n", lit(taint)),
+            NewCell("p", "acc"),
+            While("n", body=(StoreCell("p", lit(taint)),)),
+            LoadCell("x", "p"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        assert analyze_heap_flow(program, taint).ok
+
+
+class TestErrors:
+    def test_store_through_non_pointer(self, taint):
+        program = block(
+            Assign("x", lit(taint)),
+            StoreCell("x", lit(taint)),
+        )
+        with pytest.raises(FlowError):
+            analyze_heap_flow(program, taint)
+
+    def test_load_through_undefined(self, taint):
+        with pytest.raises(FlowError):
+            analyze_heap_flow(block(LoadCell("x", "ghost")), taint)
+
+    def test_copy_of_non_pointer(self, taint):
+        program = block(Assign("x", lit(taint)), CopyPtr("q", "x"))
+        with pytest.raises(FlowError):
+            analyze_heap_flow(program, taint)
+
+    def test_scalar_layer_still_works(self, taint):
+        program = block(
+            Assign("x", lit(taint, "tainted")),
+            AnnotStmt("x", taint.element("tainted")),
+            AssertStmt("x", taint.element("tainted"), label="ok"),
+        )
+        assert analyze_heap_flow(program, taint).ok

@@ -1,0 +1,162 @@
+"""Cross-module integration tests: full pipelines from source text to
+results, mirroring how the paper's systems compose."""
+
+import pytest
+
+from repro.cfront.sema import Program
+from repro.constinfer.annotate import annotate_source
+from repro.constinfer.engine import run_mono, run_poly
+from repro.constinfer.results import analyze_program, summarize_shape_claims
+from repro.lam.check import check_source
+from repro.lam.eval import AssertionFailure, Evaluator
+from repro.lam.infer import QualTypeError, QualifiedLanguage, const_language, infer
+from repro.lam.parser import parse
+from repro.qual.qualifiers import make_lattice
+
+
+class TestLambdaPipeline:
+    """parse -> standard typing -> qualifier inference -> evaluation."""
+
+    def test_well_typed_program_full_pipeline(self):
+        source = """
+        let make = fn n. ref n in
+        let cell = make 10 in
+        let view = cell|{const} in
+        let w = (cell := 42) in
+        !view
+        ni ni ni ni
+        """
+        lang = const_language()
+        result = check_source(source, lang, polymorphic=True)
+        assert result.least_qtype() is not None
+        value = Evaluator(lang.lattice).run_to_int(parse(source))
+        assert value == 42
+
+    def test_static_rejection_matches_dynamic_failure(self):
+        # a program whose assertion must fail is rejected statically; run
+        # under the unsound rule's acceptance it fails dynamically.
+        lattice = make_lattice("const", "nonzero")
+        lang = QualifiedLanguage(lattice, assign_restrictions=("const",))
+        source = """
+        let x = ref ({nonzero} 37) in
+        let u = ((fn y. y := ({} 0)) x) in
+        (!x)|{nonzero}
+        ni ni
+        """
+        expr = parse(source)
+        with pytest.raises(QualTypeError):
+            infer(expr, lang)
+        infer(expr, lang, ref_rule="unsound")  # accepted unsoundly...
+        with pytest.raises(AssertionFailure):
+            Evaluator(lattice).run(expr)  # ...and caught at run time
+
+
+class TestConstPipeline:
+    """C text -> parse -> sema -> both engines -> counts -> annotation."""
+
+    MODULE = """
+    struct buf { char *data; int len; };
+    extern int sys_read(int fd, char *out, int n);
+
+    int buf_len(const struct buf *b) { return b->len; }
+    char buf_at(struct buf *b, int i) { return b->data[i]; }
+    void buf_fill(struct buf *b, int fd) { sys_read(fd, b->data, b->len); }
+    char *buf_find(struct buf *b, int c) {
+        int i;
+        for (i = 0; i < b->len; i++) {
+            if (b->data[i] == c) return b->data + i;
+        }
+        return (char *)0;
+    }
+    """
+
+    def test_full_analysis(self):
+        program = Program.from_source(self.MODULE)
+        mono = run_mono(program)
+        poly = run_poly(program)
+        assert mono.total_positions() == poly.total_positions() > 0
+        assert poly.inferred_const_count() >= mono.inferred_const_count()
+
+    def test_row_and_claims(self):
+        program = Program.from_source(self.MODULE)
+        row = analyze_program(program, name="bufmod")
+        claims = summarize_shape_claims([row])
+        assert claims["all_mono_geq_declared"]
+        assert claims["all_poly_geq_mono"]
+
+    def test_annotation_round_trip(self):
+        program = Program.from_source(self.MODULE)
+        run = run_poly(program)
+        rewritten = annotate_source(self.MODULE, run)
+        # the rewritten module reanalyses cleanly with >= declared consts
+        new_program = Program.from_source(rewritten)
+        new_run = run_mono(new_program)
+        assert new_run.declared_count() >= run.declared_count()
+
+    def test_shared_field_data_pinned_by_library(self):
+        # buf_fill hands b->data to sys_read (library, non-const param):
+        # the shared field forces every function's view of data cells...
+        program = Program.from_source(self.MODULE)
+        run = run_mono(program)
+        from repro.qual.solver import Classification
+
+        by_key = {
+            f"{p.function}/{p.where}@{p.depth}": v
+            for p, v in run.classified_positions()
+        }
+        # ...but the struct pointers themselves stay const-able where
+        # only reads happen:
+        assert by_key["buf_len/param 0 (b)@1"] is Classification.MUST
+
+
+class TestMultiFileProgram:
+    def test_cross_file_flow(self):
+        program = Program.from_sources(
+            {
+                "util.c": "void zero(int *p) { *p = 0; }",
+                "main.c": """
+                    extern void zero(int *p);
+                    void init(int *block) { zero(block); }
+                """,
+            }
+        )
+        run = run_mono(program)
+        from repro.qual.solver import Classification
+
+        verdicts = {p.function: v for p, v in run.classified_positions()}
+        # zero is DEFINED in util.c, so init's param is pinned by the
+        # actual write, not by library conservatism.
+        assert verdicts["init"] is Classification.MUST_NOT
+
+    def test_duplicate_function_renaming_keeps_both(self):
+        program = Program.from_sources(
+            {
+                "a.c": "int probe(int *p) { return *p; }",
+                "b.c": "int probe(int *p) { *p = 1; return 0; }",
+            }
+        )
+        run = run_mono(program)
+        assert run.total_positions() == 2
+
+
+class TestFrameworkReuseAcrossQualifiers:
+    """The same solver/types back every instance — spot-check that the
+    lattices compose in one multi-qualifier analysis."""
+
+    def test_const_and_nonzero_together(self):
+        lattice = make_lattice("const", "nonzero")
+        lang = QualifiedLanguage(lattice, assign_restrictions=("const",))
+        source = """
+        let r = ref ({nonzero} 5) in
+        (!r)|{const nonzero}
+        ni
+        """
+        result = infer(parse(source), lang)
+        assert result.top_qual().has("nonzero")
+
+    def test_three_qualifier_lattice(self):
+        lattice = make_lattice("const", "dynamic", "nonzero")
+        lang = QualifiedLanguage(lattice, assign_restrictions=("const",))
+        source = "let x = {dynamic nonzero} 1 in (x)|{const dynamic nonzero} ni"
+        result = infer(parse(source), lang)
+        assert result.top_qual().has("dynamic")

@@ -1,0 +1,209 @@
+"""Unit tests for the Figure 5 small-step operational semantics."""
+
+import pytest
+
+from repro.lam.ast import (
+    Annot,
+    IntLit,
+    Loc,
+    UnitLit,
+    qual_literal,
+)
+from repro.lam.eval import (
+    AnnotationFailure,
+    AssertionFailure,
+    Evaluator,
+    OutOfFuel,
+    Store,
+    StuckError,
+)
+from repro.lam.parser import parse
+from repro.qual.qualifiers import const_nonzero_lattice
+
+
+@pytest.fixture
+def ev():
+    return Evaluator(const_nonzero_lattice())
+
+
+def run_value(ev, source):
+    value, store = ev.run(parse(source))
+    return value, store
+
+
+class TestValues:
+    def test_literal_canonicalises_to_bottom(self, ev):
+        value, _ = run_value(ev, "42")
+        assert isinstance(value, Annot)
+        assert value.expr == IntLit(42)
+        assert value.qual.resolve(ev.lattice) == ev.lattice.bottom
+
+    def test_annotated_value_is_final(self, ev):
+        value, _ = run_value(ev, "{const} 42")
+        assert value.qual.names == frozenset({"const"})
+
+    def test_unit(self, ev):
+        value, _ = run_value(ev, "()")
+        assert isinstance(value.expr, UnitLit)
+
+
+class TestBetaAndControl:
+    def test_application(self, ev):
+        assert ev.run_to_int(parse("(fn x. x) 7")) == 7
+
+    def test_argument_annotation_preserved(self, ev):
+        value, _ = run_value(ev, "(fn x. x) ({const} 3)")
+        assert value.qual.names == frozenset({"const"})
+
+    def test_if_nonzero_takes_then(self, ev):
+        assert ev.run_to_int(parse("if 2 then 10 else 20 fi")) == 10
+
+    def test_if_zero_takes_else(self, ev):
+        assert ev.run_to_int(parse("if 0 then 10 else 20 fi")) == 20
+
+    def test_let_substitutes_value(self, ev):
+        assert ev.run_to_int(parse("let x = 5 in x ni")) == 5
+
+    def test_nested_lambdas(self, ev):
+        assert ev.run_to_int(parse("((fn x. fn y. x) 1) 2")) == 1
+
+    def test_capture_avoidance(self, ev):
+        # (fn x. fn y. x) y  must not capture the free-ish y
+        source = "let y = 9 in ((fn x. fn y. x) y) 5 ni"
+        assert ev.run_to_int(parse(source)) == 9
+
+
+class TestStore:
+    def test_ref_allocates(self, ev):
+        value, store = run_value(ev, "ref 1")
+        assert isinstance(value.expr, Loc)
+        assert len(store) == 1
+
+    def test_deref_reads(self, ev):
+        assert ev.run_to_int(parse("!(ref 8)")) == 8
+
+    def test_assign_updates(self, ev):
+        source = "let r = ref 1 in let u = (r := 42) in !r ni ni"
+        assert ev.run_to_int(parse(source)) == 42
+
+    def test_assign_returns_unit(self, ev):
+        value, _ = run_value(ev, "let r = ref 1 in (r := 2) ni")
+        assert isinstance(value.expr, UnitLit)
+
+    def test_aliasing(self, ev):
+        source = """
+        let x = ref 1 in
+        let y = x in
+        let u = (y := 5) in
+        !x
+        ni ni ni
+        """
+        assert ev.run_to_int(parse(source)) == 5
+
+    def test_two_refs_distinct(self, ev):
+        source = """
+        let a = ref 1 in
+        let b = ref 2 in
+        let u = (a := 10) in
+        !b
+        ni ni ni
+        """
+        assert ev.run_to_int(parse(source)) == 2
+
+    def test_stored_values_keep_annotations(self, ev):
+        source = "!(ref ({nonzero} 3))"
+        value, _ = run_value(ev, source)
+        assert value.qual.names == frozenset({"nonzero"})
+
+
+class TestAnnotationsAndAssertions:
+    def test_annotation_raises_level(self, ev):
+        value, _ = run_value(ev, "{const} ({nonzero} 1)")
+        # nonzero <= {const,nonzero}? annotation replaces with the outer
+        # level, checking the inner one is below it.
+        assert value.qual.names == frozenset({"const"})
+
+    def test_annotation_failure_when_not_below(self, ev):
+        # inner {} (nonzero removed) is NOT below outer {nonzero}
+        with pytest.raises(AnnotationFailure):
+            ev.run(parse("{nonzero} ({} 1)"))
+
+    def test_assertion_passes(self, ev):
+        assert ev.run_to_int(parse("({nonzero} 1)|{nonzero}")) == 1
+
+    def test_assertion_failure(self, ev):
+        with pytest.raises(AssertionFailure):
+            ev.run(parse("({} 1)|{nonzero}"))
+
+    def test_assertion_keeps_value_annotation(self, ev):
+        value, _ = run_value(ev, "({nonzero} 1)|{const nonzero}")
+        assert value.qual.names == frozenset({"nonzero"})
+
+
+class TestStuckStates:
+    def test_free_variable_stuck(self, ev):
+        with pytest.raises(StuckError):
+            ev.run(parse("x"))
+
+    def test_apply_non_function_stuck(self, ev):
+        with pytest.raises(StuckError):
+            ev.run(parse("1 2"))
+
+    def test_if_non_int_stuck(self, ev):
+        with pytest.raises(StuckError):
+            ev.run(parse("if (fn x. x) then 1 else 2 fi"))
+
+    def test_deref_non_location_stuck(self, ev):
+        with pytest.raises(StuckError):
+            ev.run(parse("!1"))
+
+    def test_assign_non_location_stuck(self, ev):
+        with pytest.raises(StuckError):
+            ev.run(parse("1 := 2"))
+
+
+class TestDivergenceAndTrace:
+    def test_omega_runs_out_of_fuel(self, ev):
+        omega = "(fn x. x x) (fn x. x x)"
+        with pytest.raises(OutOfFuel):
+            ev.run(parse(omega), fuel=500)
+
+    def test_trace_yields_configurations(self, ev):
+        steps = list(ev.trace(parse("(fn x. x) 1")))
+        assert len(steps) >= 3  # canon fn, canon 1, beta, final
+        final_expr, _ = steps[-1]
+        assert isinstance(final_expr, Annot)
+
+    def test_trace_shares_store(self, ev):
+        store = Store()
+        steps = list(ev.trace(parse("ref 1"), store))
+        assert len(store) == 1
+        assert steps
+
+
+class TestStoreClass:
+    def test_alloc_read_write(self):
+        s = Store()
+        a = s.alloc(IntLit(1))
+        assert s.read(a) == IntLit(1)
+        s.write(a, IntLit(2))
+        assert s.read(a) == IntLit(2)
+
+    def test_write_unknown_address(self):
+        with pytest.raises(KeyError):
+            Store().write(0, IntLit(1))
+
+    def test_contains(self):
+        s = Store()
+        a = s.alloc(IntLit(1))
+        assert a in s and (a + 1) not in s
+
+    def test_addresses_fresh(self):
+        s = Store()
+        assert s.alloc(IntLit(1)) != s.alloc(IntLit(2))
+
+
+class TestRunToInt:
+    def test_rejects_non_int(self, ev):
+        with pytest.raises(StuckError):
+            ev.run_to_int(parse("()"))

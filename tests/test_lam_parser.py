@@ -1,0 +1,213 @@
+"""Unit tests for the example language's lexer and parser (Figure 1 plus
+the Section 2.2 annotation/assertion forms and Section 2.4 references)."""
+
+import pytest
+
+from repro.lam.ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Ref,
+    UnitLit,
+    Var,
+)
+from repro.lam.lexer import LexError, TokenKind, tokenize
+from repro.lam.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        toks = tokenize("fn foo ref refx")
+        kinds = [(t.kind, t.text) for t in toks[:-1]]
+        assert kinds == [
+            (TokenKind.KEYWORD, "fn"),
+            (TokenKind.IDENT, "foo"),
+            (TokenKind.KEYWORD, "ref"),
+            (TokenKind.IDENT, "refx"),
+        ]
+
+    def test_assign_vs_colon(self):
+        toks = tokenize("x := 1")
+        assert toks[1].kind is TokenKind.ASSIGN
+
+    def test_negative_numbers(self):
+        toks = tokenize("-42")
+        assert toks[0].kind is TokenKind.INT and toks[0].text == "-42"
+
+    def test_comments_skipped(self):
+        toks = tokenize("1 # comment\n2")
+        values = [t.text for t in toks if t.kind is TokenKind.INT]
+        assert values == ["1", "2"]
+
+    def test_spans_track_lines(self):
+        toks = tokenize("1\n  2")
+        assert toks[0].span.line == 1
+        assert toks[1].span.line == 2 and toks[1].span.column == 3
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("1 $ 2")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+
+class TestParserBasics:
+    def test_int(self):
+        assert parse("42") == IntLit(42)
+
+    def test_var(self):
+        assert parse("x") == Var("x")
+
+    def test_unit(self):
+        assert parse("()") == UnitLit()
+
+    def test_lambda(self):
+        e = parse("fn x. x")
+        assert e == Lam("x", Var("x"))
+
+    def test_application_left_assoc(self):
+        e = parse("f a b")
+        assert e == App(App(Var("f"), Var("a")), Var("b"))
+
+    def test_if(self):
+        e = parse("if 1 then 2 else 3 fi")
+        assert e == If(IntLit(1), IntLit(2), IntLit(3))
+
+    def test_let(self):
+        e = parse("let x = 1 in x ni")
+        assert e == Let("x", IntLit(1), Var("x"))
+
+    def test_parens(self):
+        assert parse("(fn x. x) 1") == App(Lam("x", Var("x")), IntLit(1))
+
+
+class TestRefs:
+    def test_ref(self):
+        assert parse("ref 1") == Ref(IntLit(1))
+
+    def test_deref(self):
+        assert parse("!x") == Deref(Var("x"))
+
+    def test_nested_deref(self):
+        assert parse("!!x") == Deref(Deref(Var("x")))
+
+    def test_assign_right_assoc(self):
+        e = parse("x := y := 1")
+        assert e == Assign(Var("x"), Assign(Var("y"), IntLit(1)))
+
+    def test_ref_of_deref(self):
+        assert parse("ref !x") == Ref(Deref(Var("x")))
+
+
+class TestQualifierSyntax:
+    def test_annotation(self):
+        e = parse("{const} 1")
+        assert isinstance(e, Annot)
+        assert e.qual.names == frozenset({"const"})
+        assert e.expr == IntLit(1)
+
+    def test_multi_name_annotation(self):
+        e = parse("{const nonzero} 1")
+        assert e.qual.names == frozenset({"const", "nonzero"})
+
+    def test_empty_annotation(self):
+        e = parse("{} 1")
+        assert e.qual.names == frozenset()
+
+    def test_assertion(self):
+        e = parse("x|{nonzero}")
+        assert isinstance(e, Assert)
+        assert e.qual.names == frozenset({"nonzero"})
+
+    def test_assertion_binds_tight(self):
+        e = parse("f x|{const}")
+        assert isinstance(e, App)
+        assert isinstance(e.arg, Assert)
+
+    def test_annotation_over_ref(self):
+        e = parse("{const} ref 1")
+        assert isinstance(e, Annot) and isinstance(e.expr, Ref)
+
+    def test_chained_assertions(self):
+        e = parse("x|{const}|{nonzero}")
+        assert isinstance(e, Assert) and isinstance(e.expr, Assert)
+
+    def test_assign_through_annotation_precedence(self):
+        e = parse("x := {const} 1")
+        assert isinstance(e, Assign) and isinstance(e.value, Annot)
+
+
+class TestPaperExamples:
+    def test_section24_counterexample_parses(self):
+        source = """
+        let x = ref ({nonzero} 37) in
+        let y = x in
+        let u = (y := 0) in
+        (!x)|{nonzero}
+        ni ni ni
+        """
+        e = parse(source)
+        assert isinstance(e, Let)
+
+    def test_polymorphic_id_parses(self):
+        source = """
+        let id = fn x. x in
+        let y = id (ref 1) in
+        let z = id ({const} ref 1) in
+        42 ni ni ni
+        """
+        e = parse(source)
+        assert isinstance(e, Let) and e.name == "id"
+
+
+class TestErrors:
+    def test_missing_ni(self):
+        with pytest.raises(ParseError):
+            parse("let x = 1 in x")
+
+    def test_missing_fi(self):
+        with pytest.raises(ParseError):
+            parse("if 1 then 2 else 3")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("1 ni")
+
+    def test_unclosed_brace(self):
+        with pytest.raises(ParseError):
+            parse("{const 1")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_error_mentions_location(self):
+        with pytest.raises(ParseError) as err:
+            parse("let x = in x ni")
+        assert "1:" in str(err.value)
+
+
+class TestRoundTrip:
+    """str() of an AST re-parses to the same AST (modulo spans)."""
+
+    PROGRAMS = [
+        "fn x. x",
+        "let x = ref 1 in (x := 2) ni",
+        "if x then (f y) else (!r) fi",
+        "{const} ref ({nonzero} 37)",
+        "(x|{const})",
+        "let f = fn x. fn y. x in f 1 2 ni",
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_roundtrip(self, source):
+        first = parse(source)
+        second = parse(str(first))
+        assert first == second

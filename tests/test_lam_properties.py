@@ -1,0 +1,170 @@
+"""Further property-based tests for the example language: printer
+round-trips, inference determinism, and evaluation determinism."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lam.ast import (
+    Annot,
+    App,
+    Assert,
+    Deref,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    QualLiteral,
+    Ref,
+    Var,
+    free_vars,
+    strip_expr,
+    walk,
+)
+from repro.lam.check import is_well_typed
+from repro.lam.eval import Evaluator
+from repro.lam.infer import QualTypeError, QualifiedLanguage, infer
+from repro.lam.parser import parse
+from repro.qual.qualifiers import const_nonzero_lattice
+
+LATTICE = const_nonzero_lattice()
+LANGUAGE = QualifiedLanguage(LATTICE, assign_restrictions=("const",))
+
+_SUBSETS = [
+    frozenset(),
+    frozenset({"const"}),
+    frozenset({"nonzero"}),
+    frozenset({"const", "nonzero"}),
+]
+
+
+@st.composite
+def expressions(draw, scope=(), depth=3):
+    """Arbitrary (not necessarily well-typed) closed-ish expressions."""
+    choices = ["int"]
+    if scope:
+        choices.append("var")
+    if depth > 0:
+        choices += ["lam", "app", "if", "let", "ref", "deref", "annot", "assert"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "int":
+        return IntLit(draw(st.integers(min_value=-99, max_value=99)))
+    if kind == "var":
+        return Var(draw(st.sampled_from(list(scope))))
+    if kind == "lam":
+        name = f"x{len(scope)}"
+        return Lam(name, draw(expressions(scope + (name,), depth - 1)))
+    if kind == "app":
+        return App(
+            draw(expressions(scope, depth - 1)),
+            draw(expressions(scope, depth - 1)),
+        )
+    if kind == "if":
+        return If(
+            draw(expressions(scope, depth - 1)),
+            draw(expressions(scope, depth - 1)),
+            draw(expressions(scope, depth - 1)),
+        )
+    if kind == "let":
+        name = f"x{len(scope)}"
+        return Let(
+            name,
+            draw(expressions(scope, depth - 1)),
+            draw(expressions(scope + (name,), depth - 1)),
+        )
+    if kind == "ref":
+        return Ref(draw(expressions(scope, depth - 1)))
+    if kind == "deref":
+        return Deref(draw(expressions(scope, depth - 1)))
+    if kind == "annot":
+        return Annot(
+            QualLiteral(draw(st.sampled_from(_SUBSETS))),
+            draw(expressions(scope, depth - 1)),
+        )
+    return Assert(
+        draw(expressions(scope, depth - 1)),
+        QualLiteral(draw(st.sampled_from(_SUBSETS))),
+    )
+
+
+@given(expressions())
+@settings(max_examples=300, deadline=None)
+def test_printer_parser_roundtrip(expr):
+    """str() of any expression re-parses to an equal expression."""
+    assert parse(str(expr)) == expr
+
+
+@given(expressions())
+@settings(max_examples=200, deadline=None)
+def test_strip_removes_all_annotations(expr):
+    stripped = strip_expr(expr)
+    for node in walk(stripped):
+        assert not isinstance(node, (Annot, Assert))
+
+
+@given(expressions())
+@settings(max_examples=200, deadline=None)
+def test_strip_idempotent(expr):
+    once = strip_expr(expr)
+    assert strip_expr(once) == once
+
+
+@given(expressions())
+@settings(max_examples=200, deadline=None)
+def test_free_vars_of_closed_generated_terms(expr):
+    # the generator only references in-scope binders
+    assert free_vars(expr) == set()
+
+
+@given(expressions())
+@settings(max_examples=200, deadline=None)
+def test_inference_deterministic_up_to_solution(expr):
+    """Two runs of inference agree on acceptance and on the ground least
+    type (fresh variable names differ; solutions must not)."""
+    try:
+        first = infer(expr, LANGUAGE)
+    except QualTypeError:
+        try:
+            infer(expr, LANGUAGE)
+            raise AssertionError("nondeterministic acceptance")
+        except QualTypeError:
+            return
+    second = infer(expr, LANGUAGE)
+    assert str(first.least_qtype()) == str(second.least_qtype())
+    assert str(first.greatest_qtype()) == str(second.greatest_qtype())
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_evaluation_deterministic(expr):
+    """Figure 5's reduction is a function: two runs agree step for step
+    (compared on final value and step count)."""
+    assume(is_well_typed(expr, LANGUAGE))
+    ev = Evaluator(LATTICE)
+
+    def run_once():
+        steps = 0
+        last = None
+        for config, _store in ev.trace(expr):
+            steps += 1
+            last = config
+            if steps > 2000:
+                return None, steps
+        return last, steps
+
+    first_value, first_steps = run_once()
+    second_value, second_steps = run_once()
+    assert first_steps == second_steps
+    assert str(first_value) == str(second_value)
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_monomorphic_acceptance_implies_annotated_strip_types(expr):
+    """If the qualified program typechecks, so does its strip, under the
+    same language (strip only removes checks)."""
+    try:
+        infer(expr, LANGUAGE)
+    except QualTypeError:
+        assume(False)
+    stripped = strip_expr(expr)
+    infer(stripped, LANGUAGE)  # must not raise

@@ -1,0 +1,136 @@
+"""Unit tests for standard (unqualified) type inference — the substrate
+of the Section 3.1 factorisation."""
+
+import pytest
+
+from repro.lam.ast import IntLit, Lam, Var, walk
+from repro.lam.parser import parse
+from repro.lam.stdtypes import StdTypeError, infer_std
+from repro.qual.qtypes import (
+    STD_INT,
+    STD_UNIT,
+    StdCon,
+    StdVar,
+    std_fun,
+    std_ref,
+)
+
+
+class TestBasics:
+    def test_int(self):
+        assert infer_std(parse("42")).type == STD_INT
+
+    def test_unit(self):
+        assert infer_std(parse("()")).type == STD_UNIT
+
+    def test_identity_polymorphic_shape(self):
+        t = infer_std(parse("fn x. x")).type
+        assert isinstance(t, StdCon)
+        dom, rng = t.args
+        assert dom == rng and isinstance(dom, StdVar)
+
+    def test_application(self):
+        assert infer_std(parse("(fn x. x) 1")).type == STD_INT
+
+    def test_if_unifies_branches(self):
+        assert infer_std(parse("if 1 then 2 else 3 fi")).type == STD_INT
+
+    def test_let(self):
+        assert infer_std(parse("let x = 1 in x ni")).type == STD_INT
+
+    def test_env(self):
+        assert infer_std(parse("f 1"), {"f": std_fun(STD_INT, STD_UNIT)}).type == STD_UNIT
+
+
+class TestRefs:
+    def test_ref(self):
+        assert infer_std(parse("ref 1")).type == std_ref(STD_INT)
+
+    def test_deref(self):
+        assert infer_std(parse("!(ref 1)")).type == STD_INT
+
+    def test_assign(self):
+        assert infer_std(parse("let r = ref 1 in (r := 2) ni")).type == STD_UNIT
+
+    def test_assign_type_mismatch(self):
+        with pytest.raises(StdTypeError):
+            infer_std(parse("let r = ref 1 in (r := ()) ni"))
+
+    def test_aliasing_shapes_agree(self):
+        t = infer_std(parse("let r = ref (fn x. x) in !r ni")).type
+        assert isinstance(t, StdCon) and t.con.name == "->"
+
+
+class TestAnnotationsTransparent:
+    def test_annotation_does_not_change_type(self):
+        assert infer_std(parse("{const} 1")).type == STD_INT
+
+    def test_assertion_does_not_change_type(self):
+        assert infer_std(parse("(ref 1)|{const}")).type == std_ref(STD_INT)
+
+
+class TestErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(StdTypeError):
+            infer_std(parse("x"))
+
+    def test_apply_non_function(self):
+        with pytest.raises(StdTypeError):
+            infer_std(parse("1 2"))
+
+    def test_if_branch_mismatch(self):
+        with pytest.raises(StdTypeError):
+            infer_std(parse("if 1 then 2 else () fi"))
+
+    def test_if_guard_not_int(self):
+        with pytest.raises(StdTypeError):
+            infer_std(parse("if () then 1 else 2 fi"))
+
+    def test_occurs_check(self):
+        with pytest.raises(StdTypeError):
+            infer_std(parse("fn x. x x"))
+
+    def test_deref_non_ref(self):
+        with pytest.raises(StdTypeError):
+            infer_std(parse("!1"))
+
+    def test_error_mentions_location(self):
+        with pytest.raises(StdTypeError) as err:
+            infer_std(parse("let f = fn x. x in\n!()\nni"))
+        assert "2:" in str(err.value)
+
+
+class TestNodeTypes:
+    def test_every_node_typed(self):
+        expr = parse("let r = ref 1 in if !r then (r := 2) else () fi ni")
+        result = infer_std(expr)
+        for node in walk(expr):
+            assert id(node) in result.node_types
+
+    def test_node_types_resolved(self):
+        expr = parse("(fn x. x) 1")
+        result = infer_std(expr)
+        lam = expr.func  # type: ignore[attr-defined]
+        assert result.node_types[id(lam)] == std_fun(STD_INT, STD_INT)
+
+    def test_lambda_param_flows(self):
+        expr = parse("fn x. !x")
+        result = infer_std(expr)
+        t = result.type
+        dom, rng = t.args  # type: ignore[union-attr]
+        assert dom == std_ref(rng)
+
+
+class TestStoreTyping:
+    def test_loc_typed_through_store_env(self):
+        from repro.lam.ast import Deref, Loc
+
+        expr = Deref(Loc(0))
+        result = infer_std(expr, store_env={0: STD_INT})
+        assert result.type == STD_INT
+
+    def test_unknown_loc_rejected(self):
+        from repro.lam.ast import Loc
+
+        with pytest.raises(StdTypeError):
+            infer_std(Loc(3))

@@ -1,0 +1,280 @@
+"""Unit tests for qualifier lattices (Definitions 1 and 2, Figure 2)."""
+
+import pytest
+
+from repro.qual.lattice import (
+    LatticeElement,
+    LatticeError,
+    Polarity,
+    Qualifier,
+    QualifierLattice,
+    negative,
+    positive,
+    product,
+    two_point,
+)
+from repro.qual.qualifiers import (
+    CONST,
+    DYNAMIC,
+    NONZERO,
+    paper_figure2_lattice,
+)
+
+
+class TestQualifier:
+    def test_positive_constructor(self):
+        q = positive("const")
+        assert q.name == "const"
+        assert q.positive and not q.negative
+        assert q.polarity is Polarity.POSITIVE
+
+    def test_negative_constructor(self):
+        q = negative("nonzero")
+        assert q.negative and not q.positive
+
+    def test_str(self):
+        assert str(positive("const")) == "const"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Qualifier("", Polarity.POSITIVE)
+        with pytest.raises(ValueError):
+            Qualifier("has space", Polarity.POSITIVE)
+
+    def test_underscores_allowed(self):
+        assert positive("may_alias").name == "may_alias"
+
+    def test_qualifiers_hashable_and_ordered(self):
+        qs = {positive("a"), positive("a"), negative("b")}
+        assert len(qs) == 2
+        assert sorted(qs)[0].name == "a"
+
+
+class TestLatticeConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(LatticeError):
+            QualifierLattice([positive("q"), negative("q")])
+
+    def test_contains_and_len(self):
+        lat = paper_figure2_lattice()
+        assert "const" in lat and "nonzero" in lat
+        assert "sorted" not in lat
+        assert len(lat) == 3
+
+    def test_qualifier_lookup(self):
+        lat = paper_figure2_lattice()
+        assert lat.qualifier("const") is CONST
+        with pytest.raises(LatticeError):
+            lat.qualifier("bogus")
+
+    def test_qualifiers_sorted_by_name(self):
+        lat = paper_figure2_lattice()
+        names = [q.name for q in lat.qualifiers]
+        assert names == sorted(names)
+
+    def test_structural_equality(self):
+        a = QualifierLattice([CONST, NONZERO])
+        b = QualifierLattice([NONZERO, CONST])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != QualifierLattice([CONST])
+
+    def test_product(self):
+        lat = product(two_point(CONST), two_point(NONZERO))
+        assert len(lat) == 2
+        assert "const" in lat and "nonzero" in lat
+
+    def test_product_duplicate_rejected(self):
+        with pytest.raises(LatticeError):
+            product(two_point(CONST), two_point(CONST))
+
+
+class TestBottomTop:
+    def test_bottom_has_negatives_only(self):
+        lat = paper_figure2_lattice()
+        assert lat.bottom.present == frozenset({"nonzero"})
+
+    def test_top_has_positives_only(self):
+        lat = paper_figure2_lattice()
+        assert lat.top.present == frozenset({"const", "dynamic"})
+
+    def test_bottom_leq_everything(self):
+        lat = paper_figure2_lattice()
+        for e in lat.elements():
+            assert lat.leq(lat.bottom, e)
+
+    def test_everything_leq_top(self):
+        lat = paper_figure2_lattice()
+        for e in lat.elements():
+            assert lat.leq(e, lat.top)
+
+    def test_single_positive_two_point(self):
+        lat = two_point(CONST)
+        assert lat.bottom.present == frozenset()
+        assert lat.top.present == frozenset({"const"})
+
+    def test_single_negative_two_point(self):
+        lat = two_point(NONZERO)
+        assert lat.bottom.present == frozenset({"nonzero"})
+        assert lat.top.present == frozenset()
+
+
+class TestOrder:
+    def test_positive_present_moves_up(self):
+        lat = two_point(CONST)
+        assert lat.leq(lat.element(), lat.element("const"))
+        assert not lat.leq(lat.element("const"), lat.element())
+
+    def test_negative_present_moves_down(self):
+        lat = two_point(NONZERO)
+        assert lat.leq(lat.element("nonzero"), lat.element())
+        assert not lat.leq(lat.element(), lat.element("nonzero"))
+
+    def test_incomparable_elements(self):
+        lat = paper_figure2_lattice()
+        a = lat.element("const", "nonzero")
+        b = lat.element("dynamic", "nonzero")
+        assert not lat.leq(a, b) and not lat.leq(b, a)
+
+    def test_reflexive(self):
+        lat = paper_figure2_lattice()
+        for e in lat.elements():
+            assert lat.leq(e, e)
+
+    def test_operator_aliases(self):
+        lat = paper_figure2_lattice()
+        assert lat.bottom <= lat.top
+        assert lat.top >= lat.bottom
+        assert lat.bottom < lat.top
+        assert lat.top > lat.bottom
+        assert (lat.bottom & lat.top) == lat.bottom
+        assert (lat.bottom | lat.top) == lat.top
+
+    def test_foreign_element_rejected(self):
+        lat = paper_figure2_lattice()
+        other = two_point(positive("other"))
+        with pytest.raises(LatticeError):
+            lat.leq(lat.bottom, other.bottom)
+
+
+class TestMeetJoin:
+    def test_meet_join_const_dynamic(self):
+        lat = paper_figure2_lattice()
+        c = lat.element("const", "nonzero")
+        d = lat.element("dynamic", "nonzero")
+        assert lat.meet(c, d) == lat.element("nonzero")
+        assert lat.join(c, d) == lat.element("const", "dynamic", "nonzero")
+
+    def test_negative_meet_keeps_presence(self):
+        lat = two_point(NONZERO)
+        assert lat.meet(lat.element("nonzero"), lat.element()) == lat.element("nonzero")
+        assert lat.join(lat.element("nonzero"), lat.element()) == lat.element()
+
+    def test_meet_all_empty_is_top(self, fig2_lat):
+        assert fig2_lat.meet_all([]) == fig2_lat.top
+
+    def test_join_all_empty_is_bottom(self, fig2_lat):
+        assert fig2_lat.join_all([]) == fig2_lat.bottom
+
+    def test_meet_all_join_all(self, fig2_lat):
+        elements = list(fig2_lat.elements())
+        assert fig2_lat.meet_all(elements) == fig2_lat.bottom
+        assert fig2_lat.join_all(elements) == fig2_lat.top
+
+
+class TestNegateAtomAssertion:
+    def test_negate_positive_is_max_lacking(self):
+        lat = paper_figure2_lattice()
+        nc = lat.negate("const")
+        assert not nc.has("const")
+        assert nc.has("dynamic")  # other positives at top
+        assert not nc.has("nonzero")  # negatives absent at top
+
+    def test_negate_negative_is_min_lacking(self):
+        lat = paper_figure2_lattice()
+        nz = lat.negate("nonzero")
+        assert not nz.has("nonzero")
+        assert not nz.has("const") and not nz.has("dynamic")
+
+    def test_negate_bounds_work(self):
+        # Q <= negate(const) holds exactly for elements lacking const.
+        lat = paper_figure2_lattice()
+        nc = lat.negate("const")
+        for e in lat.elements():
+            assert lat.leq(e, nc) == (not e.has("const"))
+
+    def test_negate_negative_lower_bound(self):
+        # negate(nonzero) <= Q holds exactly for elements lacking nonzero.
+        lat = paper_figure2_lattice()
+        nz = lat.negate("nonzero")
+        for e in lat.elements():
+            assert lat.leq(nz, e) == (not e.has("nonzero"))
+
+    def test_atom_positive(self):
+        lat = paper_figure2_lattice()
+        a = lat.atom("const")
+        assert a.has("const") and a.has("nonzero") and not a.has("dynamic")
+
+    def test_atom_negative_removes(self):
+        lat = paper_figure2_lattice()
+        a = lat.atom("nonzero")
+        assert not a.has("nonzero") and not a.has("const")
+
+    def test_assertion_bound_positive_checks_absence(self):
+        lat = paper_figure2_lattice()
+        bound = lat.assertion_bound("const")
+        assert bound == lat.negate("const")
+
+    def test_assertion_bound_negative_checks_presence(self):
+        lat = paper_figure2_lattice()
+        bound = lat.assertion_bound("nonzero")
+        for e in lat.elements():
+            assert lat.leq(e, bound) == e.has("nonzero")
+
+
+class TestElements:
+    def test_element_count(self, fig2_lat):
+        assert len(list(fig2_lat.elements())) == 8
+
+    def test_unknown_name_rejected(self, fig2_lat):
+        with pytest.raises(LatticeError):
+            fig2_lat.element("bogus")
+        with pytest.raises(LatticeError):
+            fig2_lat.bottom.has("bogus")
+
+    def test_with_without(self, fig2_lat):
+        e = fig2_lat.element()
+        assert e.with_qualifier("const").has("const")
+        assert not e.with_qualifier("const").without_qualifier("const").has("const")
+
+    def test_with_accepts_qualifier_object(self, fig2_lat):
+        assert fig2_lat.element().with_qualifier(CONST).has(CONST)
+
+    def test_str(self, fig2_lat):
+        assert str(fig2_lat.element()) == "<none>"
+        assert str(fig2_lat.element("const", "dynamic")) == "const dynamic"
+
+    def test_hashable(self, fig2_lat):
+        assert len({fig2_lat.bottom, fig2_lat.bottom, fig2_lat.top}) == 2
+
+
+class TestHasse:
+    def test_covers(self, fig2_lat):
+        bottom = fig2_lat.bottom
+        step = bottom.with_qualifier("const")
+        assert fig2_lat.covers(bottom, step)
+        assert not fig2_lat.covers(bottom, fig2_lat.top)
+        assert not fig2_lat.covers(step, bottom)
+
+    def test_hasse_levels_shape(self, fig2_lat):
+        levels = fig2_lat.hasse_levels()
+        # Figure 2's diamond: 1, 3, 3, 1 elements per height.
+        assert [len(level) for level in levels] == [1, 3, 3, 1]
+        assert levels[0] == [fig2_lat.bottom]
+        assert levels[-1] == [fig2_lat.top]
+
+    def test_render_hasse_mentions_everything(self, fig2_lat):
+        art = fig2_lat.render_hasse()
+        assert "const dynamic" in art
+        assert "nonzero" in art
+        assert "<none>" in art

@@ -1,0 +1,163 @@
+"""Property-based tests: the qualifier lattice really is a lattice.
+
+Definition 2 builds L as a product of two-point lattices; these tests
+verify the order-theoretic laws hold for arbitrary elements of arbitrary
+small qualifier sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qual.lattice import QualifierLattice, negative, positive
+
+_NAMES = ["const", "dynamic", "nonzero", "nonnull", "tainted"]
+
+
+@st.composite
+def lattices(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    names = _NAMES[:count]
+    quals = []
+    for name in names:
+        if draw(st.booleans()):
+            quals.append(positive(name))
+        else:
+            quals.append(negative(name))
+    return QualifierLattice(quals)
+
+
+@st.composite
+def lattice_and_elements(draw, count=3):
+    lattice = draw(lattices())
+    elements = []
+    for _ in range(count):
+        present = [
+            q.name for q in lattice.qualifiers if draw(st.booleans())
+        ]
+        elements.append(lattice.element(*present))
+    return lattice, elements
+
+
+@given(lattice_and_elements())
+def test_meet_commutative(data):
+    lat, (a, b, _) = data
+    assert lat.meet(a, b) == lat.meet(b, a)
+
+
+@given(lattice_and_elements())
+def test_join_commutative(data):
+    lat, (a, b, _) = data
+    assert lat.join(a, b) == lat.join(b, a)
+
+
+@given(lattice_and_elements())
+def test_meet_associative(data):
+    lat, (a, b, c) = data
+    assert lat.meet(lat.meet(a, b), c) == lat.meet(a, lat.meet(b, c))
+
+
+@given(lattice_and_elements())
+def test_join_associative(data):
+    lat, (a, b, c) = data
+    assert lat.join(lat.join(a, b), c) == lat.join(a, lat.join(b, c))
+
+
+@given(lattice_and_elements())
+def test_idempotent(data):
+    lat, (a, _, _) = data
+    assert lat.meet(a, a) == a
+    assert lat.join(a, a) == a
+
+
+@given(lattice_and_elements())
+def test_absorption(data):
+    lat, (a, b, _) = data
+    assert lat.meet(a, lat.join(a, b)) == a
+    assert lat.join(a, lat.meet(a, b)) == a
+
+
+@given(lattice_and_elements())
+def test_order_agrees_with_meet_and_join(data):
+    lat, (a, b, _) = data
+    assert lat.leq(a, b) == (lat.meet(a, b) == a)
+    assert lat.leq(a, b) == (lat.join(a, b) == b)
+
+
+@given(lattice_and_elements())
+def test_meet_is_lower_bound(data):
+    lat, (a, b, _) = data
+    m = lat.meet(a, b)
+    assert lat.leq(m, a) and lat.leq(m, b)
+
+
+@given(lattice_and_elements())
+def test_join_is_upper_bound(data):
+    lat, (a, b, _) = data
+    j = lat.join(a, b)
+    assert lat.leq(a, j) and lat.leq(b, j)
+
+
+@given(lattice_and_elements())
+def test_meet_is_greatest_lower_bound(data):
+    lat, (a, b, c) = data
+    if lat.leq(c, a) and lat.leq(c, b):
+        assert lat.leq(c, lat.meet(a, b))
+
+
+@given(lattice_and_elements())
+def test_join_is_least_upper_bound(data):
+    lat, (a, b, c) = data
+    if lat.leq(a, c) and lat.leq(b, c):
+        assert lat.leq(lat.join(a, b), c)
+
+
+@given(lattice_and_elements())
+def test_antisymmetry(data):
+    lat, (a, b, _) = data
+    if lat.leq(a, b) and lat.leq(b, a):
+        assert a == b
+
+
+@given(lattice_and_elements())
+def test_transitivity(data):
+    lat, (a, b, c) = data
+    if lat.leq(a, b) and lat.leq(b, c):
+        assert lat.leq(a, c)
+
+
+@given(lattices())
+@settings(max_examples=50)
+def test_bounds(lat):
+    for e in lat.elements():
+        assert lat.leq(lat.bottom, e)
+        assert lat.leq(e, lat.top)
+
+
+@given(lattices())
+@settings(max_examples=50)
+def test_negate_is_extremal_lacking_element(lat):
+    """negate(q) is the maximal (positive q) / minimal (negative q)
+    element on which q is absent."""
+    for q in lat.qualifiers:
+        n = lat.negate(q.name)
+        assert not n.has(q.name)
+        lacking = [e for e in lat.elements() if not e.has(q.name)]
+        if q.positive:
+            assert all(lat.leq(e, n) for e in lacking)
+        else:
+            assert all(lat.leq(n, e) for e in lacking)
+
+
+@given(lattices())
+@settings(max_examples=50)
+def test_assertion_bound_characterisation(lat):
+    """e <= assertion_bound(q) holds iff e satisfies q's restrictive
+    reading (absent for positive q, present for negative q)."""
+    for q in lat.qualifiers:
+        bound = lat.assertion_bound(q.name)
+        for e in lat.elements():
+            holds = lat.leq(e, bound)
+            if q.positive:
+                assert holds == (not e.has(q.name))
+            else:
+                assert holds == e.has(q.name)

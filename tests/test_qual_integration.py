@@ -1,0 +1,133 @@
+"""Framework-level integration properties: spread -> decompose -> solve
+pipelines over randomly generated standard types, and the sound/unsound
+ref-rule contrast at the constraint level."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qual.constraints import QualConstraint, SubtypeConstraint
+from repro.qual.lattice import LatticeElement
+from repro.qual.qtypes import (
+    STD_INT,
+    STD_UNIT,
+    StdVar,
+    qual_vars,
+    quals_of,
+    spread,
+    std_fun,
+    std_ref,
+    strip,
+)
+from repro.qual.qualifiers import const_nonzero_lattice
+from repro.qual.solver import check_ground, solve
+from repro.qual.subtype import decompose, unsound_ref_decompose
+
+LATTICE = const_nonzero_lattice()
+
+
+@st.composite
+def std_types(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from([STD_INT, STD_UNIT, StdVar("a"), StdVar("b")]))
+    kind = draw(st.sampled_from(["int", "unit", "var", "fun", "ref"]))
+    if kind == "int":
+        return STD_INT
+    if kind == "unit":
+        return STD_UNIT
+    if kind == "var":
+        return StdVar(draw(st.sampled_from(["a", "b"])))
+    if kind == "fun":
+        return std_fun(
+            draw(std_types(depth=depth - 1)), draw(std_types(depth=depth - 1))
+        )
+    return std_ref(draw(std_types(depth=depth - 1)))
+
+
+@given(std_types())
+@settings(max_examples=200, deadline=None)
+def test_spread_strip_inverse(std):
+    assert strip(spread(std)) == std
+
+
+@given(std_types())
+@settings(max_examples=200, deadline=None)
+def test_self_subtype_constraints_always_satisfiable(std):
+    """rho <= rho' between two spreads of the same type is always
+    solvable (take everything equal), for any constructor mix."""
+    lhs = spread(std)
+    rhs = spread(std)
+    atoms = decompose(SubtypeConstraint(lhs, rhs))
+    solution = solve(atoms, LATTICE)
+    assert check_ground(atoms, LATTICE, solution.least) is None
+    assert check_ground(atoms, LATTICE, solution.greatest) is None
+
+
+@given(std_types())
+@settings(max_examples=200, deadline=None)
+def test_decomposition_covers_every_position(std):
+    """Every qualifier position of both sides appears in some atom of
+    the decomposition (no position escapes the subtype relation)."""
+    lhs = spread(std)
+    rhs = spread(std)
+    atoms = decompose(SubtypeConstraint(lhs, rhs))
+    mentioned = set()
+    for atom in atoms:
+        mentioned.add(atom.lhs)
+        mentioned.add(atom.rhs)
+    for side in (lhs, rhs):
+        for qual in quals_of(side):
+            assert qual in mentioned
+
+
+@given(std_types())
+@settings(max_examples=200, deadline=None)
+def test_unsound_rule_is_strictly_weaker(std):
+    """Every atom the unsound rule emits is also entailed by the sound
+    decomposition (the sound rule only ever adds the reverse direction
+    under refs)."""
+    lhs = spread(std)
+    rhs = spread(std)
+    sound = {(a.lhs, a.rhs) for a in decompose(SubtypeConstraint(lhs, rhs))}
+    unsound = {
+        (a.lhs, a.rhs)
+        for a in unsound_ref_decompose(SubtypeConstraint(lhs, rhs))
+    }
+    assert unsound <= sound
+
+
+@given(std_types())
+@settings(max_examples=100, deadline=None)
+def test_atom_count_linear_in_type_size(std):
+    """Decomposition emits at most two atoms per qualifier position
+    (the invariant-ref doubling), never more — the linear-size claim."""
+    lhs = spread(std)
+    rhs = spread(std)
+    atoms = decompose(SubtypeConstraint(lhs, rhs))
+    positions = len(list(quals_of(lhs)))
+    assert len(atoms) <= 2 * positions
+
+
+@given(std_types())
+@settings(max_examples=100, deadline=None)
+def test_ground_embedding_reflexive(std):
+    """bottom(tau) <= bottom(tau) holds under the ground checker."""
+    from repro.qual.qtypes import embed_bottom
+    from repro.qual.subtype import is_subtype
+
+    t = embed_bottom(std, LATTICE)
+    assert is_subtype(t, t, LATTICE)
+
+
+@given(std_types(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=150, deadline=None)
+def test_top_level_promotion_only(std, seed):
+    """Raising only the top-level qualifier of a ground embedding is a
+    valid supertype for any constructor (the generic constructor rule)."""
+    from repro.qual.qtypes import embed_bottom
+    from repro.qual.subtype import is_subtype
+
+    lo = embed_bottom(std, LATTICE)
+    hi = lo.with_qual(LATTICE.top)
+    assert is_subtype(lo, hi, LATTICE)
+    if LATTICE.top != LATTICE.bottom:
+        assert not is_subtype(hi, lo, LATTICE)

@@ -1,0 +1,122 @@
+"""Unit tests for result counting and Table/Figure rendering."""
+
+import pytest
+
+from repro.cfront.sema import Program
+from repro.constinfer.engine import run_mono, run_poly
+from repro.constinfer.results import (
+    BenchmarkRow,
+    analyze_program,
+    format_figure6,
+    format_table1,
+    format_table2,
+    make_row,
+    summarize_shape_claims,
+)
+
+
+def sample_row(**overrides):
+    defaults = dict(
+        name="bench",
+        lines=1000,
+        description="test benchmark",
+        compile_seconds=1.0,
+        mono_seconds=2.0,
+        poly_seconds=5.0,
+        declared=50,
+        mono=67,
+        poly=72,
+        total_possible=95,
+    )
+    defaults.update(overrides)
+    return BenchmarkRow(**defaults)
+
+
+class TestRowArithmetic:
+    def test_figure6_quantities(self):
+        row = sample_row()
+        assert row.mono_extra == 17
+        assert row.poly_extra == 5
+        assert row.other == 23
+
+    def test_percentages_sum_to_100(self):
+        row = sample_row()
+        assert sum(row.percentages().values()) == pytest.approx(100.0)
+
+    def test_percentages_values(self):
+        pct = sample_row().percentages()
+        assert pct["declared"] == pytest.approx(100 * 50 / 95)
+        assert pct["poly"] == pytest.approx(100 * 5 / 95)
+
+    def test_ratios(self):
+        row = sample_row()
+        assert row.poly_over_mono_ratio == pytest.approx(72 / 67)
+        assert row.poly_time_factor == pytest.approx(2.5)
+
+    def test_zero_guards(self):
+        row = sample_row(declared=0, mono=0, poly=0, total_possible=0, mono_seconds=0.0)
+        assert row.percentages()["declared"] == 0.0
+        assert row.poly_time_factor == float("inf")
+
+
+class TestMakeRow:
+    def test_from_engine_runs(self):
+        source = """
+        int a(const int *p) { return *p; }
+        int b(int *p) { return *p; }
+        void c(int *p) { *p = 1; }
+        """
+        program = Program.from_source(source)
+        mono, poly = run_mono(program), run_poly(program)
+        row = make_row("t", 10, "d", 0.1, mono, poly)
+        assert (row.declared, row.mono, row.poly, row.total_possible) == (1, 2, 2, 3)
+
+    def test_disagreeing_runs_rejected(self):
+        p1 = Program.from_source("int a(int *p) { return *p; }")
+        p2 = Program.from_source("int a(int *p, int *q) { return *p + *q; }")
+        with pytest.raises(ValueError):
+            make_row("t", 1, "d", 0.0, run_mono(p1), run_poly(p2))
+
+    def test_analyze_program_convenience(self):
+        program = Program.from_source("int f(int *p) { return *p; }")
+        row = analyze_program(program, name="x", description="y")
+        assert row.name == "x" and row.total_possible == 1
+
+
+class TestRendering:
+    def test_table1(self):
+        text = format_table1([sample_row()])
+        assert "bench" in text and "1000" in text and "test benchmark" in text
+
+    def test_table2_columns(self):
+        text = format_table2([sample_row()])
+        assert "Declared" in text and "Total" in text
+        assert " 50 " in text and " 95" in text
+
+    def test_figure6_bar_width(self):
+        text = format_figure6([sample_row()], width=40)
+        bar_line = [l for l in text.split("\n") if l.startswith("bench")][0]
+        bar = bar_line.split("|")[1]
+        assert len(bar) == 40
+        assert bar.count("D") == round(40 * 50 / 95)
+
+    def test_figure6_legend(self):
+        text = format_figure6([sample_row()])
+        assert "D=declared" in text
+
+
+class TestShapeClaims:
+    def test_all_claims_on_good_rows(self):
+        rows = [sample_row(), sample_row(name="b2", declared=10, mono=30, poly=33)]
+        claims = summarize_shape_claims(rows)
+        assert claims["all_mono_geq_declared"]
+        assert claims["all_poly_geq_mono"]
+        assert claims["poly_gain_percent_min"] <= claims["poly_gain_percent_max"]
+
+    def test_gain_percent_math(self):
+        claims = summarize_shape_claims([sample_row()])
+        assert claims["poly_gain_percent_max"] == pytest.approx(100 * 5 / 67)
+
+    def test_requires_rows(self):
+        with pytest.raises(AssertionError):
+            summarize_shape_claims([])

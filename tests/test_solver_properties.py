@@ -1,0 +1,116 @@
+"""Property-based tests for the atomic solver: against random constraint
+systems over small lattices, the solver's verdict and extreme solutions
+are checked against brute-force enumeration of all assignments."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qual.constraints import QualConstraint
+from repro.qual.lattice import QualifierLattice, negative, positive
+from repro.qual.qtypes import QualVar
+from repro.qual.solver import UnsatisfiableError, check_ground, solve
+
+_LATTICES = [
+    QualifierLattice([positive("const")]),
+    QualifierLattice([negative("nonzero")]),
+    QualifierLattice([positive("const"), negative("nonzero")]),
+]
+
+_VARS = [QualVar(f"v{i}", 10_000_000 + i) for i in range(4)]
+
+
+@st.composite
+def constraint_systems(draw):
+    lattice = draw(st.sampled_from(_LATTICES))
+    elements = list(lattice.elements())
+    n = draw(st.integers(min_value=0, max_value=6))
+    constraints = []
+    for _ in range(n):
+        side = draw(st.integers(min_value=0, max_value=2))
+        if side == 0:  # var <= var
+            lhs = draw(st.sampled_from(_VARS))
+            rhs = draw(st.sampled_from(_VARS))
+        elif side == 1:  # const <= var
+            lhs = draw(st.sampled_from(elements))
+            rhs = draw(st.sampled_from(_VARS))
+        else:  # var <= const
+            lhs = draw(st.sampled_from(_VARS))
+            rhs = draw(st.sampled_from(elements))
+        constraints.append(QualConstraint(lhs, rhs))
+    return lattice, constraints
+
+
+def brute_force_solutions(lattice, constraints):
+    """All total assignments over _VARS satisfying the constraints."""
+    elements = list(lattice.elements())
+    out = []
+    for values in itertools.product(elements, repeat=len(_VARS)):
+        assignment = dict(zip(_VARS, values))
+        if check_ground(constraints, lattice, assignment) is None:
+            out.append(assignment)
+    return out
+
+
+@given(constraint_systems())
+@settings(max_examples=150, deadline=None)
+def test_solver_verdict_matches_brute_force(data):
+    lattice, constraints = data
+    solutions = brute_force_solutions(lattice, constraints)
+    try:
+        solve(constraints, lattice, extra_vars=_VARS)
+        solver_satisfiable = True
+    except UnsatisfiableError:
+        solver_satisfiable = False
+    assert solver_satisfiable == bool(solutions)
+
+
+@given(constraint_systems())
+@settings(max_examples=150, deadline=None)
+def test_extremes_satisfy_and_bound_all_solutions(data):
+    lattice, constraints = data
+    solutions = brute_force_solutions(lattice, constraints)
+    if not solutions:
+        return
+    sol = solve(constraints, lattice, extra_vars=_VARS)
+
+    least = {v: sol.least_of(v) for v in _VARS}
+    greatest = {v: sol.greatest_of(v) for v in _VARS}
+    assert check_ground(constraints, lattice, least) is None
+    assert check_ground(constraints, lattice, greatest) is None
+
+    # The least solution is pointwise below every solution; the greatest
+    # pointwise above.
+    for assignment in solutions:
+        for v in _VARS:
+            assert lattice.leq(least[v], assignment[v])
+            assert lattice.leq(assignment[v], greatest[v])
+
+
+@given(constraint_systems())
+@settings(max_examples=100, deadline=None)
+def test_classification_agrees_with_solution_set(data):
+    """MUST/MUST_NOT/EITHER per Section 4.4, validated semantically:
+    a position MUST carry q iff every solution carries it, MUST_NOT iff
+    none does, EITHER otherwise."""
+    from repro.qual.solver import Classification
+
+    lattice, constraints = data
+    solutions = brute_force_solutions(lattice, constraints)
+    if not solutions:
+        return
+    sol = solve(constraints, lattice, extra_vars=_VARS)
+    for v in _VARS:
+        for q in lattice.qualifiers:
+            has = [assignment[v].has(q.name) for assignment in solutions]
+            verdict = sol.classify(v, q.name)
+            if all(has):
+                assert verdict in (Classification.MUST, Classification.EITHER)
+                # MUST is claimed only when truly forced:
+                if verdict is Classification.MUST:
+                    assert all(has)
+            if not any(has):
+                assert verdict in (Classification.MUST_NOT, Classification.EITHER)
+            if any(has) and not all(has):
+                assert verdict is Classification.EITHER

@@ -1,0 +1,199 @@
+"""Property-based soundness tests (Section 3.3, Theorem 1/Corollary 1).
+
+A typed term generator produces random programs in the example language
+(with refs, annotations, and assertions over the const x nonzero
+lattice).  For every generated program the tests check the paper's
+soundness story end-to-end:
+
+* **Progress + preservation, observably**: a program accepted by
+  qualified inference never gets *stuck* under the Figure 5 semantics —
+  in particular no assertion or annotation check ever fails at run time.
+* **Annotation containment**: the final value's run-time qualifier is
+  below the greatest solution of the inferred result qualifier.
+* **Observation 1**: stripping a well-typed program yields a
+  standard-typable program with the stripped type, and re-embedding a
+  standard-typable program at bottom is qualified-typable.
+
+The generated terms contain no recursion, so evaluation always
+terminates well within the fuel bound.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lam.ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    QualLiteral,
+    Ref,
+    UnitLit,
+    Var,
+    strip_expr,
+)
+from repro.lam.check import is_well_typed, observation1_forward
+from repro.lam.eval import Evaluator, StuckError
+from repro.lam.infer import QualTypeError, QualifiedLanguage, infer
+from repro.lam.stdtypes import StdTypeError, infer_std
+from repro.qual.qtypes import QualVar, strip
+from repro.qual.qualifiers import const_nonzero_lattice
+
+LATTICE = const_nonzero_lattice()
+LANGUAGE = QualifiedLanguage(LATTICE, assign_restrictions=("const",))
+SUBSETS = [
+    frozenset(),
+    frozenset({"const"}),
+    frozenset({"nonzero"}),
+    frozenset({"const", "nonzero"}),
+]
+
+
+@st.composite
+def qual_literals(draw):
+    return QualLiteral(draw(st.sampled_from(SUBSETS)))
+
+
+@st.composite
+def int_exprs(draw, scope, depth):
+    """An expression of standard type int; ``scope`` maps names to
+    'int' or 'ref'."""
+    choices = ["lit"]
+    int_vars = [n for n, t in scope.items() if t == "int"]
+    ref_vars = [n for n, t in scope.items() if t == "ref"]
+    if int_vars:
+        choices.append("var")
+    if depth > 0:
+        choices += ["if", "let", "app", "annot", "assert"]
+        if ref_vars:
+            choices.append("deref")
+    kind = draw(st.sampled_from(choices))
+    if kind == "lit":
+        return IntLit(draw(st.integers(min_value=0, max_value=9)))
+    if kind == "var":
+        return Var(draw(st.sampled_from(int_vars)))
+    if kind == "deref":
+        return Deref(Var(draw(st.sampled_from(ref_vars))))
+    if kind == "if":
+        return If(
+            draw(int_exprs(scope, depth - 1)),
+            draw(int_exprs(scope, depth - 1)),
+            draw(int_exprs(scope, depth - 1)),
+        )
+    if kind == "let":
+        name = f"v{len(scope)}"
+        if draw(st.booleans()):
+            bound = draw(int_exprs(scope, depth - 1))
+            body = draw(int_exprs({**scope, name: "int"}, depth - 1))
+        else:
+            bound = Ref(draw(int_exprs(scope, depth - 1)))
+            body = draw(int_exprs({**scope, name: "ref"}, depth - 1))
+        return Let(name, bound, body)
+    if kind == "app":
+        name = f"p{len(scope)}"
+        body = draw(int_exprs({**scope, name: "int"}, depth - 1))
+        arg = draw(int_exprs(scope, depth - 1))
+        return App(Lam(name, body), arg)
+    if kind == "annot":
+        return Annot(draw(qual_literals()), draw(int_exprs(scope, depth - 1)))
+    assert kind == "assert"
+    return Assert(draw(int_exprs(scope, depth - 1)), draw(qual_literals()))
+
+
+@st.composite
+def programs(draw):
+    base = draw(int_exprs({}, draw(st.integers(min_value=1, max_value=4))))
+    # Occasionally exercise assignment at the top.
+    if draw(st.booleans()):
+        return Let(
+            "cell",
+            Ref(IntLit(0)),
+            Let("w", Assign(Var("cell"), base), Deref(Var("cell"))),
+        )
+    return base
+
+
+@given(programs())
+@settings(max_examples=200, deadline=None)
+def test_well_typed_programs_never_get_stuck(expr):
+    """Corollary 1 observed: accepted programs evaluate to a value."""
+    assume(is_well_typed(expr, LANGUAGE))
+    value, _store = Evaluator(LATTICE).run(expr, fuel=50_000)
+    assert isinstance(value, Annot)
+
+
+@given(programs())
+@settings(max_examples=200, deadline=None)
+def test_final_annotation_below_greatest_solution(expr):
+    """The run-time qualifier of the result is bounded by the inferred
+    (greatest) qualifier — the semantic content of subject reduction."""
+    try:
+        result = infer(expr, LANGUAGE)
+    except QualTypeError:
+        assume(False)
+    value, _ = Evaluator(LATTICE).run(expr, fuel=50_000)
+    assert isinstance(value, Annot)
+    runtime = value.qual.resolve(LATTICE)
+    top = result.qtype.qual
+    bound = (
+        result.solution.greatest_of(top) if isinstance(top, QualVar) else top
+    )
+    assert LATTICE.leq(runtime, bound)
+
+
+@given(programs())
+@settings(max_examples=200, deadline=None)
+def test_rejected_or_runs_clean(expr):
+    """Inference rejecting a program is the ONLY way an assertion can be
+    unsatisfiable: accepted programs never fail checks at run time, and
+    programs that fail at run time are always rejected statically."""
+    ev = Evaluator(LATTICE)
+    accepted = is_well_typed(expr, LANGUAGE)
+    try:
+        ev.run(expr, fuel=50_000)
+        failed = False
+    except StuckError:
+        failed = True
+    if accepted:
+        assert not failed
+
+
+@given(programs())
+@settings(max_examples=150, deadline=None)
+def test_observation1_strip_direction(expr):
+    """If the annotated program is qualified-typable, its strip is
+    standard-typable at the stripped type."""
+    try:
+        result = infer(expr, LANGUAGE)
+    except QualTypeError:
+        assume(False)
+    stripped = strip_expr(expr)
+    std = infer_std(stripped)
+    assert std.type == strip(result.least_qtype())
+
+
+@given(programs())
+@settings(max_examples=150, deadline=None)
+def test_observation1_embed_direction(expr):
+    """If the strip is standard-typable, the bottom embedding is
+    qualified-typable with the same structure."""
+    stripped = strip_expr(expr)
+    try:
+        std_type, qualified = observation1_forward(stripped, LANGUAGE)
+    except StdTypeError:
+        assume(False)
+    assert strip(qualified) == std_type
+
+
+@given(programs())
+@settings(max_examples=100, deadline=None)
+def test_polymorphic_accepts_everything_monomorphic_does(expr):
+    """(Letv)/(Var') only generalise; they never reject a program the
+    monomorphic system accepts."""
+    assume(is_well_typed(expr, LANGUAGE, polymorphic=False))
+    assert is_well_typed(expr, LANGUAGE, polymorphic=True)

@@ -1,0 +1,80 @@
+"""Tests for constraint-system statistics (the linearity evidence)."""
+
+from repro.cfront.sema import Program
+from repro.constinfer.engine import run_mono, run_poly
+from repro.constinfer.stats import collect_stats, format_stats_table
+
+SOURCE = """
+int reader(const int *p) { return *p; }
+void writer(int *q) { *q = 1; }
+int relay(int *r) { return reader(r); }
+"""
+
+
+def test_breakdown_adds_up():
+    run = run_mono(Program.from_source(SOURCE))
+    stats = collect_stats(run, lines=SOURCE.count("\n") + 1)
+    assert (
+        stats.var_var_edges
+        + stats.constant_lower_bounds
+        + stats.constant_upper_bounds
+        + stats.ground_constraints
+        == stats.constraint_count
+    )
+    assert stats.constraint_count == run.constraint_count
+
+
+def test_classification_tallies():
+    run = run_mono(Program.from_source(SOURCE))
+    stats = collect_stats(run)
+    assert stats.positions == stats.must + stats.must_not + stats.either == 3
+    assert stats.must == 1  # reader's declared const
+    assert stats.must_not == 1  # writer's param
+
+
+def test_const_bounds_counted():
+    run = run_mono(Program.from_source(SOURCE))
+    stats = collect_stats(run)
+    assert stats.constant_lower_bounds >= 1  # declared const
+    assert stats.constant_upper_bounds >= 1  # the write restriction
+
+
+def test_per_line_density():
+    lines = SOURCE.count("\n") + 1
+    run = run_mono(Program.from_source(SOURCE))
+    stats = collect_stats(run, lines=lines)
+    assert stats.constraints_per_line is not None
+    assert stats.constraints_per_line > 0
+    no_lines = collect_stats(run)
+    assert no_lines.constraints_per_line is None
+
+
+def test_poly_has_more_constraints_than_mono():
+    program = Program.from_source(SOURCE)
+    mono = collect_stats(run_mono(program))
+    poly = collect_stats(run_poly(program))
+    assert poly.constraint_count >= mono.constraint_count
+
+
+def test_density_roughly_constant_across_sizes():
+    """Constraints per line must not grow with program size: the linear
+    claim, checked on two generated programs 8x apart."""
+    from repro.benchsuite.generator import PositionMix, generate_benchmark
+
+    densities = []
+    for scale in (1, 8):
+        mix = PositionMix(5 * scale, 5 * scale, 3 * scale, 5 * scale)
+        source = generate_benchmark(f"d{scale}", 3, mix, 0)
+        lines = source.count("\n") + 1
+        run = run_mono(Program.from_source(source))
+        densities.append(collect_stats(run, lines=lines).constraints_per_line)
+    assert densities[1] <= densities[0] * 1.5
+
+
+def test_summary_and_table_render():
+    run = run_mono(Program.from_source(SOURCE))
+    stats = collect_stats(run, lines=5)
+    text = stats.summary()
+    assert "constraints over" in text and "must-not" in text
+    table = format_stats_table([("tiny", stats)])
+    assert "tiny" in table and "C/line" in table

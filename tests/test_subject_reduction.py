@@ -1,0 +1,118 @@
+"""Subject reduction, tested configuration by configuration (Theorem 1).
+
+For each program we walk the Figure 5 reduction sequence and re-typecheck
+*every intermediate configuration* ``<store, expr>``: the expression is
+inferred with the store's locations given the (ground, least) qualified
+types of the values they hold, per the paper's store-typing definition
+(Definition 3).  Theorem 1 promises every configuration of a well-typed
+program stays well-typed; the final value's type strips to the original
+program's standard type.
+"""
+
+import pytest
+
+from repro.lam.ast import Annot, Expr, Loc
+from repro.lam.eval import Evaluator, Store
+from repro.lam.infer import (
+    QualTypeError,
+    QualifiedLanguage,
+    infer,
+)
+from repro.lam.parser import parse
+from repro.qual.qtypes import QType, strip
+from repro.qual.qualifiers import const_nonzero_lattice
+
+LATTICE = const_nonzero_lattice()
+LANGUAGE = QualifiedLanguage(LATTICE, assign_restrictions=("const",))
+
+
+def store_typing(store: Store) -> dict[int, QType]:
+    """Definition 3's store typing: each location's contents type,
+    taken as the least qualified type of the stored value."""
+    out: dict[int, QType] = {}
+    # Values may reference other locations; iterate until closed (stores
+    # here are tiny, a fixed-point over two passes suffices because
+    # addresses only ever point "backwards" to earlier allocations).
+    remaining = dict(store.cells)
+    progress = True
+    while remaining and progress:
+        progress = False
+        for address, value in list(remaining.items()):
+            try:
+                result = infer(value, LANGUAGE, store_qtypes=out)
+            except QualTypeError:
+                continue
+            out[address] = result.least_qtype()
+            del remaining[address]
+            progress = True
+    assert not remaining, "store typing did not close"
+    return out
+
+
+def check_configuration(expr: Expr, store: Store) -> QType:
+    """Typecheck one configuration; returns the least qualified type."""
+    result = infer(expr, LANGUAGE, store_qtypes=store_typing(store))
+    return result.least_qtype()
+
+
+PROGRAMS = [
+    "(fn x. x) 7",
+    "let r = ref 10 in let u = (r := 32) in !r ni ni",
+    "if 1 then {const} 2 else 3 fi",
+    "let x = ref ({nonzero} 37) in (!x)|{nonzero} ni",
+    "let a = ref 1 in let b = ref (!a) in let u = (a := !b) in !a ni ni ni",
+    "((fn x. fn y. x) 1) 2",
+    "let mk = fn n. ref n in !(mk 5) ni",
+    "({const nonzero} 9)|{const nonzero}",
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_every_configuration_stays_well_typed(source):
+    expr = parse(source)
+    initial_type = check_configuration(expr, Store())
+
+    evaluator = Evaluator(LATTICE)
+    types = []
+    for config, store in evaluator.trace(expr):
+        types.append(check_configuration(config, store))
+
+    # The final configuration is a value whose type strips to the same
+    # standard type as the original program's.
+    assert strip(types[-1]) == strip(initial_type)
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_standard_type_preserved_throughout(source):
+    """The *shape* of the type never changes during reduction (qualifier
+    erasure of subject reduction)."""
+    expr = parse(source)
+    evaluator = Evaluator(LATTICE)
+    shapes = []
+    for config, store in evaluator.trace(expr):
+        shapes.append(strip(check_configuration(config, store)))
+    assert len(set(map(str, shapes))) == 1
+
+
+def test_store_extension_is_monotone():
+    """A' extends A (Theorem 1): locations never change their type."""
+    expr = parse(
+        "let a = ref 1 in let b = ref 2 in let u = (a := !b) in !a ni ni ni"
+    )
+    evaluator = Evaluator(LATTICE)
+    previous: dict[int, str] = {}
+    for config, store in evaluator.trace(expr):
+        typing = {addr: str(strip(t)) for addr, t in store_typing(store).items()}
+        for address, shape in previous.items():
+            assert typing[address] == shape
+        previous = typing
+
+
+def test_final_value_annotation_wellformed():
+    expr = parse("let r = ref ({nonzero} 3) in !r ni")
+    evaluator = Evaluator(LATTICE)
+    value, store = evaluator.run(expr)
+    assert isinstance(value, Annot)
+    assert value.qual.resolve(LATTICE).has("nonzero")
+    qtype = check_configuration(value, store)
+    assert qtype.qual.has("nonzero")

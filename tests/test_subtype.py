@@ -1,0 +1,183 @@
+"""Unit tests for the structural subtyping rules (Figure 4a, Section 2.4):
+decomposition to atomic constraints, the ground subtype check, and the
+deliberately unsound covariant-ref rule used in the ablation."""
+
+import pytest
+
+from repro.qual.constraints import SubtypeConstraint
+from repro.qual.qtypes import (
+    PAIR,
+    fresh_qual_var,
+    q_fun,
+    q_int,
+    q_ref,
+    q_unit,
+    q_var,
+    qt,
+)
+from repro.qual.qualifiers import const_lattice, const_nonzero_lattice
+from repro.qual.subtype import (
+    ShapeMismatch,
+    decompose,
+    decompose_all,
+    is_equal,
+    is_subtype,
+    unsound_ref_decompose,
+)
+
+
+def atoms(lhs, rhs):
+    return decompose(SubtypeConstraint(lhs, rhs))
+
+
+class TestSubInt:
+    def test_int_yields_single_atom(self):
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        out = atoms(q_int(k1), q_int(k2))
+        assert len(out) == 1
+        assert (out[0].lhs, out[0].rhs) == (k1, k2)
+
+    def test_unit_same(self):
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        out = atoms(q_unit(k1), q_unit(k2))
+        assert len(out) == 1
+
+
+class TestSubFun:
+    def test_contravariant_domain(self):
+        ks = [fresh_qual_var() for _ in range(6)]
+        lhs = q_fun(ks[0], q_int(ks[1]), q_int(ks[2]))
+        rhs = q_fun(ks[3], q_int(ks[4]), q_int(ks[5]))
+        out = atoms(lhs, rhs)
+        pairs = {(a.lhs, a.rhs) for a in out}
+        assert (ks[0], ks[3]) in pairs  # top-level covariant
+        assert (ks[4], ks[1]) in pairs  # domain flipped
+        assert (ks[2], ks[5]) in pairs  # range covariant
+        assert len(out) == 3
+
+    def test_ground_fun_subtyping(self):
+        lat = const_lattice()
+        # (const int -> int)  <=  (int -> const int)?  domain: int <= const int ok;
+        # range: int <= const int ok; so lhs <= rhs when lhs domain is larger.
+        sub = q_fun(lat.bottom, q_int(lat.top), q_int(lat.bottom))
+        sup = q_fun(lat.bottom, q_int(lat.bottom), q_int(lat.top))
+        assert is_subtype(sub, sup, lat)
+        assert not is_subtype(sup, sub, lat)
+
+
+class TestSubRef:
+    def test_ref_contents_equated(self):
+        k1, k2, k3, k4 = (fresh_qual_var() for _ in range(4))
+        out = atoms(q_ref(k1, q_int(k2)), q_ref(k3, q_int(k4)))
+        pairs = {(a.lhs, a.rhs) for a in out}
+        assert (k1, k3) in pairs
+        # invariance: both directions on contents
+        assert (k2, k4) in pairs and (k4, k2) in pairs
+
+    def test_ground_ref_promotion_top_level_only(self):
+        lat = const_nonzero_lattice()
+        inner = q_int(lat.bottom)
+        assert is_subtype(q_ref(lat.bottom, inner), q_ref(lat.top, inner), lat)
+
+    def test_ground_ref_different_contents_rejected(self):
+        lat = const_nonzero_lattice()
+        nz = q_int(lat.element("nonzero"))
+        plain = q_int(lat.element())
+        assert not is_subtype(q_ref(lat.bottom, nz), q_ref(lat.bottom, plain), lat)
+        assert not is_subtype(q_ref(lat.bottom, plain), q_ref(lat.bottom, nz), lat)
+
+
+class TestShapeVars:
+    def test_same_var_ok(self):
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        out = atoms(q_var(k1, "a"), q_var(k2, "a"))
+        assert len(out) == 1
+
+    def test_different_vars_mismatch(self):
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        with pytest.raises(ShapeMismatch):
+            atoms(q_var(k1, "a"), q_var(k2, "b"))
+
+    def test_var_vs_constructor_mismatch(self):
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        with pytest.raises(ShapeMismatch):
+            atoms(q_var(k1, "a"), q_int(k2))
+
+
+class TestShapeMismatch:
+    def test_different_constructors(self):
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        with pytest.raises(ShapeMismatch):
+            atoms(q_int(k1), q_unit(k2))
+
+    def test_is_subtype_false_on_mismatch(self):
+        lat = const_lattice()
+        assert not is_subtype(q_int(lat.bottom), q_unit(lat.bottom), lat)
+
+    def test_mismatch_carries_origin(self):
+        from repro.qual.constraints import Origin
+
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        with pytest.raises(ShapeMismatch) as err:
+            decompose(
+                SubtypeConstraint(q_int(k1), q_unit(k2), Origin("here", line=7))
+            )
+        assert "here" in str(err.value)
+
+
+class TestGroundChecks:
+    def test_is_subtype_requires_ground(self):
+        lat = const_lattice()
+        with pytest.raises(TypeError):
+            is_subtype(q_int(fresh_qual_var()), q_int(lat.bottom), lat)
+
+    def test_is_equal(self):
+        lat = const_lattice()
+        a = q_ref(lat.bottom, q_int(lat.top))
+        b = q_ref(lat.bottom, q_int(lat.top))
+        c = q_ref(lat.top, q_int(lat.top))
+        assert is_equal(a, b, lat)
+        assert not is_equal(a, c, lat)
+
+    def test_covariant_pair(self):
+        lat = const_lattice()
+        lo = qt(lat.bottom, PAIR, q_int(lat.bottom), q_int(lat.bottom))
+        hi = qt(lat.top, PAIR, q_int(lat.top), q_int(lat.top))
+        assert is_subtype(lo, hi, lat)
+        assert not is_subtype(hi, lo, lat)
+
+
+class TestUnsoundRule:
+    def test_unsound_covariant_ref(self):
+        k1, k2, k3, k4 = (fresh_qual_var() for _ in range(4))
+        out = unsound_ref_decompose(
+            SubtypeConstraint(q_ref(k1, q_int(k2)), q_ref(k3, q_int(k4)))
+        )
+        pairs = {(a.lhs, a.rhs) for a in out}
+        assert (k2, k4) in pairs
+        assert (k4, k2) not in pairs  # only one direction: the unsoundness
+
+    def test_unsound_keeps_fun_contravariance(self):
+        ks = [fresh_qual_var() for _ in range(6)]
+        lhs = q_fun(ks[0], q_int(ks[1]), q_int(ks[2]))
+        rhs = q_fun(ks[3], q_int(ks[4]), q_int(ks[5]))
+        out = unsound_ref_decompose(SubtypeConstraint(lhs, rhs))
+        pairs = {(a.lhs, a.rhs) for a in out}
+        assert (ks[4], ks[1]) in pairs
+
+    def test_unsound_still_rejects_shape_mismatch(self):
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        with pytest.raises(ShapeMismatch):
+            unsound_ref_decompose(SubtypeConstraint(q_int(k1), q_unit(k2)))
+
+
+class TestDecomposeAll:
+    def test_batches(self):
+        k = [fresh_qual_var() for _ in range(4)]
+        out = decompose_all(
+            [
+                SubtypeConstraint(q_int(k[0]), q_int(k[1])),
+                SubtypeConstraint(q_int(k[2]), q_int(k[3])),
+            ]
+        )
+        assert len(out) == 2

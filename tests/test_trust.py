@@ -1,0 +1,96 @@
+"""Tests for the multi-level trust chain encoding ([O/P97] extension)."""
+
+import pytest
+
+from repro.apps.trust import TrustLevels, trust_language
+from repro.lam.ast import QualLiteral
+from repro.lam.check import is_well_typed
+from repro.lam.infer import infer
+from repro.lam.parser import parse
+
+
+class TestEncoding:
+    def test_level_constants_form_a_chain(self):
+        levels = TrustLevels(4)
+        chain = levels.all_levels()
+        for lower, higher in zip(chain, chain[1:]):
+            assert levels.lattice.leq(lower, higher)
+            assert not levels.lattice.leq(higher, lower)
+
+    def test_level_roundtrip(self):
+        levels = TrustLevels(5)
+        for i in range(5):
+            assert levels.level_of(levels.level(i)) == i
+
+    def test_chain_invariant_detects_gaps(self):
+        levels = TrustLevels(4)
+        broken = levels.lattice.element("atleast_3")  # skips 1 and 2
+        assert not levels.is_chain_element(broken)
+        with pytest.raises(ValueError):
+            levels.level_of(broken)
+
+    def test_join_is_max(self):
+        levels = TrustLevels(4)
+        for a in range(4):
+            for b in range(4):
+                assert levels.join_is_max(a, b)
+
+    def test_meet_is_min(self):
+        levels = TrustLevels(4)
+        for a in range(4):
+            for b in range(4):
+                met = levels.lattice.meet(levels.level(a), levels.level(b))
+                assert levels.level_of(met) == min(a, b)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            TrustLevels(1)
+        levels = TrustLevels(3)
+        with pytest.raises(ValueError):
+            levels.level(3)
+
+    def test_two_levels_is_plain_taint(self):
+        levels = TrustLevels(2)
+        assert len(levels.lattice) == 1
+        assert levels.level(0) == levels.lattice.bottom
+        assert levels.level(1) == levels.lattice.top
+
+
+class TestLanguageIntegration:
+    def _annot(self, levels, index):
+        return "{" + " ".join(sorted(levels.level(index).present)) + "}"
+
+    def test_low_flows_to_high_sink(self):
+        levels = TrustLevels(3)
+        lang = trust_language(levels)
+        src = f"let x = {self._annot(levels, 1)} 5 in (x)|{self._annot(levels, 2)} ni"
+        assert is_well_typed(parse(src), lang)
+
+    def test_high_rejected_at_low_sink(self):
+        levels = TrustLevels(3)
+        lang = trust_language(levels)
+        src = f"let x = {self._annot(levels, 2)} 5 in (x)|{self._annot(levels, 1)} ni"
+        assert not is_well_typed(parse(src), lang)
+
+    def test_merge_takes_max_level(self):
+        levels = TrustLevels(4)
+        lang = trust_language(levels)
+        src = (
+            f"if 1 then {self._annot(levels, 1)} 5 "
+            f"else {self._annot(levels, 3)} 6 fi"
+        )
+        result = infer(parse(src), lang)
+        assert levels.level_of(result.top_qual()) == 3
+
+    def test_inference_stays_on_chain(self):
+        # joins of chain elements are chain elements: the least solution
+        # of any program over level constants satisfies the invariant.
+        levels = TrustLevels(4)
+        lang = trust_language(levels)
+        src = (
+            f"let a = {self._annot(levels, 2)} 1 in "
+            f"let b = {self._annot(levels, 1)} 2 in "
+            f"if a then a else b fi ni ni"
+        )
+        result = infer(parse(src), lang)
+        assert levels.is_chain_element(result.top_qual())

@@ -1,0 +1,94 @@
+"""Tests for constraint-graph DOT rendering and neighbourhoods."""
+
+import pytest
+
+from repro.cfront.sema import Program
+from repro.constinfer.engine import run_mono
+from repro.qual.constraints import Origin, QualConstraint
+from repro.qual.qtypes import fresh_qual_var
+from repro.qual.qualifiers import const_lattice
+from repro.qual.solver import solve
+from repro.qual.viz import neighborhood, position_dot, to_dot
+
+
+class TestToDot:
+    def test_basic_structure(self):
+        lat = const_lattice()
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        constraints = [
+            QualConstraint(lat.atom("const"), k1, Origin("decl")),
+            QualConstraint(k1, k2, Origin("flow")),
+        ]
+        dot = to_dot(constraints)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert k1.name in dot and k2.name in dot
+        assert "decl" in dot and "flow" in dot
+        assert "lightgrey" in dot  # the constant box
+
+    def test_solution_bounds_annotated(self):
+        lat = const_lattice()
+        k = fresh_qual_var()
+        constraints = [QualConstraint(lat.atom("const"), k, Origin("x"))]
+        solution = solve(constraints, lat)
+        dot = to_dot(constraints, solution)
+        assert "[const..const]" in dot
+
+    def test_constants_shared(self):
+        lat = const_lattice()
+        k1, k2 = fresh_qual_var(), fresh_qual_var()
+        constraints = [
+            QualConstraint(lat.atom("const"), k1, Origin("a")),
+            QualConstraint(lat.atom("const"), k2, Origin("b")),
+        ]
+        dot = to_dot(constraints)
+        # one constant node feeding two variables
+        assert dot.count("fillcolor=lightgrey") == 1
+
+    def test_escaping(self):
+        lat = const_lattice()
+        k = fresh_qual_var()
+        dot = to_dot([QualConstraint(k, lat.top, Origin('say "hi"'))])
+        assert '\\"hi\\"' in dot
+
+
+class TestNeighborhood:
+    def test_limits_distance(self):
+        ks = [fresh_qual_var() for _ in range(6)]
+        chain = [
+            QualConstraint(ks[i], ks[i + 1], Origin(f"e{i}"))
+            for i in range(5)
+        ]
+        near = neighborhood(chain, ks[0], distance=2)
+        reasons = {c.origin.reason for c in near}
+        assert "e0" in reasons and "e1" in reasons
+        assert "e4" not in reasons
+
+    def test_undirected(self):
+        ks = [fresh_qual_var() for _ in range(3)]
+        constraints = [
+            QualConstraint(ks[1], ks[0], Origin("in")),
+            QualConstraint(ks[1], ks[2], Origin("out")),
+        ]
+        near = neighborhood(constraints, ks[0], distance=2)
+        assert len(near) == 2
+
+
+class TestPositionDot:
+    def test_renders_position_context(self):
+        program = Program.from_source(
+            """
+            int *id(int *x) { return x; }
+            void put(void) { int a; *id(&a) = 1; }
+            """
+        )
+        run = run_mono(program)
+        dot = position_dot(run, "id: return depth 1")
+        assert "digraph" in dot
+        assert "assignment target" in dot
+
+    def test_unknown_position(self):
+        program = Program.from_source("int f(int *p) { return *p; }")
+        run = run_mono(program)
+        with pytest.raises(KeyError):
+            position_dot(run, "g: param 9 depth 1")

@@ -1,0 +1,128 @@
+"""Unit tests for well-formedness conditions (Sections 1-2): the binding
+time "nothing dynamic under static" rule and constructor restrictions."""
+
+import pytest
+
+from repro.qual.qtypes import REF, INT, fresh_qual_var, q_fun, q_int, q_ref
+from repro.qual.qualifiers import binding_time_lattice, paper_figure2_lattice
+from repro.qual.solver import UnsatisfiableError, solve
+from repro.qual.wellformed import (
+    ChildQualLeqParent,
+    OnlyOnConstructors,
+    ParentQualLeqChild,
+    generate,
+    is_wellformed,
+    violations,
+)
+
+
+class TestBindingTimeCondition:
+    """static (dynamic a -> dynamic b) is ill-formed (Section 1)."""
+
+    def setup_method(self):
+        self.lat = binding_time_lattice()
+        self.rule = ChildQualLeqParent("dynamic")
+        self.dyn = self.lat.element("dynamic")
+        self.static = self.lat.element()
+
+    def test_static_fun_with_dynamic_children_ill_formed(self):
+        bad = q_fun(self.static, q_int(self.dyn), q_int(self.dyn))
+        assert not is_wellformed(bad, [self.rule], self.lat)
+        assert len(violations(bad, [self.rule], self.lat)) >= 1
+
+    def test_dynamic_fun_with_dynamic_children_ok(self):
+        good = q_fun(self.dyn, q_int(self.dyn), q_int(self.dyn))
+        assert is_wellformed(good, [self.rule], self.lat)
+
+    def test_all_static_ok(self):
+        good = q_fun(self.static, q_int(self.static), q_int(self.static))
+        assert is_wellformed(good, [self.rule], self.lat)
+
+    def test_violation_nested(self):
+        bad = q_ref(self.dyn, q_ref(self.static, q_int(self.dyn)))
+        found = violations(bad, [self.rule], self.lat)
+        assert len(found) == 1
+        assert "dynamic" in found[0].rule_description
+
+    def test_generate_constraints_enforce_rule(self):
+        k_parent, k_child = fresh_qual_var(), fresh_qual_var()
+        from repro.qual.qtypes import QCon, QType
+
+        t = QType(k_parent, QCon(REF, (QType(k_child, QCon(INT)),)))
+        constraints = generate(t, [ChildQualLeqParent("dynamic")], self.lat)
+        # forcing the child dynamic and the parent static is unsat
+        constraints = list(constraints)
+        from repro.qual.constraints import QualConstraint
+
+        constraints.append(QualConstraint(self.dyn, k_child))
+        constraints.append(QualConstraint(k_parent, self.static))
+        with pytest.raises(UnsatisfiableError):
+            solve(constraints, self.lat)
+
+    def test_generate_allows_consistent_assignment(self):
+        k_parent, k_child = fresh_qual_var(), fresh_qual_var()
+        from repro.qual.constraints import QualConstraint
+        from repro.qual.qtypes import QCon, QType
+
+        t = QType(k_parent, QCon(REF, (QType(k_child, QCon(INT)),)))
+        constraints = generate(t, [ChildQualLeqParent("dynamic")], self.lat)
+        constraints = list(constraints) + [QualConstraint(self.dyn, k_child)]
+        sol = solve(constraints, self.lat)
+        assert sol.least_of(k_parent).has("dynamic")  # forced up
+
+
+class TestParentLeqChild:
+    def test_tainted_container_taints_contents(self):
+        from repro.qual.qualifiers import taint_lattice
+
+        lat = taint_lattice()
+        rule = ParentQualLeqChild("tainted")
+        tainted, clean = lat.element("tainted"), lat.element()
+        bad = q_ref(tainted, q_int(clean))
+        good = q_ref(tainted, q_int(tainted))
+        assert not is_wellformed(bad, [rule], lat)
+        assert is_wellformed(good, [rule], lat)
+
+
+class TestOnlyOnConstructors:
+    def test_const_only_on_refs(self):
+        lat = paper_figure2_lattice()
+        rule = OnlyOnConstructors("const", [REF])
+        const_on_ref = q_ref(lat.element("const", "nonzero"), q_int(lat.bottom))
+        assert is_wellformed(const_on_ref, [rule], lat)
+        const_on_int = q_int(lat.element("const", "nonzero"))
+        assert not is_wellformed(const_on_int, [rule], lat)
+
+    def test_negative_qualifier_restriction(self):
+        lat = paper_figure2_lattice()
+        rule = OnlyOnConstructors("nonzero", ["int"])
+        ok = q_int(lat.bottom)
+        assert is_wellformed(ok, [rule], lat)
+        # nonzero present on a ref is ill-formed under the rule
+        bad = q_ref(lat.bottom, q_int(lat.bottom))
+        assert not is_wellformed(bad, [rule], lat)
+
+    def test_accepts_constructor_names_or_objects(self):
+        rule = OnlyOnConstructors("const", [REF, "int"])
+        assert rule.constructors == frozenset({"ref", "int"})
+
+    def test_describe(self):
+        rule = OnlyOnConstructors("const", ["ref"])
+        assert "const" in rule.describe()
+
+
+class TestGroundRequirement:
+    def test_violations_requires_ground(self):
+        lat = binding_time_lattice()
+        t = q_int(fresh_qual_var())
+        with pytest.raises(TypeError):
+            violations(
+                q_ref(lat.bottom, t), [ChildQualLeqParent("dynamic")], lat
+            )
+
+    def test_shape_var_node_ok(self):
+        from repro.qual.qtypes import q_var
+
+        lat = binding_time_lattice()
+        t = q_var(lat.bottom, "a")
+        assert is_wellformed(t, [ChildQualLeqParent("dynamic")], lat)
