@@ -7,11 +7,32 @@ redo identical work; pytest-benchmark timings use pedantic single-round
 mode because each measured unit is itself a full whole-program analysis.
 """
 
+import contextlib
+import gc
+
 import pytest
 
 from repro.benchsuite.suite import PAPER_BENCHMARKS, generate_source, load_program
 from repro.constinfer.engine import run_mono, run_poly
 from repro.constinfer.results import make_row
+
+
+@contextlib.contextmanager
+def quiet_gc():
+    """Keep collector pauses out of a timed region.
+
+    The session-scoped fixtures hold every parsed program alive, and a
+    full collection scans that entire heap — one landing inside a
+    single-shot engine timing can double it.  Freezing moves the
+    retained heap into the permanent generation, so collections during
+    the region only scan what the region itself allocates.
+    """
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
 
 
 @pytest.fixture(scope="session")
@@ -28,12 +49,13 @@ def programs():
 def suite_rows(programs):
     """Fully-analysed Table 2 rows for every benchmark."""
     rows = []
-    for name, (spec, program, compile_seconds, lines) in programs.items():
-        mono = run_mono(program)
-        poly = run_poly(program)
-        rows.append(
-            make_row(spec.name, lines, spec.description, compile_seconds, mono, poly)
-        )
+    with quiet_gc():
+        for name, (spec, program, compile_seconds, lines) in programs.items():
+            mono = run_mono(program)
+            poly = run_poly(program)
+            rows.append(
+                make_row(spec.name, lines, spec.description, compile_seconds, mono, poly)
+            )
     return rows
 
 

@@ -72,15 +72,21 @@ def test_linear_scaling_shape():
     """Doubling the system size should not quadruple the time."""
     import time
 
+    from conftest import quiet_gc
+
     lattice = const_lattice()
 
     def timed(n):
         _vars, constraints = chain_system(lattice, n)
         best = float("inf")
-        for _ in range(3):
-            start = time.perf_counter()
-            solve(constraints, lattice)
-            best = min(best, time.perf_counter() - start)
+        # quiet_gc: when the whole benchmark dir runs, the session
+        # fixtures retain a large heap and collector pauses scale with
+        # it — enough to make the bigger run look superlinear.
+        with quiet_gc():
+            for _ in range(3):
+                start = time.perf_counter()
+                solve(constraints, lattice)
+                best = min(best, time.perf_counter() - start)
         return best
 
     small = timed(20_000)

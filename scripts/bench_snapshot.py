@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Record a solver-performance snapshot into BENCH_solver.json.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py
+
+Measures the end-to-end engine sweeps of ``benchmarks/test_scaling.py``
+(min-of-N wall time) plus the solver microbenchmark shapes, and appends
+a dated entry to ``BENCH_solver.json`` so future PRs have a perf
+trajectory to compare against.  The committed file also carries the
+frozen ``seed`` entry measured before the bitmask/condensation kernel
+landed; the acceptance bar is run_mono scale 8 at >= 2x that baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from repro.cfront.sema import Program  # noqa: E402
+from repro.benchsuite.generator import PositionMix, generate_benchmark  # noqa: E402
+from repro.constinfer.engine import run_mono, run_poly  # noqa: E402
+from repro.qual.qualifiers import const_lattice  # noqa: E402
+from repro.qual.solver import solve, solve_reference  # noqa: E402
+
+SNAPSHOT_PATH = REPO / "BENCH_solver.json"
+REPEATS = 5
+
+
+def sweep_program(scale: int) -> Program:
+    mix = PositionMix(10 * scale, 10 * scale, 9 * scale, 10 * scale)
+    source = generate_benchmark(f"sweep{scale}", 42 + scale, mix, 0)
+    return Program.from_source(source)
+
+
+def best_of(fn, *args, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def chain_system(lattice, n):
+    from test_solver_bench import chain_system as make
+
+    return make(lattice, n)
+
+
+def measure() -> dict:
+    entry: dict = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "run_mono_ms": {},
+        "run_poly_ms": {},
+        "solver_kernel_ms": {},
+        "solver_stats": {},
+    }
+
+    for scale in (1, 4, 8):
+        program = sweep_program(scale)
+        entry["run_mono_ms"][str(scale)] = round(
+            best_of(run_mono, program) * 1000, 2
+        )
+    program4 = sweep_program(4)
+    entry["run_poly_ms"]["4"] = round(best_of(run_poly, program4) * 1000, 2)
+
+    run = run_mono(sweep_program(8))
+    stats = run.solution.stats
+    if stats is not None:
+        entry["solver_stats"]["mono_scale8"] = {
+            "variables": stats.variables,
+            "constraints": stats.constraints,
+            "sccs": stats.sccs,
+            "collapsed_sccs": stats.collapsed_sccs,
+            "largest_scc": stats.largest_scc,
+            "edges_before": stats.edges_before,
+            "edges_after": stats.edges_after,
+            "dag_edges": stats.dag_edges,
+            "propagation_steps": stats.propagation_steps,
+        }
+
+    lattice = const_lattice()
+    _, chain = chain_system(lattice, 10_000)
+    entry["solver_kernel_ms"]["chain10k_condensation"] = round(
+        best_of(solve, chain, lattice) * 1000, 2
+    )
+    entry["solver_kernel_ms"]["chain10k_reference"] = round(
+        best_of(solve_reference, chain, lattice) * 1000, 2
+    )
+    return entry
+
+
+def main() -> None:
+    if SNAPSHOT_PATH.exists():
+        data = json.loads(SNAPSHOT_PATH.read_text())
+    else:
+        data = {"entries": []}
+    entry = measure()
+    data["entries"].append(entry)
+    SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    seed = next((e for e in data["entries"] if e.get("label") == "seed"), None)
+    print(json.dumps(entry, indent=2))
+    if seed is not None:
+        base = seed["run_mono_ms"]["8"]
+        now = entry["run_mono_ms"]["8"]
+        print(f"run_mono scale 8: {base} ms (seed) -> {now} ms "
+              f"({base / now:.2f}x speedup)")
+
+
+if __name__ == "__main__":
+    main()

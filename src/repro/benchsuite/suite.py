@@ -101,6 +101,23 @@ def benchmark_rows(
     return [run_benchmark(spec) for spec in specs]
 
 
+def solver_stats_report(
+    specs: tuple[BenchmarkSpec, ...] = PAPER_BENCHMARKS,
+) -> str:
+    """Render the solver pipeline shape for the whole suite.
+
+    Complements Table 2: the same runs, but reporting what the
+    condensation kernel did (variables, collapsed cycles, deduplicated
+    edges, propagation steps) instead of const counts.  Handy one-liner::
+
+        PYTHONPATH=src python -c "from repro.benchsuite.suite import \\
+            solver_stats_report; print(solver_stats_report())"
+    """
+    from ..constinfer.results import format_solver_stats
+
+    return format_solver_stats(benchmark_rows(specs))
+
+
 def spec_by_name(name: str) -> BenchmarkSpec:
     for spec in PAPER_BENCHMARKS:
         if spec.name == name:

@@ -176,7 +176,10 @@ class ConstInference:
         self.positions: list[ConstPosition] = []
         self.not_const: LatticeElement = self.lattice.negate("const")
         self.const_low: LatticeElement = self.lattice.atom("const")
-        self._scalar_con = None
+        from ..cfront.ctypes import base_con
+
+        self._scalar_shape = QCon(base_con("int"))
+        self._origin_cache: dict[tuple[str, int], Origin] = {}
 
     # ------------------------------------------------------------------
     # Constraint plumbing
@@ -185,7 +188,14 @@ class ConstInference:
         self.constraints.append(QualConstraint(lhs, rhs, origin))
 
     def origin(self, reason: str, line: int = 0) -> Origin:
-        return Origin(reason, line=line or None)
+        # Origins repeat heavily (one per constraint, few distinct
+        # reason/line pairs per statement); interning them keeps emit()
+        # allocation-light on the hot path.
+        key = (reason, line)
+        cached = self._origin_cache.get(key)
+        if cached is None:
+            cached = self._origin_cache[key] = Origin(reason, line=line or None)
+        return cached
 
     def flow(self, src: QType, dst: QType, origin: Origin) -> None:
         """Value flow ``src <= dst``: top-level subtyping, (SubRef)
@@ -216,9 +226,7 @@ class ConstInference:
                 self.equate(left, right, origin)
 
     def fresh_scalar(self) -> QType:
-        from ..cfront.ctypes import base_con
-
-        return QType(fresh_qual_var(), QCon(base_con("int")))
+        return QType(fresh_qual_var(), self._scalar_shape)
 
     def fresh_cell(self) -> QType:
         """An unconstrained cell for untypable l-values (casts, unknown

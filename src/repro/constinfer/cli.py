@@ -16,7 +16,7 @@ import time
 
 from ..cfront.sema import Program
 from .annotate import annotate_source, format_report, suggestions
-from .engine import run_mono, run_poly, run_polyrec
+from .engine import ConstInferenceError, run_mono, run_poly, run_polyrec
 from .results import analyze_program, format_figure6, format_table1, format_table2
 
 
@@ -74,7 +74,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     engine = args.engine or ("poly" if args.poly else "mono")
-    run = {"mono": run_mono, "poly": run_poly, "polyrec": run_polyrec}[engine](program)
+    try:
+        run = {"mono": run_mono, "poly": run_poly, "polyrec": run_polyrec}[engine](program)
+    except ConstInferenceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     if args.command == "report":
         print(format_report(run, args.limit))

@@ -26,7 +26,13 @@ from ..cfront.sema import Program
 from ..qual.lattice import QualifierLattice
 from ..qual.poly import generalize
 from ..qual.qtypes import QualVar, qual_vars
-from ..qual.solver import Classification, Solution, UnsatisfiableError, solve
+from ..qual.solver import (
+    Classification,
+    IndexedSystem,
+    Solution,
+    UnsatisfiableError,
+    solve,
+)
 from .analysis import ConstInference, ConstPosition
 from .fdg import FunctionDependenceGraph
 
@@ -45,7 +51,7 @@ class InferenceRun:
     positions: list[ConstPosition]
     constraint_count: int
     elapsed_seconds: float
-    inference: ConstInference = field(repr=False, default=None)  # type: ignore[assignment]
+    inference: ConstInference | None = field(repr=False, default=None)
 
     def classify(self, position: ConstPosition) -> Classification:
         return self.solution.classify(position.var, "const")
@@ -149,7 +155,9 @@ def run_poly(
                     if isinstance(q, QualVar):
                         involved.add(q)
             env_vars = {v for v in involved if v.uid < boundary}
-            inference.schemes[name] = generalize(body, local, env_vars)
+            inference.schemes[name] = generalize(
+                body, local, env_vars, lattice=inference.lattice, compress=True
+            )
 
     inference.analyze_global_initializers()
 
@@ -191,6 +199,13 @@ def run_polyrec(
     base_constraints = len(inference.constraints)
     library_sigs = dict(inference.signatures)
 
+    # The shared monomorphic prefix (globals, struct fields, library
+    # signatures) is identical in every fixpoint round: categorise and
+    # dedupe it into an indexed system once, then fork a cheap copy per
+    # round instead of re-solving the whole accumulated list from scratch.
+    base_system = IndexedSystem(inference.lattice)
+    base_system.add_many(inference.constraints[:base_constraints])
+
     previous_summary: dict[str, tuple] | None = None
     assumptions: dict[str, "object"] = {}
 
@@ -212,7 +227,7 @@ def run_polyrec(
             inference.analyze_function(fdef)
         inference.analyze_global_initializers()
 
-        solution = _solve(inference)
+        solution = _solve_incremental(base_system, inference, base_constraints)
         summary = _signature_summary(inference, solution)
         if summary == previous_summary:
             break
@@ -229,9 +244,11 @@ def run_polyrec(
                     if isinstance(q, QualVar):
                         involved.add(q)
             env_vars = {v for v in involved if v.uid < boundary}
-            assumptions[name] = generalize(sig.fun_qtype, local, env_vars)
+            assumptions[name] = generalize(
+                sig.fun_qtype, local, env_vars, lattice=inference.lattice, compress=True
+            )
     else:
-        solution = _solve(inference)
+        solution = _solve_incremental(base_system, inference, base_constraints)
 
     elapsed = time.perf_counter() - start
     return InferenceRun(
@@ -287,9 +304,31 @@ def _uid_boundary() -> int:
     return fresh_qual_var("boundary").uid
 
 
+def _wrap_unsat(exc: UnsatisfiableError) -> ConstInferenceError:
+    """Carry the solver's source-to-sink witness path into the message;
+    the one-line summary alone names only the endpoints."""
+    message = str(exc)
+    if exc.path:
+        message = f"{message}\n{exc.explain()}"
+    return ConstInferenceError(message)
+
+
 def _solve(inference: ConstInference) -> Solution:
     extra = [p.var for p in inference.positions]
     try:
         return solve(inference.constraints, inference.lattice, extra_vars=extra)
     except UnsatisfiableError as exc:
-        raise ConstInferenceError(str(exc)) from exc
+        raise _wrap_unsat(exc) from exc
+
+
+def _solve_incremental(
+    base_system: IndexedSystem, inference: ConstInference, base_constraints: int
+) -> Solution:
+    """Solve the current round's system by forking the pre-indexed shared
+    prefix and adding only the constraints generated after it."""
+    system = base_system.fork()
+    system.add_many(inference.constraints[base_constraints:])
+    try:
+        return system.solve(extra_vars=[p.var for p in inference.positions])
+    except UnsatisfiableError as exc:
+        raise _wrap_unsat(exc) from exc

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cfront.sema import Program
+from ..qual.solver import SolverStats
 from .engine import InferenceRun, run_mono, run_poly
 
 
@@ -35,6 +36,10 @@ class BenchmarkRow:
     mono: int
     poly: int
     total_possible: int
+    #: Pipeline shape of each engine's final solve (None for rows built
+    #: before the condensation solver, e.g. hand-written fixtures).
+    mono_stats: SolverStats | None = None
+    poly_stats: SolverStats | None = None
 
     # -- Figure 6 quantities -------------------------------------------
     @property
@@ -121,6 +126,8 @@ def make_row(
         mono=mono.inferred_const_count(),
         poly=poly.inferred_const_count(),
         total_possible=mono.total_positions(),
+        mono_stats=mono.solution.stats,
+        poly_stats=poly.solution.stats,
     )
 
 
@@ -176,6 +183,29 @@ def format_figure6(rows: list[BenchmarkRow], width: int = 50) -> str:
             f"{row.name:<15} |{bar}| "
             f"D={pct['declared']:5.1f}% M={pct['mono']:5.1f}% "
             f"P={pct['poly']:5.1f}% other={pct['other']:5.1f}%"
+        )
+    return "\n".join(out)
+
+
+def format_solver_stats(rows: list[BenchmarkRow]) -> str:
+    """Per-benchmark solver pipeline shape (variables, SCC condensation,
+    edge dedup, propagation steps) for the monomorphic solve — the
+    engineering counterpart of Table 2's timing columns."""
+    header = (
+        f"{'Name':<15} {'Vars':>6} {'Cons':>6} {'SCCs':>6} "
+        f"{'Cycles':>7} {'Edges':>11} {'Steps':>6}"
+    )
+    out = [header]
+    for row in rows:
+        stats = row.mono_stats
+        if stats is None:
+            out.append(f"{row.name:<15} (no solver stats recorded)")
+            continue
+        out.append(
+            f"{row.name:<15} {stats.variables:>6} {stats.constraints:>6} "
+            f"{stats.sccs:>6} {stats.collapsed_sccs:>7} "
+            f"{f'{stats.edges_before}->{stats.edges_after}':>11} "
+            f"{stats.propagation_steps:>6}"
         )
     return "\n".join(out)
 

@@ -76,6 +76,8 @@ def collect_stats(run: InferenceRun, lines: int | None = None) -> ConstraintStat
     upper = 0
     ground = 0
     variables: set[QualVar] = set()
+    if run.inference is None:
+        raise ValueError("collect_stats needs a run that kept its ConstInference")
     for c in run.inference.constraints:
         lhs_var = isinstance(c.lhs, QualVar)
         rhs_var = isinstance(c.rhs, QualVar)

@@ -68,13 +68,41 @@ class SubtypeConstraint:
         return f"{format_qtype(self.lhs)} <= {format_qtype(self.rhs)}"
 
 
-@dataclass(frozen=True)
 class QualConstraint:
-    """An atomic constraint ``lhs <= rhs`` between qualifiers."""
+    """An atomic constraint ``lhs <= rhs`` between qualifiers.
 
-    lhs: Qual
-    rhs: Qual
-    origin: Origin = UNKNOWN_ORIGIN
+    Hand-slotted rather than a frozen dataclass: inference emits one per
+    qualifier flow and the solver re-reads them in bulk, so construction
+    cost is on the hot path.
+    """
+
+    __slots__ = ("lhs", "rhs", "origin")
+
+    def __init__(self, lhs: Qual, rhs: Qual, origin: Origin = UNKNOWN_ORIGIN) -> None:
+        self.lhs = lhs
+        self.rhs = rhs
+        self.origin = origin
+
+    def __repr__(self) -> str:
+        return f"QualConstraint({self.lhs!r}, {self.rhs!r}, {self.origin!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, QualConstraint):
+            return NotImplemented
+        return (
+            self.lhs == other.lhs
+            and self.rhs == other.rhs
+            and self.origin == other.origin
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs, self.origin))
 
     def __str__(self) -> str:
         return f"{format_qual(self.lhs) or '<none>'} <= {format_qual(self.rhs) or '<none>'}"

@@ -18,11 +18,34 @@ This module implements:
 * :class:`QualifierLattice` — the product lattice with ``leq``, ``meet``,
   ``join``, ``bottom``, ``top``, the ``not q`` element :meth:`QualifierLattice.negate`
   used by rules such as (Assign'), and enumeration/pretty-printing helpers.
-* :class:`LatticeElement` — an immutable element of a particular lattice.
+* :class:`LatticeElement` — an immutable, *interned* element of a
+  particular lattice.
 
 The lattice is deliberately independent of any type structure: the rest of
 the framework (``repro.qual.qtypes``, ``repro.qual.solver``) treats lattice
 elements as opaque constants ordered by :meth:`QualifierLattice.leq`.
+
+Performance architecture
+------------------------
+
+Solving is linear time only if the per-constraint lattice operations are
+O(1), so internally every element is an integer **bitmask** over the
+lattice's canonical qualifier ordering (sorted names).  With ``pos`` and
+``neg`` the masks of the positive/negative qualifiers:
+
+* ``a <= b``    iff  ``(a & ~b & pos) | (b & ~a & neg) == 0``
+* ``join(a,b)``  =   ``((a | b) & pos) | (a & b & neg)``
+* ``meet(a,b)``  =   ``((a & b) & pos) | ((a | b) & neg)``
+
+Elements are **hash-consed** per lattice: constructing an element with a
+mask that already exists returns the existing object, so equality between
+elements of the same lattice is identity, hashes are computed once, and
+``__post_init__``-style validation runs once per distinct element.  The
+public frozenset-based API (``present``, ``has``, construction from
+names) is unchanged.  The mask-level entry points (:meth:`QualifierLattice.join_mask`,
+:meth:`QualifierLattice.meet_mask`, :meth:`QualifierLattice.leq_mask`,
+:meth:`QualifierLattice.from_mask`) let the constraint solver propagate
+over plain integers and only rebuild elements at the boundary.
 """
 
 from __future__ import annotations
@@ -90,7 +113,6 @@ class LatticeError(Exception):
     mixing elements of different lattices)."""
 
 
-@dataclass(frozen=True)
 class LatticeElement:
     """An element of a :class:`QualifierLattice`.
 
@@ -108,37 +130,88 @@ class LatticeElement:
     qualifiers and no negative ones.
 
     Elements are immutable and hashable so they can be used as constraint
-    constants and dictionary keys.
+    constants and dictionary keys.  They are also *interned* per lattice:
+    ``LatticeElement(lat, s)`` returns the one canonical object for the
+    bitmask of ``s``, so elements of the same lattice compare equal iff
+    they are the same object and validation runs once per distinct
+    element.
     """
+
+    __slots__ = ("lattice", "present", "mask", "_hash")
 
     lattice: "QualifierLattice"
     present: frozenset[str]
+    #: Bitmask of ``present`` in the lattice's canonical qualifier order.
+    mask: int
 
-    def __post_init__(self) -> None:
-        unknown = self.present - self.lattice.names
-        if unknown:
-            raise LatticeError(f"unknown qualifiers {sorted(unknown)} for lattice {self.lattice}")
+    def __new__(
+        cls, lattice: "QualifierLattice", present: Iterable[str] = frozenset()
+    ) -> "LatticeElement":
+        if not isinstance(present, frozenset):
+            present = frozenset(present)
+        mask = lattice._mask_of(present)
+        cached = lattice._interned.get(mask)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "lattice", lattice)
+        object.__setattr__(self, "present", present)
+        object.__setattr__(self, "mask", mask)
+        object.__setattr__(self, "_hash", hash((lattice, present)))
+        lattice._interned[mask] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"LatticeElement is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"LatticeElement is immutable; cannot delete {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, LatticeElement):
+            return NotImplemented
+        # Distinct-but-equal lattices (structural lattice equality) keep
+        # separate intern tables, so fall back to structural comparison.
+        return self.mask == other.mask and self.lattice == other.lattice
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Re-intern on unpickle so the identity invariant survives.
+        return (LatticeElement, (self.lattice, self.present))
 
     def has(self, qualifier: str | Qualifier) -> bool:
         """Whether the named qualifier is present on this element."""
         name = qualifier.name if isinstance(qualifier, Qualifier) else qualifier
-        if name not in self.lattice.names:
+        bit = self.lattice._bit.get(name)
+        if bit is None:
             raise LatticeError(f"unknown qualifier {name!r} for lattice {self.lattice}")
-        return name in self.present
+        return bool(self.mask & bit)
 
     def with_qualifier(self, qualifier: str | Qualifier) -> "LatticeElement":
         """This element with the named qualifier added (present)."""
         name = qualifier.name if isinstance(qualifier, Qualifier) else qualifier
-        if name not in self.lattice.names:
+        bit = self.lattice._bit.get(name)
+        if bit is None:
             raise LatticeError(f"unknown qualifier {name!r} for lattice {self.lattice}")
-        return LatticeElement(self.lattice, self.present | {name})
+        return self.lattice.from_mask(self.mask | bit)
 
     def without_qualifier(self, qualifier: str | Qualifier) -> "LatticeElement":
         """This element with the named qualifier removed (absent)."""
         name = qualifier.name if isinstance(qualifier, Qualifier) else qualifier
-        if name not in self.lattice.names:
+        bit = self.lattice._bit.get(name)
+        if bit is None:
             raise LatticeError(f"unknown qualifier {name!r} for lattice {self.lattice}")
-        return LatticeElement(self.lattice, self.present - {name})
+        return self.lattice.from_mask(self.mask & ~bit)
 
     def __str__(self) -> str:
         if not self.present:
@@ -186,13 +259,43 @@ class QualifierLattice:
         self._qualifiers: dict[str, Qualifier] = {q.name: q for q in quals}
         self.names: frozenset[str] = frozenset(names)
 
+        # Canonical qualifier ordering (sorted names) and the bitmask
+        # tables of the integer kernel.  Masks are comparable across
+        # structurally-equal lattices because the ordering is canonical.
+        self._order: tuple[str, ...] = tuple(sorted(names))
+        self._bit: dict[str, int] = {n: 1 << i for i, n in enumerate(self._order)}
+        pos = neg = 0
+        for name, bit in self._bit.items():
+            if self._qualifiers[name].positive:
+                pos |= bit
+            else:
+                neg |= bit
+        self._pos_mask: int = pos
+        self._neg_mask: int = neg
+        self._full_mask: int = pos | neg
+        self._hash: int = hash(frozenset(self._qualifiers.values()))
+        self._sorted_qualifiers: tuple[Qualifier, ...] = tuple(
+            self._qualifiers[n] for n in self._order
+        )
+        # Hash-consing table: bitmask -> the unique LatticeElement.
+        self._interned: dict[int, LatticeElement] = {}
+        self.bottom: LatticeElement = self.from_mask(neg)
+        self.top: LatticeElement = self.from_mask(pos)
+
+    def __reduce__(self):
+        # Rebuild through __init__ on unpickle: the lattice's state holds
+        # interned elements that reference the lattice itself, and the
+        # default dict-restoring protocol would hand LatticeElement's
+        # reconstructor a half-restored lattice mid-cycle.
+        return (QualifierLattice, (tuple(self._sorted_qualifiers),))
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def qualifiers(self) -> tuple[Qualifier, ...]:
         """All qualifiers, sorted by name for determinism."""
-        return tuple(self._qualifiers[n] for n in sorted(self._qualifiers))
+        return self._sorted_qualifiers
 
     def qualifier(self, name: str) -> Qualifier:
         """Look up a qualifier by name."""
@@ -222,24 +325,38 @@ class QualifierLattice:
         return self._qualifiers == other._qualifiers
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._qualifiers.values()))
+        return self._hash
 
     # ------------------------------------------------------------------
     # Element construction
     # ------------------------------------------------------------------
+    def _mask_of(self, present: frozenset[str]) -> int:
+        """Bitmask of a set of qualifier names (validating membership)."""
+        mask = 0
+        bit = self._bit
+        for name in present:
+            b = bit.get(name)
+            if b is None:
+                unknown = sorted(set(present) - self.names)
+                raise LatticeError(f"unknown qualifiers {unknown} for lattice {self}")
+            mask |= b
+        return mask
+
+    def from_mask(self, mask: int) -> LatticeElement:
+        """The interned element for a bitmask in canonical qualifier order."""
+        cached = self._interned.get(mask)
+        if cached is not None:
+            return cached
+        if mask & ~self._full_mask:
+            raise LatticeError(f"mask {mask:#x} has bits outside lattice {self}")
+        bit = self._bit
+        return LatticeElement(
+            self, frozenset(n for n in self._order if bit[n] & mask)
+        )
+
     def element(self, *names: str) -> LatticeElement:
         """The element with exactly the given qualifiers present."""
         return LatticeElement(self, frozenset(names))
-
-    @property
-    def bottom(self) -> LatticeElement:
-        """Least element: no positive qualifiers, all negative ones."""
-        return self.element(*(q.name for q in self.qualifiers if q.negative))
-
-    @property
-    def top(self) -> LatticeElement:
-        """Greatest element: all positive qualifiers, no negative ones."""
-        return self.element(*(q.name for q in self.qualifiers if q.positive))
 
     def negate(self, name: str) -> LatticeElement:
         """The element ``not q`` from Section 2: the extremal element on
@@ -296,40 +413,34 @@ class QualifierLattice:
             if element.lattice is not self and element.lattice != self:
                 raise LatticeError(f"element {element!r} does not belong to lattice {self}")
 
+    def leq_mask(self, a: int, b: int) -> bool:
+        """The partial order over raw bitmasks (see module docstring)."""
+        return not ((a & ~b & self._pos_mask) | (b & ~a & self._neg_mask))
+
+    def meet_mask(self, a: int, b: int) -> int:
+        """Greatest lower bound over raw bitmasks."""
+        return (a & b & self._pos_mask) | ((a | b) & self._neg_mask)
+
+    def join_mask(self, a: int, b: int) -> int:
+        """Least upper bound over raw bitmasks."""
+        return ((a | b) & self._pos_mask) | (a & b & self._neg_mask)
+
     def leq(self, a: LatticeElement, b: LatticeElement) -> bool:
         """The partial order: pointwise over each qualifier coordinate."""
         self._check(a, b)
-        for q in self.qualifiers:
-            a_has, b_has = q.name in a.present, q.name in b.present
-            if q.positive and a_has and not b_has:
-                return False
-            if q.negative and b_has and not a_has:
-                return False
-        return True
+        return not (
+            (a.mask & ~b.mask & self._pos_mask) | (b.mask & ~a.mask & self._neg_mask)
+        )
 
     def meet(self, a: LatticeElement, b: LatticeElement) -> LatticeElement:
         """Greatest lower bound."""
         self._check(a, b)
-        present: set[str] = set()
-        for q in self.qualifiers:
-            a_has, b_has = q.name in a.present, q.name in b.present
-            if q.positive and a_has and b_has:
-                present.add(q.name)
-            if q.negative and (a_has or b_has):
-                present.add(q.name)
-        return LatticeElement(self, frozenset(present))
+        return self.from_mask(self.meet_mask(a.mask, b.mask))
 
     def join(self, a: LatticeElement, b: LatticeElement) -> LatticeElement:
         """Least upper bound."""
         self._check(a, b)
-        present: set[str] = set()
-        for q in self.qualifiers:
-            a_has, b_has = q.name in a.present, q.name in b.present
-            if q.positive and (a_has or b_has):
-                present.add(q.name)
-            if q.negative and a_has and b_has:
-                present.add(q.name)
-        return LatticeElement(self, frozenset(present))
+        return self.from_mask(self.join_mask(a.mask, b.mask))
 
     def meet_all(self, elements: Iterable[LatticeElement]) -> LatticeElement:
         """Meet of a collection; the meet of nothing is top."""

@@ -132,6 +132,8 @@ def generalize(
     body: QType,
     constraints: Sequence[QualConstraint],
     env_vars: set[QualVar],
+    lattice=None,
+    compress: bool = False,
 ) -> QualScheme:
     """(Letv): quantify the qualifier variables of ``body`` not free in the
     environment, carrying along the constraints that mention them.
@@ -140,6 +142,16 @@ def generalize(
     the body's generalisable variables, any variable connected to them
     through a constraint is swept in (if it is not free in the
     environment), so instantiation reproduces the full local subsystem.
+
+    With ``compress=True`` the carried system is then shrunk by
+    *transitive bound compression*: quantified variables that do not occur
+    in the body (pure interior plumbing of the generalised function) are
+    projected out by resolution — every lower bound composed with every
+    upper bound — which is exact for atomic constraints in any lattice.
+    Every later instantiation then copies only constraints between
+    interface variables and constants.  Pass the ``lattice`` so ground
+    by-products that already hold can be dropped (unsatisfiable ground
+    by-products are always kept, preserving error reporting).
     """
     candidate = qual_vars(body) - env_vars
 
@@ -159,9 +171,88 @@ def generalize(
                 quantified.add(w)
                 frontier.append(w)
 
-    carried = restrict_constraints(constraints, quantified)
+    carried = _dedupe(restrict_constraints(constraints, quantified))
+    if compress:
+        interior = quantified - qual_vars(body)
+        carried = _compress_interior(carried, interior, lattice)
+        # A variable eliminated by compression no longer needs a binder;
+        # one kept only as plumbing between survivors still does.
+        mentioned: set[QualVar] = set()
+        for c in carried:
+            if isinstance(c.lhs, QualVar):
+                mentioned.add(c.lhs)
+            if isinstance(c.rhs, QualVar):
+                mentioned.add(c.rhs)
+        quantified = (quantified - interior) | (quantified & mentioned)
     ordered = tuple(sorted(quantified, key=lambda v: v.uid))
-    return QualScheme(ordered, body, tuple(_dedupe(carried)))
+    return QualScheme(ordered, body, tuple(carried))
+
+
+def _compress_interior(
+    constraints: list[QualConstraint],
+    interior: set[QualVar],
+    lattice,
+) -> list[QualConstraint]:
+    """Project interior variables out of an atomic system by resolution.
+
+    For each eliminated variable ``v`` with lower bounds ``L`` and upper
+    bounds ``U``, the system minus ``v`` plus ``{l <= u | l in L, u in U}``
+    has exactly the same solutions over the remaining variables (the
+    classic exactness of resolution for atomic subtyping).  Variables are
+    eliminated cheapest-fan first, and a variable whose ``|L| x |U|``
+    product would *grow* the system is kept — compression must never make
+    instantiation more expensive.
+    """
+    from .lattice import LatticeElement
+
+    if not interior:
+        return constraints
+
+    work = list(constraints)
+    eliminated: set[QualVar] = set()
+    changed = True
+    while changed:
+        changed = False
+        lowers: dict[QualVar, list[QualConstraint]] = {}
+        uppers: dict[QualVar, list[QualConstraint]] = {}
+        for c in work:
+            if isinstance(c.rhs, QualVar) and c.rhs in interior:
+                lowers.setdefault(c.rhs, []).append(c)
+            if isinstance(c.lhs, QualVar) and c.lhs in interior:
+                uppers.setdefault(c.lhs, []).append(c)
+        candidates = sorted(
+            (v for v in interior if v not in eliminated),
+            key=lambda v: (
+                len(lowers.get(v, ())) * len(uppers.get(v, ())),
+                v.uid,
+            ),
+        )
+        for victim in candidates:
+            lo = lowers.get(victim, [])
+            up = uppers.get(victim, [])
+            removed = len(lo) + len(up)
+            if len(lo) * len(up) > removed:
+                continue  # fan-out would grow the system; keep the variable
+            keep = [c for c in work if victim != c.lhs and victim != c.rhs]
+            for low in lo:
+                for high in up:
+                    if low.lhs == high.rhs:
+                        continue
+                    if (
+                        lattice is not None
+                        and isinstance(low.lhs, LatticeElement)
+                        and isinstance(high.rhs, LatticeElement)
+                        and lattice.leq(low.lhs, high.rhs)
+                    ):
+                        continue  # ground and already true: no information
+                    # blame the upper-bound half: that is the constraint a
+                    # violation of the composed bound would trip
+                    keep.append(QualConstraint(low.lhs, high.rhs, high.origin))
+            work = _dedupe(keep)
+            eliminated.add(victim)
+            changed = True
+            break
+    return work
 
 
 def _dedupe(constraints: Iterable[QualConstraint]) -> list[QualConstraint]:

@@ -34,8 +34,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Union
 
 from .lattice import LatticeElement, QualifierLattice
@@ -147,16 +146,22 @@ def std_type_vars(t: StdType) -> set[str]:
 # ---------------------------------------------------------------------------
 
 
-_fresh_lock = threading.Lock()
 _fresh_counter = itertools.count()
 
 
-@dataclass(frozen=True)
 class QualVar:
-    """A qualifier variable ``kappa`` ranging over lattice elements."""
+    """A qualifier variable ``kappa`` ranging over lattice elements.
 
-    name: str
-    uid: int = field(default=-1)
+    A plain ``__slots__`` class rather than a dataclass: inference
+    allocates one per qualifier position and the solver keys every
+    dictionary on them, so construction and hashing are hot.
+    """
+
+    __slots__ = ("name", "uid")
+
+    def __init__(self, name: str, uid: int = -1) -> None:
+        self.name = name
+        self.uid = uid
 
     def __str__(self) -> str:
         return self.name
@@ -164,11 +169,30 @@ class QualVar:
     def __repr__(self) -> str:
         return f"QualVar({self.name!r}, uid={self.uid})"
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, QualVar):
+            return NotImplemented
+        return self.uid == other.uid and self.name == other.name
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        # CPython caches str hashes, so this avoids the tuple allocation
+        # of a generated dataclass hash on every dictionary lookup.
+        return self.uid ^ hash(self.name)
+
 
 def fresh_qual_var(hint: str = "k") -> QualVar:
-    """Allocate a globally fresh qualifier variable."""
-    with _fresh_lock:
-        uid = next(_fresh_counter)
+    """Allocate a globally fresh qualifier variable.
+
+    ``next()`` on :func:`itertools.count` is atomic under the GIL, so
+    concurrent allocators still receive distinct uids without a lock.
+    """
+    uid = next(_fresh_counter)
     return QualVar(f"{hint}{uid}", uid)
 
 
@@ -191,30 +215,70 @@ class ShapeVar:
         return self.name
 
 
-@dataclass(frozen=True)
 class QCon:
-    """A constructed shape ``c(rho_1, ..., rho_n)`` with qualified children."""
+    """A constructed shape ``c(rho_1, ..., rho_n)`` with qualified children.
 
-    con: TypeConstructor
-    args: tuple["QType", ...] = ()
+    Slotted by hand for the same reason as :class:`QualVar`: the C front
+    end builds one per constructor level of every translated type.
+    """
 
-    def __post_init__(self) -> None:
-        if len(self.args) != self.con.arity:
+    __slots__ = ("con", "args")
+
+    def __init__(self, con: TypeConstructor, args: tuple["QType", ...] = ()) -> None:
+        if len(args) != con.arity:
             raise TypeError(
-                f"constructor {self.con.name} expects {self.con.arity} "
-                f"arguments, got {len(self.args)}"
+                f"constructor {con.name} expects {con.arity} "
+                f"arguments, got {len(args)}"
             )
+        self.con = con
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"QCon({self.con!r}, {self.args!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, QCon):
+            return NotImplemented
+        return self.con == other.con and self.args == other.args
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((self.con, self.args))
 
 
 QShape = Union[ShapeVar, QCon]
 
 
-@dataclass(frozen=True)
 class QType:
     """A qualified type ``Q sigma``: a qualifier atop a shape."""
 
-    qual: Qual
-    shape: QShape
+    __slots__ = ("qual", "shape")
+
+    def __init__(self, qual: Qual, shape: QShape) -> None:
+        self.qual = qual
+        self.shape = shape
+
+    def __repr__(self) -> str:
+        return f"QType({self.qual!r}, {self.shape!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, QType):
+            return NotImplemented
+        return self.qual == other.qual and self.shape == other.shape
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((self.qual, self.shape))
 
     def __str__(self) -> str:
         return format_qtype(self)

@@ -9,33 +9,59 @@ atomic constraints of the forms::
     l     <= l'          (ground check)
 
 over a fixed finite qualifier lattice.  Henglein and Rehof showed such
-systems are solvable in linear time for a fixed lattice; this solver uses
-the standard two-pass graph formulation:
+systems are solvable in linear time for a fixed lattice; this solver
+realises that bound with a three-stage pipeline:
 
-* **least solution** — start every variable at lattice bottom and propagate
-  constant *lower* bounds forward along ``kappa <= kappa'`` edges to a
-  fixpoint (each variable's value only ever rises, so with a lattice of
-  height h each variable is re-enqueued at most h times).
-* **greatest solution** — dually, start at top and propagate constant
-  *upper* bounds backward.
+1. **Indexing** (:class:`IndexedSystem`) — constraints are categorised
+   once into integer-indexed bound masks and a deduplicated
+   variable/variable edge set.  The indexed form is incremental:
+   :meth:`IndexedSystem.fork` shares an already-categorised base system
+   so iterative engines (``run_polyrec``) never re-categorise the shared
+   prefix.
+2. **Condensation** — strongly connected components of the
+   variable/variable graph are collapsed (iterative Tarjan — no
+   recursion, constraint graphs of deep programs are deep) into
+   representative nodes; all members of a ``<=``-cycle are equal in
+   every solution.
+3. **Propagation** — a single pass per direction over the condensation
+   DAG in (reverse-)topological order, entirely on integer bitmasks
+   (:meth:`~repro.qual.lattice.QualifierLattice.join_mask` /
+   :meth:`~repro.qual.lattice.QualifierLattice.meet_mask`), replaces the
+   generic worklist fixpoint:
+
+   * **least solution** — start every variable at lattice bottom and
+     push constant *lower* bounds forward along ``kappa <= kappa'``
+     edges, sources first;
+   * **greatest solution** — dually, start at top and push constant
+     *upper* bounds backward, sinks first.
 
 The system is satisfiable iff the least solution satisfies every upper
 bound; equivalently iff ``least(kappa) <= greatest(kappa)`` for all
-``kappa``.  Both extreme solutions are exposed because qualifier inference
-needs them to classify each position (Section 4.4):
+``kappa``.  Both extreme solutions are exposed because qualifier
+inference needs them to classify each position (Section 4.4):
 
 * a variable **must** carry positive qualifier q if its least solution
   already contains q;
 * it **cannot** carry q if its greatest solution lacks q;
-* otherwise it **may** carry q — these are the "could be either" positions
-  that the const experiment counts, and exactly the positions a
-  polymorphic type leaves as unconstrained variables.
+* otherwise it **may** carry q — these are the "could be either"
+  positions that the const experiment counts, and exactly the positions
+  a polymorphic type leaves as unconstrained variables.
+
+Provenance: every deduplicated edge keeps the constraint that created
+it as a witness (including the intra-SCC edges of collapsed cycles), so
+on unsatisfiability the solver re-runs the provenance-tracking worklist
+(:func:`solve_reference`'s propagation) over the witness graph — the
+error path is cold — and reconstructs a source-constant → ... →
+sink-constant blame chain exactly as the naive solver would, cycles
+included.  :class:`Solution` additionally carries :class:`SolverStats`
+so benchmarks and diagnostics can report pipeline shape (variables,
+SCCs, edge dedup, propagation steps).
 """
 
 from __future__ import annotations
 
 import enum
-from collections import defaultdict, deque
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -91,6 +117,40 @@ class Classification(enum.Enum):
     EITHER = "either"
 
 
+@dataclass(frozen=True)
+class SolverStats:
+    """Shape of one solver run, for benchmarks and diagnostics.
+
+    ``edges_before`` counts raw variable/variable constraints,
+    ``edges_after`` the surviving deduplicated edges, and ``dag_edges``
+    the inter-component edges of the condensation actually propagated
+    over.  ``propagation_steps`` sums the edge relaxations of both
+    directional passes (least + greatest).
+    """
+
+    variables: int
+    constraints: int
+    ground_checks: int
+    constant_bounds: int
+    edges_before: int
+    edges_after: int
+    sccs: int
+    collapsed_sccs: int
+    largest_scc: int
+    dag_edges: int
+    propagation_steps: int
+
+    def summary(self) -> str:
+        """One-line rendering for benchmark reports."""
+        return (
+            f"{self.variables} vars, {self.constraints} constraints, "
+            f"{self.sccs} SCCs ({self.collapsed_sccs} collapsed, "
+            f"largest {self.largest_scc}), edges {self.edges_before}"
+            f"->{self.edges_after} deduped ({self.dag_edges} DAG), "
+            f"{self.propagation_steps} propagation steps"
+        )
+
+
 @dataclass
 class Solution:
     """Extreme solutions of an atomic constraint system."""
@@ -98,6 +158,7 @@ class Solution:
     lattice: QualifierLattice
     least: dict[QualVar, LatticeElement]
     greatest: dict[QualVar, LatticeElement]
+    stats: SolverStats | None = None
 
     def least_of(self, var: QualVar) -> LatticeElement:
         """Least solution of a variable (bottom if unmentioned)."""
@@ -141,6 +202,346 @@ def _as_element(q: QualVar | LatticeElement) -> LatticeElement | None:
     return q if isinstance(q, LatticeElement) else None
 
 
+class IndexedSystem:
+    """An atomic constraint system categorised into integer-indexed form.
+
+    Adding constraints folds constant bounds into per-variable bitmasks
+    and deduplicates variable/variable edges (keeping the first
+    constraint per edge as the provenance witness).  :meth:`solve` runs
+    the condensation pipeline over the indexed state; :meth:`fork`
+    copies the indexed state in O(size) dict copies so an iterative
+    engine can extend a shared base system each round without paying the
+    categorisation (isinstance tests, lattice joins) again.
+    """
+
+    def __init__(self, lattice: QualifierLattice):
+        self.lattice = lattice
+        self._var_index: dict[QualVar, int] = {}
+        self._vars: list[QualVar] = []
+        self._lower_mask: dict[int, int] = {}
+        self._upper_mask: dict[int, int] = {}
+        self._lower_origins: dict[int, QualConstraint] = {}
+        self._upper_origins: dict[int, list[QualConstraint]] = {}
+        #: (u, v) -> first constraint creating the edge u <= v.
+        self._edges: dict[tuple[int, int], QualConstraint] = {}
+        self._edges_before = 0
+        self._constraints = 0
+        self._ground_checks = 0
+        self._constant_bounds = 0
+        self._ground_conflict: QualConstraint | None = None
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def _index(self, var: QualVar) -> int:
+        i = self._var_index.get(var)
+        if i is None:
+            i = len(self._vars)
+            self._var_index[var] = i
+            self._vars.append(var)
+        return i
+
+    def add_var(self, var: QualVar) -> None:
+        """Ensure a variable appears in the solution even if unmentioned."""
+        self._index(var)
+
+    def add(self, c: QualConstraint) -> None:
+        """Categorise one atomic constraint into the indexed state."""
+        self.add_many((c,))
+
+    def add_many(self, constraints: Iterable[QualConstraint]) -> None:
+        """Categorise a batch of constraints.
+
+        This is the hot boundary between inference and solving — every
+        generated constraint passes through exactly once — so the loop
+        binds all lookup targets to locals.
+        """
+        lattice = self.lattice
+        bottom_mask = lattice.bottom.mask
+        top_mask = lattice.top.mask
+        join_mask = lattice.join_mask
+        meet_mask = lattice.meet_mask
+        leq_mask = lattice.leq_mask
+        var_index = self._var_index
+        variables = self._vars
+        lower_mask = self._lower_mask
+        upper_mask = self._upper_mask
+        lower_origins = self._lower_origins
+        upper_origins = self._upper_origins
+        edges = self._edges
+        count = edges_before = ground_checks = constant_bounds = 0
+
+        for c in constraints:
+            count += 1
+            lhs, rhs = c.lhs, c.rhs
+            lhs_is_const = isinstance(lhs, LatticeElement)
+            rhs_is_const = isinstance(rhs, LatticeElement)
+            if lhs_is_const:
+                if rhs_is_const:
+                    ground_checks += 1
+                    if self._ground_conflict is None and not leq_mask(
+                        lhs.mask, rhs.mask
+                    ):
+                        self._ground_conflict = c
+                    continue
+                constant_bounds += 1
+                i = var_index.get(rhs)
+                if i is None:
+                    i = var_index[rhs] = len(variables)
+                    variables.append(rhs)
+                prev = lower_mask.get(i, bottom_mask)
+                joined = join_mask(prev, lhs.mask)
+                if joined != prev:
+                    lower_origins[i] = c
+                    lower_mask[i] = joined
+            elif rhs_is_const:
+                constant_bounds += 1
+                i = var_index.get(lhs)
+                if i is None:
+                    i = var_index[lhs] = len(variables)
+                    variables.append(lhs)
+                prev = upper_mask.get(i, top_mask)
+                upper_mask[i] = meet_mask(prev, rhs.mask)
+                bucket = upper_origins.get(i)
+                if bucket is None:
+                    upper_origins[i] = [c]
+                else:
+                    bucket.append(c)
+            else:
+                edges_before += 1
+                u = var_index.get(lhs)
+                if u is None:
+                    u = var_index[lhs] = len(variables)
+                    variables.append(lhs)
+                v = var_index.get(rhs)
+                if v is None:
+                    v = var_index[rhs] = len(variables)
+                    variables.append(rhs)
+                if u != v:
+                    edges.setdefault((u, v), c)
+
+        self._constraints += count
+        self._edges_before += edges_before
+        self._ground_checks += ground_checks
+        self._constant_bounds += constant_bounds
+
+    def fork(self) -> "IndexedSystem":
+        """A copy sharing no mutable state — O(size) dict copies, no
+        re-categorisation of constraint objects."""
+        twin = IndexedSystem.__new__(IndexedSystem)
+        twin.lattice = self.lattice
+        twin._var_index = dict(self._var_index)
+        twin._vars = list(self._vars)
+        twin._lower_mask = dict(self._lower_mask)
+        twin._upper_mask = dict(self._upper_mask)
+        twin._lower_origins = dict(self._lower_origins)
+        twin._upper_origins = {k: list(v) for k, v in self._upper_origins.items()}
+        twin._edges = dict(self._edges)
+        twin._edges_before = self._edges_before
+        twin._constraints = self._constraints
+        twin._ground_checks = self._ground_checks
+        twin._constant_bounds = self._constant_bounds
+        twin._ground_conflict = self._ground_conflict
+        return twin
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _tarjan(self, n: int, adj: list[list[int]]) -> tuple[list[int], list[int]]:
+        """Iterative Tarjan SCC.  Returns (component id per node, component
+        sizes).  Component ids are assigned in completion order, so every
+        inter-component edge goes from a higher id to a lower id — ids in
+        descending order are a topological order of the condensation."""
+        index_of = [-1] * n
+        low = [0] * n
+        on_stack = bytearray(n)
+        stack: list[int] = []
+        comp = [-1] * n
+        sizes: list[int] = []
+        counter = 0
+        for root in range(n):
+            if index_of[root] != -1:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                v, pi = work[-1]
+                if pi == 0:
+                    index_of[v] = low[v] = counter
+                    counter += 1
+                    stack.append(v)
+                    on_stack[v] = 1
+                descended = False
+                neighbors = adj[v]
+                while pi < len(neighbors):
+                    w = neighbors[pi]
+                    pi += 1
+                    if index_of[w] == -1:
+                        work[-1] = (v, pi)
+                        work.append((w, 0))
+                        descended = True
+                        break
+                    if on_stack[w] and index_of[w] < low[v]:
+                        low[v] = index_of[w]
+                if descended:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    if low[v] < low[parent]:
+                        low[parent] = low[v]
+                if low[v] == index_of[v]:
+                    size = 0
+                    cid = len(sizes)
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = 0
+                        comp[w] = cid
+                        size += 1
+                        if w == v:
+                            break
+                    sizes.append(size)
+        return comp, sizes
+
+    def solve(self, extra_vars: Iterable[QualVar] = ()) -> Solution:
+        """Solve the indexed system; see module docstring for the pipeline."""
+        lattice = self.lattice
+        if self._ground_conflict is not None:
+            c = self._ground_conflict
+            assert isinstance(c.lhs, LatticeElement) and isinstance(c.rhs, LatticeElement)
+            raise UnsatisfiableError(c, c.lhs, c.rhs)
+        for var in extra_vars:
+            self._index(var)
+
+        n = len(self._vars)
+        adj: list[list[int]] = [[] for _ in range(n)]
+        for u, v in self._edges:
+            adj[u].append(v)
+        comp, sizes = self._tarjan(n, adj)
+        ncomp = len(sizes)
+
+        # Condensation DAG with one witness edge per component pair.
+        comp_succ: dict[int, dict[int, QualConstraint]] = {}
+        dag_edges = 0
+        for (u, v), c in self._edges.items():
+            cu, cv = comp[u], comp[v]
+            if cu == cv:
+                continue
+            succ = comp_succ.setdefault(cu, {})
+            if cv not in succ:
+                succ[cv] = c
+                dag_edges += 1
+
+        bottom_mask = lattice.bottom.mask
+        top_mask = lattice.top.mask
+        join_mask = lattice.join_mask
+        meet_mask = lattice.meet_mask
+        steps = 0
+
+        # Least solution: sources first (descending component id).
+        comp_low = [bottom_mask] * ncomp
+        for i, mask in self._lower_mask.items():
+            ci = comp[i]
+            comp_low[ci] = join_mask(comp_low[ci], mask)
+        for cu in range(ncomp - 1, -1, -1):
+            m = comp_low[cu]
+            if m == bottom_mask:
+                continue
+            for cv in comp_succ.get(cu, ()):
+                merged = join_mask(comp_low[cv], m)
+                steps += 1
+                if merged != comp_low[cv]:
+                    comp_low[cv] = merged
+
+        # Greatest solution: sinks first (ascending component id), along
+        # reversed edges.
+        comp_pred: dict[int, list[int]] = {}
+        for cu, succ in comp_succ.items():
+            for cv in succ:
+                comp_pred.setdefault(cv, []).append(cu)
+        comp_high = [top_mask] * ncomp
+        for i, mask in self._upper_mask.items():
+            ci = comp[i]
+            comp_high[ci] = meet_mask(comp_high[ci], mask)
+        for cv in range(ncomp):
+            m = comp_high[cv]
+            if m == top_mask:
+                continue
+            for cu in comp_pred.get(cv, ()):
+                merged = meet_mask(comp_high[cu], m)
+                steps += 1
+                if merged != comp_high[cu]:
+                    comp_high[cu] = merged
+
+        # Satisfiability: every variable's forced lower bound must sit
+        # below its forced upper bound.
+        leq_mask = lattice.leq_mask
+        for i, var in enumerate(self._vars):
+            ci = comp[i]
+            if not leq_mask(comp_low[ci], comp_high[ci]):
+                raise self._unsat_error(var, comp_low[ci], comp_high[ci])
+
+        from_mask = lattice.from_mask
+        least = {var: from_mask(comp_low[comp[i]]) for i, var in enumerate(self._vars)}
+        greatest = {var: from_mask(comp_high[comp[i]]) for i, var in enumerate(self._vars)}
+        stats = SolverStats(
+            variables=n,
+            constraints=self._constraints,
+            ground_checks=self._ground_checks,
+            constant_bounds=self._constant_bounds,
+            edges_before=self._edges_before,
+            edges_after=len(self._edges),
+            sccs=ncomp,
+            collapsed_sccs=sum(1 for s in sizes if s > 1),
+            largest_scc=max(sizes, default=0),
+            dag_edges=dag_edges,
+            propagation_steps=steps,
+        )
+        return Solution(lattice, least, greatest, stats)
+
+    # ------------------------------------------------------------------
+    # Failure explanation (cold path)
+    # ------------------------------------------------------------------
+    def _unsat_error(
+        self, var: QualVar, lo_mask: int, hi_mask: int
+    ) -> UnsatisfiableError:
+        """Reconstruct a blame path by re-running the provenance-tracking
+        worklist over the witness edges.  The fast path keeps no
+        per-variable provenance; errors are rare enough that an O(system)
+        re-propagation for a precise explanation is the right trade."""
+        lattice = self.lattice
+        succs: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = {}
+        preds: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = {}
+        for (u, v), c in self._edges.items():
+            uv, vv = self._vars[u], self._vars[v]
+            succs.setdefault(uv, []).append((vv, c))
+            preds.setdefault(vv, []).append((uv, c))
+        variables = set(self._vars)
+        lower = {
+            self._vars[i]: lattice.from_mask(m) for i, m in self._lower_mask.items()
+        }
+        upper = {
+            self._vars[i]: lattice.from_mask(m) for i, m in self._upper_mask.items()
+        }
+        lower_origins = {self._vars[i]: c for i, c in self._lower_origins.items()}
+        upper_origins = {self._vars[i]: list(v) for i, v in self._upper_origins.items()}
+
+        least, lower_pred = _propagate(variables, succs, lower, lattice, up=True)
+        _greatest, upper_pred = _propagate(variables, preds, upper, lattice, up=False)
+
+        lo = lattice.from_mask(lo_mask)
+        hi = lattice.from_mask(hi_mask)
+        path = _explain_path(
+            var, lower_pred, upper_pred, lower_origins, upper_origins, lattice, least
+        )
+        witness = (
+            path[-1]
+            if path
+            else _violated_upper(var, lo, upper_origins, lattice)
+            or QualConstraint(var, hi, Origin("derived bound"))
+        )
+        return UnsatisfiableError(witness, lo, hi, path)
+
+
 def solve(
     constraints: Iterable[QualConstraint],
     lattice: QualifierLattice,
@@ -148,74 +549,33 @@ def solve(
 ) -> Solution:
     """Solve an atomic constraint system over ``lattice``.
 
-    Returns the least and greatest solutions; raises
-    :class:`UnsatisfiableError` if none exists.  ``extra_vars`` names
-    variables that should appear in the solution even if no constraint
-    mentions them (they solve to [bottom, top]).
+    Returns the least and greatest solutions (with :class:`SolverStats`
+    attached); raises :class:`UnsatisfiableError` if none exists.
+    ``extra_vars`` names variables that should appear in the solution
+    even if no constraint mentions them (they solve to [bottom, top]).
     """
-    constraint_list = list(constraints)
+    system = IndexedSystem(lattice)
+    system.add_many(constraints)
+    return system.solve(extra_vars)
 
-    # Adjacency: succs[v] = variables w with an edge v <= w,
-    #            preds[v] = variables u with an edge u <= v.
-    # Each edge remembers the constraint that created it, so failures can
-    # be explained as a path through the program.
-    succs: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = defaultdict(list)
-    preds: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = defaultdict(list)
-    lower: dict[QualVar, LatticeElement] = {}
-    upper: dict[QualVar, LatticeElement] = {}
-    lower_origins: dict[QualVar, QualConstraint] = {}
-    upper_origins: dict[QualVar, list[QualConstraint]] = defaultdict(list)
-    variables: set[QualVar] = set(extra_vars)
 
-    for c in constraint_list:
-        lhs_const, rhs_const = _as_element(c.lhs), _as_element(c.rhs)
-        if lhs_const is not None and rhs_const is not None:
-            if not lattice.leq(lhs_const, rhs_const):
-                raise UnsatisfiableError(c, lhs_const, rhs_const)
-        elif lhs_const is not None:
-            assert isinstance(c.rhs, QualVar)
-            variables.add(c.rhs)
-            joined = lattice.join(lower.get(c.rhs, lattice.bottom), lhs_const)
-            if joined != lower.get(c.rhs, lattice.bottom):
-                lower_origins[c.rhs] = c
-            lower[c.rhs] = joined
-        elif rhs_const is not None:
-            assert isinstance(c.lhs, QualVar)
-            variables.add(c.lhs)
-            upper[c.lhs] = lattice.meet(upper.get(c.lhs, lattice.top), rhs_const)
-            upper_origins[c.lhs].append(c)
-        else:
-            assert isinstance(c.lhs, QualVar) and isinstance(c.rhs, QualVar)
-            variables.add(c.lhs)
-            variables.add(c.rhs)
-            succs[c.lhs].append((c.rhs, c))
-            preds[c.rhs].append((c.lhs, c))
-
-    least, lower_pred = _propagate(variables, succs, lower, lattice, up=True)
-    greatest, upper_pred = _propagate(variables, preds, upper, lattice, up=False)
-
-    # Satisfiability: every variable's forced lower bound must sit below
-    # its forced upper bound.
-    for var in variables:
-        lo = least.get(var, lattice.bottom)
-        hi = greatest.get(var, lattice.top)
-        if not lattice.leq(lo, hi):
-            path = _explain_path(
-                var, lower_pred, upper_pred, lower_origins, upper_origins
-            )
-            witnesses = upper_origins.get(var)
-            witness = (
-                path[-1]
-                if path
-                else (
-                    witnesses[0]
-                    if witnesses
-                    else QualConstraint(var, hi, Origin("derived bound"))
-                )
-            )
-            raise UnsatisfiableError(witness, lo, hi, path)
-
-    return Solution(lattice, least, greatest)
+def _violated_upper(
+    var: QualVar,
+    lo: LatticeElement,
+    upper_origins: Mapping[QualVar, list[QualConstraint]],
+    lattice: QualifierLattice,
+) -> QualConstraint | None:
+    """The recorded constant upper-bound constraint that ``lo`` actually
+    violates — not merely the first recorded one, which may be a looser
+    bound (e.g. ``kappa <= top``) that played no part in the conflict."""
+    candidates = upper_origins.get(var)
+    if not candidates:
+        return None
+    for c in candidates:
+        rhs = _as_element(c.rhs)
+        if rhs is not None and not lattice.leq(lo, rhs):
+            return c
+    return candidates[0]
 
 
 def _explain_path(
@@ -224,8 +584,17 @@ def _explain_path(
     upper_pred: Mapping[QualVar, tuple[QualVar, QualConstraint]],
     lower_origins: Mapping[QualVar, QualConstraint],
     upper_origins: Mapping[QualVar, list[QualConstraint]],
+    lattice: QualifierLattice | None = None,
+    least: Mapping[QualVar, LatticeElement] | None = None,
 ) -> list[QualConstraint]:
-    """Reconstruct source-constant -> ... -> var -> ... -> sink-constant."""
+    """Reconstruct source-constant -> ... -> var -> ... -> sink-constant.
+
+    When ``lattice`` and ``least`` are given, the sink constraint is the
+    recorded upper bound the variable's forced value actually violates
+    (see :func:`_violated_upper`); otherwise the first recorded bound is
+    used.  Cyclic provenance chains (through collapsed ``<=``-cycles)
+    terminate at the first revisited variable.
+    """
     down: list[QualConstraint] = []
     cursor = var
     seen = {cursor}
@@ -251,7 +620,12 @@ def _explain_path(
             break
         seen.add(cursor)
     if upper_origins.get(cursor):
-        up.append(upper_origins[cursor][0])
+        chosen: QualConstraint | None = None
+        if lattice is not None and least is not None:
+            lo = least.get(cursor)
+            if lo is not None:
+                chosen = _violated_upper(cursor, lo, upper_origins, lattice)
+        up.append(chosen if chosen is not None else upper_origins[cursor][0])
     return down + up
 
 
@@ -262,13 +636,18 @@ def _propagate(
     lattice: QualifierLattice,
     up: bool,
 ) -> tuple[dict[QualVar, LatticeElement], dict[QualVar, tuple[QualVar, QualConstraint]]]:
-    """Worklist fixpoint with provenance.
+    """Worklist fixpoint with provenance — the reference propagation.
 
     With ``up=True`` computes the least solution: values start at bottom
     (or the variable's constant lower bound) and flow along edges via join.
     With ``up=False`` computes the greatest solution dually via meet.
     Returns the values plus, per variable, the (predecessor, constraint)
     whose propagation last changed it — enough to walk a blame path.
+
+    The condensation pipeline computes the same fixpoint without
+    provenance; this worklist remains as the blame reconstructor on the
+    unsatisfiable path, as the reference for differential tests, and as
+    the baseline for the condensation-vs-worklist microbenchmarks.
     """
     default = lattice.bottom if up else lattice.top
     combine = lattice.join if up else lattice.meet
@@ -291,6 +670,73 @@ def _propagate(
                     work.append(w)
                     queued.add(w)
     return values, provenance
+
+
+def solve_reference(
+    constraints: Iterable[QualConstraint],
+    lattice: QualifierLattice,
+    extra_vars: Iterable[QualVar] = (),
+) -> Solution:
+    """The pre-condensation solver: categorise, then run the generic
+    worklist fixpoint in both directions.
+
+    Kept verbatim as the differential-testing oracle and the baseline
+    for ``benchmarks/test_solver_kernel.py``; :func:`solve` must agree
+    with it on every satisfiable system.
+    """
+    constraint_list = list(constraints)
+
+    succs: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = {}
+    preds: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = {}
+    lower: dict[QualVar, LatticeElement] = {}
+    upper: dict[QualVar, LatticeElement] = {}
+    lower_origins: dict[QualVar, QualConstraint] = {}
+    upper_origins: dict[QualVar, list[QualConstraint]] = {}
+    variables: set[QualVar] = set(extra_vars)
+
+    for c in constraint_list:
+        lhs_const, rhs_const = _as_element(c.lhs), _as_element(c.rhs)
+        if lhs_const is not None and rhs_const is not None:
+            if not lattice.leq(lhs_const, rhs_const):
+                raise UnsatisfiableError(c, lhs_const, rhs_const)
+        elif lhs_const is not None:
+            assert isinstance(c.rhs, QualVar)
+            variables.add(c.rhs)
+            joined = lattice.join(lower.get(c.rhs, lattice.bottom), lhs_const)
+            if joined != lower.get(c.rhs, lattice.bottom):
+                lower_origins[c.rhs] = c
+            lower[c.rhs] = joined
+        elif rhs_const is not None:
+            assert isinstance(c.lhs, QualVar)
+            variables.add(c.lhs)
+            upper[c.lhs] = lattice.meet(upper.get(c.lhs, lattice.top), rhs_const)
+            upper_origins.setdefault(c.lhs, []).append(c)
+        else:
+            assert isinstance(c.lhs, QualVar) and isinstance(c.rhs, QualVar)
+            variables.add(c.lhs)
+            variables.add(c.rhs)
+            succs.setdefault(c.lhs, []).append((c.rhs, c))
+            preds.setdefault(c.rhs, []).append((c.lhs, c))
+
+    least, lower_pred = _propagate(variables, succs, lower, lattice, up=True)
+    greatest, upper_pred = _propagate(variables, preds, upper, lattice, up=False)
+
+    for var in variables:
+        lo = least.get(var, lattice.bottom)
+        hi = greatest.get(var, lattice.top)
+        if not lattice.leq(lo, hi):
+            path = _explain_path(
+                var, lower_pred, upper_pred, lower_origins, upper_origins, lattice, least
+            )
+            witness = (
+                path[-1]
+                if path
+                else _violated_upper(var, lo, upper_origins, lattice)
+                or QualConstraint(var, hi, Origin("derived bound"))
+            )
+            raise UnsatisfiableError(witness, lo, hi, path)
+
+    return Solution(lattice, least, greatest)
 
 
 def satisfiable(

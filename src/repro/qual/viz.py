@@ -130,6 +130,8 @@ def position_dot(
 
         print(position_dot(run_mono(program), "id: return depth 1"))
     """
+    if run.inference is None:
+        raise ValueError("position_dot needs a run that kept its ConstInference")
     for position, _verdict in run.classified_positions():
         if position.describe() == position_description:
             nearby = neighborhood(
