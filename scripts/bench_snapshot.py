@@ -16,8 +16,10 @@ landed; the acceptance bar is run_mono scale 8 at >= 2x that baseline.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -28,6 +30,7 @@ sys.path.insert(0, str(REPO / "benchmarks"))
 
 from repro.cfront.sema import Program  # noqa: E402
 from repro.benchsuite.generator import PositionMix, generate_benchmark  # noqa: E402
+from repro.benchsuite.suite import benchmark_rows, scaling_specs  # noqa: E402
 from repro.constinfer.engine import run_mono, run_poly  # noqa: E402
 from repro.qual.qualifiers import const_lattice  # noqa: E402
 from repro.qual.solver import solve, solve_reference  # noqa: E402
@@ -98,7 +101,43 @@ def measure() -> dict:
     entry["solver_kernel_ms"]["chain10k_reference"] = round(
         best_of(solve_reference, chain, lattice) * 1000, 2
     )
+
+    entry["suite_ms"] = measure_suite()
     return entry
+
+
+def measure_suite() -> dict:
+    """Serial-vs-parallel suite wall time, and cold-vs-warm cache time,
+    over the scaling sweep.
+
+    The parallel number is only meaningful relative to ``cpu_count`` —
+    on a single-core box the process pool adds fork/pickle overhead and
+    cannot win; the warm-cache speedup is core-independent (it skips
+    parse and constraint generation outright).
+    """
+    specs = scaling_specs((1, 2, 4, 8))
+    out: dict = {"cpu_count": os.cpu_count(), "scales": [1, 2, 4, 8]}
+
+    out["serial"] = round(best_of(benchmark_rows, specs, repeats=3) * 1000, 2)
+    out["parallel_jobs4"] = round(
+        best_of(lambda: benchmark_rows(specs, jobs=4, poly_jobs=4), repeats=3) * 1000,
+        2,
+    )
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        benchmark_rows(specs, cache_dir=cache_dir)
+        out["cache_cold"] = round((time.perf_counter() - start) * 1000, 2)
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            rows = benchmark_rows(specs, cache_dir=cache_dir)
+            best = min(best, time.perf_counter() - start)
+        out["cache_warm"] = round(best * 1000, 2)
+        assert all(
+            r.mono_timings.from_cache and r.poly_timings.from_cache for r in rows
+        ), "warm rerun did not hit the cache"
+    return out
 
 
 def main() -> None:

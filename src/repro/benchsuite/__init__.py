@@ -17,6 +17,8 @@ from .suite import (
     generate_source,
     load_program,
     run_benchmark,
+    scaling_spec,
+    scaling_specs,
     spec_by_name,
 )
 

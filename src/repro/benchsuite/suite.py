@@ -18,11 +18,14 @@ in program size, and polymorphic inference within ~3x of monomorphic.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache
 
 from ..cfront.sema import Program
+from ..constinfer.cache import AnalysisCache, CacheStats
 from ..constinfer.engine import run_mono, run_poly
 from ..constinfer.results import BenchmarkRow, make_row
 from .generator import PositionMix, generate_benchmark
@@ -69,12 +72,41 @@ PAPER_TIMINGS: dict[str, tuple[float, float, float]] = {
 }
 
 
-@lru_cache(maxsize=None)
+# Bounded: the six paper specs plus a scaling sweep fit easily in 32
+# entries, but each generated source is tens to hundreds of kilobytes —
+# an unbounded cache over arbitrary ad-hoc specs (property tests,
+# sweeps at growing scales) would hold every source ever generated for
+# the life of the process.
+@lru_cache(maxsize=32)
 def generate_source(spec: BenchmarkSpec) -> str:
     """The benchmark's deterministic C source."""
     return generate_benchmark(
         spec.name, spec.seed, spec.mix, spec.lines, spec.description
     )
+
+
+def scaling_spec(scale: int) -> BenchmarkSpec:
+    """A synthetic scaling-sweep benchmark.
+
+    Same position mix and seeds as ``benchmarks/test_scaling.py`` (mix
+    ``(10, 10, 9, 10) * scale``, natural length), so sweep results are
+    comparable across the test suite, the CLI, and bench_snapshot.
+    """
+    return BenchmarkSpec(
+        name=f"sweep-{scale}",
+        lines=0,
+        description=f"synthetic scaling sweep x{scale}",
+        declared=10 * scale,
+        mono=20 * scale,
+        poly=29 * scale,
+        total=39 * scale,
+        seed=42 + scale,
+    )
+
+
+def scaling_specs(scales: tuple[int, ...] = (1, 2, 4, 8)) -> tuple[BenchmarkSpec, ...]:
+    """Specs for a program-size scaling sweep (Figure-style experiment)."""
+    return tuple(scaling_spec(scale) for scale in scales)
 
 
 def load_program(spec: BenchmarkSpec) -> tuple[Program, float, int]:
@@ -86,19 +118,96 @@ def load_program(spec: BenchmarkSpec) -> tuple[Program, float, int]:
     return program, elapsed, source.count("\n") + 1
 
 
-def run_benchmark(spec: BenchmarkSpec) -> BenchmarkRow:
-    """Full Table-2 experiment for one benchmark."""
+def run_benchmark(
+    spec: BenchmarkSpec,
+    *,
+    poly_jobs: int | None = None,
+    cache: AnalysisCache | None = None,
+) -> BenchmarkRow:
+    """Full Table-2 experiment for one benchmark.
+
+    ``poly_jobs`` selects the polymorphic engine's wavefront scheduler
+    (``None`` keeps the sequential SCC traversal); ``cache`` routes
+    parsing and constraint generation through a content-addressed
+    :class:`~repro.constinfer.cache.AnalysisCache`.  Neither changes any
+    count — the wavefront schedule is bit-deterministic and warm cache
+    solves reproduce cold classifications exactly.
+    """
+    if cache is not None:
+        source = generate_source(spec)
+        lines = source.count("\n") + 1
+        mono = cache.cached_run(source, spec.name, "mono")
+        poly = cache.cached_run(source, spec.name, "poly", jobs=poly_jobs)
+        compile_seconds = mono.timings.parse_seconds if mono.timings else 0.0
+        return make_row(spec.name, lines, spec.description, compile_seconds, mono, poly)
+
     program, compile_seconds, lines = load_program(spec)
     mono = run_mono(program)
-    poly = run_poly(program)
+    poly = run_poly(program, jobs=poly_jobs)
+    # The engines never see source text, so charge the parse to the
+    # mono row's stage breakdown (the suite parses once for both runs).
+    if mono.timings is not None:
+        mono.timings = dataclasses.replace(
+            mono.timings, parse_seconds=compile_seconds
+        )
     return make_row(spec.name, lines, spec.description, compile_seconds, mono, poly)
+
+
+def _run_benchmark_task(
+    spec: BenchmarkSpec, cache_dir: str | None, poly_jobs: int | None
+) -> tuple[BenchmarkRow, tuple[int, int, int]]:
+    """Process-pool worker: one benchmark end to end.
+
+    Top-level so it pickles; returns the worker's cache counters
+    alongside the row so the parent can aggregate hit/miss totals.
+    """
+    cache = AnalysisCache(cache_dir) if cache_dir else None
+    row = run_benchmark(spec, poly_jobs=poly_jobs, cache=cache)
+    counters = (
+        (cache.stats.hits, cache.stats.misses, cache.stats.stores)
+        if cache
+        else (0, 0, 0)
+    )
+    return row, counters
 
 
 def benchmark_rows(
     specs: tuple[BenchmarkSpec, ...] = PAPER_BENCHMARKS,
+    *,
+    jobs: int | None = None,
+    poly_jobs: int | None = None,
+    cache_dir: str | None = None,
+    cache_stats: CacheStats | None = None,
 ) -> list[BenchmarkRow]:
-    """Run the whole suite (the full Table 2 / Figure 6 experiment)."""
-    return [run_benchmark(spec) for spec in specs]
+    """Run the whole suite (the full Table 2 / Figure 6 experiment).
+
+    ``jobs > 1`` fans the benchmarks over a ``ProcessPoolExecutor`` —
+    rows come back in spec order regardless of which worker finishes
+    first, so the report is deterministic.  ``cache_dir`` enables the
+    content-addressed analysis cache (workers share the directory; the
+    atomic writes make concurrent stores safe).  ``cache_stats``, if
+    given, accumulates hit/miss/store counters across all workers.
+    """
+    if jobs is not None and jobs > 1 and len(specs) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(
+                pool.map(
+                    _run_benchmark_task,
+                    specs,
+                    [cache_dir] * len(specs),
+                    [poly_jobs] * len(specs),
+                )
+            )
+        if cache_stats is not None:
+            for _row, (hits, misses, stores) in outcomes:
+                cache_stats.merge(CacheStats(hits, misses, stores))
+        return [row for row, _counters in outcomes]
+
+    cache = AnalysisCache(cache_dir) if cache_dir else None
+    rows = [run_benchmark(spec, poly_jobs=poly_jobs, cache=cache) for spec in specs]
+    if cache is not None and cache_stats is not None:
+        cache_stats.merge(cache.stats)
+    return rows
 
 
 def solver_stats_report(

@@ -35,6 +35,7 @@ see :mod:`repro.constinfer.engine`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -95,6 +96,7 @@ from ..qual.qtypes import (
     QualVar,
     REF,
     fresh_qual_var,
+    use_uid_band,
 )
 from ..qual.qualifiers import const_lattice
 
@@ -180,6 +182,50 @@ class ConstInference:
 
         self._scalar_shape = QCon(base_con("int"))
         self._origin_cache: dict[tuple[str, int], Origin] = {}
+        # Guards lazy creation of *shared* cells (globals, struct fields)
+        # when function bodies are analysed by concurrent wavefront
+        # workers; uncontended in the serial engines.  When the wavefront
+        # engine reserves a low uid band for such stragglers it lands in
+        # _shared_band, keeping their uids below every SCC boundary.
+        self._shared_lock = threading.Lock()
+        self._shared_band = None
+
+    # ------------------------------------------------------------------
+    # Pickling (locks don't pickle; views are never pickled)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_shared_lock"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._shared_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Worker-local views (parallel wavefront scheduling)
+    # ------------------------------------------------------------------
+    def local_view(self) -> "ConstInference":
+        """A shallow view for one wavefront worker.
+
+        The view shares every piece of whole-program state — program,
+        lattice, shared cells, signatures, schemes, the lock — but
+        buffers ``constraints`` and ``positions`` locally, so concurrent
+        workers never interleave their output.  The coordinator merges
+        the buffers back in deterministic component order via
+        :meth:`absorb`.
+        """
+        view = object.__new__(ConstInference)
+        view.__dict__.update(self.__dict__)
+        view.constraints = []
+        view.positions = []
+        view._origin_cache = {}
+        return view
+
+    def absorb(self, view: "ConstInference") -> None:
+        """Append a worker view's buffered constraints and positions."""
+        self.constraints.extend(view.constraints)
+        self.positions.extend(view.positions)
 
     # ------------------------------------------------------------------
     # Constraint plumbing
@@ -247,19 +293,29 @@ class ConstInference:
         return translated
 
     def global_cell(self, name: str) -> Optional[TranslatedType]:
-        if name in self.global_cells:
-            return self.global_cells[name]
+        cell = self.global_cells.get(name)
+        if cell is not None:
+            return cell
         decl = self.program.globals.get(name)
         if decl is None:
             return None
-        cell = self.cell_for_type(decl.type, decl.line)
-        self.global_cells[name] = cell
+        # Shared cells created lazily from a wavefront worker escape the
+        # worker's uid band (they are monomorphic whole-program state,
+        # not SCC-local variables) and are created exactly once.
+        with self._shared_lock:
+            cell = self.global_cells.get(name)
+            if cell is None:
+                with use_uid_band(self._shared_band):
+                    cell = self.cell_for_type(decl.type, decl.line)
+                self.global_cells[name] = cell
         return cell
 
     def field_cell(self, tag: str, field_name: str) -> TranslatedType:
         key = (tag, field_name)
-        if self.share_struct_fields and key in self.field_cells:
-            return self.field_cells[key]
+        if self.share_struct_fields:
+            cell = self.field_cells.get(key)
+            if cell is not None:
+                return cell
         struct = self.program.structs.get(tag)
         ctype: CType = CBase("int")
         line = 0
@@ -269,8 +325,17 @@ class ConstInference:
                     ctype = f.type
                     line = f.line
                     break
-        cell = self.cell_for_type(ctype, line)
-        self.field_cells[key] = cell
+        if not self.share_struct_fields:
+            # Ablation: a fresh cell per access, nothing shared.
+            cell = self.cell_for_type(ctype, line)
+            self.field_cells[key] = cell
+            return cell
+        with self._shared_lock:
+            cell = self.field_cells.get(key)
+            if cell is None:
+                with use_uid_band(self._shared_band):
+                    cell = self.cell_for_type(ctype, line)
+                self.field_cells[key] = cell
         return cell
 
     # ------------------------------------------------------------------

@@ -1,0 +1,297 @@
+"""Content-addressed on-disk cache for the analysis pipeline.
+
+The expensive stages of an inference run are parsing and constraint
+generation; solving is comparatively cheap (see EXPERIMENTS.md's stage
+breakdown).  Both stages are pure functions of (source text, qualifier
+lattice, engine mode, inference options, analysis code), so their
+outputs can be memoised on disk and shared across processes: a warm
+rerun of the benchmark suite loads the generated constraint system and
+goes straight to the solver.
+
+Keys are SHA-256 digests over every input that can change the output:
+
+* the *kind* of entry (``"program"`` or ``"constraints"``),
+* a fingerprint of the analysis source code itself (the cfront,
+  constinfer, and qual packages), so editing the analyser invalidates
+  every entry rather than serving stale results,
+* the benchmark's full source text (content-addressed — renaming or
+  regenerating an identical file still hits),
+* the qualifier lattice (canonical sorted-qualifier repr),
+* the engine mode and the sorted inference options.
+
+``jobs`` is deliberately *not* part of the key: the wavefront scheduler
+is bit-deterministic across job counts, so serial and parallel runs
+share entries.
+
+Entries are pickle blobs written atomically (tmp file + ``os.replace``)
+so concurrent writers — the process-pool suite runner — can race
+harmlessly: last writer wins with an identical value.  Unreadable or
+corrupt entries are treated as misses and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..cfront.sema import Program
+from ..qual.lattice import QualifierLattice
+from .engine import (
+    InferenceRun,
+    StageTimings,
+    run_mono,
+    run_poly,
+    run_polyrec,
+    _solve,
+)
+
+#: Bump to invalidate every existing cache entry regardless of code
+#: fingerprint (e.g. when the entry *format* changes shape).
+CACHE_FORMAT_VERSION = 1
+
+#: The packages whose source code determines parse/congen output.
+_FINGERPRINTED_PACKAGES = ("cfront", "constinfer", "qual")
+
+_code_fingerprint_memo: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the analyser's own source files.
+
+    Any edit to the front end, the constraint generator, or the
+    qualifier machinery changes the digest and so invalidates every
+    cache entry — the cache can never serve results computed by old
+    code.  Memoised per process (the source tree does not change under
+    a running analysis).
+    """
+    global _code_fingerprint_memo
+    if _code_fingerprint_memo is not None:
+        return _code_fingerprint_memo
+    digest = hashlib.sha256()
+    digest.update(f"format:{CACHE_FORMAT_VERSION}".encode())
+    root = Path(__file__).resolve().parent.parent
+    for package in _FINGERPRINTED_PACKAGES:
+        for path in sorted((root / package).glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    _code_fingerprint_memo = digest.hexdigest()
+    return _code_fingerprint_memo
+
+
+def lattice_key(lattice: QualifierLattice | None) -> str:
+    """Canonical description of a lattice: its sorted qualifiers, or
+    ``"default"`` for the engines' built-in const lattice."""
+    if lattice is None:
+        return "default"
+    return repr(lattice.qualifiers)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache handle (one process)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+
+    def summary(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s)"
+
+
+@dataclass
+class AnalysisCache:
+    """A content-addressed pickle store rooted at ``root``.
+
+    The handle is cheap and picklable (it carries only the root path and
+    its own counters), so process-pool workers can each hold one over
+    the same directory.
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # -- keys ----------------------------------------------------------
+    def key(
+        self,
+        kind: str,
+        *,
+        source: str,
+        lattice: QualifierLattice | None = None,
+        mode: str = "",
+        options: dict | None = None,
+    ) -> str:
+        parts = [
+            f"kind:{kind}",
+            f"code:{code_fingerprint()}",
+            f"lattice:{lattice_key(lattice)}",
+            f"mode:{mode}",
+            f"options:{sorted((options or {}).items())!r}",
+            "source:",
+            source,
+        ]
+        return hashlib.sha256("\x00".join(parts).encode()).hexdigest()
+
+    # -- raw entry access ----------------------------------------------
+    def _path(self, key: str) -> Path:
+        # Two-level fanout keeps directory listings sane at scale.
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> object | None:
+        """The stored value, or ``None`` on miss.  A corrupt or
+        unreadable entry counts as a miss."""
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            value = pickle.loads(blob)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        """Atomically store ``value``; concurrent writers race safely."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- pipeline-level helpers ----------------------------------------
+    def cached_program(self, source: str, name: str) -> tuple[Program, float, bool]:
+        """Parse ``source`` through the cache.
+
+        Returns ``(program, parse_seconds, from_cache)``;
+        ``parse_seconds`` is the wall time actually spent this call
+        (loading a pickle on a hit, full lex/parse/sema on a miss).
+        """
+        key = self.key("program", source=source)
+        start = time.perf_counter()
+        cached = self.get(key)
+        if isinstance(cached, Program):
+            return cached, time.perf_counter() - start, True
+        program = Program.from_source(source, name)
+        self.put(key, program)
+        return program, time.perf_counter() - start, False
+
+    def cached_run(
+        self,
+        source: str,
+        name: str,
+        mode: str,
+        lattice: QualifierLattice | None = None,
+        jobs: int | None = None,
+        **inference_options,
+    ) -> InferenceRun:
+        """Run one engine over ``source`` through the cache.
+
+        Cold path: parse (itself cached), run the engine, then store the
+        generated constraint system — ``(constraints, positions)``
+        pickled as one blob so shared :class:`~repro.qual.qtypes.QualVar`
+        objects keep their identity through pickle memoisation.
+
+        Warm path: load the blob and go straight to the solver; parse
+        and constraint generation are skipped entirely and the run's
+        :class:`~repro.constinfer.engine.StageTimings` is flagged
+        ``from_cache``.  The solver's least/greatest fixpoints are
+        unique, so warm classifications are bit-identical to cold ones.
+        """
+        key = self.key(
+            "constraints",
+            source=source,
+            lattice=lattice,
+            mode=mode,
+            options=inference_options,
+        )
+        start = time.perf_counter()
+        cached = self.get(key)
+        if isinstance(cached, tuple) and len(cached) == 2:
+            constraints, positions = cached
+            loaded = time.perf_counter()
+            solution = _solve_cached(constraints, positions, lattice)
+            end = time.perf_counter()
+            timings = StageTimings(
+                congen_seconds=loaded - start,
+                solve_seconds=end - loaded,
+                from_cache=True,
+            )
+            return InferenceRun(
+                mode, solution, positions, len(constraints), end - start, None, timings
+            )
+
+        program, parse_seconds, _ = self.cached_program(source, name)
+        engine = {"mono": run_mono, "poly": run_poly, "polyrec": run_polyrec}[mode]
+        if mode == "poly":
+            run = engine(program, lattice, jobs=jobs, **inference_options)
+        else:
+            run = engine(program, lattice, **inference_options)
+        self.put(key, (run.inference.constraints, run.inference.positions))
+        timings = StageTimings(
+            parse_seconds=parse_seconds,
+            congen_seconds=run.timings.congen_seconds if run.timings else 0.0,
+            solve_seconds=run.timings.solve_seconds if run.timings else 0.0,
+            generalize_seconds=run.timings.generalize_seconds if run.timings else 0.0,
+        )
+        return InferenceRun(
+            run.mode,
+            run.solution,
+            run.positions,
+            run.constraint_count,
+            run.elapsed_seconds,
+            run.inference,
+            timings,
+        )
+
+
+def _solve_cached(constraints, positions, lattice: QualifierLattice | None):
+    """Solve a cache-loaded constraint system.
+
+    The pickled constraints carry their own (re-interned) lattice
+    elements, so the solve needs no live :class:`ConstInference`; the
+    lattice is recovered from the constraints themselves when the caller
+    passed ``None``.
+    """
+    from ..qual.qualifiers import const_lattice
+    from ..qual.solver import UnsatisfiableError, solve
+    from .engine import _wrap_unsat
+
+    lat = lattice
+    if lat is None:
+        for c in constraints:
+            for side in (c.lhs, c.rhs):
+                owner = getattr(side, "lattice", None)
+                if owner is not None:
+                    lat = owner
+                    break
+            if lat is not None:
+                break
+        if lat is None:
+            lat = const_lattice()
+    try:
+        return solve(constraints, lat, extra_vars=[p.var for p in positions])
+    except UnsatisfiableError as exc:
+        raise _wrap_unsat(exc) from exc

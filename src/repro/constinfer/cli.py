@@ -6,6 +6,12 @@ Usage::
     quals-const table FILE...         # a Table-2 style row for the input
     quals-const annotate FILE         # rewrite with inferred consts
     quals-const suite                 # run the built-in benchmark suite
+
+The ``suite`` command accepts ``--jobs N`` to fan benchmarks over a
+process pool (and to run the polymorphic engine's wavefront scheduler
+with N threads), ``--cache-dir DIR`` to choose where the
+content-addressed analysis cache lives, and ``--no-cache`` to disable
+it; warm reruns skip parsing and constraint generation entirely.
 """
 
 from __future__ import annotations
@@ -17,7 +23,13 @@ import time
 from ..cfront.sema import Program
 from .annotate import annotate_source, format_report, suggestions
 from .engine import ConstInferenceError, run_mono, run_poly, run_polyrec
-from .results import analyze_program, format_figure6, format_table1, format_table2
+from .results import (
+    analyze_program,
+    format_figure6,
+    format_stage_timings,
+    format_table1,
+    format_table2,
+)
 
 
 def _load(paths: list[str]) -> tuple[Program, float, int]:
@@ -45,17 +57,51 @@ def main(argv: list[str] | None = None) -> int:
         help="inference engine for report/annotate (overrides --poly)",
     )
     parser.add_argument("--limit", type=int, default=None, help="limit report rows")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="suite: worker processes for the benchmarks and worker "
+        "threads for the poly engine's wavefront scheduler "
+        "(default: serial; results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".quals-cache",
+        help="suite: directory of the content-addressed analysis cache "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="suite: disable the analysis cache (always parse and "
+        "regenerate constraints)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "suite":
-        from ..benchsuite.suite import benchmark_rows
+        from ..benchsuite.suite import PAPER_BENCHMARKS, benchmark_rows
+        from .cache import CacheStats
 
-        rows = benchmark_rows()
+        specs = PAPER_BENCHMARKS[: args.limit] if args.limit else PAPER_BENCHMARKS
+        cache_stats = CacheStats()
+        rows = benchmark_rows(
+            specs,
+            jobs=args.jobs,
+            poly_jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            cache_stats=cache_stats,
+        )
         print(format_table1(rows))
         print()
         print(format_table2(rows))
         print()
         print(format_figure6(rows))
+        print()
+        print(format_stage_timings(rows))
+        if not args.no_cache:
+            print()
+            print(f"analysis cache ({args.cache_dir}): {cache_stats.summary()}")
         return 0
 
     if not args.files:

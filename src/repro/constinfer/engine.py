@@ -20,12 +20,19 @@ of every interesting const position, ready for the Section 4.4 counts.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..cfront.sema import Program
 from ..qual.lattice import QualifierLattice
 from ..qual.poly import generalize
-from ..qual.qtypes import QualVar, qual_vars
+from ..qual.qtypes import (
+    QualVar,
+    UidBand,
+    advance_fresh_uids,
+    fresh_uid_band,
+    qual_vars,
+)
 from ..qual.solver import (
     Classification,
     IndexedSystem,
@@ -42,6 +49,41 @@ class ConstInferenceError(Exception):
     a cell that must be const.  Correct C programs never trigger this."""
 
 
+@dataclass(frozen=True)
+class StageTimings:
+    """Wall-clock breakdown of one inference run by pipeline stage.
+
+    ``parse_seconds`` is recorded by whoever owns the source text (the
+    benchmark suite, the CLI, or the analysis cache); the engines fill
+    the rest.  ``from_cache`` marks a warm run whose parse and constraint
+    generation were skipped entirely — only the solve was paid.
+    """
+
+    parse_seconds: float = 0.0
+    congen_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    generalize_seconds: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.parse_seconds
+            + self.congen_seconds
+            + self.solve_seconds
+            + self.generalize_seconds
+        )
+
+    def summary(self) -> str:
+        cached = " [cached]" if self.from_cache else ""
+        return (
+            f"parse {self.parse_seconds * 1000:.1f} ms, "
+            f"congen {self.congen_seconds * 1000:.1f} ms, "
+            f"solve {self.solve_seconds * 1000:.1f} ms, "
+            f"generalize {self.generalize_seconds * 1000:.1f} ms{cached}"
+        )
+
+
 @dataclass
 class InferenceRun:
     """Outcome of one engine run over a whole program."""
@@ -52,6 +94,7 @@ class InferenceRun:
     constraint_count: int
     elapsed_seconds: float
     inference: ConstInference | None = field(repr=False, default=None)
+    timings: StageTimings | None = None
 
     def classify(self, position: ConstPosition) -> Classification:
         return self.solution.classify(position.var, "const")
@@ -111,27 +154,60 @@ def run_mono(
         inference.analyze_function(fdef)
     inference.analyze_global_initializers()
 
+    congen_done = time.perf_counter()
     solution = _solve(inference)
-    elapsed = time.perf_counter() - start
-    return InferenceRun(
-        "mono", solution, inference.positions, len(inference.constraints), elapsed, inference
+    end = time.perf_counter()
+    timings = StageTimings(
+        congen_seconds=congen_done - start, solve_seconds=end - congen_done
     )
+    return InferenceRun(
+        "mono",
+        solution,
+        inference.positions,
+        len(inference.constraints),
+        end - start,
+        inference,
+        timings,
+    )
+
+
+#: Uid range reserved per SCC (and for the lazy shared-cell pool) in the
+#: wavefront scheduler.  Deliberately generous: the largest suite
+#: benchmark allocates tens of thousands of variables *in total*, so one
+#: SCC can never exhaust 2**20 uids in practice; if one somehow does,
+#: :class:`~repro.qual.qtypes.UidBandExhausted` aborts the run loudly
+#: rather than silently colliding.
+_UID_BAND_SIZE = 1 << 20
 
 
 def run_poly(
     program: Program,
     lattice: QualifierLattice | None = None,
+    jobs: int | None = None,
     **inference_options,
 ) -> InferenceRun:
     """Polymorphic const inference: per-SCC generalisation (Section 4.3).
 
+    ``jobs=None`` runs the classic sequential callees-first SCC
+    traversal.  Any integer ``jobs >= 1`` selects the wavefront
+    scheduler instead: SCCs at the same condensation depth are analysed
+    concurrently by up to ``jobs`` worker threads, with banded variable
+    allocation and a deterministic merge order making the result —
+    positions, constraints, classifications, even variable names —
+    bit-identical at every job count (``jobs=1`` runs the same schedule
+    inline).
+
     ``inference_options`` are forwarded to
     :class:`~repro.constinfer.analysis.ConstInference`.
     """
+    if jobs is not None:
+        return _run_poly_wavefront(program, lattice, jobs, inference_options)
+
     start = time.perf_counter()
     inference = ConstInference(program, lattice, **inference_options)
     _create_shared_cells(inference)
 
+    generalize_seconds = 0.0
     graph = FunctionDependenceGraph.build(program)
     for component in graph.sccs():
         # Variables created from here on are local to this SCC and are
@@ -146,25 +222,170 @@ def run_poly(
         for name in component:
             inference.analyze_function(program.functions[name])
         local = inference.constraints[mark:]
+        gen_start = time.perf_counter()
         for name in component:
-            sig = inference.signatures[name]
-            body = sig.fun_qtype
-            involved = qual_vars(body)
-            for c in local:
-                for q in (c.lhs, c.rhs):
-                    if isinstance(q, QualVar):
-                        involved.add(q)
-            env_vars = {v for v in involved if v.uid < boundary}
-            inference.schemes[name] = generalize(
-                body, local, env_vars, lattice=inference.lattice, compress=True
+            inference.schemes[name] = _generalize_component_member(
+                inference, name, local, boundary
             )
+        generalize_seconds += time.perf_counter() - gen_start
 
     inference.analyze_global_initializers()
 
+    congen_done = time.perf_counter()
     solution = _solve(inference)
-    elapsed = time.perf_counter() - start
+    end = time.perf_counter()
+    timings = StageTimings(
+        congen_seconds=congen_done - start - generalize_seconds,
+        solve_seconds=end - congen_done,
+        generalize_seconds=generalize_seconds,
+    )
     return InferenceRun(
-        "poly", solution, inference.positions, len(inference.constraints), elapsed, inference
+        "poly",
+        solution,
+        inference.positions,
+        len(inference.constraints),
+        end - start,
+        inference,
+        timings,
+    )
+
+
+def _generalize_component_member(
+    inference: ConstInference,
+    name: str,
+    local: list,
+    boundary: int,
+):
+    """Generalise one SCC member's signature over the variables created
+    while analysing the SCC (uid > ``boundary``); older variables are
+    free in the environment and stay monomorphic."""
+    sig = inference.signatures[name]
+    body = sig.fun_qtype
+    involved = qual_vars(body)
+    for c in local:
+        for q in (c.lhs, c.rhs):
+            if isinstance(q, QualVar):
+                involved.add(q)
+    env_vars = {v for v in involved if v.uid < boundary}
+    return generalize(
+        body, local, env_vars, lattice=inference.lattice, compress=True
+    )
+
+
+def _analyze_component(
+    inference: ConstInference,
+    program: Program,
+    component: list[str],
+    band_start: int,
+) -> ConstInference:
+    """Worker body for one SCC in a wavefront: generate the component's
+    constraints into a local view, allocating every fresh variable from
+    the component's reserved uid band so numbering is a pure function of
+    the schedule, never of thread interleaving."""
+    view = inference.local_view()
+    with fresh_uid_band(band_start, _UID_BAND_SIZE):
+        for name in component:
+            view.signature_for(program.functions[name])
+        for name in component:
+            view.analyze_function(program.functions[name])
+    return view
+
+
+def _run_poly_wavefront(
+    program: Program,
+    lattice: QualifierLattice | None,
+    jobs: int,
+    inference_options: dict,
+) -> InferenceRun:
+    """Wavefront-parallel polymorphic inference.
+
+    The FDG condensation is processed level by level (leaves first).
+    Components within a level never reference each other — an FDG edge
+    forces the callee's component strictly deeper — so their constraint
+    generation commutes.  Determinism at any job count comes from three
+    invariants:
+
+    * every component draws fresh variables from a pre-assigned uid band
+      (``level base + index * band``), so allocation is independent of
+      which thread runs when;
+    * shared cells created lazily mid-wavefront (rare: only cells the
+      eager pre-creation pass cannot see) come from one low reserved
+      band, below every level boundary, so the uid-watermark
+      generalisation still treats them as environment;
+    * views are merged and generalised serially, in the level's sorted
+      component order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    inference = ConstInference(program, lattice, **inference_options)
+    _create_shared_cells(inference)
+
+    shared_base = _uid_boundary() + 1
+    inference._shared_band = UidBand(shared_base, _UID_BAND_SIZE)
+    advance_fresh_uids(shared_base + _UID_BAND_SIZE)
+
+    graph = FunctionDependenceGraph.build(program)
+    generalize_seconds = 0.0
+    executor: ThreadPoolExecutor | None = None
+    try:
+        for level in graph.wavefronts():
+            boundary = _uid_boundary()
+            base = boundary + 1
+            advance_fresh_uids(base + len(level) * _UID_BAND_SIZE)
+            starts = [base + i * _UID_BAND_SIZE for i in range(len(level))]
+
+            if jobs > 1 and len(level) > 1:
+                if executor is None:
+                    executor = ThreadPoolExecutor(
+                        max_workers=jobs, thread_name_prefix="wavefront"
+                    )
+                views = list(
+                    executor.map(
+                        _analyze_component,
+                        [inference] * len(level),
+                        [program] * len(level),
+                        level,
+                        starts,
+                    )
+                )
+            else:
+                views = [
+                    _analyze_component(inference, program, component, band_start)
+                    for component, band_start in zip(level, starts)
+                ]
+
+            gen_start = time.perf_counter()
+            for component, view in zip(level, views):
+                inference.absorb(view)
+                for name in component:
+                    inference.schemes[name] = _generalize_component_member(
+                        inference, name, view.constraints, boundary
+                    )
+            generalize_seconds += time.perf_counter() - gen_start
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+    inference._shared_band = None
+
+    inference.analyze_global_initializers()
+
+    congen_done = time.perf_counter()
+    solution = _solve(inference)
+    end = time.perf_counter()
+    timings = StageTimings(
+        congen_seconds=congen_done - start - generalize_seconds,
+        solve_seconds=end - congen_done,
+        generalize_seconds=generalize_seconds,
+    )
+    return InferenceRun(
+        "poly",
+        solution,
+        inference.positions,
+        len(inference.constraints),
+        end - start,
+        inference,
+        timings,
     )
 
 

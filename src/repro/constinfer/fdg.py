@@ -36,7 +36,7 @@ class FunctionDependenceGraph:
         graph.vertices = sorted(defined)
         for name in graph.vertices:
             mentions = occurring_names(program.functions[name])
-            graph.edges[name] = {m for m in mentions & defined if True}
+            graph.edges[name] = mentions & defined
         return graph
 
     def sccs(self) -> list[list[str]]:
@@ -88,6 +88,44 @@ class FunctionDependenceGraph:
                     parent = work[-1][0]
                     lowlink[parent] = min(lowlink[parent], lowlink[node])
         return components
+
+    def wavefronts(self) -> list[list[list[str]]]:
+        """SCCs grouped by condensation depth, shallowest level first.
+
+        Level ``d`` holds the components whose longest callee chain has
+        length ``d``: level 0 is the leaves (no calls to other defined
+        functions), and every dependence edge crosses from a higher
+        level to a strictly lower one.  Components within one level are
+        therefore mutually independent — the polymorphic engine may
+        analyse them in any order, or concurrently, without changing the
+        result.  Concatenating the levels yields a valid callees-first
+        traversal, so ``[c for level in g.wavefronts() for c in level]``
+        covers exactly the components of :meth:`sccs`.
+
+        Within a level, components are sorted by member names so the
+        schedule (and any band-based variable numbering derived from it)
+        is deterministic.
+        """
+        components = self.sccs()
+        component_of: dict[str, int] = {}
+        for index, component in enumerate(components):
+            for name in component:
+                component_of[name] = index
+        # sccs() is reverse-topological (callees first), so every
+        # successor component's depth is final by the time we need it.
+        depth = [0] * len(components)
+        for index, component in enumerate(components):
+            best = 0
+            for name in component:
+                for succ in self.edges.get(name, ()):
+                    target = component_of[succ]
+                    if target != index and depth[target] + 1 > best:
+                        best = depth[target] + 1
+            depth[index] = best
+        levels: dict[int, list[list[str]]] = {}
+        for index, component in enumerate(components):
+            levels.setdefault(depth[index], []).append(component)
+        return [sorted(levels[d]) for d in sorted(levels)]
 
     def is_recursive(self, component: list[str]) -> bool:
         """Whether an SCC contains recursion (size > 1 or a self-loop)."""

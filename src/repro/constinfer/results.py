@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from ..cfront.sema import Program
 from ..qual.solver import SolverStats
-from .engine import InferenceRun, run_mono, run_poly
+from .engine import InferenceRun, StageTimings, run_mono, run_poly
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,10 @@ class BenchmarkRow:
     #: before the condensation solver, e.g. hand-written fixtures).
     mono_stats: SolverStats | None = None
     poly_stats: SolverStats | None = None
+    #: Per-stage wall-clock breakdown (parse/congen/solve/generalize) of
+    #: each engine run; ``from_cache`` marks warm cache loads.
+    mono_timings: StageTimings | None = None
+    poly_timings: StageTimings | None = None
 
     # -- Figure 6 quantities -------------------------------------------
     @property
@@ -128,6 +132,8 @@ def make_row(
         total_possible=mono.total_positions(),
         mono_stats=mono.solution.stats,
         poly_stats=poly.solution.stats,
+        mono_timings=mono.timings,
+        poly_timings=poly.timings,
     )
 
 
@@ -207,6 +213,32 @@ def format_solver_stats(rows: list[BenchmarkRow]) -> str:
             f"{f'{stats.edges_before}->{stats.edges_after}':>11} "
             f"{stats.propagation_steps:>6}"
         )
+    return "\n".join(out)
+
+
+def format_stage_timings(rows: list[BenchmarkRow]) -> str:
+    """Per-benchmark stage breakdown of both engine runs, in
+    milliseconds — parse, constraint generation, solve, and (poly only)
+    generalisation.  Cache-warm rows, which skipped parse and congen,
+    are flagged ``cached``; their congen column is the time spent
+    loading the pickled constraint system."""
+    header = (
+        f"{'Name':<15} {'Engine':>6} {'Parse(ms)':>10} {'Congen(ms)':>11} "
+        f"{'Solve(ms)':>10} {'Gen(ms)':>9}  Source"
+    )
+    out = [header]
+    for row in rows:
+        for engine, timings in (("mono", row.mono_timings), ("poly", row.poly_timings)):
+            if timings is None:
+                out.append(f"{row.name:<15} {engine:>6} (no stage timings recorded)")
+                continue
+            source = "cached" if timings.from_cache else "fresh"
+            out.append(
+                f"{row.name:<15} {engine:>6} {timings.parse_seconds * 1000:>10.1f} "
+                f"{timings.congen_seconds * 1000:>11.1f} "
+                f"{timings.solve_seconds * 1000:>10.1f} "
+                f"{timings.generalize_seconds * 1000:>9.1f}  {source}"
+            )
     return "\n".join(out)
 
 

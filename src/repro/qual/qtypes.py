@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Union
 
@@ -186,14 +187,92 @@ class QualVar:
         return self.uid ^ hash(self.name)
 
 
+_band_local = threading.local()
+
+
+class UidBandExhausted(RuntimeError):
+    """A reserved uid band overflowed; the caller must retry serially
+    (or with a larger band)."""
+
+
+class UidBand:
+    """A half-open uid range ``[next, end)`` serving one thread's fresh
+    variables.  Bands make concurrent constraint generation
+    *deterministic*: each worker draws uids from its own pre-assigned
+    range, so the variables a task allocates are a pure function of the
+    task and its band start — independent of scheduling interleavings."""
+
+    __slots__ = ("start", "next", "end")
+
+    def __init__(self, start: int, size: int) -> None:
+        self.start = start
+        self.next = start
+        self.end = start + size
+
+    def take(self) -> int:
+        uid = self.next
+        if uid >= self.end:
+            raise UidBandExhausted(
+                f"uid band [{self.start}, {self.end}) exhausted"
+            )
+        self.next = uid + 1
+        return uid
+
+
 def fresh_qual_var(hint: str = "k") -> QualVar:
     """Allocate a globally fresh qualifier variable.
 
     ``next()`` on :func:`itertools.count` is atomic under the GIL, so
     concurrent allocators still receive distinct uids without a lock.
+    When the calling thread is inside :func:`fresh_uid_band`, uids come
+    from the thread's reserved band instead of the global counter.
     """
-    uid = next(_fresh_counter)
+    band = getattr(_band_local, "band", None)
+    if band is not None:
+        uid = band.take()
+    else:
+        uid = next(_fresh_counter)
     return QualVar(f"{hint}{uid}", uid)
+
+
+class use_uid_band:
+    """Context manager routing this thread's :func:`fresh_qual_var`
+    calls to ``band`` — a :class:`UidBand`, or ``None`` for the global
+    counter.
+
+    The coordinator of a parallel wavefront assigns each worker a
+    disjoint band and afterwards calls :func:`advance_fresh_uids` past
+    every reserved range, so banded uids never collide with later global
+    allocations.  Bands nest: the previous routing is restored on exit.
+    """
+
+    def __init__(self, band: UidBand | None) -> None:
+        self._band = band
+        self._prev: UidBand | None = None
+
+    def __enter__(self) -> UidBand | None:
+        self._prev = getattr(_band_local, "band", None)
+        _band_local.band = self._band
+        return self._band
+
+    def __exit__(self, *exc: object) -> None:
+        _band_local.band = self._prev
+
+
+def fresh_uid_band(start: int, size: int) -> use_uid_band:
+    """Reserve ``[start, start + size)`` for this thread's allocations."""
+    return use_uid_band(UidBand(start, size))
+
+
+def advance_fresh_uids(minimum: int) -> None:
+    """Ensure every subsequent global allocation has ``uid >= minimum``.
+
+    Called after a banded wavefront completes so the global counter
+    skips the reserved ranges.  Never moves the counter backwards.
+    """
+    global _fresh_counter
+    current = next(_fresh_counter)
+    _fresh_counter = itertools.count(max(current + 1, minimum))
 
 
 Qual = Union[QualVar, LatticeElement]

@@ -107,3 +107,94 @@ class TestSCCs:
         assert len(components) == n
         assert components[0] == ["f0"]
         assert components[-1] == [f"f{n-1}"]
+
+
+class TestWavefronts:
+    def test_levels_partition_sccs(self):
+        g = graph_of(
+            """
+            int base(void) { return 1; }
+            int other(void) { return 2; }
+            int mid(void) { return base(); }
+            int top(void) { return mid() + other(); }
+            """
+        )
+        levels = g.wavefronts()
+        flattened = [comp for level in levels for comp in level]
+        assert sorted(flattened) == sorted(g.sccs())
+
+    def test_leaves_in_level_zero(self):
+        g = graph_of(
+            """
+            int base(void) { return 1; }
+            int other(void) { return 2; }
+            int top(void) { return base() + other(); }
+            """
+        )
+        levels = g.wavefronts()
+        assert levels[0] == [["base"], ["other"]]
+        assert levels[1] == [["top"]]
+
+    def test_edges_cross_to_strictly_lower_levels(self):
+        g = graph_of(
+            """
+            int c(void) { return 0; }
+            int pong(int n);
+            int ping(int n) { return n ? pong(n - 1) : c(); }
+            int pong(int n) { return ping(n); }
+            int b(void) { return c(); }
+            int a(void) { return b() + ping(2); }
+            """
+        )
+        levels = g.wavefronts()
+        level_of = {
+            name: depth
+            for depth, level in enumerate(levels)
+            for comp in level
+            for name in comp
+        }
+        for src, targets in g.edges.items():
+            for dst in targets:
+                if level_of[src] != level_of[dst]:
+                    assert level_of[dst] < level_of[src]
+                else:
+                    # same level only within one SCC (mutual recursion)
+                    assert any(
+                        src in comp and dst in comp
+                        for level in levels
+                        for comp in level
+                    )
+
+    def test_concatenation_is_callees_first(self):
+        g = graph_of(
+            """
+            int c(void) { return 0; }
+            int b(void) { return c(); }
+            int a(void) { return b(); }
+            """
+        )
+        order = [comp[0] for level in g.wavefronts() for comp in level]
+        assert order.index("c") < order.index("b") < order.index("a")
+
+    def test_levels_sorted_for_determinism(self):
+        g = graph_of(
+            """
+            int zeta(void) { return 1; }
+            int alpha(void) { return 2; }
+            int mid(void) { return zeta() + alpha(); }
+            """
+        )
+        levels = g.wavefronts()
+        assert levels[0] == sorted(levels[0])
+
+    def test_diamond_dependency_depths(self):
+        g = graph_of(
+            """
+            int bottom(void) { return 0; }
+            int left(void) { return bottom(); }
+            int right(void) { return bottom(); }
+            int top(void) { return left() + right(); }
+            """
+        )
+        levels = g.wavefronts()
+        assert levels == [[["bottom"]], [["left"], ["right"]], [["top"]]]

@@ -1,0 +1,159 @@
+"""The wavefront-parallel polymorphic engine: bit-determinism across
+job counts, agreement with the sequential traversal, and the uid-band
+machinery that makes both hold."""
+
+import itertools
+
+import pytest
+
+from repro.cfront.sema import Program
+from repro.constinfer.engine import run_poly
+from repro.qual import qtypes
+from repro.qual.qtypes import (
+    UidBand,
+    UidBandExhausted,
+    advance_fresh_uids,
+    fresh_qual_var,
+    fresh_uid_band,
+)
+
+SOURCE = """
+int *shared;
+struct node { int *payload; };
+int leaf_a(int *p) { return *p; }
+int leaf_b(const char *s) { return s ? 1 : 0; }
+int pong(int n);
+int ping(int n) { return n ? pong(n - 1) : leaf_a(shared); }
+int pong(int n) { return ping(n); }
+void store(struct node *n, int *v) { n->payload = v; }
+int top(struct node *n) { store(n, shared); return ping(3) + leaf_b("x"); }
+"""
+
+
+@pytest.fixture
+def program():
+    return Program.from_source(SOURCE)
+
+
+def pinned_run(program, **kwargs):
+    """Run poly inference from a fixed uid base so variable numbering
+    can be compared byte-for-byte between runs."""
+    saved = qtypes._fresh_counter
+    qtypes._fresh_counter = itertools.count(1 << 40)
+    try:
+        return run_poly(program, **kwargs)
+    finally:
+        qtypes._fresh_counter = saved
+
+
+def full_snapshot(run):
+    """Everything observable: positions (with variable names), every
+    constraint's repr, and every classification."""
+    return (
+        [(str(p.var), p.function, p.where, p.depth, p.declared) for p in run.positions],
+        [repr(c) for c in run.inference.constraints],
+        [run.classify(p).name for p in run.positions],
+    )
+
+
+def count_summary(run):
+    return (
+        run.declared_count(),
+        run.inferred_const_count(),
+        run.either_count(),
+        run.total_positions(),
+    )
+
+
+class TestUidBands:
+    def test_band_allocates_contiguously(self):
+        band = UidBand(100, 10)
+        assert [band.take() for _ in range(3)] == [100, 101, 102]
+
+    def test_band_exhaustion_raises(self):
+        band = UidBand(0, 2)
+        band.take()
+        band.take()
+        with pytest.raises(UidBandExhausted):
+            band.take()
+
+    def test_fresh_uid_band_scopes_allocation(self):
+        with fresh_uid_band(1 << 50, 16):
+            v = fresh_qual_var("k")
+            assert v.uid == 1 << 50
+        outside = fresh_qual_var("k")
+        assert outside.uid != (1 << 50) + 1
+
+    def test_bands_nest_and_restore(self):
+        with fresh_uid_band(1 << 51, 16):
+            with fresh_uid_band(1 << 52, 16):
+                assert fresh_qual_var().uid == 1 << 52
+            assert fresh_qual_var().uid == 1 << 51
+
+    def test_advance_fresh_uids_is_monotone(self):
+        advance_fresh_uids(0)  # never moves backwards
+        before = fresh_qual_var().uid
+        advance_fresh_uids(before + 1000)
+        assert fresh_qual_var().uid >= before + 1000
+
+
+class TestWavefrontDeterminism:
+    def test_jobs_1_vs_4_byte_identical(self, program):
+        one = pinned_run(program, jobs=1)
+        four = pinned_run(program, jobs=4)
+        assert full_snapshot(one) == full_snapshot(four)
+
+    def test_jobs_2_repeat_runs_identical(self, program):
+        first = pinned_run(program, jobs=2)
+        second = pinned_run(program, jobs=2)
+        assert full_snapshot(first) == full_snapshot(second)
+
+    def test_counts_match_sequential_engine(self, program):
+        sequential = run_poly(program)
+        wavefront = run_poly(program, jobs=2)
+        assert count_summary(sequential) == count_summary(wavefront)
+        seq_classes = sorted(
+            (p.function, p.where, p.depth, c.name)
+            for p, c in sequential.classified_positions()
+        )
+        wav_classes = sorted(
+            (p.function, p.where, p.depth, c.name)
+            for p, c in wavefront.classified_positions()
+        )
+        assert seq_classes == wav_classes
+
+    def test_invalid_jobs_rejected(self, program):
+        with pytest.raises(ValueError):
+            run_poly(program, jobs=0)
+
+    def test_benchmark_counts_stable_across_job_counts(self):
+        from repro.benchsuite.suite import load_program, scaling_spec
+
+        prog, _, _ = load_program(scaling_spec(1))
+        runs = [run_poly(prog, jobs=j) for j in (1, 2, 4)]
+        assert len({count_summary(r) for r in runs}) == 1
+
+    def test_timings_populated(self, program):
+        run = run_poly(program, jobs=2)
+        assert run.timings is not None
+        assert run.timings.congen_seconds >= 0
+        assert run.timings.solve_seconds > 0
+        assert not run.timings.from_cache
+
+
+class TestSuiteParallelism:
+    def test_process_pool_rows_match_serial(self):
+        from repro.benchsuite.suite import benchmark_rows, scaling_specs
+
+        specs = scaling_specs((1, 2))
+        serial = benchmark_rows(specs)
+        pooled = benchmark_rows(specs, jobs=2)
+        key = lambda r: (r.name, r.declared, r.mono, r.poly, r.total_possible)
+        assert [key(r) for r in serial] == [key(r) for r in pooled]
+
+    def test_pool_preserves_spec_order(self):
+        from repro.benchsuite.suite import benchmark_rows, scaling_specs
+
+        specs = scaling_specs((2, 1))
+        rows = benchmark_rows(specs, jobs=2)
+        assert [r.name for r in rows] == ["sweep-2", "sweep-1"]
