@@ -1,0 +1,11 @@
+/* Seeded bug: a run-time (dynamic) value reaches a position the
+ * specializer needs static ([DRT96]).  qlint must report binding-time
+ * on the alloca sink with a rand -> alloca flow path. */
+int rand(void);
+void *alloca(int size);
+
+void build_scratch_buffer(void) {
+    int request = rand();
+    int padded = request + 16;
+    alloca(padded);  /* BUG: dynamic allocation size */
+}

@@ -1,0 +1,17 @@
+/* Seeded bug: a cast drops const from the referenced type (the paper's
+ * Table 2 casts-away-const bucket).  qlint must report casts-away-const
+ * at the cast expression. */
+unsigned long strlen(const char *s);
+
+static const char banner[] = "do not write here";
+
+unsigned long shout(const char *message) {
+    char *scratch = (char *)message;  /* BUG: casts away const */
+    scratch[0] = 'X';
+    return strlen(message);
+}
+
+unsigned long widened(char *buffer) {
+    const char *view = (const char *)buffer;  /* adds const: fine */
+    return strlen(view);
+}

@@ -1,0 +1,11 @@
+/* A unit with no planted bugs: qlint must report nothing here. */
+int printf(const char *fmt, ...);
+unsigned long strlen(const char *s);
+
+static int add(int a, int b) { return a + b; }
+
+int main(void) {
+    int total = add(40, 2);
+    printf("%d %lu\n", total, strlen("constant"));
+    return 0;
+}

@@ -1,0 +1,20 @@
+/* Seeded bug: environment data reaches a printf format string.
+ * qlint must report tainted-format with a getenv -> printf flow path. */
+char *getenv(const char *name);
+int printf(const char *fmt, ...);
+int snprintf(char *buf, unsigned long n, const char *fmt, ...);
+
+static char *pick_greeting(char *preferred, char *fallback) {
+    return preferred ? preferred : fallback;
+}
+
+void greet(void) {
+    char *user_greeting = getenv("GREETING");
+    char *greeting = pick_greeting(user_greeting, "hello");
+    printf(greeting);  /* BUG: attacker-controlled format string */
+}
+
+void greet_safely(void) {
+    char *user_greeting = getenv("GREETING");
+    printf("%s\n", user_greeting);  /* constant format: fine */
+}

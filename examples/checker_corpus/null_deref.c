@@ -1,0 +1,10 @@
+/* Seeded bug: a malloc result is dereferenced with no null check.
+ * qlint must report nonnull-deref at the store through the pointer. */
+void *malloc(unsigned long size);
+void free(void *p);
+
+int *make_counter(void) {
+    int *counter = malloc(sizeof(int));
+    *counter = 0;  /* BUG: malloc may have returned NULL */
+    return counter;
+}

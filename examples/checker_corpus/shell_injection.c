@@ -1,0 +1,11 @@
+/* Seeded bug: socket data reaches system().  qlint must report
+ * tainted-format on the system sink with a recv -> system path. */
+int recv(int fd, char *buf, unsigned long len, int flags);
+int system(const char *command);
+int strcat_into(char *dst, const char *src);
+
+void run_remote_command(int sock) {
+    char command[128];
+    recv(sock, command, 127, 0);
+    system(command);  /* BUG: remote shell injection */
+}

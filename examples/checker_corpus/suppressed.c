@@ -1,0 +1,11 @@
+/* Demonstrates in-source suppression: the same planted nonnull bug as
+ * null_deref.c, silenced by a qlint allow comment.  The batch run must
+ * mark this finding suppressed (it stays out of the baseline). */
+void *malloc(unsigned long size);
+
+int *make_counter_reviewed(void) {
+    int *counter = malloc(sizeof(int));
+    /* qlint: allow(nonnull-deref) -- reviewed: allocator aborts on OOM */
+    *counter = 0;
+    return counter;
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Flow-sensitive qualifier linting — the paper's Section 6 proposal.
+"""Flow-sensitive qualifier linting — the paper's Section 6 proposal,
+reported through the qlint diagnostic model.
 
 The base framework gives each location ONE qualified type, so lclint's
 "annotations on a given location may vary at each program point" is out
@@ -12,15 +13,20 @@ two classic linting scenarios:
 2. null-checking: dereference allowed only under a null test — with the
    refinement expiring at the merge, exactly as lclint requires.
 
+Check failures are converted into :class:`repro.checker.Diagnostic`
+objects and rendered by the same renderer the batch checker uses, so
+flow-sensitive findings and whole-program findings share one report
+format.
+
 Run: python examples/flow_sensitive_lint.py
 """
 
+from repro.checker import Diagnostic, FlowStep, Span, render_human
 from repro.flowsens import (
     AnnotStmt,
     Assign,
     AssertStmt,
     Havoc,
-    If,
     Join,
     Literal,
     Refine,
@@ -30,6 +36,35 @@ from repro.flowsens import (
     block,
 )
 from repro.qual.qualifiers import nonnull_lattice, taint_lattice
+
+
+def flow_diagnostics(result, file="<flow>"):
+    """Adapt a :class:`repro.flowsens.FlowResult`'s check failures into
+    qlint diagnostics (one per failed check point)."""
+    out = []
+    for failure in result.failures:
+        out.append(
+            Diagnostic(
+                check=f"flow-{failure.kind}",
+                qualifier=str(failure.required),
+                severity="error",
+                message=str(failure),
+                span=Span(file, 0, 0),
+                flow=(
+                    FlowStep(
+                        note=f"{failure.variable} is {failure.actual} "
+                        f"at [{failure.label}], required {failure.required}"
+                    ),
+                ),
+            )
+        )
+    return out
+
+
+def report(result, file):
+    diagnostics = flow_diagnostics(result, file)
+    print(render_human(diagnostics).rstrip())
+    return diagnostics
 
 
 def taint_scenario() -> None:
@@ -58,10 +93,8 @@ def taint_scenario() -> None:
     result = analyze_flow(program, taint)
     print(f"buf at query sink: {result.final_value('buf')} (clean)")
     print(f"log at query sink: {result.final_value('log')}")
-    print("violations:")
-    for failure in result.failures:
-        print(f"  - {failure}")
-    assert len(result.failures) == 1
+    diagnostics = report(result, "<reused-buffer>")
+    assert len(diagnostics) == 1
 
 
 def nullness_scenario() -> None:
@@ -89,13 +122,14 @@ def nullness_scenario() -> None:
     for kind, label, variable, _q in result.check_points:
         failed = any(f.label == label for f in result.failures)
         print(f"  {'REJECT' if failed else 'ok    '}  {label}")
-    assert len(result.failures) == 1
+    diagnostics = report(result, "<null-check>")
+    assert len(diagnostics) == 1
     print()
     print("the flow-INsensitive instance rejects even the guarded deref:")
     from repro.apps.nonnull import check_source
 
-    report = check_source("let p = {} ref 5 in if 1 then !p else 0 fi ni")
-    print(f"  base framework safe? {report.safe} (Section 6's motivating gap)")
+    report_nn = check_source("let p = {} ref 5 in if 1 then !p else 0 fi ni")
+    print(f"  base framework safe? {report_nn.safe} (Section 6's motivating gap)")
 
 
 def loop_scenario() -> None:
@@ -124,8 +158,7 @@ def loop_scenario() -> None:
     )
     result = analyze_flow(program, taint)
     print(f"acc after the loop: {result.final_value('acc')}")
-    for failure in result.failures:
-        print(f"  - {failure}")
+    report(result, "<loop>")
     assert not result.ok  # tainted chunks accumulate across iterations
 
 

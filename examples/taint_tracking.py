@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Taint tracking: secure information flow as a qualifier (Section 5's
-[VS97] instance).
+[VS97] instance), reported through the qlint checker API.
 
 Scenario: a request handler reads untrusted input ({tainted} sources),
 computes with it, and must never let it reach the query sink, which
@@ -8,10 +8,15 @@ asserts untaintedness with ``e|{}``.  A sanitizer is modelled as a
 trusted function whose declared type launders the qualifier — exactly
 how a real qualifier system encodes "reviewed and escaped here".
 
+Insecure programs produce the same :class:`repro.checker.Diagnostic`
+objects — with a step-by-step qualifier-flow trace — that the batch
+``python -m repro.checker`` tool emits over C code, rendered by the
+same renderer.
+
 Run: python examples/taint_tracking.py
 """
 
-from repro.apps.taint import analyze_taint, taint_language
+from repro.checker import check_lambda_source, render_human
 from repro.lam.infer import infer
 from repro.lam.parser import parse
 from repro.qual.qtypes import q_fun, q_int
@@ -67,12 +72,22 @@ def main() -> None:
     print("taint policy: sources marked {tainted}; sinks assert e|{}")
     print()
     for label, source in CASES.items():
-        report = analyze_taint(parse(source), env=env)
-        verdict = "SECURE" if report.secure else "INSECURE"
+        diagnostics = check_lambda_source(source, filename="<case>", env=env)
+        verdict = "SECURE" if not diagnostics else "INSECURE"
         print(f"{label:<45} -> {verdict}")
-        if not report.secure:
-            print(f"    {report.violation[:90]}")
+        for diag in diagnostics:
+            print(f"    [{diag.check}] {diag.message[:80]}")
+            for index, step in enumerate(diag.flow, start=1):
+                print(f"      {index}. {step.note} (line {step.span.line})")
     print()
+
+    # The full checker report for one insecure case, via the shared
+    # renderer (the same one `python -m repro.checker` uses for C code).
+    diagnostics = check_lambda_source(
+        CASES["leak through a ref cell (rejected)"], filename="<ref-cell>", env=env
+    )
+    print("checker-rendered report for the ref-cell leak:")
+    print(render_human(diagnostics))
 
     # The same policy, checked at a finer grain: which nodes are tainted?
     source = """
@@ -82,9 +97,10 @@ def main() -> None:
         both
         ni ni ni
     """
+    from repro.apps.taint import taint_language
+
     expr = parse(source)
-    report = analyze_taint(expr, env=env)
-    assert report.secure
+    assert not check_lambda_source(source, env=env)
     result = infer(expr, taint_language(), env=env)
     top = result.top_qual()
     print("merging clean and tainted data taints the merge:")

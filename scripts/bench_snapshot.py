@@ -103,7 +103,41 @@ def measure() -> dict:
     )
 
     entry["suite_ms"] = measure_suite()
+    entry["checker"] = measure_checker()
     return entry
+
+
+def measure_checker() -> dict:
+    """qlint batch throughput over the seeded-bug corpus, cold vs warm
+    diagnostic cache (files/sec; warm runs deserialise finished
+    diagnostics and skip parse, congen, and solve)."""
+    from repro.checker import check_paths
+
+    corpus = REPO / "examples" / "checker_corpus"
+    files = sorted(corpus.glob("*.c"))
+    out: dict = {"corpus_files": len(files)}
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = check_paths([corpus], cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - start
+        assert cold.cache_hits == 0, "cold run unexpectedly hit the cache"
+
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            warm = check_paths([corpus], cache_dir=cache_dir)
+            best = min(best, time.perf_counter() - start)
+        assert warm.cache_misses == 0, "warm rerun did not hit the cache"
+        assert [d.to_dict() for d in warm.diagnostics] == [
+            d.to_dict() for d in cold.diagnostics
+        ], "warm diagnostics differ from cold"
+
+    out["cold_ms"] = round(cold_seconds * 1000, 2)
+    out["warm_ms"] = round(best * 1000, 2)
+    out["cold_files_per_sec"] = round(len(files) / cold_seconds, 1)
+    out["warm_files_per_sec"] = round(len(files) / best, 1)
+    return out
 
 
 def measure_suite() -> dict:

@@ -2,16 +2,23 @@
 
 The AST deliberately stays close to concrete C: declarations carry their
 resolved :mod:`repro.cfront.ctypes` types (the parser resolves declarators
-and typedefs while parsing), and every node records a source line for
-diagnostics and for the source re-annotator.
+and typedefs while parsing), and every node records a source span
+(line, column — and on declarations, the file) for diagnostics and for
+the source re-annotator.
+
+This module also hosts the syntactic casts-away-const classification
+(:func:`classify_cast` / :func:`casts_away_const`) that feeds the
+Table 2 "casts away const" discussion and the ``casts-away-const``
+qlint check.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from .ctypes import CType
+from .ctypes import CArray, CFunc, CPointer, CType, is_const
 
 
 # ---------------------------------------------------------------------------
@@ -22,6 +29,7 @@ from .ctypes import CType
 @dataclass(frozen=True)
 class CExpr:
     line: int = field(default=0, kw_only=True, compare=False)
+    col: int = field(default=0, kw_only=True, compare=False)
 
 
 @dataclass(frozen=True)
@@ -133,6 +141,7 @@ class InitList(CExpr):
 @dataclass(frozen=True)
 class CStmt:
     line: int = field(default=0, kw_only=True, compare=False)
+    col: int = field(default=0, kw_only=True, compare=False)
 
 
 @dataclass(frozen=True)
@@ -232,6 +241,8 @@ class ParamDecl:
     name: Optional[str]
     type: CType
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+    file: str = field(default="", compare=False)
 
 
 @dataclass(frozen=True)
@@ -241,6 +252,8 @@ class VarDecl:
     init: Optional[CExpr] = None
     storage: Optional[str] = None  # "extern", "static", "typedef" handled upstream
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+    file: str = field(default="", compare=False)
 
 
 @dataclass(frozen=True)
@@ -248,6 +261,8 @@ class FieldDecl:
     name: str
     type: CType
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+    file: str = field(default="", compare=False)
 
 
 @dataclass(frozen=True)
@@ -256,6 +271,8 @@ class StructDef:
     fields: tuple[FieldDecl, ...]
     is_union: bool = False
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+    file: str = field(default="", compare=False)
 
 
 @dataclass(frozen=True)
@@ -263,6 +280,8 @@ class EnumDef:
     tag: str
     enumerators: tuple[tuple[str, Optional[CExpr]], ...]
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+    file: str = field(default="", compare=False)
 
 
 @dataclass(frozen=True)
@@ -275,6 +294,8 @@ class FuncDecl:
     varargs: bool = False
     storage: Optional[str] = None
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+    file: str = field(default="", compare=False)
 
 
 @dataclass(frozen=True)
@@ -288,6 +309,8 @@ class FuncDef:
     varargs: bool = False
     storage: Optional[str] = None
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+    file: str = field(default="", compare=False)
 
 
 @dataclass(frozen=True)
@@ -295,6 +318,8 @@ class TypedefDecl:
     name: str
     type: CType
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+    file: str = field(default="", compare=False)
 
 
 TopLevel = Union[VarDecl, FuncDecl, FuncDef, StructDef, EnumDef, TypedefDecl]
@@ -319,3 +344,91 @@ class TranslationUnit:
 
     def structs(self) -> list[StructDef]:
         return [d for d in self.items if isinstance(d, StructDef)]
+
+
+# ---------------------------------------------------------------------------
+# Casts-away-const classification (Table 2)
+# ---------------------------------------------------------------------------
+
+
+class CastClass(enum.Enum):
+    """Syntactic classification of a C cast ``(dst) src-expr``.
+
+    The paper's Table 2 discussion distinguishes casts that *remove*
+    ``const`` from a referenced type — those are the casts that defeat
+    const inference (a ``(char *)`` of a ``const char *`` lets the
+    program write through what was promised read-only).
+    """
+
+    #: No pointer level on either side: a pure value conversion.
+    VALUE = "value"
+    #: Qualifiers are preserved at every matched reference level.
+    PRESERVES = "preserves"
+    #: ``const`` appears on the destination where the source lacked it
+    #: (safe: the classic ``char * -> const char *`` widening).
+    ADDS_CONST = "adds-const"
+    #: ``const`` present on the source is dropped by the destination at
+    #: some referenced level — the Table 2 "casts away const" bucket.
+    AWAY_CONST = "casts-away-const"
+
+
+def _ref_levels(t: CType) -> list[tuple[CType, CType]]:
+    """The chain of referenced types reachable through pointers/arrays,
+    as ``(container, referenced)`` pairs, decaying arrays to pointers."""
+    levels: list[tuple[CType, CType]] = []
+    decayed = t
+    while True:
+        if isinstance(decayed, CArray):
+            decayed = CPointer(decayed.element, decayed.quals)
+        if isinstance(decayed, CPointer):
+            levels.append((decayed, decayed.target))
+            decayed = decayed.target
+        else:
+            break
+    return levels
+
+
+def classify_cast(src: CType, dst: CType) -> CastClass:
+    """Classify the cast of a value of type ``src`` to type ``dst``.
+
+    Walks the matched pointer levels of both types (arrays decay), and
+    recurses through function-pointer parameter and return types, so
+    ``void (*)(const int *) -> void (*)(int *)`` is recognised as
+    casting away const just like ``const char ** -> char **``.
+    """
+    src_levels = _ref_levels(src)
+    dst_levels = _ref_levels(dst)
+    if not src_levels or not dst_levels:
+        return CastClass.VALUE
+
+    away = added = False
+
+    def walk(s: CType, d: CType) -> None:
+        nonlocal away, added
+        for (_, s_ref), (_, d_ref) in zip(_ref_levels(s), _ref_levels(d)):
+            s_const, d_const = is_const(s_ref), is_const(d_ref)
+            if s_const and not d_const:
+                away = True
+            elif d_const and not s_const:
+                added = True
+            if isinstance(s_ref, CFunc) and isinstance(d_ref, CFunc):
+                walk_func(s_ref, d_ref)
+
+    def walk_func(s: CFunc, d: CFunc) -> None:
+        walk(s.ret, d.ret)
+        for sp, dp in zip(s.params, d.params):
+            walk(sp, dp)
+
+    walk(src, dst)
+    if away:
+        return CastClass.AWAY_CONST
+    if added:
+        return CastClass.ADDS_CONST
+    return CastClass.PRESERVES
+
+
+def casts_away_const(src: CType, dst: CType) -> bool:
+    """True iff casting ``src`` to ``dst`` drops ``const`` from a
+    referenced type at any matched level (including inside function
+    pointer signatures)."""
+    return classify_cast(src, dst) is CastClass.AWAY_CONST

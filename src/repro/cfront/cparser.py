@@ -243,16 +243,22 @@ class _CParser:
             while not self.at_punct("}"):
                 base, _storage = self.parse_decl_specifiers()
                 while True:
-                    name, full_type, line = self.parse_declarator(base)
+                    name, full_type, line, col = self.parse_declarator(base)
                     if self.accept_punct(":"):
                         self.parse_conditional()  # bitfield width, ignored
                     if name is not None:
-                        fields.append(FieldDecl(name, full_type, line))
+                        fields.append(
+                            FieldDecl(name, full_type, line, col, self.filename)
+                        )
                     if not self.accept_punct(","):
                         break
                 self.expect_punct(";")
             self.expect_punct("}")
-            self.items.append(StructDef(tag, tuple(fields), is_union, kw.line))
+            self.items.append(
+                StructDef(
+                    tag, tuple(fields), is_union, kw.line, kw.column, self.filename
+                )
+            )
         elif tag is None:
             raise CParseError("struct/union requires a tag or a body", self.peek())
         return CStruct(tag, is_union)
@@ -276,7 +282,9 @@ class _CParser:
                 if not self.accept_punct(","):
                     break
             self.expect_punct("}")
-            self.items.append(EnumDef(tag, tuple(enumerators), kw.line))
+            self.items.append(
+                EnumDef(tag, tuple(enumerators), kw.line, kw.column, self.filename)
+            )
         elif tag is None:
             raise CParseError("enum requires a tag or a body", self.peek())
         return CEnum(tag)
@@ -284,14 +292,15 @@ class _CParser:
     # -- declarators ------------------------------------------------------
     def parse_declarator(
         self, base: CType, abstract: bool = False
-    ) -> tuple[Optional[str], CType, int]:
+    ) -> tuple[Optional[str], CType, int, int]:
         """Parse a (possibly abstract) declarator against a base type.
 
-        Returns (name, full type, line).  Uses the standard two-phase
-        technique: build a "type transformer" while descending, apply it
-        inside-out.
+        Returns (name, full type, line, column).  Uses the standard
+        two-phase technique: build a "type transformer" while descending,
+        apply it inside-out.
         """
         line = self.peek().line
+        col = self.peek().column
         # Pointer prefix: each * may carry qualifiers that attach to the
         # pointer level itself (e.g. ``int * const p``).
         pointer_quals: list[frozenset[str]] = []
@@ -306,12 +315,14 @@ class _CParser:
         inner_transform = None
 
         if self.peek().kind is CTokenKind.IDENT:
-            name = self.advance().text
+            name_tok = self.advance()
+            name = name_tok.text
+            line, col = name_tok.line, name_tok.column
         elif self.at_punct("(") and self._paren_is_declarator(abstract):
             self.advance()
             # Parse the inner declarator with a placeholder base; we apply
             # the outer suffixes first, then the inner transformations.
-            inner_name, placeholder_type, _line = self.parse_declarator(
+            inner_name, placeholder_type, line, col = self.parse_declarator(
                 CBase("__placeholder"), abstract
             )
             self.expect_punct(")")
@@ -357,7 +368,7 @@ class _CParser:
                 self._last_params = params
         if inner_transform is not None:
             result = _substitute_placeholder(inner_transform, result)
-        return name, result, line
+        return name, result, line, col
 
     def _paren_is_declarator(self, abstract: bool) -> bool:
         """Disambiguate ``(`` after a base type: grouped declarator vs
@@ -390,17 +401,17 @@ class _CParser:
                 varargs = True
                 break
             base, _storage = self.parse_decl_specifiers()
-            name, full_type, line = self.parse_declarator(base, abstract=True)
+            name, full_type, line, col = self.parse_declarator(base, abstract=True)
             from .ctypes import decay as _decay
 
-            params.append(ParamDecl(name, _decay(full_type), line))
+            params.append(ParamDecl(name, _decay(full_type), line, col, self.filename))
             if not self.accept_punct(","):
                 break
         return params, varargs
 
     def parse_type_name(self) -> CType:
         base, _storage = self.parse_decl_specifiers()
-        _name, full_type, _line = self.parse_declarator(base, abstract=True)
+        _name, full_type, _line, _col = self.parse_declarator(base, abstract=True)
         return full_type
 
     # -- external declarations --------------------------------------------
@@ -420,14 +431,16 @@ class _CParser:
         first = True
         while True:
             self._last_params = []
-            name, full_type, line = self.parse_declarator(base)
+            name, full_type, line, col = self.parse_declarator(base)
             params: list[ParamDecl] = list(self._last_params)
 
             if storage == "typedef":
                 if name is None:
                     raise CParseError("typedef requires a name", self.peek())
                 self.typedefs[name] = full_type
-                self.items.append(TypedefDecl(name, full_type, line))
+                self.items.append(
+                    TypedefDecl(name, full_type, line, col, self.filename)
+                )
             elif isinstance(full_type, CFunc) and first and self.at_punct("{"):
                 body = self.parse_compound()
                 assert name is not None
@@ -440,6 +453,8 @@ class _CParser:
                         full_type.varargs,
                         storage,
                         line,
+                        col,
+                        self.filename,
                     )
                 )
                 return
@@ -453,6 +468,8 @@ class _CParser:
                         full_type.varargs,
                         storage,
                         line,
+                        col,
+                        self.filename,
                     )
                 )
             else:
@@ -460,7 +477,9 @@ class _CParser:
                 if self.accept_punct("="):
                     init = self.parse_initializer()
                 assert name is not None
-                self.items.append(VarDecl(name, full_type, init, storage, line))
+                self.items.append(
+                    VarDecl(name, full_type, init, storage, line, col, self.filename)
+                )
 
             first = False
             if not self.accept_punct(","):
@@ -476,7 +495,7 @@ class _CParser:
                 if not self.accept_punct(","):
                     break
             self.expect_punct("}")
-            return InitList(tuple(items), line=brace.line)
+            return InitList(tuple(items), line=brace.line, col=brace.column)
         return self.parse_assignment_expr()
 
     # -- statements ---------------------------------------------------------
@@ -486,14 +505,14 @@ class _CParser:
         while not self.at_punct("}"):
             body.append(self.parse_statement())
         self.expect_punct("}")
-        return Compound(tuple(body), line=brace.line)
+        return Compound(tuple(body), line=brace.line, col=brace.column)
 
     def parse_local_declaration(self) -> DeclStmt:
         base, storage = self.parse_decl_specifiers()
         decls: list[VarDecl] = []
         if not self.at_punct(";"):
             while True:
-                name, full_type, line = self.parse_declarator(base)
+                name, full_type, line, col = self.parse_declarator(base)
                 if storage == "typedef":
                     assert name is not None
                     self.typedefs[name] = full_type
@@ -504,11 +523,13 @@ class _CParser:
                 if self.accept_punct("="):
                     init = self.parse_initializer()
                 assert name is not None
-                decls.append(VarDecl(name, full_type, init, storage, line))
+                decls.append(
+                    VarDecl(name, full_type, init, storage, line, col, self.filename)
+                )
                 if not self.accept_punct(","):
                     break
-        line = self.expect_punct(";").line
-        return DeclStmt(tuple(decls), line=line)
+        end = self.expect_punct(";")
+        return DeclStmt(tuple(decls), line=end.line, col=end.column)
 
     def parse_statement(self) -> CStmt:
         tok = self.peek()
@@ -516,7 +537,7 @@ class _CParser:
             return self.parse_compound()
         if self.at_punct(";"):
             self.advance()
-            return EmptyStmt(line=tok.line)
+            return EmptyStmt(line=tok.line, col=tok.column)
         if self.at_declaration_start():
             return self.parse_local_declaration()
         if tok.kind is CTokenKind.KEYWORD:
@@ -531,13 +552,13 @@ class _CParser:
                     if self.at_keyword("else"):
                         self.advance()
                         other = self.parse_statement()
-                    return IfStmt(cond, then, other, line=tok.line)
+                    return IfStmt(cond, then, other, line=tok.line, col=tok.column)
                 case "while":
                     self.advance()
                     self.expect_punct("(")
                     cond = self.parse_expression()
                     self.expect_punct(")")
-                    return WhileStmt(cond, self.parse_statement(), line=tok.line)
+                    return WhileStmt(cond, self.parse_statement(), line=tok.line, col=tok.column)
                 case "do":
                     self.advance()
                     body = self.parse_statement()
@@ -548,7 +569,7 @@ class _CParser:
                     cond = self.parse_expression()
                     self.expect_punct(")")
                     self.expect_punct(";")
-                    return DoWhileStmt(body, cond, line=tok.line)
+                    return DoWhileStmt(body, cond, line=tok.line, col=tok.column)
                 case "for":
                     self.advance()
                     self.expect_punct("(")
@@ -568,42 +589,42 @@ class _CParser:
                     if not self.at_punct(")"):
                         step = self.parse_expression()
                     self.expect_punct(")")
-                    return ForStmt(init, cond, step, self.parse_statement(), line=tok.line)
+                    return ForStmt(init, cond, step, self.parse_statement(), line=tok.line, col=tok.column)
                 case "return":
                     self.advance()
                     value = None
                     if not self.at_punct(";"):
                         value = self.parse_expression()
                     self.expect_punct(";")
-                    return ReturnStmt(value, line=tok.line)
+                    return ReturnStmt(value, line=tok.line, col=tok.column)
                 case "break":
                     self.advance()
                     self.expect_punct(";")
-                    return BreakStmt(line=tok.line)
+                    return BreakStmt(line=tok.line, col=tok.column)
                 case "continue":
                     self.advance()
                     self.expect_punct(";")
-                    return ContinueStmt(line=tok.line)
+                    return ContinueStmt(line=tok.line, col=tok.column)
                 case "goto":
                     self.advance()
                     label = self.expect_ident().text
                     self.expect_punct(";")
-                    return GotoStmt(label, line=tok.line)
+                    return GotoStmt(label, line=tok.line, col=tok.column)
                 case "switch":
                     self.advance()
                     self.expect_punct("(")
                     value = self.parse_expression()
                     self.expect_punct(")")
-                    return SwitchStmt(value, self.parse_statement(), line=tok.line)
+                    return SwitchStmt(value, self.parse_statement(), line=tok.line, col=tok.column)
                 case "case":
                     self.advance()
                     value = self.parse_conditional()
                     self.expect_punct(":")
-                    return CaseStmt(value, self.parse_statement(), line=tok.line)
+                    return CaseStmt(value, self.parse_statement(), line=tok.line, col=tok.column)
                 case "default":
                     self.advance()
                     self.expect_punct(":")
-                    return CaseStmt(None, self.parse_statement(), line=tok.line)
+                    return CaseStmt(None, self.parse_statement(), line=tok.line, col=tok.column)
         # Label?
         if (
             tok.kind is CTokenKind.IDENT
@@ -612,17 +633,19 @@ class _CParser:
         ):
             self.advance()
             self.advance()
-            return LabeledStmt(tok.text, self.parse_statement(), line=tok.line)
+            return LabeledStmt(tok.text, self.parse_statement(), line=tok.line, col=tok.column)
         expr = self.parse_expression()
         self.expect_punct(";")
-        return ExprStmt(expr, line=tok.line)
+        return ExprStmt(expr, line=tok.line, col=tok.column)
 
     # -- expressions ----------------------------------------------------------
     def parse_expression(self) -> CExpr:
         expr = self.parse_assignment_expr()
         while self.at_punct(","):
-            line = self.advance().line
-            expr = Comma(expr, self.parse_assignment_expr(), line=line)
+            op = self.advance()
+            expr = Comma(
+                expr, self.parse_assignment_expr(), line=op.line, col=op.column
+            )
         return expr
 
     def parse_assignment_expr(self) -> CExpr:
@@ -631,17 +654,17 @@ class _CParser:
         if tok.kind is CTokenKind.PUNCT and tok.text in _ASSIGN_OPS:
             self.advance()
             right = self.parse_assignment_expr()
-            return Assignment(tok.text, left, right, line=tok.line)
+            return Assignment(tok.text, left, right, line=tok.line, col=tok.column)
         return left
 
     def parse_conditional(self) -> CExpr:
         cond = self.parse_binary(0)
         if self.at_punct("?"):
-            line = self.advance().line
+            op = self.advance()
             then = self.parse_expression()
             self.expect_punct(":")
             other = self.parse_conditional()
-            return Conditional(cond, then, other, line=line)
+            return Conditional(cond, then, other, line=op.line, col=op.column)
         return cond
 
     _BINARY_LEVELS: list[frozenset[str]] = [
@@ -665,12 +688,12 @@ class _CParser:
         while self.peek().kind is CTokenKind.PUNCT and self.peek().text in ops:
             tok = self.advance()
             right = self.parse_binary(level + 1)
-            left = Binary(tok.text, left, right, line=tok.line)
+            left = Binary(tok.text, left, right, line=tok.line, col=tok.column)
         return left
 
     def parse_cast_expr(self) -> CExpr:
         if self.at_punct("(") and self.at_type_start(1):
-            line = self.advance().line
+            paren = self.advance()
             target = self.parse_type_name()
             self.expect_punct(")")
             # Compound literal `(type){...}` parsed as cast of init list.
@@ -678,25 +701,25 @@ class _CParser:
                 operand = self.parse_initializer()
             else:
                 operand = self.parse_cast_expr()
-            return Cast(target, operand, line=line)
+            return Cast(target, operand, line=paren.line, col=paren.column)
         return self.parse_unary()
 
     def parse_unary(self) -> CExpr:
         tok = self.peek()
         if tok.kind is CTokenKind.PUNCT and tok.text in ("++", "--"):
             self.advance()
-            return Unary(tok.text, self.parse_unary(), line=tok.line)
+            return Unary(tok.text, self.parse_unary(), line=tok.line, col=tok.column)
         if tok.kind is CTokenKind.PUNCT and tok.text in ("&", "*", "+", "-", "~", "!"):
             self.advance()
-            return Unary(tok.text, self.parse_cast_expr(), line=tok.line)
+            return Unary(tok.text, self.parse_cast_expr(), line=tok.line, col=tok.column)
         if tok.kind is CTokenKind.KEYWORD and tok.text == "sizeof":
             self.advance()
             if self.at_punct("(") and self.at_type_start(1):
                 self.advance()
                 target = self.parse_type_name()
                 self.expect_punct(")")
-                return SizeofType(target, line=tok.line)
-            return Unary("sizeof", self.parse_unary(), line=tok.line)
+                return SizeofType(target, line=tok.line, col=tok.column)
+            return Unary("sizeof", self.parse_unary(), line=tok.line, col=tok.column)
         return self.parse_postfix()
 
     def parse_postfix(self) -> CExpr:
@@ -707,7 +730,7 @@ class _CParser:
                 self.advance()
                 index = self.parse_expression()
                 self.expect_punct("]")
-                expr = Index(expr, index, line=tok.line)
+                expr = Index(expr, index, line=tok.line, col=tok.column)
             elif self.at_punct("("):
                 self.advance()
                 args: list[CExpr] = []
@@ -717,18 +740,18 @@ class _CParser:
                         if not self.accept_punct(","):
                             break
                 self.expect_punct(")")
-                expr = Call(expr, tuple(args), line=tok.line)
+                expr = Call(expr, tuple(args), line=tok.line, col=tok.column)
             elif self.at_punct("."):
                 self.advance()
                 field_name = self.expect_ident().text
-                expr = Member(expr, field_name, False, line=tok.line)
+                expr = Member(expr, field_name, False, line=tok.line, col=tok.column)
             elif self.at_punct("->"):
                 self.advance()
                 field_name = self.expect_ident().text
-                expr = Member(expr, field_name, True, line=tok.line)
+                expr = Member(expr, field_name, True, line=tok.line, col=tok.column)
             elif self.at_punct("++") or self.at_punct("--"):
                 op = self.advance()
-                expr = Unary(op.text, expr, postfix=True, line=op.line)
+                expr = Unary(op.text, expr, postfix=True, line=op.line, col=op.column)
             else:
                 return expr
 
@@ -736,16 +759,16 @@ class _CParser:
         tok = self.peek()
         if tok.kind is CTokenKind.IDENT:
             self.advance()
-            return Ident(tok.text, line=tok.line)
+            return Ident(tok.text, line=tok.line, col=tok.column)
         if tok.kind is CTokenKind.INT_CONST:
             self.advance()
-            return IntConst(parse_int_constant(tok.text), line=tok.line)
+            return IntConst(parse_int_constant(tok.text), line=tok.line, col=tok.column)
         if tok.kind is CTokenKind.FLOAT_CONST:
             self.advance()
-            return FloatConst(tok.text, line=tok.line)
+            return FloatConst(tok.text, line=tok.line, col=tok.column)
         if tok.kind is CTokenKind.CHAR_CONST:
             self.advance()
-            return CharConst(parse_char_constant(tok.text), line=tok.line)
+            return CharConst(parse_char_constant(tok.text), line=tok.line, col=tok.column)
         if tok.kind is CTokenKind.STRING:
             from .clexer import parse_string_literal
 
@@ -753,7 +776,7 @@ class _CParser:
             parts = []
             while self.peek().kind is CTokenKind.STRING:
                 parts.append(parse_string_literal(self.advance().text[1:-1]))
-            return StringConst("".join(parts), line=tok.line)
+            return StringConst("".join(parts), line=tok.line, col=tok.column)
         if self.at_punct("("):
             self.advance()
             expr = self.parse_expression()

@@ -123,6 +123,8 @@ class Program:
                     item.varargs,
                     item.storage,
                     item.line,
+                    item.col,
+                    item.file,
                 )
             self.functions[item.name] = item
         elif isinstance(item, FuncDecl):

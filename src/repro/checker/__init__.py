@@ -1,0 +1,60 @@
+"""qlint — a batch qualifier checker over C translation units and
+lambda programs (the paper's Section 5 applications as a working tool).
+
+The subsystem layers on the inference pipeline:
+
+* :mod:`repro.checker.diagnostics` — spans, flow steps, diagnostics,
+  stable fingerprints, baselines, and suppression comments;
+* :mod:`repro.checker.checks` — the pluggable check registry
+  (tainted-format, casts-away-const, nonnull-deref, binding-time);
+* :mod:`repro.checker.engine` — the C checker inference (seed rules,
+  sink obligations, shortest flow paths) and the lambda adapter;
+* :mod:`repro.checker.render` — human, JSON, and SARIF 2.1.0 output;
+* :mod:`repro.checker.runner` — the batch driver (``--jobs``, the
+  content-addressed cache, baseline filtering);
+* ``python -m repro.checker`` — the CLI.
+"""
+
+from .checks import (
+    ALL_CHECKS,
+    DEFAULT_CHECKS,
+    QualifierCheck,
+    SinkRule,
+    SourceRule,
+    check_by_name,
+)
+from .diagnostics import (
+    Baseline,
+    Diagnostic,
+    FlowStep,
+    Span,
+    apply_suppressions,
+    assign_fingerprints,
+)
+from .engine import check_lambda_source, check_program, check_source
+from .render import render_diagnostics, render_human, render_json, render_sarif
+from .runner import CheckerReport, check_paths
+
+__all__ = [
+    "ALL_CHECKS",
+    "DEFAULT_CHECKS",
+    "Baseline",
+    "CheckerReport",
+    "Diagnostic",
+    "FlowStep",
+    "QualifierCheck",
+    "SinkRule",
+    "SourceRule",
+    "Span",
+    "apply_suppressions",
+    "assign_fingerprints",
+    "check_by_name",
+    "check_lambda_source",
+    "check_paths",
+    "check_program",
+    "check_source",
+    "render_diagnostics",
+    "render_human",
+    "render_json",
+    "render_sarif",
+]

@@ -1,0 +1,223 @@
+"""The qlint check registry.
+
+A :class:`QualifierCheck` is pure data: which qualifier it tracks,
+which library functions *seed* it (sources), which parameter positions
+*sink* it, and the message templates.  The engine interprets the rules
+against the shared constraint system, so adding a check means adding a
+declaration here — no new traversal code.
+
+The four built-in checks are the paper's Section 5 applications:
+
+* ``tainted-format`` — untrusted data (Perl-style taint, [VS97] secure
+  information flow) must not reach format-string or shell sinks;
+* ``casts-away-const`` — the Table 2 casts that drop ``const`` from a
+  referenced type (purely syntactic, via
+  :func:`repro.cfront.cast.classify_cast`);
+* ``nonnull-deref`` — values from may-return-NULL allocators must not
+  be dereferenced while possibly null (lclint-style);
+* ``binding-time`` — run-time (``dynamic``) values must not flow into
+  positions a specializer needs static (the [DRT96] instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..qual.lattice import LatticeElement, QualifierLattice
+from ..qual.qualifiers import ALL_QUALIFIERS
+
+
+@dataclass(frozen=True)
+class SourceRule:
+    """Seed rule: calling ``function`` introduces the check's qualifier.
+
+    ``where`` is ``"return"`` (the returned pointer's levels are seeded)
+    or ``"param"`` (data written through pointer parameters is seeded —
+    ``index`` selects one parameter, ``None`` seeds every pointer
+    parameter, as for ``scanf``)."""
+
+    function: str
+    where: str = "return"
+    index: int | None = None
+
+
+@dataclass(frozen=True)
+class SinkRule:
+    """Sink rule: parameter ``index`` of ``function`` must satisfy the
+    check's bound (e.g. be untainted)."""
+
+    function: str
+    index: int
+    describe: str = ""
+
+
+@dataclass(frozen=True)
+class QualifierCheck:
+    """One pluggable check: lattice qualifier + seed/sink rules +
+    message templates."""
+
+    name: str
+    qualifier: str
+    severity: str
+    description: str
+    #: Message for a violated sink; formatted with function/index/qualifier.
+    message: str
+    sources: tuple[SourceRule, ...] = ()
+    sinks: tuple[SinkRule, ...] = ()
+    #: nonnull-style: every dereference site is a sink obligation.
+    deref_requires: bool = False
+    #: casts-away-const-style: violations come from the syntactic cast
+    #: classifier, not from the constraint system.
+    syntactic_casts: bool = False
+
+    @property
+    def positive(self) -> bool:
+        return ALL_QUALIFIERS[self.qualifier].positive
+
+    def seed_element(self, lattice: QualifierLattice) -> LatticeElement:
+        """The constant lower bound a source introduces.
+
+        For a positive qualifier (tainted, dynamic) the seed *adds* the
+        qualifier to the least solution: ``bottom + q``.  For a negative
+        qualifier (nonnull) the seed *removes* the guarantee: ``bottom -
+        q`` (joins intersect negative qualifiers, so one may-null source
+        strips ``nonnull`` from everything it reaches)."""
+        if self.positive:
+            return lattice.atom(self.qualifier)
+        return lattice.bottom.without_qualifier(self.qualifier)
+
+    def sink_bound(self, lattice: QualifierLattice) -> LatticeElement:
+        """The upper bound a sink asserts: ``assertion_bound`` is
+        top-without-q for positive qualifiers ("must be untainted") and
+        top-with-q for negative ones ("must be nonnull")."""
+        return lattice.assertion_bound(self.qualifier)
+
+
+TAINTED_FORMAT = QualifierCheck(
+    name="tainted-format",
+    qualifier="tainted",
+    severity="error",
+    description=(
+        "Untrusted input (environment, sockets, stdin) must not reach "
+        "format-string or shell-command sinks unsanitised."
+    ),
+    message=(
+        "tainted data reaches {function} (argument {index}), "
+        "which requires untainted input"
+    ),
+    sources=(
+        SourceRule("getenv"),
+        SourceRule("gets"),
+        SourceRule("fgets"),
+        SourceRule("fgets", where="param", index=0),
+        SourceRule("gets", where="param", index=0),
+        SourceRule("read", where="param", index=1),
+        SourceRule("recv", where="param", index=1),
+        SourceRule("scanf", where="param", index=None),
+        SourceRule("readline"),
+    ),
+    sinks=(
+        SinkRule("printf", 0, "format string"),
+        SinkRule("fprintf", 1, "format string"),
+        SinkRule("sprintf", 1, "format string"),
+        SinkRule("snprintf", 2, "format string"),
+        SinkRule("syslog", 1, "format string"),
+        SinkRule("system", 0, "shell command"),
+        SinkRule("popen", 0, "shell command"),
+        SinkRule("execl", 0, "exec path"),
+        SinkRule("execv", 0, "exec path"),
+    ),
+)
+
+CASTS_AWAY_CONST = QualifierCheck(
+    name="casts-away-const",
+    qualifier="const",
+    severity="warning",
+    description=(
+        "A cast whose target type drops const from a referenced type "
+        "defeats const inference (Table 2's casts-away-const column)."
+    ),
+    message="cast from {source_type} to {target_type} casts away const",
+    syntactic_casts=True,
+)
+
+NONNULL_DEREF = QualifierCheck(
+    name="nonnull-deref",
+    qualifier="nonnull",
+    severity="error",
+    description=(
+        "Pointers returned by may-fail allocators must be checked "
+        "before dereference."
+    ),
+    message=(
+        "dereference of a possibly-NULL pointer "
+        "(value may originate from {function})"
+    ),
+    sources=(
+        SourceRule("malloc"),
+        SourceRule("calloc"),
+        SourceRule("realloc"),
+        SourceRule("fopen"),
+        SourceRule("getenv"),
+        SourceRule("strchr"),
+        SourceRule("strstr"),
+    ),
+    deref_requires=True,
+)
+
+BINDING_TIME = QualifierCheck(
+    name="binding-time",
+    qualifier="dynamic",
+    severity="warning",
+    description=(
+        "Run-time (dynamic) values must not reach positions an offline "
+        "partial evaluator needs static ([DRT96], Section 5)."
+    ),
+    message=(
+        "dynamic (run-time) value reaches {function} (argument {index}), "
+        "which must be static"
+    ),
+    sources=(
+        SourceRule("getchar"),
+        SourceRule("rand"),
+        SourceRule("time"),
+        SourceRule("read_input"),
+        SourceRule("scanf", where="param", index=None),
+    ),
+    sinks=(
+        SinkRule("alloca", 0, "static allocation size"),
+        SinkRule("specialize", 0, "specialization index"),
+        SinkRule("static_bound", 0, "static bound"),
+    ),
+)
+
+ALL_CHECKS: tuple[QualifierCheck, ...] = (
+    TAINTED_FORMAT,
+    CASTS_AWAY_CONST,
+    NONNULL_DEREF,
+    BINDING_TIME,
+)
+
+DEFAULT_CHECKS: tuple[QualifierCheck, ...] = ALL_CHECKS
+
+
+def check_by_name(name: str) -> QualifierCheck:
+    for check in ALL_CHECKS:
+        if check.name == name:
+            return check
+    known = ", ".join(c.name for c in ALL_CHECKS)
+    raise KeyError(f"unknown check {name!r} (known: {known})")
+
+
+def lattice_for(checks: tuple[QualifierCheck, ...]) -> QualifierLattice:
+    """The combined product lattice for one run: const (the base
+    analysis requires it) plus every enabled check's qualifier.
+    Coordinates are independent, so one inference run serves all
+    checks."""
+    from ..qual.qualifiers import make_lattice
+
+    names: list[str] = ["const"]
+    for check in checks:
+        if check.qualifier not in names:
+            names.append(check.qualifier)
+    return make_lattice(*names)

@@ -1,0 +1,128 @@
+"""Command-line driver: ``python -m repro.checker [paths...]``.
+
+Walks the given files/directories for C translation units, runs the
+enabled checks, and emits the report in human, JSON, or SARIF form.
+Baselines support ratchet-style CI: ``--baseline`` compares against a
+checked-in fingerprint set (exit 1 on new *or* lost findings),
+``--write-baseline`` refreshes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .checks import ALL_CHECKS, DEFAULT_CHECKS
+from .diagnostics import Baseline
+from .render import render_diagnostics
+from .runner import check_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checker",
+        description="qlint: qualifier checks with constraint-path diagnostics",
+    )
+    parser.add_argument("paths", nargs="+", help=".c files or directories")
+    parser.add_argument(
+        "--checks",
+        default=",".join(c.name for c in DEFAULT_CHECKS),
+        help="comma-separated check names (default: all); known: "
+        + ", ".join(c.name for c in ALL_CHECKS),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--output", "-o", default=None, help="write the report here instead of stdout"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="process-pool width for batch runs"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed diagnostic cache directory (warm runs skip analysis)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="compare findings against this baseline file; exit 1 on drift",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        help="write the current findings' fingerprints to this baseline file",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in human output",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    check_names = [name.strip() for name in args.checks.split(",") if name.strip()]
+
+    baseline = None
+    if args.baseline is not None:
+        baseline = Baseline.load(args.baseline)
+
+    report = check_paths(
+        args.paths,
+        checks=check_names,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        baseline=baseline,
+    )
+
+    if args.write_baseline is not None:
+        Baseline.from_diagnostics(report.diagnostics).save(args.write_baseline)
+
+    sources = {}
+    if args.format == "human":
+        for file in report.files:
+            try:
+                sources[file] = Path(file).read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                pass
+    rendered = render_diagnostics(
+        report.diagnostics
+        if args.format == "human" or args.format == "sarif"
+        else [d for d in report.diagnostics if args.show_suppressed or not d.suppressed],
+        format=args.format,
+        sources=sources,
+        show_suppressed=args.show_suppressed,
+    )
+    if args.output is not None:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+    else:
+        sys.stdout.write(rendered)
+
+    for file, error in sorted(report.errors.items()):
+        print(f"qlint: error: {file}: {error}", file=sys.stderr)
+    if baseline is not None:
+        for diag in report.new_findings:
+            print(f"qlint: new finding not in baseline: {diag.span}: {diag.message}", file=sys.stderr)
+        for fingerprint in sorted(report.lost_fingerprints):
+            print(f"qlint: baselined finding no longer reported: {fingerprint}", file=sys.stderr)
+        print(
+            f"qlint: baseline: {len(report.new_findings)} new, "
+            f"{len(report.lost_fingerprints)} lost",
+            file=sys.stderr,
+        )
+        print(f"qlint: {report.summary()}", file=sys.stderr)
+        return 1 if (report.new_findings or report.lost_fingerprints or report.errors) else 0
+
+    print(f"qlint: {report.summary()}", file=sys.stderr)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,214 @@
+"""Diagnostic model for qlint: spans, flow steps, fingerprints,
+baselines, and suppression comments.
+
+A :class:`Diagnostic` is the unit every renderer consumes.  Its
+``fingerprint`` is *stable*: computed from the check id, the file, the
+text of the flagged line (not its number), the message, and an
+occurrence index — so reordering unrelated code or inserting lines
+above a finding does not churn a checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..qual.constraints import Origin
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source location: file, 1-based line, 1-based column (0 = unknown)."""
+
+    file: str = ""
+    line: int = 0
+    column: int = 0
+
+    @property
+    def is_valid(self) -> bool:
+        return bool(self.file) and self.line > 0
+
+    def __str__(self) -> str:
+        if not self.file:
+            return f"<unknown>:{self.line}" if self.line else "<unknown>"
+        out = f"{self.file}:{self.line}"
+        if self.column:
+            out += f":{self.column}"
+        return out
+
+    @classmethod
+    def from_origin(cls, origin: Origin) -> "Span":
+        return cls(
+            file=origin.filename or "",
+            line=origin.line or 0,
+            column=origin.column or 0,
+        )
+
+
+@dataclass(frozen=True)
+class FlowStep:
+    """One step of a qualifier-flow trace: what happened, and where."""
+
+    note: str
+    span: Span = Span()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a check violation at a primary span, with the
+    qualifier-flow path that produced it."""
+
+    check: str
+    qualifier: str
+    severity: str  # "error" | "warning" | "note"
+    message: str
+    span: Span
+    flow: tuple[FlowStep, ...] = ()
+    fingerprint: str = ""
+    suppressed: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "qualifier": self.qualifier,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.span.file,
+            "line": self.span.line,
+            "column": self.span.column,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "flow": [
+                {
+                    "note": step.note,
+                    "file": step.span.file,
+                    "line": step.span.line,
+                    "column": step.span.column,
+                }
+                for step in self.flow
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _line_text(sources: Mapping[str, str], span: Span) -> str:
+    source = sources.get(span.file)
+    if source is None or span.line <= 0:
+        return ""
+    lines = source.splitlines()
+    if span.line > len(lines):
+        return ""
+    return lines[span.line - 1].strip()
+
+
+def assign_fingerprints(
+    diagnostics: Iterable[Diagnostic], sources: Mapping[str, str]
+) -> list[Diagnostic]:
+    """Return diagnostics with stable fingerprints filled in.
+
+    The key hashes check | file | flagged-line-text | message; identical
+    keys (e.g. two findings on textually identical lines) are
+    disambiguated by occurrence order, which is deterministic because
+    the runner reports diagnostics in file/check order.
+    """
+    occurrences: dict[str, int] = {}
+    out: list[Diagnostic] = []
+    for diag in diagnostics:
+        base = "|".join(
+            (diag.check, diag.span.file, _line_text(sources, diag.span), diag.message)
+        )
+        index = occurrences.get(base, 0)
+        occurrences[base] = index + 1
+        digest = hashlib.sha256(f"{base}|{index}".encode()).hexdigest()[:16]
+        out.append(replace(diag, fingerprint=digest))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+#: ``/* qlint: allow(tainted) */`` or ``// qlint: allow(nonnull-deref)``;
+#: several names may be listed, comma-separated.
+_SUPPRESS_RE = re.compile(r"qlint:\s*allow\(\s*([A-Za-z0-9_,\s-]+?)\s*\)")
+
+
+def suppression_lines(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the set of names allowed there."""
+    out: dict[int, frozenset[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        names: set[str] = set()
+        for match in _SUPPRESS_RE.finditer(text):
+            names |= {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if names:
+            out[number] = frozenset(names)
+    return out
+
+
+def apply_suppressions(
+    diagnostics: Iterable[Diagnostic], sources: Mapping[str, str]
+) -> list[Diagnostic]:
+    """Mark suppressed any diagnostic whose primary line (or the line
+    directly above it) carries ``qlint: allow(<name>)`` naming either
+    the diagnostic's qualifier or its check id."""
+    by_file: dict[str, dict[int, frozenset[str]]] = {}
+    out: list[Diagnostic] = []
+    for diag in diagnostics:
+        allows = by_file.get(diag.span.file)
+        if allows is None:
+            allows = suppression_lines(sources.get(diag.span.file, ""))
+            by_file[diag.span.file] = allows
+        names = allows.get(diag.span.line, frozenset()) | allows.get(
+            diag.span.line - 1, frozenset()
+        )
+        if diag.qualifier in names or diag.check in names:
+            diag = replace(diag, suppressed=True)
+        out.append(diag)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Baseline:
+    """A checked-in set of known-finding fingerprints.
+
+    ``compare`` reports drift in both directions: *new* findings (absent
+    from the baseline) and *lost* ones (baselined but no longer
+    reported) — CI asserts both are empty.
+    """
+
+    fingerprints: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(set(data.get("fingerprints", [])))
+
+    def save(self, path: str | Path) -> None:
+        payload = {"version": 1, "fingerprints": sorted(self.fingerprints)}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Iterable[Diagnostic]) -> "Baseline":
+        return cls({d.fingerprint for d in diagnostics if not d.suppressed})
+
+    def compare(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> tuple[list[Diagnostic], set[str]]:
+        """(new diagnostics, fingerprints of lost findings)."""
+        current = [d for d in diagnostics if not d.suppressed]
+        new = [d for d in current if d.fingerprint not in self.fingerprints]
+        lost = self.fingerprints - {d.fingerprint for d in current}
+        return new, lost

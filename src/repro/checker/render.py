@@ -1,0 +1,194 @@
+"""Diagnostic renderers: human (carets + flow notes), JSON, SARIF 2.1.0.
+
+All three consume the same :class:`~repro.checker.diagnostics.Diagnostic`
+list; the renderers are pure functions of (diagnostics, sources) so the
+runner can emit any format from one analysis pass.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from .checks import ALL_CHECKS
+from .diagnostics import Diagnostic, Span
+
+QLINT_VERSION = "1.0.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+# ---------------------------------------------------------------------------
+# Human
+# ---------------------------------------------------------------------------
+
+
+def _source_excerpt(sources: Mapping[str, str], span: Span) -> list[str]:
+    """The flagged line plus a caret marker, gcc-style; empty when the
+    span or the source text is unavailable."""
+    text = sources.get(span.file)
+    if text is None or not span.is_valid:
+        return []
+    lines = text.splitlines()
+    if span.line > len(lines):
+        return []
+    line = lines[span.line - 1]
+    out = [f"    {line}"]
+    if span.column > 0:
+        out.append("    " + " " * (span.column - 1) + "^")
+    return out
+
+
+def render_human(
+    diagnostics: Iterable[Diagnostic],
+    sources: Mapping[str, str] | None = None,
+    show_suppressed: bool = False,
+) -> str:
+    """Compiler-style report: one primary line per finding, the flagged
+    source line with a caret, then the numbered qualifier-flow trace."""
+    sources = sources or {}
+    blocks: list[str] = []
+    for diag in diagnostics:
+        if diag.suppressed and not show_suppressed:
+            continue
+        suffix = " (suppressed)" if diag.suppressed else ""
+        lines = [f"{diag.span}: {diag.severity}: {diag.message} [{diag.check}]{suffix}"]
+        lines += _source_excerpt(sources, diag.span)
+        if diag.flow:
+            lines.append("  qualifier flow:")
+            for index, step in enumerate(diag.flow, start=1):
+                where = f" ({step.span})" if step.span.is_valid else ""
+                lines.append(f"    {index}. {step.note}{where}")
+                for excerpt in _source_excerpt(sources, step.span):
+                    lines.append("  " + excerpt)
+        blocks.append("\n".join(lines))
+    if not blocks:
+        return "qlint: no findings\n"
+    return "\n\n".join(blocks) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    payload = {
+        "tool": "qlint",
+        "version": QLINT_VERSION,
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# SARIF 2.1.0
+# ---------------------------------------------------------------------------
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _sarif_location(span: Span, note: str | None = None) -> dict:
+    region: dict = {"startLine": span.line}
+    if span.column > 0:
+        region["startColumn"] = span.column
+    location: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": span.file},
+            "region": region,
+        }
+    }
+    if note is not None:
+        location["message"] = {"text": note}
+    return location
+
+
+def _sarif_rules(diagnostics: list[Diagnostic]) -> list[dict]:
+    """Rule metadata for every check that produced a finding, plus any
+    registered check, so ruleIndex lookups stay stable."""
+    described = {c.name: c for c in ALL_CHECKS}
+    rules: list[dict] = []
+    seen: set[str] = set()
+    for name in list(described) + [d.check for d in diagnostics]:
+        if name in seen:
+            continue
+        seen.add(name)
+        check = described.get(name)
+        rule: dict = {"id": name}
+        if check is not None:
+            rule["shortDescription"] = {"text": check.description}
+            rule["defaultConfiguration"] = {
+                "level": _SARIF_LEVELS.get(check.severity, "warning")
+            }
+        rules.append(rule)
+    return rules
+
+
+def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
+    """A SARIF 2.1.0 log: one run, one result per diagnostic, the
+    qualifier-flow trace as a codeFlow/threadFlow, fingerprints under
+    ``partialFingerprints``, suppressions as kind ``inSource``."""
+    diagnostics = list(diagnostics)
+    rules = _sarif_rules(diagnostics)
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+
+    results = []
+    for diag in diagnostics:
+        result: dict = {
+            "ruleId": diag.check,
+            "ruleIndex": rule_index[diag.check],
+            "level": _SARIF_LEVELS.get(diag.severity, "warning"),
+            "message": {"text": diag.message},
+        }
+        if diag.span.is_valid:
+            result["locations"] = [_sarif_location(diag.span)]
+        if diag.fingerprint:
+            result["partialFingerprints"] = {"qlint/v1": diag.fingerprint}
+        flow_locations = [
+            {"location": _sarif_location(step.span, step.note)}
+            for step in diag.flow
+            if step.span.is_valid
+        ]
+        if flow_locations:
+            result["codeFlows"] = [
+                {"threadFlows": [{"locations": flow_locations}]}
+            ]
+        if diag.suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        results.append(result)
+
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "qlint",
+                        "version": QLINT_VERSION,
+                        "informationUri": "https://example.invalid/qlint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2) + "\n"
+
+
+def render_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+    format: str = "human",
+    sources: Mapping[str, str] | None = None,
+    show_suppressed: bool = False,
+) -> str:
+    if format == "human":
+        return render_human(diagnostics, sources, show_suppressed=show_suppressed)
+    if format == "json":
+        return render_json(diagnostics)
+    if format == "sarif":
+        return render_sarif(diagnostics)
+    raise ValueError(f"unknown format {format!r} (expected human, json, or sarif)")

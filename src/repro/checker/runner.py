@@ -1,0 +1,174 @@
+"""The qlint batch runner: walk a tree of ``.c`` files, check each
+translation unit, and assemble one report.
+
+Per-file results are memoised in the same content-addressed store the
+inference pipeline uses (:mod:`repro.constinfer.cache`): the key covers
+the file's text, the enabled check set, and a fingerprint of the
+analyser's own code (the ``checker`` package included), so a warm run
+deserialises finished diagnostics and skips parse, constraint
+generation, and solve entirely.
+
+Fingerprints and suppressions are applied in the worker — it holds the
+source text — while baseline comparison happens once in the
+coordinator.  With ``jobs > 1`` files are distributed over a process
+pool; results are ordered by sorted path either way, so the report is
+deterministic at any job count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..constinfer.cache import AnalysisCache
+from .checks import DEFAULT_CHECKS, QualifierCheck, check_by_name
+from .diagnostics import (
+    Baseline,
+    Diagnostic,
+    apply_suppressions,
+    assign_fingerprints,
+)
+
+#: Cache entry kind for finished per-file diagnostic lists.
+CACHE_KIND = "qlint-diagnostics"
+
+
+@dataclass
+class CheckerReport:
+    """Everything one batch run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+    #: file -> error string for units that failed to parse/analyse.
+    errors: dict[str, str] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Findings not in the baseline / baselined fingerprints no longer
+    #: reported (both empty when no baseline was given).
+    new_findings: list[Diagnostic] = field(default_factory=list)
+    lost_fingerprints: set[str] = field(default_factory=set)
+
+    @property
+    def active(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if not d.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        """1 when unsuppressed errors (or baseline drift) remain."""
+        if self.errors or self.new_findings or self.lost_fingerprints:
+            return 1
+        return 1 if any(d.severity == "error" for d in self.active) else 0
+
+    def summary(self) -> str:
+        active = self.active
+        suppressed = len(self.diagnostics) - len(active)
+        parts = [
+            f"{len(self.files)} file(s)",
+            f"{len(active)} finding(s)",
+            f"{suppressed} suppressed",
+        ]
+        if self.errors:
+            parts.append(f"{len(self.errors)} error(s)")
+        if self.cache_hits or self.cache_misses:
+            parts.append(f"cache {self.cache_hits} hit(s) / {self.cache_misses} miss(es)")
+        return ", ".join(parts)
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Explicit files plus every ``*.c`` under directories, sorted."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(path.rglob("*.c"))
+        else:
+            out.add(path)
+    return sorted(out)
+
+
+def _cache_options(check_names: tuple[str, ...]) -> dict:
+    return {"checks": ",".join(check_names)}
+
+
+def _check_one(
+    path_text: str, check_names: tuple[str, ...], cache_dir: str | None
+) -> tuple[str, list[Diagnostic], str | None, bool]:
+    """Worker: check one file.  Returns (path, diagnostics — fingerprinted
+    and suppression-marked, error, from_cache).  Top-level so it pickles
+    into a process pool."""
+    from .engine import check_source  # deferred: keep worker import light
+
+    path = Path(path_text)
+    try:
+        source = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        return path_text, [], str(exc), False
+
+    cache = AnalysisCache(cache_dir) if cache_dir else None
+    key = None
+    if cache is not None:
+        key = cache.key(CACHE_KIND, source=source, options=_cache_options(check_names))
+        cached = cache.get(key)
+        if isinstance(cached, list):
+            return path_text, cached, None, True
+
+    checks = tuple(check_by_name(name) for name in check_names)
+    try:
+        diagnostics = check_source(source, filename=path_text, checks=checks)
+    except Exception as exc:  # a bad input file must not kill the batch
+        return path_text, [], f"{type(exc).__name__}: {exc}", False
+
+    sources = {path_text: source}
+    diagnostics = assign_fingerprints(diagnostics, sources)
+    diagnostics = apply_suppressions(diagnostics, sources)
+    if cache is not None and key is not None:
+        cache.put(key, diagnostics)
+    return path_text, diagnostics, None, False
+
+
+def check_paths(
+    paths: Sequence[str | Path],
+    checks: Sequence[QualifierCheck | str] = DEFAULT_CHECKS,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    baseline: Baseline | None = None,
+) -> CheckerReport:
+    """Check every ``.c`` file reachable from ``paths``."""
+    check_names = tuple(
+        c if isinstance(c, str) else c.name for c in checks
+    )
+    for name in check_names:
+        check_by_name(name)  # fail fast on typos
+    files = discover_files(paths)
+    cache_text = str(cache_dir) if cache_dir is not None else None
+
+    report = CheckerReport(files=[str(f) for f in files])
+    if jobs > 1 and len(files) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(
+                pool.map(
+                    _check_one,
+                    [str(f) for f in files],
+                    [check_names] * len(files),
+                    [cache_text] * len(files),
+                )
+            )
+    else:
+        results = [_check_one(str(f), check_names, cache_text) for f in files]
+
+    for path_text, diagnostics, error, from_cache in results:
+        if error is not None:
+            report.errors[path_text] = error
+        report.diagnostics.extend(diagnostics)
+        if from_cache:
+            report.cache_hits += 1
+        else:
+            report.cache_misses += 1
+
+    if baseline is not None:
+        report.new_findings, report.lost_fingerprints = baseline.compare(
+            report.diagnostics
+        )
+    return report

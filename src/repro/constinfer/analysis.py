@@ -181,7 +181,11 @@ class ConstInference:
         from ..cfront.ctypes import base_con
 
         self._scalar_shape = QCon(base_con("int"))
-        self._origin_cache: dict[tuple[str, int], Origin] = {}
+        self._origin_cache: dict[tuple[str, int, int, str], Origin] = {}
+        # File of the declaration being analysed; origins emitted while a
+        # function body (or global initializer) is processed carry it, so
+        # every constraint gets a full file:line:col provenance span.
+        self._current_file: str = ""
         # Guards lazy creation of *shared* cells (globals, struct fields)
         # when function bodies are analysed by concurrent wavefront
         # workers; uncontended in the serial engines.  When the wavefront
@@ -233,14 +237,22 @@ class ConstInference:
     def emit(self, lhs: Qual, rhs: Qual, origin: Origin) -> None:
         self.constraints.append(QualConstraint(lhs, rhs, origin))
 
-    def origin(self, reason: str, line: int = 0) -> Origin:
+    def origin(
+        self, reason: str, line: int = 0, col: int = 0, file: str | None = None
+    ) -> Origin:
         # Origins repeat heavily (one per constraint, few distinct
-        # reason/line pairs per statement); interning them keeps emit()
+        # reason/span pairs per statement); interning them keeps emit()
         # allocation-light on the hot path.
-        key = (reason, line)
+        resolved_file = self._current_file if file is None else file
+        key = (reason, line, col, resolved_file)
         cached = self._origin_cache.get(key)
         if cached is None:
-            cached = self._origin_cache[key] = Origin(reason, line=line or None)
+            cached = self._origin_cache[key] = Origin(
+                reason,
+                filename=resolved_file or None,
+                line=line or None,
+                column=col or None,
+            )
         return cached
 
     def flow(self, src: QType, dst: QType, origin: Origin) -> None:
@@ -274,6 +286,16 @@ class ConstInference:
     def fresh_scalar(self) -> QType:
         return QType(fresh_qual_var(), self._scalar_shape)
 
+    def scalar_result(self, operands: tuple[QType, ...], e: CExpr) -> QType:
+        """Hook: the scalar result of an operator over ``operands``.
+
+        Const inference discards operand qualifiers (constness lives on
+        cells, not computed values), so the base returns an unconstrained
+        scalar.  The qlint checker overrides this to flow each operand's
+        top-level qualifier into the result, so value qualifiers such as
+        ``tainted`` and ``dynamic`` survive arithmetic."""
+        return self.fresh_scalar()
+
     def fresh_cell(self) -> QType:
         """An unconstrained cell for untypable l-values (casts, unknown
         fields): everything about it stays unconstrained."""
@@ -282,11 +304,13 @@ class ConstInference:
     # ------------------------------------------------------------------
     # Declarations and shared cells
     # ------------------------------------------------------------------
-    def cell_for_type(self, ct: CType, line: int = 0) -> TranslatedType:
+    def cell_for_type(
+        self, ct: CType, line: int = 0, col: int = 0, file: str | None = None
+    ) -> TranslatedType:
         """Translate a declaration's C type, emitting the declared-const
         lower bounds."""
         translated = lvalue_qtype(ct)
-        origin = self.origin("declared const", line)
+        origin = self.origin("declared const", line, col, file)
         for level in translated.levels:
             if level.declared_const:
                 self.emit(self.const_low, level.var, origin)
@@ -306,7 +330,9 @@ class ConstInference:
             cell = self.global_cells.get(name)
             if cell is None:
                 with use_uid_band(self._shared_band):
-                    cell = self.cell_for_type(decl.type, decl.line)
+                    cell = self.cell_for_type(
+                        decl.type, decl.line, decl.col, decl.file
+                    )
                 self.global_cells[name] = cell
         return cell
 
@@ -318,23 +344,24 @@ class ConstInference:
                 return cell
         struct = self.program.structs.get(tag)
         ctype: CType = CBase("int")
-        line = 0
+        line = col = 0
+        file = ""
         if struct is not None:
             for f in struct.fields:
                 if f.name == field_name:
                     ctype = f.type
-                    line = f.line
+                    line, col, file = f.line, f.col, f.file
                     break
         if not self.share_struct_fields:
             # Ablation: a fresh cell per access, nothing shared.
-            cell = self.cell_for_type(ctype, line)
+            cell = self.cell_for_type(ctype, line, col, file)
             self.field_cells[key] = cell
             return cell
         with self._shared_lock:
             cell = self.field_cells.get(key)
             if cell is None:
                 with use_uid_band(self._shared_band):
-                    cell = self.cell_for_type(ctype, line)
+                    cell = self.cell_for_type(ctype, line, col, file)
                 self.field_cells[key] = cell
         return cell
 
@@ -342,12 +369,25 @@ class ConstInference:
     # Function signatures
     # ------------------------------------------------------------------
     def make_signature(
-        self, name: str, ret: CType, params: tuple[ParamDecl, ...], varargs: bool, defined: bool, line: int
+        self,
+        name: str,
+        ret: CType,
+        params: tuple[ParamDecl, ...],
+        varargs: bool,
+        defined: bool,
+        line: int,
+        col: int = 0,
+        file: str = "",
     ) -> FunctionSig:
         from ..cfront.ctypes import fun_con
 
-        param_cells = [self.cell_for_type(p.type, p.line or line) for p in params]
-        ret_cell = self.cell_for_type(ret, line)
+        param_cells = [
+            self.cell_for_type(
+                p.type, p.line or line, p.col or col, p.file or file
+            )
+            for p in params
+        ]
+        ret_cell = self.cell_for_type(ret, line, col, file)
         shape_args = tuple(c.rvalue for c in param_cells) + (ret_cell.rvalue,)
         fun_qtype = QType(fresh_qual_var(), QCon(fun_con(len(param_cells)), shape_args))
         sig = FunctionSig(name, param_cells, ret_cell, fun_qtype, varargs, defined)
@@ -373,16 +413,18 @@ class ConstInference:
                         )
                     )
         else:
-            self.apply_library_bounds(sig, line)
+            self.apply_library_bounds(sig, line, col, file)
         return sig
 
-    def apply_library_bounds(self, sig: FunctionSig, line: int) -> None:
+    def apply_library_bounds(
+        self, sig: FunctionSig, line: int, col: int = 0, file: str = ""
+    ) -> None:
         """Section 4.2's conservative treatment of undefined functions:
         any pointer-level parameter position not declared const is pinned
         non-const (the library might write through it)."""
         if not self.conservative_libraries:
             return
-        origin = self.origin(f"library function {sig.name}", line)
+        origin = self.origin(f"library function {sig.name}", line, col, file)
         for cell in sig.params:
             for level in cell.levels:
                 if level.depth >= 1 and not level.declared_const:
@@ -392,7 +434,14 @@ class ConstInference:
         sig = self.signatures.get(fdef.name)
         if sig is None:
             sig = self.make_signature(
-                fdef.name, fdef.ret, fdef.params, fdef.varargs, True, fdef.line
+                fdef.name,
+                fdef.ret,
+                fdef.params,
+                fdef.varargs,
+                True,
+                fdef.line,
+                fdef.col,
+                fdef.file,
             )
         return sig
 
@@ -400,7 +449,14 @@ class ConstInference:
         sig = self.signatures.get(decl.name)
         if sig is None:
             sig = self.make_signature(
-                decl.name, decl.ret, decl.params, decl.varargs, False, decl.line
+                decl.name,
+                decl.ret,
+                decl.params,
+                decl.varargs,
+                False,
+                decl.line,
+                decl.col,
+                decl.file,
             )
         return sig
 
@@ -444,12 +500,14 @@ class ConstInference:
             case Unary(op="*", operand=inner, postfix=False):
                 rv = self.rvalue(inner, scope)
                 if rv.constructor is REF:
+                    self.note_deref(rv, e)
                     return rv
                 return self.fresh_cell()
             case Index(base=b, index=i):
                 rv = self.rvalue(b, scope)
                 self.rvalue(i, scope)
                 if rv.constructor is REF:
+                    self.note_deref(rv, e)
                     return rv
                 return self.fresh_cell()
             case Member(base=b, field_name=f, arrow=arrow):
@@ -459,7 +517,7 @@ class ConstInference:
                 return self.field_cell(tag, f).qtype
             case Cast(operand=inner, target_type=t):
                 self.rvalue(inner, scope)
-                cell = self.cell_for_type(CPointer(t), e.line)
+                cell = self.cell_for_type(CPointer(t), e.line, e.col)
                 # Cell of the cast result: sever the association.
                 return cell.rvalue if cell.rvalue.constructor is REF else self.fresh_cell()
             case Comma(left=left, right=right):
@@ -481,6 +539,7 @@ class ConstInference:
         if arrow:
             rv = self.rvalue(base, scope)
             if rv.constructor is REF:
+                self.note_deref(rv, base)
                 rv = rv.args[0]
         else:
             cell = self.lvalue(base, scope)
@@ -492,9 +551,15 @@ class ConstInference:
             return con.name.split(" ", 1)[1]
         return None
 
-    def write_through(self, cell: QType, line: int, reason: str) -> None:
+    def note_deref(self, value: QType, e: CExpr) -> None:
+        """Hook: a REF-shaped value is being dereferenced at ``e``.
+
+        The base analysis does nothing; the qlint checker overrides this
+        to record deref sites for the nonnull-deref check."""
+
+    def write_through(self, cell: QType, e: CExpr, reason: str) -> None:
         """(Assign'): the cell written through must not be const."""
-        self.emit(cell.qual, self.not_const, self.origin(reason, line))
+        self.emit(cell.qual, self.not_const, self.origin(reason, e.line, e.col))
 
     def rvalue(self, e: CExpr, scope: dict[str, TranslatedType]) -> QType:
         match e:
@@ -505,7 +570,7 @@ class ConstInference:
                 # Pointer to char cells whose constness stays free: ANSI
                 # leaves writes to string literals undefined, and pinning
                 # them const would reject common (if dubious) C.
-                cell = self.cell_for_type(CPointer(CBase("char")), e.line)
+                cell = self.cell_for_type(CPointer(CBase("char")), e.line, e.col)
                 return cell.rvalue
 
             case Ident(name=n):
@@ -533,13 +598,13 @@ class ConstInference:
             case Unary(op="++" | "--", operand=inner):
                 cell = self.lvalue(inner, scope)
                 if cell.constructor is REF:
-                    self.write_through(cell, e.line, f"{e.op} writes its operand")
+                    self.write_through(cell, e, f"{e.op} writes its operand")
                     return cell.args[0]
                 return self.fresh_scalar()
 
             case Unary(operand=inner):  # - + ~ ! sizeof-expr
-                self.rvalue(inner, scope)
-                return self.fresh_scalar()
+                operand = self.rvalue(inner, scope)
+                return self.scalar_result((operand,), e)
 
             case Binary(op=op, left=left, right=right):
                 lv = self.rvalue(left, scope)
@@ -551,15 +616,15 @@ class ConstInference:
                         return lv
                     if right_ptr and not left_ptr:
                         return rv
-                return self.fresh_scalar()
+                return self.scalar_result((lv, rv), e)
 
             case Assignment(op=op, target=target, value=value):
                 cell = self.lvalue(target, scope)
                 rv = self.rvalue(value, scope)
                 if cell.constructor is REF:
-                    self.write_through(cell, e.line, "assignment target")
+                    self.write_through(cell, e, "assignment target")
                     if op == "=":
-                        self.flow(rv, cell.args[0], self.origin("assignment", e.line))
+                        self.flow(rv, cell.args[0], self.origin("assignment", e.line, e.col))
                     return cell.args[0]
                 return self.fresh_scalar()
 
@@ -569,16 +634,16 @@ class ConstInference:
                 b = self.rvalue(o, scope)
                 if a.constructor is REF and b.constructor is REF:
                     # Both arms may be the result: alias both ways.
-                    self.flow(b, a, self.origin("conditional merge", e.line))
+                    self.flow(b, a, self.origin("conditional merge", e.line, e.col))
                     return a
                 if a.constructor is REF:
                     return a
                 if b.constructor is REF:
                     return b
-                return self.fresh_scalar()
+                return self.scalar_result((a, b), e)
 
             case Call(func=f, args=args):
-                return self._call(f, args, scope, e.line)
+                return self._call(f, args, scope, e.line, e.col)
 
             case Member() | Index():
                 cell = self.lvalue(e, scope)
@@ -588,7 +653,7 @@ class ConstInference:
                 self.rvalue(inner, scope)
                 # "For explicit casts we choose to lose any association
                 # between the value being cast and the resulting type."
-                return self.cell_for_type(t, e.line).rvalue
+                return self.cell_for_type(t, e.line, e.col).rvalue
 
             case Comma(left=left, right=right):
                 self.rvalue(left, scope)
@@ -608,6 +673,7 @@ class ConstInference:
         args: tuple[CExpr, ...],
         scope: dict[str, TranslatedType],
         line: int,
+        col: int = 0,
     ) -> QType:
         callee: Optional[QType] = None
         unknown_name: Optional[str] = None
@@ -628,14 +694,14 @@ class ConstInference:
                 *param_types, ret_type = callee.args
                 for arg_type, param_type in zip(arg_types, param_types):
                     # Surplus arguments (varargs or miscalls) are ignored.
-                    self.flow(arg_type, param_type, self.origin("call argument", line))
+                    self.flow(arg_type, param_type, self.origin("call argument", line, col))
                 return ret_type
 
         # Unknown callee (implicitly declared function): maximally
         # conservative — every pointer level of every argument may be
         # written through by the callee.
         origin = self.origin(
-            f"call to unknown function {unknown_name or '<expr>'}", line
+            f"call to unknown function {unknown_name or '<expr>'}", line, col
         )
         for arg_type in arg_types:
             self._pin_pointer_levels(arg_type, origin)
@@ -654,6 +720,7 @@ class ConstInference:
     # Statement analysis
     # ------------------------------------------------------------------
     def analyze_function(self, fdef: FuncDef) -> None:
+        self._current_file = fdef.file
         sig = self.signature_for(fdef)
         scope: dict[str, TranslatedType] = {}
         for decl, cell in zip(fdef.params, sig.params):
@@ -666,6 +733,7 @@ class ConstInference:
         for name, decl in self.program.globals.items():
             if decl.init is None:
                 continue
+            self._current_file = decl.file
             cell = self.global_cell(name)
             assert cell is not None
             if isinstance(decl.init, InitList):
@@ -674,7 +742,7 @@ class ConstInference:
                 continue
             rv = self.rvalue(decl.init, {})
             self.flow(
-                rv, cell.qtype.args[0], self.origin(f"initializer of {name}", decl.line)
+                rv, cell.qtype.args[0], self.origin(f"initializer of {name}", decl.line, decl.col, decl.file)
             )
 
     def _stmt(self, s: CStmt, scope: dict[str, TranslatedType], sig: FunctionSig) -> None:
@@ -685,7 +753,9 @@ class ConstInference:
                     self._stmt(child, inner, sig)
             case DeclStmt(decls=decls):
                 for decl in decls:
-                    cell = self.cell_for_type(decl.type, decl.line)
+                    cell = self.cell_for_type(
+                        decl.type, decl.line, decl.col, decl.file
+                    )
                     scope[decl.name] = cell
                     if decl.init is None:
                         continue
@@ -697,7 +767,7 @@ class ConstInference:
                     self.flow(
                         rv,
                         cell.qtype.args[0],
-                        self.origin(f"initializer of {decl.name}", decl.line),
+                        self.origin(f"initializer of {decl.name}", decl.line, decl.col, decl.file),
                     )
             case ExprStmt(expr=e):
                 self.rvalue(e, scope)
@@ -726,7 +796,7 @@ class ConstInference:
             case ReturnStmt(value=v):
                 if v is not None:
                     rv = self.rvalue(v, scope)
-                    self.flow(rv, sig.ret_rvalue, self.origin("return value", s.line))
+                    self.flow(rv, sig.ret_rvalue, self.origin("return value", s.line, s.col))
             case SwitchStmt(value=v, body=b):
                 self.rvalue(v, scope)
                 self._stmt(b, dict(scope), sig)

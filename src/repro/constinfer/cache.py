@@ -54,8 +54,9 @@ from .engine import (
 #: fingerprint (e.g. when the entry *format* changes shape).
 CACHE_FORMAT_VERSION = 1
 
-#: The packages whose source code determines parse/congen output.
-_FINGERPRINTED_PACKAGES = ("cfront", "constinfer", "qual")
+#: The packages whose source code determines cached output (the checker
+#: stores finished diagnostics, so its code is part of the key too).
+_FINGERPRINTED_PACKAGES = ("cfront", "checker", "constinfer", "qual")
 
 _code_fingerprint_memo: str | None = None
 

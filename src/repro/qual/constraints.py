@@ -39,17 +39,29 @@ class Origin:
     column: int | None = None
 
     def __str__(self) -> str:
-        loc = ""
-        if self.filename is not None:
-            loc = self.filename
-            if self.line is not None:
-                loc += f":{self.line}"
-                if self.column is not None:
-                    loc += f":{self.column}"
-            loc = f" at {loc}"
-        elif self.line is not None:
-            loc = f" at line {self.line}"
-        return f"{self.reason}{loc}"
+        loc = self.location()
+        if loc is not None:
+            return f"{self.reason} at {loc}"
+        if self.line is not None:
+            return f"{self.reason} at line {self.line}"
+        return self.reason
+
+    def location(self) -> str | None:
+        """The clickable ``file:line[:col]`` form, or ``None`` when the
+        origin has no file (pure synthetic constraints)."""
+        if self.filename is None:
+            return None
+        loc = self.filename
+        if self.line is not None:
+            loc += f":{self.line}"
+            if self.column is not None:
+                loc += f":{self.column}"
+        return loc
+
+    @property
+    def has_span(self) -> bool:
+        """True when the origin pins a real source location."""
+        return self.filename is not None and self.line is not None
 
 
 #: Origin used when no better provenance is available.

@@ -672,6 +672,76 @@ def _propagate(
     return values, provenance
 
 
+def shortest_flow_path(
+    constraints: Iterable[QualConstraint],
+    lattice: QualifierLattice,
+    target: QualVar,
+    bound: LatticeElement,
+) -> list[QualConstraint] | None:
+    """Shortest qualifier-flow path explaining why ``target``'s least
+    solution violates the upper bound ``bound``.
+
+    In a product of two-point lattices the least solution decomposes per
+    coordinate, so whenever ``least(target) <= bound`` fails there is a
+    *single* seeding constraint — a constant lower bound ``l <= kappa``
+    with ``not (l <= bound)`` — from which the offending qualifier flows
+    to ``target`` through variable-to-variable edges.  A multi-source BFS
+    from every such seed therefore finds a minimum-length witness:
+    ``[seed, edge, edge, ...]`` ending in a constraint whose right side
+    is ``target`` (or just ``[seed]`` when ``target`` is seeded
+    directly).  Returns ``None`` when no violating seed reaches
+    ``target`` — i.e. the bound is actually satisfied.
+
+    Ties break deterministically by constraint emission order: earlier
+    seeds enter the queue first and the first recorded edge per variable
+    pair wins.
+    """
+    edges: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = {}
+    seen_edges: set[tuple[QualVar, QualVar]] = set()
+    seeds: list[tuple[QualVar, QualConstraint]] = []
+    seeded: set[QualVar] = set()
+
+    for c in constraints:
+        lhs, rhs = c.lhs, c.rhs
+        if isinstance(lhs, QualVar) and isinstance(rhs, QualVar):
+            key = (lhs, rhs)
+            if key not in seen_edges:
+                seen_edges.add(key)
+                edges.setdefault(lhs, []).append((rhs, c))
+        elif isinstance(rhs, QualVar):
+            elem = _as_element(lhs)
+            if elem is not None and rhs not in seeded and not lattice.leq(elem, bound):
+                seeded.add(rhs)
+                seeds.append((rhs, c))
+
+    parent: dict[QualVar, tuple[QualVar | None, QualConstraint]] = {}
+    queue: deque[QualVar] = deque()
+    for var, seed in seeds:
+        if var not in parent:
+            parent[var] = (None, seed)
+            queue.append(var)
+
+    while queue:
+        v = queue.popleft()
+        if v == target:
+            break
+        for w, constraint in edges.get(v, ()):
+            if w not in parent:
+                parent[w] = (v, constraint)
+                queue.append(w)
+
+    if target not in parent:
+        return None
+    path: list[QualConstraint] = []
+    cursor: QualVar | None = target
+    while cursor is not None:
+        prev, constraint = parent[cursor]
+        path.append(constraint)
+        cursor = prev
+    path.reverse()
+    return path
+
+
 def solve_reference(
     constraints: Iterable[QualConstraint],
     lattice: QualifierLattice,

@@ -1,0 +1,117 @@
+"""Unit tests for the Table 2 casts-away-const classifier
+(:mod:`repro.cfront.cast`): value casts, const-preserving and
+const-adding pointer casts, nested pointers, and function pointers."""
+
+from repro.cfront.cast import CastClass, casts_away_const, classify_cast
+from repro.cfront.ctypes import CArray, CBase, CFunc, CPointer
+
+CONST = frozenset({"const"})
+
+INT = CBase("int")
+CHAR = CBase("char")
+CONST_CHAR = CBase("char", CONST)
+CHAR_P = CPointer(CHAR)
+CONST_CHAR_P = CPointer(CONST_CHAR)
+
+
+class TestValueCasts:
+    def test_scalar_to_scalar(self):
+        assert classify_cast(INT, CBase("long")) is CastClass.VALUE
+
+    def test_pointer_to_int(self):
+        assert classify_cast(CONST_CHAR_P, INT) is CastClass.VALUE
+
+    def test_int_to_pointer(self):
+        assert classify_cast(INT, CHAR_P) is CastClass.VALUE
+
+
+class TestSingleLevel:
+    def test_same_type_preserves(self):
+        assert classify_cast(CHAR_P, CHAR_P) is CastClass.PRESERVES
+
+    def test_const_both_sides_preserves(self):
+        assert classify_cast(CONST_CHAR_P, CONST_CHAR_P) is CastClass.PRESERVES
+
+    def test_adding_const_is_safe(self):
+        assert classify_cast(CHAR_P, CONST_CHAR_P) is CastClass.ADDS_CONST
+        assert not casts_away_const(CHAR_P, CONST_CHAR_P)
+
+    def test_dropping_const_flags(self):
+        assert classify_cast(CONST_CHAR_P, CHAR_P) is CastClass.AWAY_CONST
+        assert casts_away_const(CONST_CHAR_P, CHAR_P)
+
+    def test_cross_base_still_away(self):
+        # (int *) of a const char * still drops the protection.
+        assert casts_away_const(CONST_CHAR_P, CPointer(INT))
+
+    def test_top_level_const_is_not_referenced(self):
+        # const on the pointer itself (char * const) protects the
+        # pointer cell, not a referenced type; dropping it is fine.
+        const_ptr = CPointer(CHAR, CONST)
+        assert classify_cast(const_ptr, CHAR_P) is CastClass.PRESERVES
+
+
+class TestNestedPointers:
+    def test_deep_drop_detected(self):
+        # const char ** -> char **
+        src = CPointer(CONST_CHAR_P)
+        dst = CPointer(CHAR_P)
+        assert casts_away_const(src, dst)
+
+    def test_middle_level_drop_detected(self):
+        # char * const * -> char **
+        src = CPointer(CPointer(CHAR, CONST))
+        dst = CPointer(CHAR_P)
+        assert casts_away_const(src, dst)
+
+    def test_deep_add_is_safe(self):
+        assert (
+            classify_cast(CPointer(CHAR_P), CPointer(CONST_CHAR_P))
+            is CastClass.ADDS_CONST
+        )
+
+    def test_mixed_add_and_drop_reports_drop(self):
+        # dropping at one level dominates adding at another
+        src = CPointer(CONST_CHAR_P)  # const char **
+        dst = CPointer(CPointer(CHAR, CONST))  # char * const *
+        assert casts_away_const(src, dst)
+
+    def test_unmatched_depth_ignored(self):
+        # only matched levels compare: char ** -> char * is a value-ish
+        # reinterpretation, nothing const-related
+        assert not casts_away_const(CPointer(CHAR_P), CHAR_P)
+
+
+class TestArraysDecay:
+    def test_const_array_to_pointer(self):
+        src = CArray(CONST_CHAR, 8)
+        assert casts_away_const(src, CHAR_P)
+
+    def test_array_of_const_pointers(self):
+        src = CArray(CONST_CHAR_P, None)
+        dst = CPointer(CHAR_P)
+        assert casts_away_const(src, dst)
+
+
+class TestFunctionPointers:
+    def test_param_const_dropped(self):
+        # void (*)(const char *) -> void (*)(char *)
+        src = CPointer(CFunc(CBase("void"), (CONST_CHAR_P,)))
+        dst = CPointer(CFunc(CBase("void"), (CHAR_P,)))
+        assert casts_away_const(src, dst)
+
+    def test_return_const_dropped(self):
+        # const char *(*)(void) -> char *(*)(void)
+        src = CPointer(CFunc(CONST_CHAR_P, ()))
+        dst = CPointer(CFunc(CHAR_P, ()))
+        assert casts_away_const(src, dst)
+
+    def test_matching_signature_preserves(self):
+        src = CPointer(CFunc(CBase("void"), (CONST_CHAR_P, INT)))
+        dst = CPointer(CFunc(CBase("void"), (CONST_CHAR_P, INT)))
+        assert classify_cast(src, dst) is CastClass.PRESERVES
+
+    def test_param_const_added_is_safe(self):
+        src = CPointer(CFunc(CBase("void"), (CHAR_P,)))
+        dst = CPointer(CFunc(CBase("void"), (CONST_CHAR_P,)))
+        assert not casts_away_const(src, dst)

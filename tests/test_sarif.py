@@ -1,0 +1,247 @@
+"""SARIF 2.1.0 conformance tests for the qlint renderer.
+
+The full OASIS schema is several thousand lines and the test
+environment has no network access, so ``SARIF_SUBSET_SCHEMA`` embeds
+the slice of the 2.1.0 schema that qlint output exercises — versions,
+runs, tool/driver/rules, results with locations, codeFlows, and
+suppressions — with ``additionalProperties`` left open exactly as the
+real schema leaves it.  Structural assertions below cover the parts a
+schema cannot (cross-references like ruleIndex, fingerprint values).
+"""
+
+import json
+
+import pytest
+
+from repro.checker import assign_fingerprints, check_source, render_sarif
+from repro.checker.render import QLINT_VERSION
+
+jsonschema = pytest.importorskip("jsonschema")
+
+# Subset of
+# https://json.schemastore.org/sarif-2.1.0.json
+# restricted to the object shapes qlint emits.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {"type": "string"}
+                                                    },
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {"$ref": "#/$defs/result"},
+                    },
+                },
+            },
+        },
+    },
+    "$defs": {
+        "message": {
+            "type": "object",
+            "required": ["text"],
+            "properties": {"text": {"type": "string"}},
+        },
+        "location": {
+            "type": "object",
+            "properties": {
+                "physicalLocation": {
+                    "type": "object",
+                    "properties": {
+                        "artifactLocation": {
+                            "type": "object",
+                            "properties": {"uri": {"type": "string"}},
+                        },
+                        "region": {
+                            "type": "object",
+                            "properties": {
+                                "startLine": {"type": "integer", "minimum": 1},
+                                "startColumn": {"type": "integer", "minimum": 1},
+                            },
+                        },
+                    },
+                }
+            },
+        },
+        "threadFlowLocation": {
+            "type": "object",
+            "properties": {
+                "location": {
+                    "allOf": [
+                        {"$ref": "#/$defs/location"},
+                        {
+                            "type": "object",
+                            "properties": {
+                                "message": {"$ref": "#/$defs/message"}
+                            },
+                        },
+                    ]
+                }
+            },
+        },
+        "result": {
+            "type": "object",
+            "required": ["ruleId", "message"],
+            "properties": {
+                "ruleId": {"type": "string"},
+                "ruleIndex": {"type": "integer", "minimum": 0},
+                "level": {"enum": ["none", "note", "warning", "error"]},
+                "message": {"$ref": "#/$defs/message"},
+                "locations": {
+                    "type": "array",
+                    "items": {"$ref": "#/$defs/location"},
+                },
+                "partialFingerprints": {
+                    "type": "object",
+                    "additionalProperties": {"type": "string"},
+                },
+                "codeFlows": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["threadFlows"],
+                        "properties": {
+                            "threadFlows": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["locations"],
+                                    "properties": {
+                                        "locations": {
+                                            "type": "array",
+                                            "items": {
+                                                "$ref": "#/$defs/threadFlowLocation"
+                                            },
+                                        }
+                                    },
+                                },
+                            }
+                        },
+                    },
+                },
+                "suppressions": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["kind"],
+                        "properties": {
+                            "kind": {"enum": ["inSource", "external"]}
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+SOURCE = """\
+char *getenv(const char *n);
+int printf(const char *f, ...);
+void *malloc(unsigned long n);
+int main(void) {
+    char *name = getenv("USER");
+    printf(name);
+    int *slot = malloc(8);
+    /* qlint: allow(nonnull-deref) */
+    *slot = 1;
+    return 0;
+}
+"""
+
+
+def sarif_log():
+    from repro.checker import apply_suppressions
+
+    diags = check_source(SOURCE, filename="demo.c")
+    diags = assign_fingerprints(diags, {"demo.c": SOURCE})
+    diags = apply_suppressions(diags, {"demo.c": SOURCE})
+    return json.loads(render_sarif(diags))
+
+
+def test_output_validates_against_schema():
+    jsonschema.validate(sarif_log(), SARIF_SUBSET_SCHEMA)
+
+
+def test_empty_run_validates():
+    jsonschema.validate(json.loads(render_sarif([])), SARIF_SUBSET_SCHEMA)
+
+
+def test_rule_indices_point_at_matching_rules():
+    log = sarif_log()
+    run = log["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    assert run["tool"]["driver"]["name"] == "qlint"
+    assert run["tool"]["driver"]["version"] == QLINT_VERSION
+    assert run["results"]
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_taint_result_carries_code_flow_and_fingerprint():
+    run = sarif_log()["runs"][0]
+    [taint] = [r for r in run["results"] if r["ruleId"] == "tainted-format"]
+    assert taint["level"] == "error"
+    assert taint["partialFingerprints"]["qlint/v1"]
+    steps = taint["codeFlows"][0]["threadFlows"][0]["locations"]
+    assert len(steps) >= 2
+    first = steps[0]["location"]
+    assert first["message"]["text"] == "tainted source getenv"
+    assert first["physicalLocation"]["artifactLocation"]["uri"] == "demo.c"
+
+
+def test_suppressed_result_marked_in_source():
+    run = sarif_log()["runs"][0]
+    [deref] = [r for r in run["results"] if r["ruleId"] == "nonnull-deref"]
+    assert deref["suppressions"] == [{"kind": "inSource"}]
+    [taint] = [r for r in run["results"] if r["ruleId"] == "tainted-format"]
+    assert "suppressions" not in taint
