@@ -1,0 +1,16 @@
+/* The dispatch layer: handlers are called only through a function
+ * pointer stored by main.c, so the cross-TU call graph must resolve
+ * the indirect call (address-taken + type-compatible) to schedule
+ * these functions.  BUG: shell_handler sends a tainted locale string
+ * to system() — reachable only through the pointer table. */
+int system(const char *command);
+extern char *read_locale(void);
+
+int quiet_handler(char *arg) {
+    return 0;
+}
+
+int shell_handler(char *arg) {
+    char *locale = read_locale();
+    return system(locale);  /* BUG: tainted shell command from input.c */
+}

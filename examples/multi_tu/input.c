@@ -1,0 +1,20 @@
+/* The input layer: everything this unit exports carries environment
+ * data.  The taint is introduced HERE, but the sinks live in other
+ * translation units — per-file analysis sees nothing wrong with either
+ * side.  Whole-program linking must connect them. */
+char *getenv(const char *name);
+
+/* TU-private scratch: a second `cached` also exists in report.c; the
+ * linker keeps them separate (internal linkage). */
+static char *cached;
+
+char *read_user_name(void) {
+    if (!cached) {
+        cached = getenv("USER");
+    }
+    return cached;
+}
+
+char *read_locale(void) {
+    return getenv("LANG");
+}

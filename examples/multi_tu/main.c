@@ -1,0 +1,28 @@
+/* The driver: wires the handler table and exercises every layer.
+ * Also plants one syntactic casts-away-const bug so the corpus covers
+ * a non-flow check in whole-program mode. */
+unsigned long strlen(const char *s);
+extern void print_banner(void);
+extern int quiet_handler(char *arg);
+extern int shell_handler(char *arg);
+
+static const char motd[] = "message of the day";
+
+int (*handler)(char *arg);
+
+static int run_handler(char *arg) {
+    return handler(arg);
+}
+
+unsigned long scribble(void) {
+    char *p = (char *)motd;  /* BUG: casts away const */
+    p[0] = 'M';
+    return strlen(motd);
+}
+
+int main(void) {
+    print_banner();
+    handler = quiet_handler;
+    handler = shell_handler;
+    return run_handler("now");
+}

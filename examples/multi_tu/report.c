@@ -1,0 +1,22 @@
+/* The reporting layer: calls into input.c through extern declarations
+ * and prints what it gets.  BUG: read_user_name() returns tainted
+ * environment data, and it reaches printf's format-string argument —
+ * a cross-TU tainted-format violation whose flow path spans input.c
+ * and report.c. */
+int printf(const char *fmt, ...);
+extern char *read_user_name(void);
+
+/* TU-private `cached`, distinct from input.c's static of the same name. */
+static char *cached;
+
+static char *remembered_name(void) {
+    if (!cached) {
+        cached = read_user_name();
+    }
+    return cached;
+}
+
+void print_banner(void) {
+    char *name = remembered_name();
+    printf(name);  /* BUG: tainted format string from another TU */
+}

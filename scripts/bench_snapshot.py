@@ -104,6 +104,7 @@ def measure() -> dict:
 
     entry["suite_ms"] = measure_suite()
     entry["checker"] = measure_checker()
+    entry["whole_program"] = measure_whole()
     return entry
 
 
@@ -137,6 +138,40 @@ def measure_checker() -> dict:
     out["warm_ms"] = round(best * 1000, 2)
     out["cold_files_per_sec"] = round(len(files) / cold_seconds, 1)
     out["warm_files_per_sec"] = round(len(files) / best, 1)
+    return out
+
+
+def measure_whole() -> dict:
+    """Whole-program link-and-infer over the multi-TU corpus, cold vs
+    warm per-TU summary cache (warm re-links cached ``forall k. rho\\C``
+    schemes and goes straight to the solve)."""
+    from repro.whole import link_paths, run_whole_poly
+
+    corpus = REPO / "examples" / "multi_tu"
+    units = sorted(corpus.glob("*.c"))
+    out: dict = {"corpus_units": len(units)}
+
+    from repro.constinfer.cache import AnalysisCache
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = AnalysisCache(cache_dir)
+        start = time.perf_counter()
+        cold = run_whole_poly(link_paths([corpus]), cache=cache)
+        cold_seconds = time.perf_counter() - start
+        assert cold.summary_hits == 0, "cold link unexpectedly hit the cache"
+
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            warm = run_whole_poly(link_paths([corpus]), cache=cache)
+            best = min(best, time.perf_counter() - start)
+        assert warm.summary_misses == 0, "warm re-link did not hit the cache"
+        assert [str(c) for c in warm.run.inference.constraints] == [
+            str(c) for c in cold.run.inference.constraints
+        ], "warm constraints differ from cold"
+
+    out["cold_link_ms"] = round(cold_seconds * 1000, 2)
+    out["warm_link_ms"] = round(best * 1000, 2)
     return out
 
 

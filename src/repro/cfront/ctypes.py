@@ -41,6 +41,7 @@ from ..qual.qtypes import (
     TypeConstructor,
     Variance,
     fresh_qual_var,
+    intern_constructor,
 )
 
 
@@ -196,19 +197,9 @@ def pointer_levels(t: CType) -> Iterator[CType]:
 # Qualified-type constructors for C shapes
 # ---------------------------------------------------------------------------
 
-_BASE_CONS: dict[str, TypeConstructor] = {}
-
-
 def base_con(name: str) -> TypeConstructor:
     """A nullary constructor for an opaque C base shape (interned)."""
-    con = _BASE_CONS.get(name)
-    if con is None:
-        con = TypeConstructor(name, ())
-        _BASE_CONS[name] = con
-    return con
-
-
-_FUN_CONS: dict[int, TypeConstructor] = {}
+    return intern_constructor(name, ())
 
 
 def fun_con(arity: int) -> TypeConstructor:
@@ -217,12 +208,8 @@ def fun_con(arity: int) -> TypeConstructor:
     Parameters are contravariant, the result covariant — the (SubFun)
     rule generalised to n-ary functions.
     """
-    con = _FUN_CONS.get(arity)
-    if con is None:
-        variances = tuple([Variance.CONTRAVARIANT] * arity) + (Variance.COVARIANT,)
-        con = TypeConstructor(f"cfun{arity}", variances)
-        _FUN_CONS[arity] = con
-    return con
+    variances = tuple([Variance.CONTRAVARIANT] * arity) + (Variance.COVARIANT,)
+    return intern_constructor(f"cfun{arity}", variances)
 
 
 @dataclass

@@ -256,3 +256,50 @@ def occurring_names(fdef: FuncDef) -> set[str]:
         if isinstance(expr, Ident):
             names.add(expr.name)
     return names
+
+
+def direct_callees(fdef: FuncDef) -> set[str]:
+    """Names called directly (``f(...)`` with ``f`` a plain identifier)."""
+    names: set[str] = set()
+    for expr in expressions_of(fdef.body):
+        if isinstance(expr, Call) and isinstance(expr.func, Ident):
+            names.add(expr.func.name)
+    return names
+
+
+def address_taken_names(fdef: FuncDef) -> set[str]:
+    """Identifiers occurring *outside* the direct-callee position of a
+    call — the conservative "address taken" set for function-pointer
+    resolution (assignment, argument passing, explicit ``&f``, ...).
+
+    C decays a function name to a pointer in every context except a
+    direct call, so any non-callee occurrence is a potential capture.
+    The AST is a tree, so node identity distinguishes the same name
+    used both as callee and as a value.
+    """
+    callee_idents: set[int] = set()
+    for expr in expressions_of(fdef.body):
+        if isinstance(expr, Call) and isinstance(expr.func, Ident):
+            callee_idents.add(id(expr.func))
+    names: set[str] = set()
+    for expr in expressions_of(fdef.body):
+        if isinstance(expr, Ident) and id(expr) not in callee_idents:
+            names.add(expr.name)
+    return names
+
+
+def indirect_call_sites(fdef: FuncDef, function_names: set[str]) -> list[Call]:
+    """Call expressions whose callee is not a known function name —
+    calls through function-pointer values needing resolution.
+
+    ``function_names`` should cover defined functions and prototypes;
+    a callee Ident outside that set is a function-pointer variable.
+    """
+    sites: list[Call] = []
+    for expr in expressions_of(fdef.body):
+        if not isinstance(expr, Call):
+            continue
+        if isinstance(expr.func, Ident) and expr.func.name in function_names:
+            continue
+        sites.append(expr)
+    return sites

@@ -31,9 +31,14 @@ from .diagnostics import (
     apply_suppressions,
     assign_fingerprints,
 )
-from .engine import check_lambda_source, check_program, check_source
+from .engine import (
+    check_lambda_source,
+    check_linked_program,
+    check_program,
+    check_source,
+)
 from .render import render_diagnostics, render_human, render_json, render_sarif
-from .runner import CheckerReport, check_paths
+from .runner import CheckerReport, check_paths, check_whole_program
 
 __all__ = [
     "ALL_CHECKS",
@@ -50,9 +55,11 @@ __all__ = [
     "assign_fingerprints",
     "check_by_name",
     "check_lambda_source",
+    "check_linked_program",
     "check_paths",
     "check_program",
     "check_source",
+    "check_whole_program",
     "render_diagnostics",
     "render_human",
     "render_json",

@@ -201,6 +201,22 @@ ALL_CHECKS: tuple[QualifierCheck, ...] = (
 DEFAULT_CHECKS: tuple[QualifierCheck, ...] = ALL_CHECKS
 
 
+def config_digest(check_names: tuple[str, ...]) -> str:
+    """Digest of the active check *configuration*: the enabled names in
+    order plus every enabled check's full rule set (sources, sinks,
+    severities, message templates).  Cached diagnostics key on this, so
+    editing a rule — adding a sink, changing a severity — invalidates
+    warm results even though the source text and check names are
+    unchanged.  ``QualifierCheck`` is pure frozen data, so its ``repr``
+    is a faithful, deterministic serialization."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name in check_names:
+        digest.update(f"{name}\n{check_by_name(name)!r}\n".encode())
+    return digest.hexdigest()
+
+
 def check_by_name(name: str) -> QualifierCheck:
     for check in ALL_CHECKS:
         if check.name == name:

@@ -16,7 +16,7 @@ from pathlib import Path
 from .checks import ALL_CHECKS, DEFAULT_CHECKS
 from .diagnostics import Baseline
 from .render import render_diagnostics
-from .runner import check_paths
+from .runner import check_paths, check_whole_program
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include suppressed findings in human output",
     )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="link every unit into one program before checking, so "
+        "qualifier flows (and flow paths) cross translation units",
+    )
+    parser.add_argument(
+        "--src-root",
+        default=None,
+        help="emit SARIF artifact URIs relative to this directory "
+        "(declared as the SRCROOT uriBase)",
+    )
     return parser
 
 
@@ -74,7 +86,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.baseline is not None:
         baseline = Baseline.load(args.baseline)
 
-    report = check_paths(
+    entry = check_whole_program if args.whole_program else check_paths
+    report = entry(
         args.paths,
         checks=check_names,
         jobs=args.jobs,
@@ -99,6 +112,7 @@ def main(argv: list[str] | None = None) -> int:
         format=args.format,
         sources=sources,
         show_suppressed=args.show_suppressed,
+        src_root=args.src_root,
     )
     if args.output is not None:
         Path(args.output).write_text(rendered, encoding="utf-8")

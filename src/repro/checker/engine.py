@@ -473,6 +473,32 @@ def check_source(
     return check_program(program, checks)
 
 
+def check_linked_program(
+    linked, checks: tuple[QualifierCheck, ...] = DEFAULT_CHECKS
+) -> list[Diagnostic]:
+    """Run the checks over a whole linked program
+    (:class:`repro.whole.linker.LinkedProgram`).
+
+    Linker-level findings (conflicting qualified types across units,
+    multiple definitions) come first as ``link-*`` diagnostics; then the
+    ordinary checks run over the merged program, so qualifier flows that
+    cross translation units — a tainted value returned by one file's
+    function and printed by another's — surface with flow paths spanning
+    both files (every constraint origin carries its own filename)."""
+    diagnostics = [
+        Diagnostic(
+            check=f"link-{link_diag.kind}",
+            qualifier="linkage",
+            severity="error",
+            message=link_diag.message,
+            span=Span(link_diag.file, link_diag.line, link_diag.column),
+        )
+        for link_diag in linked.diagnostics
+    ]
+    diagnostics.extend(check_program(linked.program, checks))
+    return sorted(diagnostics, key=_sort_key)
+
+
 # ---------------------------------------------------------------------------
 # Lambda-language adapter
 # ---------------------------------------------------------------------------

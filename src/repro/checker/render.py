@@ -8,6 +8,7 @@ runner can emit any format from one analysis pass.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import Iterable, Mapping
 
 from .checks import ALL_CHECKS
@@ -90,13 +91,33 @@ def render_json(diagnostics: Iterable[Diagnostic]) -> str:
 _SARIF_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
 
 
-def _sarif_location(span: Span, note: str | None = None) -> dict:
+def _relative_uri(file: str, src_root: str | None) -> tuple[str, bool]:
+    """(uri, is_relative): the file as a URI under ``src_root`` when it
+    lies inside it, else the file unchanged.  SARIF URIs always use
+    forward slashes."""
+    if src_root is not None:
+        try:
+            relative = Path(file).resolve().relative_to(Path(src_root).resolve())
+        except (ValueError, OSError):
+            pass
+        else:
+            return relative.as_posix(), True
+    return Path(file).as_posix(), False
+
+
+def _sarif_location(
+    span: Span, note: str | None = None, src_root: str | None = None
+) -> dict:
     region: dict = {"startLine": span.line}
     if span.column > 0:
         region["startColumn"] = span.column
+    uri, is_relative = _relative_uri(span.file, src_root)
+    artifact: dict = {"uri": uri}
+    if is_relative:
+        artifact["uriBaseId"] = "SRCROOT"
     location: dict = {
         "physicalLocation": {
-            "artifactLocation": {"uri": span.file},
+            "artifactLocation": artifact,
             "region": region,
         }
     }
@@ -126,10 +147,18 @@ def _sarif_rules(diagnostics: list[Diagnostic]) -> list[dict]:
     return rules
 
 
-def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
+def render_sarif(
+    diagnostics: Iterable[Diagnostic], src_root: str | None = None
+) -> str:
     """A SARIF 2.1.0 log: one run, one result per diagnostic, the
     qualifier-flow trace as a codeFlow/threadFlow, fingerprints under
-    ``partialFingerprints``, suppressions as kind ``inSource``."""
+    ``partialFingerprints``, suppressions as kind ``inSource``.
+
+    With ``src_root``, artifact URIs for files under it are emitted
+    repo-relative against a ``SRCROOT`` uriBase (declared in the run's
+    ``originalUriBaseIds``), so logs are machine-portable: the same
+    checkout analysed at two absolute paths produces byte-identical
+    SARIF."""
     diagnostics = list(diagnostics)
     rules = _sarif_rules(diagnostics)
     rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
@@ -143,11 +172,11 @@ def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
             "message": {"text": diag.message},
         }
         if diag.span.is_valid:
-            result["locations"] = [_sarif_location(diag.span)]
+            result["locations"] = [_sarif_location(diag.span, src_root=src_root)]
         if diag.fingerprint:
             result["partialFingerprints"] = {"qlint/v1": diag.fingerprint}
         flow_locations = [
-            {"location": _sarif_location(step.span, step.note)}
+            {"location": _sarif_location(step.span, step.note, src_root=src_root)}
             for step in diag.flow
             if step.span.is_valid
         ]
@@ -159,22 +188,26 @@ def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
             result["suppressions"] = [{"kind": "inSource"}]
         results.append(result)
 
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "qlint",
+                "version": QLINT_VERSION,
+                "informationUri": "https://example.invalid/qlint",
+                "rules": rules,
+            }
+        },
+        "results": results,
+    }
+    if src_root is not None:
+        uri = Path(src_root).resolve().as_uri()
+        run["originalUriBaseIds"] = {
+            "SRCROOT": {"uri": uri if uri.endswith("/") else uri + "/"}
+        }
     log = {
         "$schema": SARIF_SCHEMA,
         "version": "2.1.0",
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "qlint",
-                        "version": QLINT_VERSION,
-                        "informationUri": "https://example.invalid/qlint",
-                        "rules": rules,
-                    }
-                },
-                "results": results,
-            }
-        ],
+        "runs": [run],
     }
     return json.dumps(log, indent=2) + "\n"
 
@@ -184,11 +217,12 @@ def render_diagnostics(
     format: str = "human",
     sources: Mapping[str, str] | None = None,
     show_suppressed: bool = False,
+    src_root: str | None = None,
 ) -> str:
     if format == "human":
         return render_human(diagnostics, sources, show_suppressed=show_suppressed)
     if format == "json":
         return render_json(diagnostics)
     if format == "sarif":
-        return render_sarif(diagnostics)
+        return render_sarif(diagnostics, src_root=src_root)
     raise ValueError(f"unknown format {format!r} (expected human, json, or sarif)")

@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..constinfer.cache import AnalysisCache
-from .checks import DEFAULT_CHECKS, QualifierCheck, check_by_name
+from .checks import DEFAULT_CHECKS, QualifierCheck, check_by_name, config_digest
 from .diagnostics import (
     Baseline,
     Diagnostic,
@@ -33,6 +33,9 @@ from .diagnostics import (
 
 #: Cache entry kind for finished per-file diagnostic lists.
 CACHE_KIND = "qlint-diagnostics"
+
+#: Cache entry kind for finished whole-program diagnostic lists.
+WHOLE_CACHE_KIND = "qlint-whole"
 
 
 @dataclass
@@ -89,7 +92,13 @@ def discover_files(paths: Iterable[str | Path]) -> list[Path]:
 
 
 def _cache_options(check_names: tuple[str, ...]) -> dict:
-    return {"checks": ",".join(check_names)}
+    """The cache-key options for one run's check configuration: the
+    enabled names *and* a digest of their full rule sets, so editing a
+    check's sources/sinks invalidates cached diagnostics."""
+    return {
+        "checks": ",".join(check_names),
+        "config": config_digest(check_names),
+    }
 
 
 def _check_one(
@@ -166,6 +175,112 @@ def check_paths(
             report.cache_hits += 1
         else:
             report.cache_misses += 1
+
+    if baseline is not None:
+        report.new_findings, report.lost_fingerprints = baseline.compare(
+            report.diagnostics
+        )
+    return report
+
+
+def _parse_one_unit(name_text: tuple[str, str]):
+    """Worker: parse one named source to its translation unit.  Returns
+    (name, unit-or-None, error).  Top-level so it pickles into a pool."""
+    from ..cfront.cparser import parse_c
+
+    name, text = name_text
+    try:
+        return name, parse_c(text, name), None
+    except Exception as exc:
+        return name, None, f"{type(exc).__name__}: {exc}"
+
+
+def check_whole_program(
+    paths: Sequence[str | Path],
+    checks: Sequence[QualifierCheck | str] = DEFAULT_CHECKS,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    baseline: Baseline | None = None,
+) -> CheckerReport:
+    """Link every ``.c`` file reachable from ``paths`` into one program
+    and check it whole, so qualifier flows through ``extern`` symbols
+    and cross-TU calls are visible and flow paths may span files.
+
+    ``jobs`` parallelises the per-TU parse; linking and checking run
+    once over the merged program, and diagnostics are deterministic at
+    any job count.  A file that fails to parse is reported under
+    ``errors`` and linked around (best-effort, like a real linker).
+    Results are memoised whole: the cache key covers every unit's name
+    and text, the enabled check set, and the analyser code fingerprint.
+    """
+    from .engine import check_linked_program
+    from ..whole.linker import link_units
+
+    check_names = tuple(c if isinstance(c, str) else c.name for c in checks)
+    for name in check_names:
+        check_by_name(name)  # fail fast on typos
+    files = discover_files(paths)
+
+    report = CheckerReport(files=[str(f) for f in files])
+    sources: dict[str, str] = {}
+    for path in files:
+        try:
+            sources[str(path)] = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as exc:
+            report.errors[str(path)] = str(exc)
+
+    cache = AnalysisCache(cache_dir) if cache_dir is not None else None
+    key = None
+    if cache is not None:
+        combined = "\x00".join(
+            f"{name}\x01{sources[name]}" for name in sorted(sources)
+        )
+        key = cache.key(
+            WHOLE_CACHE_KIND,
+            source=combined,
+            mode="whole",
+            options=_cache_options(check_names),
+        )
+        cached = cache.get(key)
+        if isinstance(cached, list):
+            report.diagnostics = list(cached)
+            report.cache_hits = 1
+            if baseline is not None:
+                report.new_findings, report.lost_fingerprints = baseline.compare(
+                    report.diagnostics
+                )
+            return report
+
+    items = sorted(sources.items())
+    if jobs > 1 and len(items) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            parsed = list(pool.map(_parse_one_unit, items))
+    else:
+        parsed = [_parse_one_unit(item) for item in items]
+
+    units = []
+    for name, unit, error in parsed:
+        if error is not None:
+            report.errors[name] = error
+        elif unit is not None:
+            units.append(unit)
+
+    try:
+        linked = link_units(units, sources=sources)
+        diagnostics = check_linked_program(
+            linked, tuple(check_by_name(name) for name in check_names)
+        )
+    except Exception as exc:
+        report.errors["<whole-program>"] = f"{type(exc).__name__}: {exc}"
+        report.cache_misses = 1
+        return report
+
+    diagnostics = assign_fingerprints(diagnostics, sources)
+    diagnostics = apply_suppressions(diagnostics, sources)
+    report.diagnostics = diagnostics
+    report.cache_misses = 1
+    if cache is not None and key is not None:
+        cache.put(key, diagnostics)
 
     if baseline is not None:
         report.new_findings, report.lost_fingerprints = baseline.compare(

@@ -56,7 +56,7 @@ CACHE_FORMAT_VERSION = 1
 
 #: The packages whose source code determines cached output (the checker
 #: stores finished diagnostics, so its code is part of the key too).
-_FINGERPRINTED_PACKAGES = ("cfront", "checker", "constinfer", "qual")
+_FINGERPRINTED_PACKAGES = ("cfront", "checker", "constinfer", "qual", "whole")
 
 _code_fingerprint_memo: str | None = None
 

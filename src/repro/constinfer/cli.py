@@ -6,6 +6,7 @@ Usage::
     quals-const table FILE...         # a Table-2 style row for the input
     quals-const annotate FILE         # rewrite with inferred consts
     quals-const suite                 # run the built-in benchmark suite
+    quals-const whole FILE|DIR...     # link units, infer whole-program
 
 The ``suite`` command accepts ``--jobs N`` to fan benchmarks over a
 process pool (and to run the polymorphic engine's wavefront scheduler
@@ -29,6 +30,7 @@ from .results import (
     format_stage_timings,
     format_table1,
     format_table2,
+    format_whole_report,
 )
 
 
@@ -47,7 +49,9 @@ def _load(paths: list[str]) -> tuple[Program, float, int]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="quals-const", description=__doc__)
-    parser.add_argument("command", choices=["report", "table", "annotate", "suite"])
+    parser.add_argument(
+        "command", choices=["report", "table", "annotate", "suite", "whole"]
+    )
     parser.add_argument("files", nargs="*", help="C source files")
     parser.add_argument("--poly", action="store_true", help="use polymorphic inference for report/annotate")
     parser.add_argument(
@@ -61,20 +65,20 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs",
         type=int,
         default=None,
-        help="suite: worker processes for the benchmarks and worker "
-        "threads for the poly engine's wavefront scheduler "
+        help="suite/whole: worker processes for the benchmarks and worker "
+        "threads for the wavefront schedulers (per SCC, or per TU) "
         "(default: serial; results are identical either way)",
     )
     parser.add_argument(
         "--cache-dir",
         default=".quals-cache",
-        help="suite: directory of the content-addressed analysis cache "
+        help="suite/whole: directory of the content-addressed analysis cache "
         "(default: %(default)s)",
     )
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="suite: disable the analysis cache (always parse and "
+        help="suite/whole: disable the analysis cache (always parse and "
         "regenerate constraints)",
     )
     args = parser.parse_args(argv)
@@ -107,6 +111,24 @@ def main(argv: list[str] | None = None) -> int:
     if not args.files:
         print("error: no input files", file=sys.stderr)
         return 2
+
+    if args.command == "whole":
+        from ..whole import link_paths, run_whole_poly
+        from .cache import AnalysisCache
+
+        cache = None if args.no_cache else AnalysisCache(args.cache_dir)
+        linked = link_paths(args.files)
+        try:
+            result = run_whole_poly(linked, jobs=args.jobs or 1, cache=cache)
+        except ConstInferenceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(format_whole_report(result))
+        if args.limit is not None:
+            print()
+            print(format_report(result.run, args.limit))
+        return 1 if linked.diagnostics else 0
+
     program, compile_seconds, lines = _load(args.files)
 
     if args.command == "table":

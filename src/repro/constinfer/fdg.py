@@ -39,6 +39,28 @@ class FunctionDependenceGraph:
             graph.edges[name] = mentions & defined
         return graph
 
+    @classmethod
+    def from_edges(
+        cls, vertices: set[str], edges: dict[str, set[str]]
+    ) -> "FunctionDependenceGraph":
+        """An FDG over an explicit vertex/edge set (e.g. the cross-TU
+        call graph with function-pointer resolution edges added)."""
+        graph = cls()
+        graph.vertices = sorted(vertices)
+        for name in graph.vertices:
+            graph.edges[name] = {g for g in edges.get(name, ()) if g in vertices}
+        return graph
+
+    def restricted(self, names: set[str]) -> "FunctionDependenceGraph":
+        """The induced subgraph over ``names`` — used to schedule one
+        TU-group's functions with edges to other groups dropped (their
+        schemes are already installed by the time the group runs)."""
+        graph = FunctionDependenceGraph()
+        graph.vertices = [v for v in self.vertices if v in names]
+        for name in graph.vertices:
+            graph.edges[name] = self.edges.get(name, set()) & names
+        return graph
+
     def sccs(self) -> list[list[str]]:
         """Strongly connected components in reverse topological order of
         the condensation (every component's callees appear earlier)."""

@@ -242,6 +242,57 @@ def format_stage_timings(rows: list[BenchmarkRow]) -> str:
     return "\n".join(out)
 
 
+def format_whole_report(result) -> str:
+    """Report for one whole-program run
+    (:class:`repro.whole.engine.WholeProgramRun`): link summary, call
+    graph shape, the TU-group schedule, cache behaviour, and the const
+    classification of the merged program."""
+    linked = result.linked
+    run = result.run
+    stats = result.callgraph.stats()
+
+    internal = linked.internal_symbols()
+    out = [
+        f"linked {len(linked.unit_names)} unit(s): {', '.join(linked.unit_names)}",
+        f"  symbols: {len(linked.symbols)} "
+        f"({len(internal)} internal, "
+        f"{len(linked.symbols) - len(internal)} external)",
+    ]
+    for diag in linked.diagnostics:
+        where = f"{diag.file}:{diag.line}" if diag.file else "<link>"
+        out.append(f"  link error: {where}: {diag.message}")
+    out.append(
+        "call graph: "
+        f"{stats['functions']} function(s), "
+        f"{stats['occurrence_edges']} occurrence edge(s), "
+        f"{stats['indirect_sites']} indirect site(s) resolving to "
+        f"{stats['indirect_edges']} edge(s) "
+        f"({stats['address_taken']} address-taken)"
+    )
+    out.append(
+        "schedule: "
+        + " | ".join("+".join(group) for group in result.schedule)
+    )
+    out.append(
+        f"summaries: {result.summary_hits} cached, "
+        f"{result.summary_misses} analysed"
+    )
+    timings = run.timings
+    if timings is not None:
+        out.append(
+            f"timing: congen {timings.congen_seconds * 1000:.1f} ms, "
+            f"generalize {timings.generalize_seconds * 1000:.1f} ms, "
+            f"solve {timings.solve_seconds * 1000:.1f} ms"
+        )
+    out.append(
+        f"consts: {run.declared_count()} declared, "
+        f"{run.inferred_const_count()} inferred, "
+        f"{run.total_positions()} possible "
+        f"({run.constraint_count} constraint(s))"
+    )
+    return "\n".join(out)
+
+
 def summarize_shape_claims(rows: list[BenchmarkRow]) -> dict[str, object]:
     """The qualitative claims of Section 4.4, evaluated over a row set.
 

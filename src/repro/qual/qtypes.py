@@ -54,7 +54,14 @@ class Variance(enum.Enum):
 
 @dataclass(frozen=True)
 class TypeConstructor:
-    """A type constructor ``c`` with its arity and per-argument variance."""
+    """A type constructor ``c`` with its arity and per-argument variance.
+
+    Constructors are compared by identity on hot paths (``constructor is
+    REF``), so every constructor must be interned: construct them through
+    :func:`intern_constructor`, and pickling resolves back to the
+    canonical instance rather than materialising an equal-but-distinct
+    copy (cache-loaded TU summaries carry whole ``QType`` schemes).
+    """
 
     name: str
     variances: tuple[Variance, ...]
@@ -66,16 +73,38 @@ class TypeConstructor:
     def __str__(self) -> str:
         return self.name
 
+    def __reduce__(self):
+        return (intern_constructor, (self.name, self.variances))
+
+
+_CONSTRUCTOR_INTERN: dict[tuple[str, tuple[Variance, ...]], TypeConstructor] = {}
+
+
+def intern_constructor(
+    name: str, variances: tuple[Variance, ...]
+) -> TypeConstructor:
+    """The canonical constructor for ``(name, variances)``.
+
+    All constructor creation (and unpickling) funnels through here so
+    ``is``-comparisons stay valid across cache loads and process pools.
+    """
+    key = (name, tuple(variances))
+    con = _CONSTRUCTOR_INTERN.get(key)
+    if con is None:
+        con = TypeConstructor(key[0], key[1])
+        _CONSTRUCTOR_INTERN[key] = con
+    return con
+
 
 #: The constructors of the paper's example language (Sections 2 and 2.4).
-INT = TypeConstructor("int", ())
-UNIT = TypeConstructor("unit", ())
-FUN = TypeConstructor("->", (Variance.CONTRAVARIANT, Variance.COVARIANT))
-REF = TypeConstructor("ref", (Variance.INVARIANT,))
+INT = intern_constructor("int", ())
+UNIT = intern_constructor("unit", ())
+FUN = intern_constructor("->", (Variance.CONTRAVARIANT, Variance.COVARIANT))
+REF = intern_constructor("ref", (Variance.INVARIANT,))
 
 #: Extra constructors used by application instances and the C front end.
-PAIR = TypeConstructor("pair", (Variance.COVARIANT, Variance.COVARIANT))
-LIST = TypeConstructor("list", (Variance.COVARIANT,))
+PAIR = intern_constructor("pair", (Variance.COVARIANT, Variance.COVARIANT))
+LIST = intern_constructor("list", (Variance.COVARIANT,))
 
 
 # ---------------------------------------------------------------------------

@@ -692,34 +692,46 @@ def shortest_flow_path(
     directly).  Returns ``None`` when no violating seed reaches
     ``target`` — i.e. the bound is actually satisfied.
 
-    Ties break deterministically by constraint emission order: earlier
-    seeds enter the queue first and the first recorded edge per variable
-    pair wins.
+    Ties break deterministically by origin span, then variable uid —
+    *not* by constraint emission order — so the witness is stable no
+    matter how the constraint list was assembled (``--jobs`` absorption
+    order, cache-restored summaries, concatenated TUs).
     """
-    edges: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = {}
-    seen_edges: set[tuple[QualVar, QualVar]] = set()
-    seeds: list[tuple[QualVar, QualConstraint]] = []
-    seeded: set[QualVar] = set()
+
+    def origin_rank(c: QualConstraint) -> tuple[str, int, int, str]:
+        o = c.origin
+        return (o.filename or "", o.line or 0, o.column or 0, o.reason)
+
+    best_edge: dict[tuple[QualVar, QualVar], QualConstraint] = {}
+    best_seed: dict[QualVar, QualConstraint] = {}
 
     for c in constraints:
         lhs, rhs = c.lhs, c.rhs
         if isinstance(lhs, QualVar) and isinstance(rhs, QualVar):
             key = (lhs, rhs)
-            if key not in seen_edges:
-                seen_edges.add(key)
-                edges.setdefault(lhs, []).append((rhs, c))
+            held = best_edge.get(key)
+            if held is None or origin_rank(c) < origin_rank(held):
+                best_edge[key] = c
         elif isinstance(rhs, QualVar):
             elem = _as_element(lhs)
-            if elem is not None and rhs not in seeded and not lattice.leq(elem, bound):
-                seeded.add(rhs)
-                seeds.append((rhs, c))
+            if elem is not None and not lattice.leq(elem, bound):
+                held = best_seed.get(rhs)
+                if held is None or origin_rank(c) < origin_rank(held):
+                    best_seed[rhs] = c
+
+    edges: dict[QualVar, list[tuple[QualVar, QualConstraint]]] = {}
+    for (lhs, rhs), c in best_edge.items():
+        edges.setdefault(lhs, []).append((rhs, c))
+    for out in edges.values():
+        out.sort(key=lambda e: (origin_rank(e[1]), e[0].uid, e[0].name))
 
     parent: dict[QualVar, tuple[QualVar | None, QualConstraint]] = {}
     queue: deque[QualVar] = deque()
-    for var, seed in seeds:
-        if var not in parent:
-            parent[var] = (None, seed)
-            queue.append(var)
+    for var, seed in sorted(
+        best_seed.items(), key=lambda s: (origin_rank(s[1]), s[0].uid, s[0].name)
+    ):
+        parent[var] = (None, seed)
+        queue.append(var)
 
     while queue:
         v = queue.popleft()

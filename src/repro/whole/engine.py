@@ -1,0 +1,323 @@
+"""Whole-program polymorphic inference: SCC wavefronts lifted to TUs.
+
+The per-unit engine's wavefront scheduler
+(:func:`repro.constinfer.engine._run_poly_wavefront`) parallelises over
+function SCCs.  Here the same machinery is lifted one level: the
+cross-TU function dependence graph (occurrence edges plus
+function-pointer resolution edges) is projected onto translation units,
+the TU-level condensation is walked in wavefronts, and each TU group —
+one unit, or one cycle of mutually-dependent units — is a schedulable,
+cacheable work item.  ``--jobs N`` therefore parallelises per TU, and
+the content-addressed cache stores one summary per TU group.
+
+Determinism at any job count, and across cold/warm cache mixes, comes
+from **absolute** uid banding: the shared symbol layer (globals, struct
+fields, library prototypes) always occupies
+``[WHOLE_UID_BASE, WHOLE_UID_BASE + band)``, and TU group *k* of the
+schedule always draws from band ``k + 1``.  Variable numbering is a
+pure function of the linked program, never of thread interleaving or of
+which groups were served from the cache — so a cached summary's
+variables are value-equal (:class:`~repro.qual.qtypes.QualVar` compares
+by uid and name) to the ones a live run would allocate, and summaries
+re-link exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..constinfer.analysis import ConstInference
+from ..constinfer.cache import AnalysisCache
+from ..constinfer.engine import (
+    InferenceRun,
+    StageTimings,
+    _UID_BAND_SIZE,
+    _create_shared_cells,
+    _generalize_component_member,
+    _solve,
+)
+from ..constinfer.fdg import FunctionDependenceGraph
+from ..qual.lattice import QualifierLattice
+from ..qual.qtypes import UidBand, use_uid_band
+from .callgraph import WholeProgramCallGraph
+from .linker import LinkedProgram
+from .summary import (
+    TUSummary,
+    load_summary,
+    shared_layout_digest,
+    store_summary,
+    summary_source_key,
+)
+
+#: Base uid of the whole-program band space.  Far above anything the
+#: per-unit engines allocate, and constant across processes, so cached
+#: summary blobs and live runs agree on every shared variable's uid.
+WHOLE_UID_BASE = 1 << 40
+
+
+@dataclass
+class WholeProgramRun:
+    """Outcome of one whole-program inference."""
+
+    linked: LinkedProgram
+    run: InferenceRun
+    callgraph: WholeProgramCallGraph
+    #: The TU-group schedule, level-major: each entry is the sorted tuple
+    #: of unit filenames forming one group.
+    schedule: list[tuple[str, ...]] = field(default_factory=list)
+    summary_hits: int = 0
+    summary_misses: int = 0
+    link_seconds: float = 0.0
+
+
+@dataclass
+class _GroupTask:
+    """One schedulable TU group with its precomputed identity."""
+
+    index: int  # schedule position (band index - 1)
+    units: tuple[str, ...]
+    functions: tuple[str, ...]  # FDG order within the group
+    band_base: int
+    source_key: str
+
+
+def _tu_graph(
+    linked: LinkedProgram, fdg: FunctionDependenceGraph
+) -> FunctionDependenceGraph:
+    """Project the cross-TU function dependence graph onto units: an
+    edge A -> B whenever some function homed in A depends on one homed
+    in B.  Units with no functions still appear (isolated vertices) so
+    their globals participate in the shared layer like everyone else."""
+    tu_of = linked.tu_of_function
+    vertices = set(linked.unit_names)
+    edges: dict[str, set[str]] = {name: set() for name in vertices}
+    for caller, callees in fdg.edges.items():
+        caller_tu = tu_of.get(caller)
+        if caller_tu is None:
+            continue
+        for callee in callees:
+            callee_tu = tu_of.get(callee)
+            if callee_tu is not None and callee_tu != caller_tu:
+                edges[caller_tu].add(callee_tu)
+    return FunctionDependenceGraph.from_edges(vertices, edges)
+
+
+def _dependency_closure(
+    group: tuple[str, ...],
+    tu_graph: FunctionDependenceGraph,
+) -> tuple[str, ...]:
+    """All units this group's analysis depends on, itself included,
+    sorted — the cache key's source set."""
+    out: set[str] = set()
+    work = list(group)
+    while work:
+        unit = work.pop()
+        if unit in out:
+            continue
+        out.add(unit)
+        work.extend(tu_graph.edges.get(unit, ()))
+    return tuple(sorted(out))
+
+
+def _analyze_group(
+    inference: ConstInference,
+    task: _GroupTask,
+    fdg: FunctionDependenceGraph,
+    cache: AnalysisCache | None,
+    lattice: QualifierLattice | None,
+    options: dict[str, Any],
+) -> tuple[TUSummary, bool]:
+    """Worker: produce one group's summary — from the cache when warm,
+    by banded constraint generation and per-SCC generalisation when
+    cold.  Returns ``(summary, from_cache)``."""
+    if cache is not None:
+        cached = load_summary(
+            cache, source_key=task.source_key, lattice=lattice, options=options
+        )
+        if cached is not None and cached.band_base == task.band_base:
+            return cached, True
+
+    program = inference.program
+    view = inference.local_view()
+    view.schemes = dict(inference.schemes)
+    schemes: dict[str, object] = {}
+    local_graph = fdg.restricted(set(task.functions))
+    band = UidBand(task.band_base, _UID_BAND_SIZE)
+    with use_uid_band(band):
+        for component in local_graph.sccs():
+            boundary = band.next
+            mark = len(view.constraints)
+            for name in component:
+                view.signature_for(program.functions[name])
+            for name in component:
+                view.analyze_function(program.functions[name])
+            local = view.constraints[mark:]
+            for name in component:
+                scheme = _generalize_component_member(view, name, local, boundary)
+                view.schemes[name] = scheme
+                schemes[name] = scheme
+
+    summary = TUSummary(
+        group=task.units,
+        functions=task.functions,
+        constraints=view.constraints,
+        positions=view.positions,
+        schemes=schemes,  # type: ignore[arg-type]
+        band_base=task.band_base,
+    )
+    if cache is not None:
+        store_summary(
+            cache, summary, source_key=task.source_key, lattice=lattice, options=options
+        )
+    return summary, False
+
+
+def run_whole_poly(
+    linked: LinkedProgram,
+    lattice: QualifierLattice | None = None,
+    jobs: int = 1,
+    cache: AnalysisCache | None = None,
+    **inference_options: Any,
+) -> WholeProgramRun:
+    """Polymorphic inference over a linked program, scheduled per TU.
+
+    ``jobs`` bounds the worker threads per wavefront level; the output —
+    constraints, positions, schemes, classifications — is bit-identical
+    at every job count and for any cold/warm cache mix.  ``cache``
+    enables per-TU-group summary memoisation.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    program = linked.program
+    inference = ConstInference(program, lattice, **inference_options)
+
+    # Shared cells (eager pass and any stragglers the pass cannot see)
+    # all draw from one absolute band below every group band.  Assign
+    # ``_shared_band`` before the eager pass — global/field cells route
+    # through ``use_uid_band(inference._shared_band)`` themselves, and
+    # with it unset they would fall back to the global counter.  The
+    # enclosing ``with`` covers prototype signatures, which band only
+    # through the caller.
+    shared_band = UidBand(WHOLE_UID_BASE, _UID_BAND_SIZE)
+    inference._shared_band = shared_band
+    with use_uid_band(shared_band):
+        _create_shared_cells(inference)
+
+    callgraph = WholeProgramCallGraph.build(program)
+    fdg = callgraph.function_graph()
+    tu_graph = _tu_graph(linked, fdg)
+
+    tu_of = linked.tu_of_function
+    layout = shared_layout_digest(program) if cache is not None else ""
+
+    tasks: list[list[_GroupTask]] = []
+    index = 0
+    for level in tu_graph.wavefronts():
+        level_tasks: list[_GroupTask] = []
+        for component in level:
+            units = tuple(sorted(component))
+            unit_set = set(units)
+            functions = tuple(
+                name for name in fdg.vertices if tu_of.get(name) in unit_set
+            )
+            if not functions:
+                continue  # nothing to analyse; globals are shared-layer
+            source_key = ""
+            if cache is not None:
+                source_key = summary_source_key(
+                    units,
+                    _dependency_closure(units, tu_graph),
+                    linked.sources,
+                    layout,
+                    WHOLE_UID_BASE + (index + 1) * _UID_BAND_SIZE,
+                )
+            level_tasks.append(
+                _GroupTask(
+                    index=index,
+                    units=units,
+                    functions=functions,
+                    band_base=WHOLE_UID_BASE + (index + 1) * _UID_BAND_SIZE,
+                    source_key=source_key,
+                )
+            )
+            index += 1
+        if level_tasks:
+            tasks.append(level_tasks)
+
+    hits = misses = 0
+    generalize_seconds = 0.0
+    executor: ThreadPoolExecutor | None = None
+    try:
+        for level_tasks in tasks:
+            if jobs > 1 and len(level_tasks) > 1:
+                if executor is None:
+                    executor = ThreadPoolExecutor(
+                        max_workers=jobs, thread_name_prefix="tu-wavefront"
+                    )
+                results = list(
+                    executor.map(
+                        lambda task: _analyze_group(
+                            inference, task, fdg, cache, lattice, inference_options
+                        ),
+                        level_tasks,
+                    )
+                )
+            else:
+                results = [
+                    _analyze_group(
+                        inference, task, fdg, cache, lattice, inference_options
+                    )
+                    for task in level_tasks
+                ]
+
+            gen_start = time.perf_counter()
+            for task, (summary, from_cache) in zip(level_tasks, results):
+                hits += from_cache
+                misses += not from_cache
+                inference.constraints.extend(summary.constraints)
+                inference.positions.extend(summary.positions)
+                for name in summary.functions:
+                    inference.schemes[name] = summary.schemes[name]
+            generalize_seconds += time.perf_counter() - gen_start
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # Global initializers run last (Section 4.3), in their own
+    # deterministic band just past every group band.
+    final_band = UidBand(WHOLE_UID_BASE + (index + 1) * _UID_BAND_SIZE, _UID_BAND_SIZE)
+    with use_uid_band(final_band):
+        inference.analyze_global_initializers()
+    inference._shared_band = None
+
+    congen_done = time.perf_counter()
+    solution = _solve(inference)
+    end = time.perf_counter()
+    timings = StageTimings(
+        congen_seconds=congen_done - start - generalize_seconds,
+        solve_seconds=end - congen_done,
+        generalize_seconds=generalize_seconds,
+        from_cache=misses == 0 and hits > 0,
+    )
+    run = InferenceRun(
+        "whole-poly",
+        solution,
+        inference.positions,
+        len(inference.constraints),
+        end - start,
+        inference,
+        timings,
+    )
+    return WholeProgramRun(
+        linked=linked,
+        run=run,
+        callgraph=callgraph,
+        schedule=[task.units for level in tasks for task in level],
+        summary_hits=hits,
+        summary_misses=misses,
+        link_seconds=end - start,
+    )

@@ -354,3 +354,35 @@ class TestLambdaAdapter:
         assert check_by_name("tainted-format").qualifier == "tainted"
         with pytest.raises(KeyError):
             check_by_name("bogus")
+
+
+class TestConfigInCacheKey:
+    """The active check configuration participates in the cache content
+    hash: cached diagnostics must never be served for a different set
+    (or definition) of checks."""
+
+    def test_config_digest_is_stable_and_order_sensitive(self):
+        from repro.checker.checks import config_digest
+
+        a = config_digest(("tainted-format", "casts-away-const"))
+        assert a == config_digest(("tainted-format", "casts-away-const"))
+        assert a != config_digest(("casts-away-const", "tainted-format"))
+        assert a != config_digest(("tainted-format",))
+
+    def test_changing_active_checks_misses_the_cache(self, tmp_path):
+        (tmp_path / "bug.c").write_text(TAINT_SRC)
+        cache = tmp_path / ".cache"
+        cold = check_paths([tmp_path], cache_dir=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+        narrowed = check_paths(
+            [tmp_path], checks=("casts-away-const",), cache_dir=cache
+        )
+        # same source, different configuration: a fresh cache entry
+        assert (narrowed.cache_hits, narrowed.cache_misses) == (0, 1)
+        assert narrowed.diagnostics == []
+        # and the original configuration still hits its own entry
+        warm = check_paths([tmp_path], cache_dir=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+        assert [d.to_dict() for d in warm.diagnostics] == [
+            d.to_dict() for d in cold.diagnostics
+        ]

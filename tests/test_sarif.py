@@ -245,3 +245,48 @@ def test_suppressed_result_marked_in_source():
     assert deref["suppressions"] == [{"kind": "inSource"}]
     [taint] = [r for r in run["results"] if r["ruleId"] == "tainted-format"]
     assert "suppressions" not in taint
+
+
+def test_src_root_relativizes_artifact_uris(tmp_path):
+    src = tmp_path / "proj" / "demo.c"
+    src.parent.mkdir()
+    src.write_text(SOURCE)
+    diags = assign_fingerprints(
+        check_source(src.read_text(), filename=str(src)),
+        {str(src): src.read_text()},
+    )
+    log = json.loads(render_sarif(diags, src_root=str(tmp_path / "proj")))
+    jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+    (run,) = log["runs"]
+    root_uri = run["originalUriBaseIds"]["SRCROOT"]["uri"]
+    assert root_uri.startswith("file://") and root_uri.endswith("/")
+    for result in run["results"]:
+        artifact = result["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert artifact["uri"] == "demo.c"
+        assert artifact["uriBaseId"] == "SRCROOT"
+
+
+def test_files_outside_src_root_stay_absolute(tmp_path):
+    src = tmp_path / "elsewhere" / "demo.c"
+    src.parent.mkdir()
+    src.write_text(SOURCE)
+    diags = assign_fingerprints(
+        check_source(src.read_text(), filename=str(src)),
+        {str(src): src.read_text()},
+    )
+    log = json.loads(render_sarif(diags, src_root=str(tmp_path / "proj")))
+    (run,) = log["runs"]
+    for result in run["results"]:
+        artifact = result["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert artifact["uri"] == str(src)
+        assert "uriBaseId" not in artifact
+
+
+def test_no_src_root_keeps_legacy_uris():
+    log = sarif_log()
+    (run,) = log["runs"]
+    assert "originalUriBaseIds" not in run
+    for result in run["results"]:
+        artifact = result["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert artifact["uri"] == "demo.c"
+        assert "uriBaseId" not in artifact

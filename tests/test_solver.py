@@ -201,3 +201,84 @@ class TestScaling:
         constraints += [c(hub, leaf) for leaf in leaves]
         sol = solve(constraints, const_lat)
         assert all(sol.least_of(leaf).has("const") for leaf in leaves)
+
+
+class TestFlowPathDeterminism:
+    """``shortest_flow_path`` must pick the same witness no matter how
+    the constraint list was assembled (regression: the pre-fix picker
+    broke ties by emission order, so ``--jobs`` absorption order and
+    cache-restored summaries could flip the reported path)."""
+
+    @staticmethod
+    def _spanned(lhs, rhs, filename, line, column=1, reason="flow"):
+        from repro.qual.constraints import Origin, QualConstraint
+
+        return QualConstraint(lhs, rhs, Origin(reason, filename, line, column))
+
+    def _two_equal_paths(self, const_lat):
+        # two seeds, two disjoint length-2 paths to the same target:
+        #   top <= ka ; ka <= kt   (spans in a.c)
+        #   top <= kb ; kb <= kt   (spans in b.c)
+        ka, kb, kt = (fresh_qual_var() for _ in range(3))
+        constraints = [
+            self._spanned(const_lat.top, ka, "a.c", 1),
+            self._spanned(ka, kt, "a.c", 2),
+            self._spanned(const_lat.top, kb, "b.c", 1),
+            self._spanned(kb, kt, "b.c", 2),
+        ]
+        return kt, constraints
+
+    def test_tie_breaks_by_origin_span_not_list_order(self, const_lat):
+        import itertools
+
+        from repro.qual.solver import shortest_flow_path
+
+        kt, constraints = self._two_equal_paths(const_lat)
+        expected = None
+        for perm in itertools.permutations(constraints):
+            path = shortest_flow_path(perm, const_lat, kt, const_lat.bottom)
+            assert path is not None and len(path) == 2
+            # earliest origin span wins the tie: the a.c path
+            assert [p.origin.filename for p in path] == ["a.c", "a.c"]
+            if expected is None:
+                expected = path
+            assert path == list(expected)
+
+    def test_tie_on_identical_spans_breaks_by_uid(self, const_lat):
+        import itertools
+
+        from repro.qual.solver import shortest_flow_path
+
+        # both paths carry byte-identical origins; the seed whose
+        # variable has the smaller uid must win, in every ordering
+        ka, kb, kt = (fresh_qual_var() for _ in range(3))
+        assert ka.uid < kb.uid
+        constraints = [
+            self._spanned(const_lat.top, ka, "same.c", 1),
+            self._spanned(ka, kt, "same.c", 2),
+            self._spanned(const_lat.top, kb, "same.c", 1),
+            self._spanned(kb, kt, "same.c", 2),
+        ]
+        for perm in itertools.permutations(constraints):
+            path = shortest_flow_path(perm, const_lat, kt, const_lat.bottom)
+            assert path is not None
+            assert path[0].rhs is ka
+
+    def test_parallel_edges_pick_earliest_span(self, const_lat):
+        from repro.qual.solver import shortest_flow_path
+
+        # duplicate ka <= kt edges with different spans: the witness
+        # must use the textually earliest one regardless of order
+        ka, kt = fresh_qual_var(), fresh_qual_var()
+        seed = self._spanned(const_lat.top, ka, "m.c", 1)
+        early = self._spanned(ka, kt, "m.c", 5)
+        late = self._spanned(ka, kt, "m.c", 9)
+        for ordering in ([seed, early, late], [seed, late, early], [late, seed, early]):
+            path = shortest_flow_path(ordering, const_lat, kt, const_lat.bottom)
+            assert path == [seed, early]
+
+    def test_satisfied_bound_yields_no_path(self, const_lat):
+        from repro.qual.solver import shortest_flow_path
+
+        kt, constraints = self._two_equal_paths(const_lat)
+        assert shortest_flow_path(constraints, const_lat, kt, const_lat.top) is None

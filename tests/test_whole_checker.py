@@ -1,0 +1,192 @@
+"""Tests for qlint's whole-program mode: cross-TU violations invisible
+per file, multi-file flow paths, link diagnostics, whole-result
+caching, job-count/byte determinism, and the multi_tu example corpus."""
+
+import json
+from pathlib import Path
+
+from repro.checker import (
+    Baseline,
+    check_paths,
+    check_whole_program,
+    render_sarif,
+)
+from repro.checker.cli import main as checker_main
+from repro.checker.engine import check_linked_program
+from repro.whole import link_sources
+
+CORPUS = Path(__file__).resolve().parent.parent / "examples" / "multi_tu"
+
+PRODUCER = (
+    "char *getenv(const char *name);\n"
+    "char *fetch_name(void) { return getenv(\"NAME\"); }\n"
+)
+CONSUMER = (
+    "int printf(const char *fmt, ...);\n"
+    "extern char *fetch_name(void);\n"
+    "void show(void) { printf(fetch_name()); }\n"
+)
+
+
+def write_pair(tmp_path):
+    (tmp_path / "producer.c").write_text(PRODUCER)
+    (tmp_path / "consumer.c").write_text(CONSUMER)
+    return tmp_path
+
+
+def test_cross_tu_taint_found_only_by_whole_program(tmp_path):
+    write_pair(tmp_path)
+    per_file = check_paths([tmp_path])
+    assert [d.check for d in per_file.active] == []
+
+    whole = check_whole_program([tmp_path])
+    assert [d.check for d in whole.active] == ["tainted-format"]
+
+
+def test_flow_path_spans_multiple_files(tmp_path):
+    write_pair(tmp_path)
+    whole = check_whole_program([tmp_path])
+    (diag,) = whole.active
+    files = {step.span.file for step in diag.flow if step.span.is_valid}
+    assert any(f.endswith("producer.c") for f in files)
+    assert any(f.endswith("consumer.c") for f in files)
+    # the path starts at the source in the producer and ends at the
+    # sink in the consumer
+    assert diag.flow[0].span.file.endswith("producer.c")
+    assert diag.flow[-1].span.file.endswith("consumer.c")
+
+
+def test_link_diagnostics_become_link_findings():
+    linked = link_sources(
+        {
+            "a.c": "int thing(void) { return 1; }\n",
+            "b.c": "extern char *thing(void);\nchar *get(void) { return thing(); }\n",
+        }
+    )
+    diagnostics = check_linked_program(linked)
+    link_findings = [d for d in diagnostics if d.check.startswith("link-")]
+    assert len(link_findings) == 1
+    assert link_findings[0].check == "link-conflicting-types"
+    assert link_findings[0].severity == "error"
+    assert link_findings[0].span.file == "b.c"
+
+
+def test_whole_report_cold_then_warm_identical(tmp_path):
+    corpus = tmp_path / "src"
+    corpus.mkdir()
+    write_pair(corpus)
+    cache = tmp_path / "cache"
+
+    cold = check_whole_program([corpus], cache_dir=cache)
+    assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+    warm = check_whole_program([corpus], cache_dir=cache)
+    assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+    assert [d.to_dict() for d in cold.diagnostics] == [
+        d.to_dict() for d in warm.diagnostics
+    ]
+
+
+def test_whole_jobs_do_not_change_diagnostics(tmp_path):
+    write_pair(tmp_path)
+    serial = check_whole_program([tmp_path], jobs=1)
+    parallel = check_whole_program([tmp_path], jobs=4)
+    assert [d.to_dict() for d in serial.diagnostics] == [
+        d.to_dict() for d in parallel.diagnostics
+    ]
+
+
+def test_whole_baseline_roundtrip(tmp_path):
+    write_pair(tmp_path)
+    report = check_whole_program([tmp_path])
+    baseline = Baseline.from_diagnostics(report.diagnostics)
+    again = check_whole_program([tmp_path], baseline=baseline)
+    assert again.new_findings == []
+    assert again.lost_fingerprints == set()
+
+
+def test_parse_error_is_linked_around(tmp_path):
+    write_pair(tmp_path)
+    (tmp_path / "broken.c").write_text("int (((\n")
+    report = check_whole_program([tmp_path])
+    assert any(p.endswith("broken.c") for p in report.errors)
+    # the other two units still link and the cross-TU bug is still found
+    assert [d.check for d in report.active] == ["tainted-format"]
+
+
+def test_multi_tu_corpus_expected_findings():
+    report = check_whole_program([CORPUS])
+    by_check = sorted((d.check, Path(d.span.file).name) for d in report.active)
+    assert by_check == [
+        ("casts-away-const", "main.c"),
+        ("tainted-format", "handlers.c"),
+        ("tainted-format", "report.c"),
+    ]
+    # both taint findings trace back to input.c
+    for diag in report.active:
+        if diag.check == "tainted-format":
+            assert any(
+                step.span.file.endswith("input.c") for step in diag.flow
+            ), diag.message
+
+
+def test_multi_tu_corpus_matches_baseline(monkeypatch):
+    # fingerprints hash the file path, and the checked-in baseline was
+    # written with paths relative to the repo root
+    monkeypatch.chdir(CORPUS.parent.parent)
+    baseline = Baseline.load(CORPUS / "qlint-baseline.json")
+    report = check_whole_program([Path("examples/multi_tu")], baseline=baseline)
+    assert report.new_findings == []
+    assert report.lost_fingerprints == set()
+
+
+def test_multi_tu_sarif_is_valid_and_repo_relative(tmp_path):
+    report = check_whole_program([CORPUS])
+    rendered = render_sarif(
+        report.diagnostics, src_root=str(CORPUS.parent.parent)
+    )
+    log = json.loads(rendered)
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["originalUriBaseIds"]["SRCROOT"]["uri"].startswith("file://")
+    for result in run["results"]:
+        for location in result.get("locations", []):
+            artifact = location["physicalLocation"]["artifactLocation"]
+            assert not artifact["uri"].startswith("/")
+            assert artifact["uriBaseId"] == "SRCROOT"
+        for flow in result.get("codeFlows", []):
+            for thread in flow["threadFlows"]:
+                for step in thread["locations"]:
+                    artifact = step["location"]["physicalLocation"][
+                        "artifactLocation"
+                    ]
+                    assert not artifact["uri"].startswith("/")
+
+
+def test_cli_whole_program_flag(tmp_path, capsys):
+    write_pair(tmp_path)
+    code = checker_main(["--whole-program", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "tainted-format" in captured.out
+    assert "producer.c" in captured.out  # the flow crosses into the producer
+
+
+def test_cli_whole_program_sarif_src_root(tmp_path, capsys):
+    write_pair(tmp_path)
+    code = checker_main(
+        [
+            "--whole-program",
+            str(tmp_path),
+            "--format",
+            "sarif",
+            "--src-root",
+            str(tmp_path),
+        ]
+    )
+    assert code == 1
+    log = json.loads(capsys.readouterr().out)
+    uris = [
+        r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        for r in log["runs"][0]["results"]
+    ]
+    assert uris == ["consumer.c"]
