@@ -105,7 +105,26 @@ def measure() -> dict:
     entry["suite_ms"] = measure_suite()
     entry["checker"] = measure_checker()
     entry["whole_program"] = measure_whole()
+    entry["testkit_fuzz"] = measure_fuzz()
     return entry
+
+
+def measure_fuzz() -> dict:
+    """Testkit oracle-matrix throughput: generated programs per second
+    through the full differential/metamorphic matrix at a fixed seed.
+    A disagreement aborts the snapshot — perf numbers measured against a
+    broken engine would be meaningless."""
+    from repro.testkit.driver import FuzzSession
+
+    report = FuzzSession(seed=42, budget_seconds=120.0, max_programs=150).run()
+    assert report.ok, report.summary()
+    return {
+        "programs": report.programs,
+        "lambda_programs": report.lambda_programs,
+        "c_corpora": report.c_corpora,
+        "elapsed_ms": round(report.elapsed_seconds * 1000, 2),
+        "programs_per_sec": round(report.programs / report.elapsed_seconds, 1),
+    }
 
 
 def measure_checker() -> dict:

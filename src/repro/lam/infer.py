@@ -370,9 +370,19 @@ class _InferencePass:
 
             case Ref(init=i):
                 init_t = self.visit(i, scope)
-                qual = fresh_qual_var()
-                qtype = QType(qual, QCon(REF, (init_t,)))
-                self.apply_wellformed(qtype, e.span)
+                # (Ref): the cell's contents type is chosen fresh and the
+                # initializer flows into it.  Reusing init_t directly
+                # would pin the contents to the initializer's exact type
+                # and lose the declarative system's subsumption point —
+                # ``ref ({} 8)`` could never meet ``ref ({const} 7)``
+                # across an if-join, breaking subject reduction for
+                # configurations the evaluator canonicalises with bottom
+                # annotations.
+                qtype = self.spread_node(e)
+                _, contents = self.expect_ref(qtype, e.span)
+                self.flow(
+                    init_t, contents, self.origin("ref initializer", i.span or e.span)
+                )
                 return self.record(e, qtype)
 
             case Deref(ref=r):

@@ -1,0 +1,445 @@
+"""Seeded random generator of multi-TU C corpora with linkage variety.
+
+A corpus is a set of *modules* — small self-contained function families
+whose const-inference behaviour is known by construction (the same
+taxonomy as :mod:`repro.benchsuite.generator`, reshaped for linking) —
+plus an *assignment* of modules to translation units.  Modules reference
+each other only through external symbols declared in a shared header
+block that every unit repeats, so any assignment of modules to any
+number of units renders a linkable program, and **re-partitioning**
+(moving modules between units) is a qualifier-preserving metamorphic
+transform: the linked program's classification multiset must not move.
+
+Linkage variety covered:
+
+* external functions called cross-TU through ``extern`` prototypes;
+* ``static`` helper functions (globally-unique names, so the linker's
+  ``name@unit`` alpha-renaming stays comparable to the textual
+  concatenation modulo suffix);
+* tentative global definitions with ``extern`` declarations in every
+  other unit, written and read from different modules;
+* function pointers: a dispatch module stores an address-taken handler
+  and calls it indirectly, exercising the whole-program call graph's
+  pointer resolution;
+* ``const``-declared parameters, read-only undeclared parameters,
+  mixed-use forwarders (the polymorphism gap, split across TUs), writers,
+  and a strchr-style cast that feeds the checker's ``casts-away-const``.
+
+Everything is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class Module:
+    """One atomic family of top-level definitions."""
+
+    name: str
+    code: str
+    #: Corpus-wide external declarations this module's symbols need.
+    protos: tuple[str, ...] = ()
+    externs: tuple[str, ...] = ()
+    #: A ``int f(void)`` entry point for the corpus driver, if any.
+    entry: str | None = None
+
+
+@dataclass
+class CCorpus:
+    """A generated multi-TU program: modules plus a unit assignment."""
+
+    seed: int
+    modules: list[Module]
+    assignment: list[int]  # module index -> unit index
+    n_units: int
+
+    def unit_names(self) -> list[str]:
+        return [f"u{i}.c" for i in range(self.n_units)]
+
+    def _shared_header(self) -> str:
+        lines: list[str] = []
+        for m in self.modules:
+            lines.extend(m.externs)
+        for m in self.modules:
+            lines.extend(m.protos)
+        return "\n".join(lines)
+
+    def sources(self) -> dict[str, str]:
+        """Render each translation unit's text."""
+        header = self._shared_header()
+        out: dict[str, str] = {}
+        for unit in range(self.n_units):
+            chunks = [
+                m.code
+                for m, owner in zip(self.modules, self.assignment)
+                if owner == unit
+            ]
+            body = "\n".join(chunks)
+            out[f"u{unit}.c"] = f"{header}\n\n{body}\n"
+        return out
+
+    def concat_source(self) -> str:
+        """The corpus as one textually-concatenated translation unit."""
+        srcs = self.sources()
+        return "".join(srcs[name] for name in sorted(srcs))
+
+    def repartitioned(self, seed: int, n_units: int | None = None) -> "CCorpus":
+        """The same modules dealt onto a fresh unit assignment."""
+        rng = random.Random(seed)
+        units = n_units if n_units is not None else rng.randint(1, max(2, self.n_units))
+        assignment = [rng.randrange(units) for _ in self.modules]
+        # keep every unit inhabited so the render has no empty TUs
+        for unit in range(units):
+            if unit not in assignment:
+                assignment[rng.randrange(len(assignment))] = unit
+        return CCorpus(self.seed, self.modules, assignment, units)
+
+
+class CCorpusGenerator:
+    """Generates one :class:`CCorpus` from a seed."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._counter = 0
+        self.modules: list[Module] = []
+        self._entries: list[str] = []
+
+    def _k(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def _add(self, module: Module) -> None:
+        self.modules.append(module)
+        if module.entry:
+            self._entries.append(module.entry)
+
+    # -- module families ------------------------------------------------
+    def mod_const_reader(self) -> None:
+        """Declared-const parameter, read only."""
+        k = self._k()
+        code = (
+            f"int tk_rd{k}(const int *p) {{\n"
+            f"    return p[0] + p[{self.rng.randint(1, 3)}];\n"
+            f"}}\n"
+            f"int tk_use_rd{k}(void) {{\n"
+            f"    int buf[4];\n"
+            f"    buf[0] = {self.rng.randint(1, 9)};\n"
+            f"    buf[1] = 2;\n"
+            f"    buf[2] = 3;\n"
+            f"    buf[3] = 4;\n"
+            f"    return tk_rd{k}(buf);\n"
+            f"}}\n"
+        )
+        self._add(
+            Module(
+                f"const_reader{k}",
+                code,
+                protos=(
+                    f"int tk_rd{k}(const int *p);",
+                    f"int tk_use_rd{k}(void);",
+                ),
+                entry=f"tk_use_rd{k}",
+            )
+        )
+
+    def mod_plain_reader(self) -> None:
+        """Undeclared read-only parameter (inference adds const)."""
+        k = self._k()
+        code = (
+            f"int tk_scan{k}(int *p) {{\n"
+            f"    return p[0] * {self.rng.randint(2, 5)};\n"
+            f"}}\n"
+            f"int tk_use_scan{k}(void) {{\n"
+            f"    int data[2];\n"
+            f"    data[0] = {self.rng.randint(1, 9)};\n"
+            f"    data[1] = 0;\n"
+            f"    return tk_scan{k}(data);\n"
+            f"}}\n"
+        )
+        self._add(
+            Module(
+                f"plain_reader{k}",
+                code,
+                protos=(
+                    f"int tk_scan{k}(int *p);",
+                    f"int tk_use_scan{k}(void);",
+                ),
+                entry=f"tk_use_scan{k}",
+            )
+        )
+
+    def mod_forwarder_family(self) -> None:
+        """The polymorphism gap, split across modules (and so, usually,
+        across TUs): a forwarder defined in one module, a writing caller
+        and a reading caller in two more."""
+        k = self._k()
+        fwd = Module(
+            f"fwd{k}",
+            (
+                f"int *tk_fwd{k}(int *x) {{\n"
+                f"    return x;\n"
+                f"}}\n"
+            ),
+            protos=(f"int *tk_fwd{k}(int *x);",),
+        )
+        put = Module(
+            f"fwd_put{k}",
+            (
+                f"int tk_fwd_put{k}(void) {{\n"
+                f"    int slot;\n"
+                f"    slot = 0;\n"
+                f"    *tk_fwd{k}(&slot) = {self.rng.randint(1, 50)};\n"
+                f"    return slot;\n"
+                f"}}\n"
+            ),
+            protos=(f"int tk_fwd_put{k}(void);",),
+            entry=f"tk_fwd_put{k}",
+        )
+        get = Module(
+            f"fwd_get{k}",
+            (
+                f"int tk_fwd_get{k}(void) {{\n"
+                f"    int cell;\n"
+                f"    cell = {self.rng.randint(1, 50)};\n"
+                f"    return *tk_fwd{k}(&cell);\n"
+                f"}}\n"
+            ),
+            protos=(f"int tk_fwd_get{k}(void);",),
+            entry=f"tk_fwd_get{k}",
+        )
+        for m in (fwd, put, get):
+            self._add(m)
+
+    def mod_writer(self) -> None:
+        """A genuinely non-const position."""
+        k = self._k()
+        code = (
+            f"void tk_fill{k}(int *dst) {{\n"
+            f"    dst[0] = {self.rng.randint(1, 9)};\n"
+            f"}}\n"
+            f"int tk_use_fill{k}(void) {{\n"
+            f"    int area[2];\n"
+            f"    tk_fill{k}(area);\n"
+            f"    return area[0];\n"
+            f"}}\n"
+        )
+        self._add(
+            Module(
+                f"writer{k}",
+                code,
+                protos=(
+                    f"void tk_fill{k}(int *dst);",
+                    f"int tk_use_fill{k}(void);",
+                ),
+                entry=f"tk_use_fill{k}",
+            )
+        )
+
+    def mod_global_family(self) -> None:
+        """A tentative global defined in one module, written and read
+        through an accessor from two other modules."""
+        k = self._k()
+        owner = Module(
+            f"global{k}",
+            (
+                f"int tk_g{k};\n"
+                f"int *tk_getg{k}(void) {{\n"
+                f"    return &tk_g{k};\n"
+                f"}}\n"
+            ),
+            protos=(f"int *tk_getg{k}(void);",),
+            externs=(f"extern int tk_g{k};",),
+        )
+        setter = Module(
+            f"global_set{k}",
+            (
+                f"int tk_setg{k}(void) {{\n"
+                f"    *tk_getg{k}() = {self.rng.randint(1, 99)};\n"
+                f"    return tk_g{k};\n"
+                f"}}\n"
+            ),
+            protos=(f"int tk_setg{k}(void);",),
+            entry=f"tk_setg{k}",
+        )
+        reader = Module(
+            f"global_read{k}",
+            (
+                f"int tk_readg{k}(void) {{\n"
+                f"    return *tk_getg{k}();\n"
+                f"}}\n"
+            ),
+            protos=(f"int tk_readg{k}(void);",),
+            entry=f"tk_readg{k}",
+        )
+        for m in (owner, setter, reader):
+            self._add(m)
+
+    def mod_static_helper(self) -> None:
+        """Internal linkage: a static helper behind an external wrapper.
+        The name is globally unique, so the linker's ``@unit`` renaming
+        stays comparable to the concatenated program modulo suffix."""
+        k = self._k()
+        mult = self.rng.randint(2, 7)
+        code = (
+            f"static int tk_h{k}(const int *p) {{\n"
+            f"    return p[0] * {mult};\n"
+            f"}}\n"
+            f"int tk_wrap{k}(void) {{\n"
+            f"    int v[1];\n"
+            f"    v[0] = {self.rng.randint(1, 9)};\n"
+            f"    return tk_h{k}(v);\n"
+            f"}}\n"
+        )
+        self._add(
+            Module(
+                f"static{k}",
+                code,
+                protos=(f"int tk_wrap{k}(void);",),
+                entry=f"tk_wrap{k}",
+            )
+        )
+
+    def mod_strchr_like(self) -> None:
+        """Const parameter returned through a cast — a planted
+        ``casts-away-const`` finding for the checker oracles."""
+        k = self._k()
+        code = (
+            f"char *tk_find{k}(const char *s, int c) {{\n"
+            f"    while (*s) {{\n"
+            f"        if (*s == c) {{\n"
+            f"            return (char *)s;\n"
+            f"        }}\n"
+            f"        s++;\n"
+            f"    }}\n"
+            f"    return (char *)0;\n"
+            f"}}\n"
+            f"int tk_use_find{k}(void) {{\n"
+            f"    char word[3];\n"
+            f"    char *hit;\n"
+            f"    word[0] = 'a';\n"
+            f"    word[1] = 'b';\n"
+            f"    word[2] = 0;\n"
+            f"    hit = tk_find{k}(word, 'b');\n"
+            f"    if (hit) {{\n"
+            f"        return *hit;\n"
+            f"    }}\n"
+            f"    return 0;\n"
+            f"}}\n"
+        )
+        self._add(
+            Module(
+                f"strchr{k}",
+                code,
+                protos=(
+                    f"char *tk_find{k}(const char *s, int c);",
+                    f"int tk_use_find{k}(void);",
+                ),
+                entry=f"tk_use_find{k}",
+            )
+        )
+
+    def mod_dispatch_family(self) -> None:
+        """Indirect calls through a function-pointer global: the handlers
+        are reachable only through the pointer, so the whole-program call
+        graph's address-taken resolution is on the hook."""
+        k = self._k()
+        handlers = Module(
+            f"handlers{k}",
+            (
+                f"int tk_hquiet{k}(int *p) {{\n"
+                f"    return p[0];\n"
+                f"}}\n"
+                f"int tk_hloud{k}(int *p) {{\n"
+                f"    p[0] = p[0] + 1;\n"
+                f"    return p[0];\n"
+                f"}}\n"
+            ),
+            protos=(
+                f"int tk_hquiet{k}(int *p);",
+                f"int tk_hloud{k}(int *p);",
+            ),
+        )
+        dispatch = Module(
+            f"dispatch{k}",
+            (
+                f"int (*tk_handler{k})(int *p);\n"
+                f"int tk_dispatch{k}(void) {{\n"
+                f"    int cell[1];\n"
+                f"    cell[0] = {self.rng.randint(1, 9)};\n"
+                f"    tk_handler{k} = tk_hquiet{k};\n"
+                f"    tk_handler{k} = tk_hloud{k};\n"
+                f"    return tk_handler{k}(cell);\n"
+                f"}}\n"
+            ),
+            protos=(f"int tk_dispatch{k}(void);",),
+            externs=(f"extern int (*tk_handler{k})(int *p);",),
+            entry=f"tk_dispatch{k}",
+        )
+        self._add(handlers)
+        self._add(dispatch)
+
+    def mod_driver(self) -> None:
+        """One driver calling every entry point, connecting the FDG."""
+        k = self._k()
+        lines = [f"int tk_main{k}(void) {{", "    int total = 0;"]
+        for entry in self._entries:
+            lines.append(f"    total = total + {entry}();")
+        lines.append("    return total;")
+        lines.append("}")
+        self._add(
+            Module(
+                f"driver{k}",
+                "\n".join(lines) + "\n",
+                protos=(f"int tk_main{k}(void);",),
+            )
+        )
+
+    # -- corpus assembly -------------------------------------------------
+    _FAMILIES = (
+        "const_reader",
+        "plain_reader",
+        "forwarder",
+        "writer",
+        "global",
+        "static",
+        "strchr",
+        "dispatch",
+    )
+
+    def corpus(
+        self, n_units: int | None = None, n_families: int | None = None
+    ) -> CCorpus:
+        rng = self.rng
+        units = n_units if n_units is not None else rng.randint(2, 4)
+        families = n_families if n_families is not None else rng.randint(3, 6)
+        for _ in range(families):
+            family = rng.choice(self._FAMILIES)
+            getattr(
+                self,
+                {
+                    "const_reader": "mod_const_reader",
+                    "plain_reader": "mod_plain_reader",
+                    "forwarder": "mod_forwarder_family",
+                    "writer": "mod_writer",
+                    "global": "mod_global_family",
+                    "static": "mod_static_helper",
+                    "strchr": "mod_strchr_like",
+                    "dispatch": "mod_dispatch_family",
+                }[family],
+            )()
+        self.mod_driver()
+
+        assignment = [rng.randrange(units) for _ in self.modules]
+        for unit in range(units):
+            if unit not in assignment:
+                assignment[rng.randrange(len(assignment))] = unit
+        return CCorpus(self.seed, self.modules, assignment, units)
+
+
+def generate_c_corpus(seed: int, **kwargs) -> CCorpus:
+    """One seeded multi-TU C corpus."""
+    return CCorpusGenerator(seed).corpus(**kwargs)

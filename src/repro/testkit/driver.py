@@ -1,0 +1,209 @@
+"""The budget-driven fuzz session behind ``python -m repro.testkit``.
+
+A session interleaves lambda programs and C corpora (roughly 3:1 — the
+lambda side is where the paper's semantics lives and is much cheaper per
+program) from a deterministic seed stream, runs each through the full
+oracle matrix, and on any disagreement shrinks the program with the
+delta-debugging reducer and writes a ready-to-commit regression test
+into the artifact directory.
+
+Everything is a pure function of ``(seed, budget, engine config)``
+except wall-clock cutoff: re-running with the same seed and a larger
+budget replays the same program stream from the beginning.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .cgen import generate_c_corpus
+from .lamgen import generate_lambda
+from .oracles import Disagreement, EngineConfig, check_c_corpus, check_lambda
+from .reduce import (
+    c_failure_predicate,
+    emit_c_regression,
+    emit_lambda_regression,
+    failure_predicate,
+    reduce_c_corpus,
+    reduce_lambda,
+)
+
+#: Relatively prime to everything the generators do with their seeds, so
+#: per-program subseeds never collide across sessions with nearby seeds.
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass
+class Failure:
+    """One confirmed oracle disagreement, post-reduction."""
+
+    kind: str  # "lambda" | "c"
+    subseed: int
+    disagreements: list[Disagreement]
+    #: Concrete syntax of the reduced reproducer (lambda) or its unit
+    #: count/module count summary (C).
+    reduced: str
+    artifact: str | None = None  # path of the emitted regression test
+
+    def summary(self) -> str:
+        names = ", ".join(sorted({d.oracle for d in self.disagreements}))
+        where = f" -> {self.artifact}" if self.artifact else ""
+        return f"{self.kind} subseed {self.subseed} [{names}]{where}"
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz session."""
+
+    seed: int
+    programs: int = 0
+    lambda_programs: int = 0
+    c_corpora: int = 0
+    stripped_fallbacks: int = 0
+    failures: list[Failure] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        head = (
+            f"seed {self.seed}: {self.programs} programs "
+            f"({self.lambda_programs} lambda, {self.c_corpora} C) "
+            f"in {self.elapsed_seconds:.1f}s — "
+        )
+        if self.ok:
+            return head + "all oracles agree"
+        lines = [head + f"{len(self.failures)} FAILURE(S)"]
+        lines.extend("  " + f.summary() for f in self.failures)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "programs": self.programs,
+                "lambda_programs": self.lambda_programs,
+                "c_corpora": self.c_corpora,
+                "stripped_fallbacks": self.stripped_fallbacks,
+                "elapsed_seconds": round(self.elapsed_seconds, 3),
+                "failures": [
+                    {
+                        "kind": f.kind,
+                        "subseed": f.subseed,
+                        "oracles": sorted({d.oracle for d in f.disagreements}),
+                        "details": [str(d) for d in f.disagreements],
+                        "reduced": f.reduced,
+                        "artifact": f.artifact,
+                    }
+                    for f in self.failures
+                ],
+            },
+            indent=2,
+        )
+
+
+class FuzzSession:
+    """One seeded, budgeted sweep of the oracle matrix."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        budget_seconds: float = 60.0,
+        max_programs: int | None = None,
+        config: EngineConfig | None = None,
+        out_dir: str | Path | None = None,
+        c_every: int = 4,
+        max_depth: int = 5,
+        progress: bool = False,
+    ):
+        self.seed = seed
+        self.budget_seconds = budget_seconds
+        self.max_programs = max_programs
+        self.config = config if config is not None else EngineConfig()
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.c_every = max(2, c_every)
+        self.max_depth = max_depth
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self) -> FuzzReport:
+        report = FuzzReport(seed=self.seed)
+        start = time.perf_counter()
+        deadline = start + self.budget_seconds
+        index = 0
+        while time.perf_counter() < deadline:
+            if self.max_programs is not None and report.programs >= self.max_programs:
+                break
+            subseed = self.seed * _SEED_STRIDE + index
+            # Every c_every-th slot is a C corpus; the rest are lambda.
+            if index % self.c_every == self.c_every - 1:
+                self._one_c(subseed, report)
+            else:
+                self._one_lambda(subseed, report)
+            report.programs += 1
+            index += 1
+            if self.progress and report.programs % 50 == 0:
+                elapsed = time.perf_counter() - start
+                print(
+                    f"  ... {report.programs} programs, "
+                    f"{len(report.failures)} failure(s), {elapsed:.1f}s"
+                )
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+    def _one_lambda(self, subseed: int, report: FuzzReport) -> None:
+        generated = generate_lambda(subseed, max_depth=self.max_depth)
+        report.lambda_programs += 1
+        if generated.stripped:
+            report.stripped_fallbacks += 1
+        found = check_lambda(generated.expr, generated.language, self.config)
+        if not found:
+            return
+        names = {d.oracle for d in found}
+        predicate = failure_predicate(generated.language, names, self.config)
+        reduced = generated.expr
+        try:
+            if predicate(generated.expr):
+                reduced = reduce_lambda(generated.expr, predicate)
+        except Exception:
+            pass  # keep the unreduced reproducer rather than lose it
+        failure = Failure("lambda", subseed, found, str(reduced))
+        if self.out_dir is not None:
+            path = self.out_dir / f"test_repro_lambda_{subseed}.py"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(emit_lambda_regression(reduced, found, subseed))
+            failure.artifact = str(path)
+        report.failures.append(failure)
+
+    def _one_c(self, subseed: int, report: FuzzReport) -> None:
+        corpus = generate_c_corpus(subseed)
+        report.c_corpora += 1
+        found = check_c_corpus(corpus, self.config)
+        if not found:
+            return
+        names = {d.oracle for d in found}
+        predicate = c_failure_predicate(names, self.config)
+        reduced = corpus
+        try:
+            if predicate(corpus):
+                reduced = reduce_c_corpus(corpus, predicate)
+        except Exception:
+            pass
+        failure = Failure(
+            "c",
+            subseed,
+            found,
+            f"{len(reduced.modules)} module(s), {reduced.n_units} unit(s)",
+        )
+        if self.out_dir is not None:
+            path = self.out_dir / f"test_repro_c_{subseed}.py"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(emit_c_regression(reduced, found, subseed))
+            failure.artifact = str(path)
+        report.failures.append(failure)

@@ -1,0 +1,301 @@
+"""Seeded random generator of well-typed lambda programs.
+
+Generation is *type-directed*: a random standard type shape is chosen
+first and an expression of that shape is grown underneath it, so every
+candidate is standard-typable by construction (the environment tracks
+each binding's shape, applications are only built from function-typed
+operands, and so on).  Qualifier constructs are layered on top with the
+rules biased toward consistency:
+
+* an annotation over a term whose top-level qualifier constant is known
+  (a literal, or another annotation) uses the lattice *join* of that
+  constant and a random element, so the (Annot) premise ``Q <= l``
+  holds by construction;
+* assertions over such terms use a join the same way; assertions over
+  terms with variable qualifiers use lattice top, which every element
+  satisfies.
+
+Two deliberate restrictions keep the Figure 5 semantics total on the
+output: references only ever hold base-typed values (no Landin's-knot
+divergence through the store), and there is no fixpoint operator — so
+every generated program terminates and the subject-reduction oracle can
+walk its full reduction sequence.
+
+A final ``infer`` pass double-checks qualifier satisfiability; in the
+rare case a composition of flows makes the qualifier system unsolvable
+(e.g. conflicting constants meeting through an if-join), the generator
+strips the program's annotations — the stripped program is always
+well-typed — rather than discarding the shape.  The returned
+:class:`GeneratedProgram` records which path was taken.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..lam.ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    QualLiteral,
+    Ref,
+    UnitLit,
+    Var,
+    strip_expr,
+    walk,
+)
+from ..lam.infer import QualTypeError, QualifiedLanguage, infer
+from ..qual.lattice import LatticeElement, QualifierLattice
+from ..qual.qualifiers import const_nonzero_lattice
+
+
+# ---------------------------------------------------------------------------
+# Standard type shapes (the generator's own little type language)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A standard type shape: ``int``, ``unit``, ``ref s`` or ``s -> t``."""
+
+    kind: str  # "int" | "unit" | "ref" | "fun"
+    args: tuple["Shape", ...] = ()
+
+    def __str__(self) -> str:
+        if self.kind == "fun":
+            return f"({self.args[0]} -> {self.args[1]})"
+        if self.kind == "ref":
+            return f"(ref {self.args[0]})"
+        return self.kind
+
+
+INT = Shape("int")
+UNIT = Shape("unit")
+
+
+def ref_of(s: Shape) -> Shape:
+    return Shape("ref", (s,))
+
+
+def fun(dom: Shape, rng: Shape) -> Shape:
+    return Shape("fun", (dom, rng))
+
+
+@dataclass
+class GeneratedProgram:
+    """One generator output: the program plus provenance for reports."""
+
+    expr: Expr
+    seed: int
+    lattice: QualifierLattice
+    language: QualifiedLanguage
+    #: True when the annotated candidate needed the strip fallback.
+    stripped: bool = False
+
+    @property
+    def size(self) -> int:
+        return sum(1 for _ in walk(self.expr))
+
+    def source(self) -> str:
+        return str(self.expr)
+
+
+class LambdaGenerator:
+    """Grows well-typed lambda programs from a seeded RNG."""
+
+    def __init__(
+        self,
+        seed: int,
+        lattice: QualifierLattice | None = None,
+        max_depth: int = 5,
+    ):
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.lattice = lattice if lattice is not None else const_nonzero_lattice()
+        self.language = QualifiedLanguage(self.lattice, assign_restrictions=("const",))
+        self.max_depth = max_depth
+        self._fresh = 0
+
+    # -- small helpers -------------------------------------------------
+    def _name(self) -> str:
+        self._fresh += 1
+        return f"v{self._fresh}"
+
+    def _random_element(self) -> LatticeElement:
+        """A random lattice element (random subset of qualifier names)."""
+        names = [q.name for q in self.lattice.qualifiers if self.rng.random() < 0.5]
+        return self.lattice.element(*names)
+
+    def _literal_for(self, element: LatticeElement) -> QualLiteral:
+        return QualLiteral(element.present)
+
+    def _known_qual(self, e: Expr) -> LatticeElement | None:
+        """The term's top-level qualifier constant, when syntactically
+        known: an annotation's level.  (Bare literals enter the system
+        with only a *lower* bound, so their top qualifier is a variable
+        — returning None keeps the caller conservative.)"""
+        if isinstance(e, Annot):
+            return e.qual.resolve(self.lattice)
+        if isinstance(e, Assert):
+            return self._known_qual(e.expr)
+        return None
+
+    def _maybe_qualify(self, e: Expr, depth: int) -> Expr:
+        """Wrap ``e`` in annotation/assertion layers, biased consistent."""
+        if self.rng.random() < 0.55:
+            return e
+        known = self._known_qual(e)
+        if self.rng.random() < 0.6:
+            # Annotation l e: need Q <= l.  Over a known constant, join
+            # it up; over a fresh-variable term a literal-only lower
+            # bound means any level works, but flows *into* the term may
+            # have raised it — the driver's final infer pass catches the
+            # rare inconsistent composition.
+            base = known if known is not None else self.lattice.bottom
+            level = self.lattice.join(base, self._random_element())
+            return Annot(self._literal_for(level), e)
+        # Assertion e|l: need Q <= l; top always satisfies.
+        if known is not None:
+            level = self.lattice.join(known, self._random_element())
+        else:
+            level = self.lattice.top
+        return Assert(e, self._literal_for(level))
+
+    # -- type-directed expression growth -------------------------------
+    def shape(self, depth: int = 0) -> Shape:
+        """A random result shape for a whole program (base-biased)."""
+        r = self.rng.random()
+        if depth >= 2 or r < 0.7:
+            return INT if self.rng.random() < 0.8 else UNIT
+        if r < 0.85:
+            return ref_of(INT)
+        return fun(INT, INT)
+
+    def gen(self, want: Shape, env: list[tuple[str, Shape]], depth: int) -> Expr:
+        """An expression of shape ``want`` under ``env``."""
+        rng = self.rng
+        candidates = [(n, s) for n, s in env if s == want]
+
+        # Leaves when the budget runs out.
+        if depth >= self.max_depth:
+            return self._leaf(want, candidates, env, depth)
+
+        roll = rng.random()
+        if candidates and roll < 0.2:
+            return Var(rng.choice(candidates)[0])
+        if roll < 0.35:
+            return self._gen_let(want, env, depth)
+        if roll < 0.45:
+            return self._gen_if(want, env, depth)
+        if roll < 0.6:
+            return self._gen_app(want, env, depth)
+
+        match want.kind:
+            case "int":
+                if rng.random() < 0.3:
+                    # read through a reference
+                    return Deref(self.gen(ref_of(INT), env, depth + 1))
+                return self._maybe_qualify(IntLit(rng.randint(0, 9)), depth)
+            case "unit":
+                if rng.random() < 0.5:
+                    # write through a reference (exercises (Assign'))
+                    target = self.gen(ref_of(INT), env, depth + 1)
+                    value = self.gen(INT, env, depth + 1)
+                    return Assign(target, value)
+                return UnitLit()
+            case "ref":
+                return Ref(self.gen(want.args[0], env, depth + 1))
+            case "fun":
+                param = self._name()
+                body = self.gen(
+                    want.args[1], env + [(param, want.args[0])], depth + 1
+                )
+                return self._maybe_qualify(Lam(param, body), depth)
+        raise AssertionError(f"unknown shape {want}")  # pragma: no cover
+
+    def _leaf(
+        self,
+        want: Shape,
+        candidates: list[tuple[str, Shape]],
+        env: list[tuple[str, Shape]],
+        depth: int,
+    ) -> Expr:
+        rng = self.rng
+        if candidates and rng.random() < 0.6:
+            return Var(rng.choice(candidates)[0])
+        match want.kind:
+            case "int":
+                return self._maybe_qualify(IntLit(rng.randint(0, 9)), depth)
+            case "unit":
+                return UnitLit()
+            case "ref":
+                return Ref(self._leaf(want.args[0], [], env, depth))
+            case "fun":
+                param = self._name()
+                return Lam(param, self._leaf(want.args[1], [], env, depth))
+        raise AssertionError(f"unknown shape {want}")  # pragma: no cover
+
+    def _gen_let(self, want: Shape, env: list[tuple[str, Shape]], depth: int) -> Expr:
+        rng = self.rng
+        name = self._name()
+        # Bind a value sometimes (generalizable under the value
+        # restriction — exercises (Letv)/(Var')), sometimes a ref.
+        r = rng.random()
+        if r < 0.4:
+            bound_shape = fun(INT, INT)
+            bound: Expr = Lam(
+                (p := self._name()),
+                self.gen(INT, env + [(p, INT)], depth + 2),
+            )
+            if rng.random() < 0.4:
+                bound = self._maybe_qualify(bound, depth)
+        elif r < 0.7:
+            bound_shape = ref_of(INT)
+            bound = Ref(self.gen(INT, env, depth + 1))
+        else:
+            bound_shape = INT
+            bound = self.gen(INT, env, depth + 1)
+        body = self.gen(want, env + [(name, bound_shape)], depth + 1)
+        return Let(name, bound, body)
+
+    def _gen_if(self, want: Shape, env: list[tuple[str, Shape]], depth: int) -> Expr:
+        cond = self.gen(INT, env, depth + 1)
+        then = self.gen(want, env, depth + 1)
+        other = self.gen(want, env, depth + 1)
+        return If(cond, then, other)
+
+    def _gen_app(self, want: Shape, env: list[tuple[str, Shape]], depth: int) -> Expr:
+        dom = INT if self.rng.random() < 0.8 else ref_of(INT)
+        f = self.gen(fun(dom, want), env, depth + 1)
+        a = self.gen(dom, env, depth + 1)
+        return App(f, a)
+
+    # -- the public entry point ----------------------------------------
+    def program(self) -> GeneratedProgram:
+        """One well-typed program (annotated when possible)."""
+        expr = self.gen(self.shape(), [], 0)
+        try:
+            infer(expr, self.language)
+            return GeneratedProgram(expr, self.seed, self.lattice, self.language)
+        except QualTypeError:
+            stripped = strip_expr(expr)
+            # The stripped program has no qualifier constants at all, so
+            # its system is trivially satisfiable; assert rather than
+            # guess so generator regressions surface loudly.
+            infer(stripped, self.language)
+            return GeneratedProgram(
+                stripped, self.seed, self.lattice, self.language, stripped=True
+            )
+
+
+def generate_lambda(seed: int, max_depth: int = 5) -> GeneratedProgram:
+    """One seeded well-typed lambda program."""
+    return LambdaGenerator(seed, max_depth=max_depth).program()

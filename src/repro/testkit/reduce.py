@@ -1,0 +1,323 @@
+"""Delta-debugging reducers: shrink a failing program to a minimal
+reproducer and emit it as a ready-to-commit regression test.
+
+Both reducers take an ``is_failing`` predicate (build one with
+:func:`failure_predicate`, which pins the oracle names that fired on the
+original program, so the reducer tracks *the same* failure rather than
+any failure) and greedily apply shrinking steps while the predicate
+stays true:
+
+* lambda programs shrink over the AST — hoist any subexpression into
+  its parent's place, or collapse a subtree to a literal — smallest
+  candidate first, to a fixpoint;
+* C corpora shrink ddmin-style over their module list (chunked drops at
+  increasing granularity), then over the translation-unit count.
+
+Candidates that break well-typedness or linkage simply make the
+predicate false (the oracles report nothing, or report a different
+failure), so no separate validity check is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, Sequence
+
+from ..lam.ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Loc,
+    Ref,
+    UnitLit,
+    Var,
+    walk,
+)
+from ..lam.infer import QualifiedLanguage
+from .cgen import CCorpus
+from .oracles import Disagreement, EngineConfig, check_c_corpus, check_lambda
+
+
+def size_of(e: Expr) -> int:
+    """AST node count — the reducer's minimality metric."""
+    return sum(1 for _ in walk(e))
+
+
+# ---------------------------------------------------------------------------
+# Failure predicates
+# ---------------------------------------------------------------------------
+
+
+def failure_predicate(
+    language: QualifiedLanguage,
+    oracle_names: frozenset[str] | set[str],
+    config: EngineConfig | None = None,
+) -> Callable[[Expr], bool]:
+    """True iff the *same* oracle family still fires on the candidate."""
+    names = frozenset(oracle_names)
+    cfg = config if config is not None else EngineConfig()
+    # Re-running only the oracles that fired keeps reduction fast.
+    cfg = replace(cfg, oracles=names)
+
+    def is_failing(candidate: Expr) -> bool:
+        try:
+            found = check_lambda(candidate, language, cfg)
+        except Exception:
+            return False
+        return bool(names & {d.oracle for d in found})
+
+    return is_failing
+
+
+def c_failure_predicate(
+    oracle_names: frozenset[str] | set[str],
+    config: EngineConfig | None = None,
+) -> Callable[[CCorpus], bool]:
+    """Corpus-side twin of :func:`failure_predicate`."""
+    names = frozenset(oracle_names)
+    cfg = config if config is not None else EngineConfig()
+    cfg = replace(cfg, oracles=names)
+
+    def is_failing(candidate: CCorpus) -> bool:
+        try:
+            found = check_c_corpus(candidate, cfg)
+        except Exception:
+            return False
+        return bool(names & {d.oracle for d in found})
+
+    return is_failing
+
+
+# ---------------------------------------------------------------------------
+# Lambda reduction
+# ---------------------------------------------------------------------------
+
+
+def _children(e: Expr) -> list[Expr]:
+    match e:
+        case Var() | IntLit() | UnitLit() | Loc():
+            return []
+        case Lam(body=b):
+            return [b]
+        case Let(bound=b, body=body):
+            return [b, body]
+        case App(func=f, arg=a):
+            return [f, a]
+        case If(cond=c, then=t, other=o):
+            return [c, t, o]
+        case Ref(init=i):
+            return [i]
+        case Deref(ref=r):
+            return [r]
+        case Assign(target=t, value=v):
+            return [t, v]
+        case Annot(expr=inner) | Assert(expr=inner):
+            return [inner]
+    raise TypeError(f"unknown expression {e!r}")  # pragma: no cover
+
+
+def _rebuild(e: Expr, kids: Sequence[Expr]) -> Expr:
+    match e:
+        case Lam(param=p):
+            return Lam(p, kids[0], span=e.span)
+        case Let(name=n):
+            return Let(n, kids[0], kids[1], span=e.span)
+        case App():
+            return App(kids[0], kids[1], span=e.span)
+        case If():
+            return If(kids[0], kids[1], kids[2], span=e.span)
+        case Ref():
+            return Ref(kids[0], span=e.span)
+        case Deref():
+            return Deref(kids[0], span=e.span)
+        case Assign():
+            return Assign(kids[0], kids[1], span=e.span)
+        case Annot(qual=q):
+            return Annot(q, kids[0], span=e.span)
+        case Assert(qual=q):
+            return Assert(kids[0], q, span=e.span)
+    raise TypeError(f"unknown expression {e!r}")  # pragma: no cover
+
+
+def _variants(e: Expr) -> Iterator[Expr]:
+    """Every single-step shrink of ``e``: hoist a child over its parent,
+    collapse to a literal, or apply either deeper in the tree."""
+    kids = _children(e)
+    yield from kids
+    if not isinstance(e, IntLit):
+        yield IntLit(0)
+    if not isinstance(e, UnitLit):
+        yield UnitLit()
+    for i, kid in enumerate(kids):
+        for v in _variants(kid):
+            patched = list(kids)
+            patched[i] = v
+            yield _rebuild(e, patched)
+
+
+def reduce_lambda(
+    expr: Expr,
+    is_failing: Callable[[Expr], bool],
+    max_checks: int = 10_000,
+) -> Expr:
+    """Greedy smallest-first shrink of ``expr`` to a local minimum of
+    ``is_failing``.  The input itself must be failing."""
+    if not is_failing(expr):
+        raise ValueError("reduce_lambda needs a failing input")
+    current = expr
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in sorted(_variants(current), key=size_of):
+            if size_of(candidate) >= size_of(current):
+                break  # sorted: nothing smaller remains
+            checks += 1
+            if is_failing(candidate):
+                current = candidate
+                improved = True
+                break
+            if checks >= max_checks:
+                break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# C corpus reduction
+# ---------------------------------------------------------------------------
+
+
+def _without_modules(corpus: CCorpus, dropped: set[int]) -> CCorpus:
+    modules = [m for i, m in enumerate(corpus.modules) if i not in dropped]
+    assignment = [
+        a for i, a in enumerate(corpus.assignment) if i not in dropped
+    ]
+    return CCorpus(corpus.seed, modules, assignment, corpus.n_units)
+
+
+def _with_units(corpus: CCorpus, n_units: int) -> CCorpus:
+    return CCorpus(
+        corpus.seed,
+        list(corpus.modules),
+        [a % n_units for a in corpus.assignment],
+        n_units,
+    )
+
+
+def reduce_c_corpus(
+    corpus: CCorpus,
+    is_failing: Callable[[CCorpus], bool],
+    max_checks: int = 500,
+) -> CCorpus:
+    """ddmin over the module list, then shrink the unit count."""
+    if not is_failing(corpus):
+        raise ValueError("reduce_c_corpus needs a failing input")
+    current = corpus
+    checks = 0
+
+    # Chunked drops at doubling granularity (classic ddmin), restarted
+    # from the coarsest level after every successful shrink.
+    chunk = max(1, len(current.modules) // 2)
+    while chunk >= 1 and checks < max_checks:
+        n = len(current.modules)
+        shrunk = False
+        for start in range(0, n, chunk):
+            dropped = set(range(start, min(start + chunk, n)))
+            if len(dropped) == n:
+                continue  # never empty the corpus
+            candidate = _without_modules(current, dropped)
+            checks += 1
+            if is_failing(candidate):
+                current = candidate
+                chunk = max(1, len(current.modules) // 2)
+                shrunk = True
+                break
+            if checks >= max_checks:
+                break
+        if not shrunk:
+            chunk //= 2
+
+    for units in range(1, current.n_units):
+        candidate = _with_units(current, units)
+        checks += 1
+        if is_failing(candidate):
+            current = candidate
+            break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Regression-test emission
+# ---------------------------------------------------------------------------
+
+_LAMBDA_TEMPLATE = '''\
+"""Regression: reduced reproducer from ``repro.testkit`` fuzzing.
+
+Found by seed {seed}, oracle(s) {oracles}; reduced to {size} AST nodes.
+"""
+
+from repro.lam.parser import parse
+from repro.lam.infer import QualifiedLanguage
+from repro.qual.qualifiers import const_nonzero_lattice
+from repro.testkit.oracles import check_lambda
+
+SOURCE = {source!r}
+
+
+def test_reduced_reproducer():
+    language = QualifiedLanguage(
+        const_nonzero_lattice(), assign_restrictions=("const",)
+    )
+    disagreements = check_lambda(parse(SOURCE), language)
+    assert disagreements == [], "\\n".join(map(str, disagreements))
+'''
+
+_C_TEMPLATE = '''\
+"""Regression: reduced reproducer from ``repro.testkit`` fuzzing.
+
+Found by seed {seed}, oracle(s) {oracles}; reduced to {n_modules}
+module(s) over {n_units} translation unit(s).
+"""
+
+from repro.testkit.cgen import CCorpus, Module
+from repro.testkit.oracles import check_c_corpus
+
+CORPUS = {corpus!r}
+
+
+def test_reduced_reproducer():
+    disagreements = check_c_corpus(CORPUS)
+    assert disagreements == [], "\\n".join(map(str, disagreements))
+'''
+
+
+def emit_lambda_regression(
+    expr: Expr, disagreements: Sequence[Disagreement], seed: int
+) -> str:
+    """A ready-to-commit pytest module asserting the oracles stay clean
+    on the reduced program (the dataclass reprs round-trip as literals)."""
+    return _LAMBDA_TEMPLATE.format(
+        seed=seed,
+        oracles=", ".join(sorted({d.oracle for d in disagreements})) or "unknown",
+        size=size_of(expr),
+        source=str(expr),
+    )
+
+
+def emit_c_regression(
+    corpus: CCorpus, disagreements: Sequence[Disagreement], seed: int
+) -> str:
+    return _C_TEMPLATE.format(
+        seed=seed,
+        oracles=", ".join(sorted({d.oracle for d in disagreements})) or "unknown",
+        n_modules=len(corpus.modules),
+        n_units=corpus.n_units,
+        corpus=corpus,
+    )

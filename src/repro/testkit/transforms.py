@@ -1,0 +1,123 @@
+"""Qualifier-preserving metamorphic transforms.
+
+Each transform maps a program to a program whose *observable* analysis
+outcome must not move: for lambda programs the least qualified type of
+the whole program (types never mention variable names, so renames are
+invisible to it) and the well-typedness verdict; for C corpora the
+classification multiset (handled by :meth:`repro.testkit.cgen.CCorpus.
+repartitioned`).
+
+The transforms deliberately change everything the analyses are supposed
+to be insensitive to: binder names, dead bindings, and the partition of
+code into translation units.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..lam.ast import (
+    Annot,
+    App,
+    Assert,
+    Assign,
+    Deref,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Loc,
+    Ref,
+    UnitLit,
+    Var,
+)
+
+
+def rename_vars(e: Expr, salt: int = 0) -> Expr:
+    """Consistent capture-free alpha-rename of every binder.
+
+    Binders are renamed positionally (``r{salt}_{n}``), so the output is
+    deterministic in ``(expr, salt)`` and two alpha-equivalent inputs
+    map to the same output.
+    """
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"r{salt}_{counter[0]}"
+
+    def go(e: Expr, env: dict[str, str]) -> Expr:
+        match e:
+            case Var(name=n):
+                return Var(env.get(n, n), span=e.span)
+            case IntLit() | UnitLit() | Loc():
+                return e
+            case Lam(param=p, body=b):
+                new = fresh()
+                return Lam(new, go(b, {**env, p: new}), span=e.span)
+            case Let(name=n, bound=b, body=body):
+                new = fresh()
+                return Let(new, go(b, env), go(body, {**env, n: new}), span=e.span)
+            case App(func=f, arg=a):
+                return App(go(f, env), go(a, env), span=e.span)
+            case If(cond=c, then=t, other=o):
+                return If(go(c, env), go(t, env), go(o, env), span=e.span)
+            case Ref(init=i):
+                return Ref(go(i, env), span=e.span)
+            case Deref(ref=r):
+                return Deref(go(r, env), span=e.span)
+            case Assign(target=t, value=v):
+                return Assign(go(t, env), go(v, env), span=e.span)
+            case Annot(qual=q, expr=inner):
+                return Annot(q, go(inner, env), span=e.span)
+            case Assert(expr=inner, qual=q):
+                return Assert(go(inner, env), q, span=e.span)
+            case _:  # pragma: no cover - exhaustive over AST
+                raise TypeError(f"unknown expression {e!r}")
+
+    return go(e, {})
+
+
+def insert_dead_lets(e: Expr, seed: int = 0, probability: float = 0.25) -> Expr:
+    """Wrap random subexpressions in ``let dead = 0 in e ni``.
+
+    The bindings are never referenced, so inference must produce the
+    same qualified type (the dead bound expression adds constraints only
+    over its own fresh variables).  Deterministic in ``(expr, seed)``.
+    """
+    rng = random.Random(seed)
+    counter = [0]
+
+    def wrap(out: Expr) -> Expr:
+        if rng.random() < probability:
+            counter[0] += 1
+            return Let(f"dead{counter[0]}", IntLit(0), out)
+        return out
+
+    def go(e: Expr) -> Expr:
+        match e:
+            case Var() | IntLit() | UnitLit() | Loc():
+                return e
+            case Lam(param=p, body=b):
+                return wrap(Lam(p, go(b), span=e.span))
+            case Let(name=n, bound=b, body=body):
+                return wrap(Let(n, go(b), go(body), span=e.span))
+            case App(func=f, arg=a):
+                return wrap(App(go(f), go(a), span=e.span))
+            case If(cond=c, then=t, other=o):
+                return wrap(If(go(c), go(t), go(o), span=e.span))
+            case Ref(init=i):
+                return wrap(Ref(go(i), span=e.span))
+            case Deref(ref=r):
+                return wrap(Deref(go(r), span=e.span))
+            case Assign(target=t, value=v):
+                return wrap(Assign(go(t), go(v), span=e.span))
+            case Annot(qual=q, expr=inner):
+                return Annot(q, go(inner), span=e.span)
+            case Assert(expr=inner, qual=q):
+                return Assert(go(inner), q, span=e.span)
+            case _:  # pragma: no cover - exhaustive over AST
+                raise TypeError(f"unknown expression {e!r}")
+
+    return go(e)

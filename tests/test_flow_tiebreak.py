@@ -1,0 +1,146 @@
+"""``shortest_flow_path`` promises a witness that is independent of
+constraint *emission order* — ties break by origin span, then variable
+uid.  These tests permute the emission order of a fixed constraint
+system every possible way and assert the rendered witness path is
+byte-identical, then pin the documented tie-break rules one by one."""
+
+import itertools
+
+import pytest
+
+from repro.qual.constraints import Origin, QualConstraint
+from repro.qual.qtypes import QualVar
+from repro.qual.qualifiers import const_lattice
+from repro.qual.solver import shortest_flow_path
+
+
+@pytest.fixture
+def lat():
+    return const_lattice()
+
+
+def var(name, uid):
+    return QualVar(name, uid)
+
+
+def con(lhs, rhs, line, reason="flow", filename="t.c", column=1):
+    return QualConstraint(lhs, rhs, Origin(reason, filename, line, column))
+
+
+def rendered(path):
+    """The witness as the byte string a diagnostic would print."""
+    assert path is not None
+    return "\n".join(f"{c.lhs} <= {c.rhs} [{c.origin}]" for c in path)
+
+
+class TestPermutationInvariance:
+    def build(self, lat):
+        """Two equal-length witness candidates plus a longer decoy path:
+        seed(a) -> a->t  and  seed(b) -> b->t  tie at length 2; the
+        a->c->t chain is length 3 and must never win."""
+        const = lat.element("const")
+        a, b, c, t = (var(n, u) for n, u in (("a", 1), ("b", 2), ("c", 3), ("t", 4)))
+        constraints = [
+            con(const, a, line=1),
+            con(const, b, line=2),
+            con(a, t, line=3),
+            con(b, t, line=4),
+            con(a, c, line=5),
+            con(c, t, line=6),
+        ]
+        return constraints, t
+
+    def test_every_emission_order_gives_identical_witness(self, lat):
+        constraints, target = self.build(lat)
+        bound = lat.element()  # upper bound without const -> violated
+        baseline = rendered(
+            shortest_flow_path(constraints, lat, target, bound)
+        )
+        for perm in itertools.permutations(constraints):
+            assert (
+                rendered(shortest_flow_path(list(perm), lat, target, bound))
+                == baseline
+            )
+
+    def test_the_winning_witness_is_the_lowest_span(self, lat):
+        constraints, target = self.build(lat)
+        bound = lat.element()
+        path = shortest_flow_path(constraints, lat, target, bound)
+        assert [c.origin.line for c in path] == [1, 3]
+
+
+TIE_CASES = [
+    # (description, origin kwargs for edge A, for edge B, expected winner)
+    (
+        "earlier filename wins",
+        dict(filename="a.c", line=9),
+        dict(filename="b.c", line=1),
+        "A",
+    ),
+    (
+        "same file: earlier line wins",
+        dict(filename="t.c", line=2),
+        dict(filename="t.c", line=7),
+        "A",
+    ),
+    (
+        "same line: earlier column wins",
+        dict(filename="t.c", line=3, column=4),
+        dict(filename="t.c", line=3, column=9),
+        "A",
+    ),
+    (
+        "same span: reason string breaks the tie",
+        dict(filename="t.c", line=3, column=4, reason="arg flow"),
+        dict(filename="t.c", line=3, column=4, reason="return flow"),
+        "A",
+    ),
+]
+
+
+class TestDocumentedTiebreakRules:
+    @pytest.mark.parametrize(
+        "description,origin_a,origin_b,winner",
+        TIE_CASES,
+        ids=[case[0] for case in TIE_CASES],
+    )
+    def test_parallel_edges(self, lat, description, origin_a, origin_b, winner):
+        """Two parallel edges between the same variables: the kept edge
+        is the one with the smaller (filename, line, column, reason)
+        rank, regardless of which was emitted first."""
+        const = lat.element("const")
+        source, target = var("src", 1), var("dst", 2)
+        seed = con(const, source, line=1)
+        edge_a = QualConstraint(source, target, Origin(**{"reason": "flow", **origin_a}))
+        edge_b = QualConstraint(source, target, Origin(**{"reason": "flow", **origin_b}))
+        expected = edge_a if winner == "A" else edge_b
+
+        for emission in ([seed, edge_a, edge_b], [seed, edge_b, edge_a],
+                         [edge_b, seed, edge_a], [edge_a, edge_b, seed]):
+            path = shortest_flow_path(emission, lat, target, lat.element())
+            assert path is not None
+            assert path[-1] is expected, description
+
+    def test_seed_ties_break_by_span_then_uid(self, lat):
+        """Two seeds reaching the target at equal depth: the lower span
+        seeds first; with identical spans the lower uid wins."""
+        const = lat.element("const")
+        t = var("t", 10)
+        lo, hi = var("lo", 1), var("hi", 2)
+        same_span = dict(line=5, column=5)
+        system = [
+            con(const, hi, **same_span),
+            con(const, lo, **same_span),
+            con(hi, t, line=8),
+            con(lo, t, line=8),
+        ]
+        for perm in itertools.permutations(system):
+            path = shortest_flow_path(list(perm), lat, t, lat.element())
+            assert path is not None
+            assert path[0].rhs is lo  # uid 1 < uid 2
+
+    def test_satisfied_bound_has_no_witness(self, lat):
+        const = lat.element("const")
+        a, t = var("a", 1), var("t", 2)
+        system = [con(const, a, line=1), con(a, t, line=2)]
+        assert shortest_flow_path(system, lat, t, const) is None
