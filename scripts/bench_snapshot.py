@@ -101,12 +101,65 @@ def measure() -> dict:
     entry["solver_kernel_ms"]["chain10k_reference"] = round(
         best_of(solve_reference, chain, lattice) * 1000, 2
     )
+    entry["solver_kernel_ms"].update(measure_flatcore(lattice))
 
     entry["suite_ms"] = measure_suite()
     entry["checker"] = measure_checker()
     entry["whole_program"] = measure_whole()
     entry["testkit_fuzz"] = measure_fuzz()
     return entry
+
+
+def measure_flatcore(lattice) -> dict:
+    """Flat-array CSR kernel times (condensation + both propagation
+    passes over prebuilt buffers) on the three shapes that stress it:
+    a 10k chain (longest DAG), a 10k-leaf fan-out (widest DAG), and a
+    dense strongly-connected component (largest collapse).  These
+    isolate the kernel the way ``chain10k_condensation`` isolates the
+    whole ``solve`` call — the difference between the two numbers is
+    the Python cost of iterating constraint *objects* into the arrays,
+    which a warm (mmap) start never pays."""
+    from test_solver_bench import cyclic_system, fanout_system
+
+    from repro.qual.flatcore import FlatSystem, fast_available
+    from repro.qual.solver import IndexedSystem
+
+    def flat_of(constraints):
+        system = IndexedSystem(lattice)
+        system.add_many(constraints)
+        return FlatSystem.from_indexed(system)
+
+    _, chain = chain_system(lattice, 10_000)
+    _, fan = fanout_system(lattice, 10_000)
+    _, dense = cyclic_system(lattice, 5_000)
+
+    out = {"flat_kernel_fast_path": fast_available()}
+    for name, constraints in (
+        ("flat_chain10k", chain),
+        ("flat_fanout10k", fan),
+        ("flat_dense_scc5k", dense),
+    ):
+        flat = flat_of(constraints)
+        out[name] = round(best_of(flat.solve_masks) * 1000, 3)
+
+    # The zero-copy warm start: serialise once (with the solution
+    # section), then time mmap -> wrap -> read the recorded fixpoints.
+    flat = flat_of(chain)
+    flat.attach_solution()
+    blob = flat.to_bytes()
+    with tempfile.NamedTemporaryFile(suffix=".qfc") as handle:
+        handle.write(blob)
+        handle.flush()
+        import mmap as mmap_mod
+
+        def warm_load():
+            with open(handle.name, "rb") as f:
+                mapped = mmap_mod.mmap(f.fileno(), 0, access=mmap_mod.ACCESS_READ)
+                system = FlatSystem.from_buffer(mapped)
+                solution = system.stored_solution()
+                assert solution is not None
+        out["flat_chain10k_mmap_warm"] = round(best_of(warm_load) * 1000, 3)
+    return out
 
 
 def measure_fuzz() -> dict:
@@ -234,6 +287,8 @@ def main() -> None:
     else:
         data = {"entries": []}
     entry = measure()
+    if len(sys.argv) > 1:
+        entry["label"] = sys.argv[1]
     data["entries"].append(entry)
     SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
 

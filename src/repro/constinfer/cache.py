@@ -23,27 +23,54 @@ Keys are SHA-256 digests over every input that can change the output:
 is bit-deterministic across job counts, so serial and parallel runs
 share entries.
 
-Entries are pickle blobs written atomically (tmp file + ``os.replace``)
-so concurrent writers — the process-pool suite runner — can race
+Entries are written atomically (tmp file + ``os.replace``) so
+concurrent writers — the process-pool suite runner — can race
 harmlessly: last writer wins with an identical value.  Unreadable or
 corrupt entries are treated as misses and rewritten.
+
+Two entry encodings coexist under the same keyspace, dispatched by the
+leading magic bytes at load time:
+
+* **v2 binary** (``b"QCE2"``) — the preferred encoding for constraint
+  entries: a small header, the flat-array constraint system of
+  :mod:`repro.qual.flatcore` (CSR edges, bitmask bounds, name blob,
+  and the solved fixpoints) as raw little-endian buffers, then a pickle
+  of primitive per-position rows.  Warm starts ``mmap`` the file and
+  wrap the buffers zero-copy; no ``QualVar``/``QualConstraint`` object
+  graph is ever rebuilt — variables are rehydrated lazily, only for
+  the positions diagnostics touch, and the recorded solution (the
+  system's *unique* extreme fixpoints) is served without re-solving.
+* **v1 pickle** — everything else (parsed programs, systems the flat
+  core cannot hold, entries written by older code): a pickle blob of
+  ``(constraints, positions)`` re-solved on load.  Still fully
+  supported as the fallback read path.
+
+A truncated or corrupt binary entry (bad magic, short buffer,
+``struct.error``) is a miss exactly like a corrupt pickle — never an
+exception out of the cache layer.
 """
 
 from __future__ import annotations
 
 import hashlib
+import mmap
 import os
 import pickle
+import struct
 import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..cfront.sema import Program
+from ..qual import flatcore
 from ..qual.lattice import QualifierLattice
+from ..qual.solver import UnsatisfiableError
+from .analysis import ConstPosition
 from .engine import (
     InferenceRun,
     StageTimings,
+    _wrap_unsat,
     run_mono,
     run_poly,
     run_polyrec,
@@ -52,7 +79,17 @@ from .engine import (
 
 #: Bump to invalidate every existing cache entry regardless of code
 #: fingerprint (e.g. when the entry *format* changes shape).
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
+
+#: Leading magic of a v2 binary constraint entry; anything else is
+#: dispatched to the v1 pickle reader.
+ENTRY_MAGIC = b"QCE2"
+ENTRY_VERSION = 1
+
+#: v2 entry header: magic, version, reserved, flat section length,
+#: position-row pickle length.  24 bytes, so the flat section that
+#: follows stays 8-aligned for zero-copy int64 views.
+_ENTRY_HEADER = struct.Struct("<4sHHQQ")
 
 #: The packages whose source code determines cached output (the checker
 #: stores finished diagnostics, so its code is part of the key too).
@@ -99,14 +136,21 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Subset of ``hits`` served zero-copy from a v2 binary entry
+    #: (mmap + flat buffers, no unpickled object graph).
+    binary_hits: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.stores += other.stores
+        self.binary_hits += other.binary_hits
 
     def summary(self) -> str:
-        return f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s)"
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} store(s), {self.binary_hits} binary mmap hit(s)"
+        )
 
 
 @dataclass
@@ -182,6 +226,98 @@ class AnalysisCache:
             raise
         self.stats.stores += 1
 
+    def put_bytes(self, key: str, blob: bytes) -> None:
+        """Atomically store an already-encoded binary entry."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def _load_constraints(self, key: str):
+        """Load a constraints entry in whichever encoding it was written.
+
+        Returns ``("flat", (FlatSystem, positions))`` for a v2 binary
+        entry (buffers wrapped zero-copy over an ``mmap`` of the file),
+        ``("pickle", (constraints, positions))`` for a v1 pickle entry,
+        or ``None`` on miss.  Corrupt entries of either encoding —
+        truncated headers, short buffers, ``struct.error``, garbage
+        pickles — are misses, never exceptions.
+        """
+        path = self._path(key)
+        try:
+            handle = open(path, "rb")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        with handle:
+            try:
+                head = handle.read(len(ENTRY_MAGIC))
+            except OSError:
+                self.stats.misses += 1
+                return None
+            if head == ENTRY_MAGIC:
+                try:
+                    mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+                except (OSError, ValueError):
+                    self.stats.misses += 1
+                    return None
+                try:
+                    entry = _decode_entry(mapped)
+                except (
+                    ValueError,
+                    struct.error,
+                    IndexError,
+                    KeyError,
+                    OverflowError,
+                    UnicodeDecodeError,
+                    pickle.UnpicklingError,
+                    EOFError,
+                    AttributeError,
+                ):
+                    # Not closed explicitly: the raised exception's
+                    # frames may still hold views over the mapping
+                    # (closing would raise BufferError); GC reclaims it.
+                    self.stats.misses += 1
+                    return None
+                self.stats.hits += 1
+                self.stats.binary_hits += 1
+                return ("flat", entry)
+            try:
+                handle.seek(0)
+                blob = handle.read()
+            except OSError:
+                self.stats.misses += 1
+                return None
+        try:
+            value = pickle.loads(blob)
+        except (
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ValueError,
+            IndexError,
+            struct.error,
+        ):
+            self.stats.misses += 1
+            return None
+        if isinstance(value, tuple) and len(value) == 2:
+            self.stats.hits += 1
+            return ("pickle", value)
+        # Well-formed pickle of the wrong shape (written by another tool
+        # against the same key): recompute rather than serve it.
+        self.stats.misses += 1
+        return None
+
     # -- pipeline-level helpers ----------------------------------------
     def cached_program(self, source: str, name: str) -> tuple[Program, float, bool]:
         """Parse ``source`` through the cache.
@@ -211,15 +347,20 @@ class AnalysisCache:
         """Run one engine over ``source`` through the cache.
 
         Cold path: parse (itself cached), run the engine, then store the
-        generated constraint system — ``(constraints, positions)``
-        pickled as one blob so shared :class:`~repro.qual.qtypes.QualVar`
-        objects keep their identity through pickle memoisation.
+        generated constraint system — preferably as a v2 binary entry
+        (the flat-array system of :mod:`repro.qual.flatcore` with its
+        solved fixpoints), falling back to the v1
+        ``(constraints, positions)`` pickle for systems the flat core
+        cannot encode.
 
-        Warm path: load the blob and go straight to the solver; parse
-        and constraint generation are skipped entirely and the run's
-        :class:`~repro.constinfer.engine.StageTimings` is flagged
-        ``from_cache``.  The solver's least/greatest fixpoints are
-        unique, so warm classifications are bit-identical to cold ones.
+        Warm path: a v2 entry is ``mmap``-ed and its buffers wrapped
+        zero-copy — the recorded solution is served directly (the
+        fixpoints are unique, so it is bit-identical to a fresh solve)
+        and ``QualVar`` objects are rebuilt lazily, only for the
+        classified positions; a v1 entry is unpickled and re-solved.
+        Either way parse and constraint generation are skipped entirely
+        and the run's :class:`~repro.constinfer.engine.StageTimings` is
+        flagged ``from_cache``.
         """
         key = self.key(
             "constraints",
@@ -229,11 +370,22 @@ class AnalysisCache:
             options=inference_options,
         )
         start = time.perf_counter()
-        cached = self.get(key)
-        if isinstance(cached, tuple) and len(cached) == 2:
-            constraints, positions = cached
-            loaded = time.perf_counter()
-            solution = _solve_cached(constraints, positions, lattice)
+        cached = self._load_constraints(key)
+        if cached is not None:
+            encoding, payload = cached
+            if encoding == "flat":
+                system, positions = payload
+                loaded = time.perf_counter()
+                try:
+                    solution = system.stored_solution() or system.solve()
+                except UnsatisfiableError as exc:
+                    raise _wrap_unsat(exc) from exc
+                constraint_count = system.counts[0]
+            else:
+                constraints, positions = payload
+                loaded = time.perf_counter()
+                solution = _solve_cached(constraints, positions, lattice)
+                constraint_count = len(constraints)
             end = time.perf_counter()
             timings = StageTimings(
                 congen_seconds=loaded - start,
@@ -241,7 +393,7 @@ class AnalysisCache:
                 from_cache=True,
             )
             return InferenceRun(
-                mode, solution, positions, len(constraints), end - start, None, timings
+                mode, solution, positions, constraint_count, end - start, None, timings
             )
 
         program, parse_seconds, _ = self.cached_program(source, name)
@@ -250,7 +402,13 @@ class AnalysisCache:
             run = engine(program, lattice, jobs=jobs, **inference_options)
         else:
             run = engine(program, lattice, **inference_options)
-        self.put(key, (run.inference.constraints, run.inference.positions))
+        blob = _encode_entry(
+            run.inference.constraints, run.inference.positions, lattice
+        )
+        if blob is not None:
+            self.put_bytes(key, blob)
+        else:
+            self.put(key, (run.inference.constraints, run.inference.positions))
         timings = StageTimings(
             parse_seconds=parse_seconds,
             congen_seconds=run.timings.congen_seconds if run.timings else 0.0,
@@ -268,6 +426,87 @@ class AnalysisCache:
         )
 
 
+def _recover_lattice(constraints, lattice: QualifierLattice | None):
+    """The lattice a cached system solves over: the caller's, the one the
+    constraints' own elements carry, or the engines' default."""
+    from ..qual.qualifiers import const_lattice
+
+    if lattice is not None:
+        return lattice
+    for c in constraints:
+        for side in (c.lhs, c.rhs):
+            owner = getattr(side, "lattice", None)
+            if owner is not None:
+                return owner
+    return const_lattice()
+
+
+def _encode_entry(constraints, positions, lattice: QualifierLattice | None):
+    """Encode a constraint system as a v2 binary entry, or ``None`` when
+    the flat core cannot hold it (oversized lattice masks, or a system
+    that fails to solve — satisfiable runs are the only ones that reach
+    the cache, but the encoder stays defensive).
+
+    The flat section records the *solved* system, so a warm start pays
+    neither unpickling nor solving; the tail is a pickle of primitive
+    per-position rows referencing variables by dense index.
+    """
+    lat = _recover_lattice(constraints, lattice)
+    if not flatcore.fits_flat(lat):
+        return None
+    from ..qual.solver import IndexedSystem
+
+    system = IndexedSystem(lat)
+    system.add_many(constraints)
+    for p in positions:
+        system.add_var(p.var)
+    if system._ground_conflict is not None:
+        return None
+    flat = flatcore.FlatSystem.from_indexed(system)
+    try:
+        flat.attach_solution()
+    except UnsatisfiableError:
+        return None
+    index = system._var_index
+    rows = [
+        (p.function, p.where, p.depth, index[p.var], p.declared, p.line)
+        for p in positions
+    ]
+    flat_blob = flat.to_bytes()
+    meta_blob = pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _ENTRY_HEADER.pack(
+        ENTRY_MAGIC, ENTRY_VERSION, 0, len(flat_blob), len(meta_blob)
+    )
+    return b"".join((header, flat_blob, meta_blob))
+
+
+def _decode_entry(buf):
+    """Decode a v2 binary entry zero-copy (the returned
+    :class:`~repro.qual.flatcore.FlatSystem` keeps the mapping alive).
+
+    Raises ``ValueError``/``struct.error`` on any malformation; the
+    cache layer treats those as a miss.
+    """
+    view = memoryview(buf)
+    magic, version, _reserved, flat_len, meta_len = _ENTRY_HEADER.unpack_from(view, 0)
+    if magic != ENTRY_MAGIC:
+        raise ValueError(f"bad entry magic: {magic!r}")
+    if version != ENTRY_VERSION:
+        raise ValueError(f"unsupported entry version: {version}")
+    offset = _ENTRY_HEADER.size
+    if offset + flat_len + meta_len > len(view):
+        raise ValueError("entry sections overrun file")
+    system = flatcore.FlatSystem.from_buffer(view[offset : offset + flat_len])
+    rows = pickle.loads(view[offset + flat_len : offset + flat_len + meta_len])
+    if not isinstance(rows, list):
+        raise ValueError("position rows are not a list")
+    positions = [
+        ConstPosition(function, where, depth, system.var(var_index), declared, line)
+        for function, where, depth, var_index, declared, line in rows
+    ]
+    return system, positions
+
+
 def _solve_cached(constraints, positions, lattice: QualifierLattice | None):
     """Solve a cache-loaded constraint system.
 
@@ -276,22 +515,9 @@ def _solve_cached(constraints, positions, lattice: QualifierLattice | None):
     lattice is recovered from the constraints themselves when the caller
     passed ``None``.
     """
-    from ..qual.qualifiers import const_lattice
-    from ..qual.solver import UnsatisfiableError, solve
-    from .engine import _wrap_unsat
+    from ..qual.solver import solve
 
-    lat = lattice
-    if lat is None:
-        for c in constraints:
-            for side in (c.lhs, c.rhs):
-                owner = getattr(side, "lattice", None)
-                if owner is not None:
-                    lat = owner
-                    break
-            if lat is not None:
-                break
-        if lat is None:
-            lat = const_lattice()
+    lat = _recover_lattice(constraints, lattice)
     try:
         return solve(constraints, lat, extra_vars=[p.var for p in positions])
     except UnsatisfiableError as exc:

@@ -202,6 +202,13 @@ def _as_element(q: QualVar | LatticeElement) -> LatticeElement | None:
     return q if isinstance(q, LatticeElement) else None
 
 
+#: Systems with fewer than this many variables + deduplicated edges stay
+#: on the object pipeline: the flat kernel's fixed numpy/scipy overhead
+#: (~0.3 ms) only pays for itself on large graphs, and most lambda runs
+#: solve dozens of systems of a few hundred nodes each.
+_FLAT_FAST_MIN = 1024
+
+
 class IndexedSystem:
     """An atomic constraint system categorised into integer-indexed form.
 
@@ -224,6 +231,11 @@ class IndexedSystem:
         self._upper_origins: dict[int, list[QualConstraint]] = {}
         #: (u, v) -> first constraint creating the edge u <= v.
         self._edges: dict[tuple[int, int], QualConstraint] = {}
+        #: The same deduplicated edges as parallel int lists, maintained
+        #: incrementally so the flat-array kernel (repro.qual.flatcore)
+        #: can bulk-convert them without walking dict keys.
+        self._edge_u: list[int] = []
+        self._edge_v: list[int] = []
         self._edges_before = 0
         self._constraints = 0
         self._ground_checks = 0
@@ -269,6 +281,8 @@ class IndexedSystem:
         lower_origins = self._lower_origins
         upper_origins = self._upper_origins
         edges = self._edges
+        edge_u = self._edge_u
+        edge_v = self._edge_v
         count = edges_before = ground_checks = constant_bounds = 0
 
         for c in constraints:
@@ -318,7 +332,11 @@ class IndexedSystem:
                     v = var_index[rhs] = len(variables)
                     variables.append(rhs)
                 if u != v:
-                    edges.setdefault((u, v), c)
+                    key = (u, v)
+                    if key not in edges:
+                        edges[key] = c
+                        edge_u.append(u)
+                        edge_v.append(v)
 
         self._constraints += count
         self._edges_before += edges_before
@@ -337,6 +355,8 @@ class IndexedSystem:
         twin._lower_origins = dict(self._lower_origins)
         twin._upper_origins = {k: list(v) for k, v in self._upper_origins.items()}
         twin._edges = dict(self._edges)
+        twin._edge_u = list(self._edge_u)
+        twin._edge_v = list(self._edge_v)
         twin._edges_before = self._edges_before
         twin._constraints = self._constraints
         twin._ground_checks = self._ground_checks
@@ -413,6 +433,17 @@ class IndexedSystem:
             self._index(var)
 
         n = len(self._vars)
+        if n + len(self._edges) >= _FLAT_FAST_MIN:
+            # Large systems: hand the already-categorised arrays to the
+            # flat CSR kernel (scipy condensation + vectorised folding).
+            # It returns the identical Solution — same dicts, same stats,
+            # same first-violation blame — or None when unavailable, in
+            # which case the object pipeline below runs as before.
+            from . import flatcore
+
+            solution = flatcore.solve_indexed(self)
+            if solution is not None:
+                return solution
         adj: list[list[int]] = [[] for _ in range(n)]
         for u, v in self._edges:
             adj[u].append(v)
@@ -515,7 +546,7 @@ class IndexedSystem:
             uv, vv = self._vars[u], self._vars[v]
             succs.setdefault(uv, []).append((vv, c))
             preds.setdefault(vv, []).append((uv, c))
-        variables = set(self._vars)
+        variables = self._vars  # insertion order: worklist + blame stay deterministic
         lower = {
             self._vars[i]: lattice.from_mask(m) for i, m in self._lower_mask.items()
         }
@@ -630,7 +661,7 @@ def _explain_path(
 
 
 def _propagate(
-    variables: set[QualVar],
+    variables: Iterable[QualVar],
     edges: Mapping[QualVar, list[tuple[QualVar, QualConstraint]]],
     init: Mapping[QualVar, LatticeElement],
     lattice: QualifierLattice,
@@ -774,7 +805,12 @@ def solve_reference(
     upper: dict[QualVar, LatticeElement] = {}
     lower_origins: dict[QualVar, QualConstraint] = {}
     upper_origins: dict[QualVar, list[QualConstraint]] = {}
-    variables: set[QualVar] = set(extra_vars)
+    # First-encounter order (constraint variables, then the extras), so
+    # the violation scan below blames the same variable as the indexed
+    # pipeline's scan over ``self._vars``.  A set here would make the
+    # blame among simultaneously violated variables depend on string
+    # hash randomisation.
+    variables: dict[QualVar, None] = {}
 
     for c in constraint_list:
         lhs_const, rhs_const = _as_element(c.lhs), _as_element(c.rhs)
@@ -783,22 +819,24 @@ def solve_reference(
                 raise UnsatisfiableError(c, lhs_const, rhs_const)
         elif lhs_const is not None:
             assert isinstance(c.rhs, QualVar)
-            variables.add(c.rhs)
+            variables[c.rhs] = None
             joined = lattice.join(lower.get(c.rhs, lattice.bottom), lhs_const)
             if joined != lower.get(c.rhs, lattice.bottom):
                 lower_origins[c.rhs] = c
             lower[c.rhs] = joined
         elif rhs_const is not None:
             assert isinstance(c.lhs, QualVar)
-            variables.add(c.lhs)
+            variables[c.lhs] = None
             upper[c.lhs] = lattice.meet(upper.get(c.lhs, lattice.top), rhs_const)
             upper_origins.setdefault(c.lhs, []).append(c)
         else:
             assert isinstance(c.lhs, QualVar) and isinstance(c.rhs, QualVar)
-            variables.add(c.lhs)
-            variables.add(c.rhs)
+            variables[c.lhs] = None
+            variables[c.rhs] = None
             succs.setdefault(c.lhs, []).append((c.rhs, c))
             preds.setdefault(c.rhs, []).append((c.lhs, c))
+    for var in extra_vars:
+        variables.setdefault(var, None)
 
     least, lower_pred = _propagate(variables, succs, lower, lattice, up=True)
     greatest, upper_pred = _propagate(variables, preds, upper, lattice, up=False)

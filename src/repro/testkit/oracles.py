@@ -10,6 +10,11 @@ Lambda programs (:func:`check_lambda`):
     vs. the reference worklist solver (``solve_reference``) over the
     program's constraint system — per-variable least *and* greatest
     solutions, and the satisfiability verdict;
+``flatcore``
+    the flat-array CSR kernel (:func:`repro.qual.flatcore.flat_solve`)
+    vs. the production pipeline over the same system — same
+    per-variable fingerprints and verdict (runs on both the lambda and
+    the C side);
 ``metamorphic-rename`` / ``metamorphic-deadlet``
     alpha-renaming all binders / inserting dead ``let`` bindings must
     not change the least qualified type or the verdict, in both the
@@ -63,6 +68,7 @@ from ..lam.ast import Expr, walk
 from ..lam.eval import Evaluator, Store, StuckError
 from ..lam.infer import Inference, QualTypeError, QualifiedLanguage, infer
 from ..qual import qtypes as _qtypes
+from ..qual.flatcore import flat_solve
 from ..qual.qtypes import StdCon, StdType, StdVar, strip
 from ..qual.solver import (
     Solution,
@@ -98,6 +104,9 @@ class EngineConfig:
 
     solve_fn: Callable = solve
     reference_fn: Callable = solve_reference
+    #: The flat-array CSR kernel the ``flatcore`` oracle pits against
+    #: ``solve_fn`` (same fingerprints, same verdicts).
+    flat_fn: Callable = flat_solve
     run_poly_fn: Callable = run_poly
     jobs: int = 2
     #: Evaluation budget for the subject-reduction oracle.
@@ -382,6 +391,17 @@ def check_lambda(
         if (d := _diff_verdicts("solver", a, b)) is not None:
             out.append(d)
 
+    if cfg.enabled("flatcore") and inference is not None:
+        mentioned = list(inference.solution.least)
+        a = _solve_verdict(
+            cfg.solve_fn, inference.constraints, language.lattice, mentioned
+        )
+        b = _solve_verdict(
+            cfg.flat_fn, inference.constraints, language.lattice, mentioned
+        )
+        if (d := _diff_verdicts("flatcore", a, b)) is not None:
+            out.append(d)
+
     for polymorphic in (False, True):
         mode = "poly" if polymorphic else "mono"
         base = _lambda_observable(expr, language, polymorphic)
@@ -454,6 +474,18 @@ def check_c_corpus(
             cfg.reference_fn, constraints, baseline.solution.lattice, extra
         )
         if (d := _diff_verdicts("solver", a, b)) is not None:
+            out.append(d)
+
+    if cfg.enabled("flatcore") and baseline is not None:
+        constraints = baseline.inference.constraints
+        extra = [p.var for p in baseline.positions]
+        a = _solve_verdict(
+            cfg.solve_fn, constraints, baseline.solution.lattice, extra
+        )
+        b = _solve_verdict(
+            cfg.flat_fn, constraints, baseline.solution.lattice, extra
+        )
+        if (d := _diff_verdicts("flatcore", a, b)) is not None:
             out.append(d)
 
     if cfg.enabled("jobs") and baseline is not None:
@@ -593,6 +625,7 @@ def _checker_oracle(
 #: Every oracle family, for CLI validation and reporting.
 ALL_ORACLES: tuple[str, ...] = (
     "solver",
+    "flatcore",
     "jobs",
     "cache",
     "whole-concat",
