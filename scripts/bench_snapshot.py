@@ -64,6 +64,8 @@ def measure() -> dict:
     entry: dict = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
         "run_mono_ms": {},
         "run_poly_ms": {},
         "solver_kernel_ms": {},
@@ -106,8 +108,113 @@ def measure() -> dict:
     entry["suite_ms"] = measure_suite()
     entry["checker"] = measure_checker()
     entry["whole_program"] = measure_whole()
+    entry["serve"] = measure_serve()
     entry["testkit_fuzz"] = measure_fuzz()
     return entry
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a small sample set, in milliseconds."""
+    ranked = sorted(samples)
+    index = min(len(ranked) - 1, round(q / 100 * (len(ranked) - 1)))
+    return round(ranked[index] * 1000, 2)
+
+
+def measure_serve() -> dict:
+    """Resident daemon (``python -m repro.serve``) vs cold one-shot CLI
+    over a generated 40-TU corpus: p50/p99 of (a) a fresh ``python -m
+    repro.checker`` process per run, (b) a warm resident ``analyze``,
+    and (c) the single-TU edit turnaround (``didChange`` + ``analyze``).
+    The daemon's report is asserted byte-identical to the one-shot
+    stdout before any number is recorded."""
+    import subprocess
+
+    from repro.testkit.cgen import generate_c_corpus
+
+    sources = generate_c_corpus(4242, n_units=40, n_families=60).sources()
+    out: dict = {"corpus_units": len(sources)}
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+    with tempfile.TemporaryDirectory() as root:
+        root_path = Path(root)
+        for name, text in sources.items():
+            (root_path / name).write_text(text)
+        argv = [sys.executable, "-m", "repro.checker", str(root_path), "--format", "json"]
+
+        cold_samples = []
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            proc = subprocess.run(argv, env=env, capture_output=True, text=True)
+            cold_samples.append(time.perf_counter() - start)
+        one_shot = proc.stdout
+
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+            bufsize=1,
+        )
+        next_id = iter(range(1, 10_000))
+
+        def rpc(method: str, params: dict | None = None) -> tuple[dict, float]:
+            request = {"jsonrpc": "2.0", "id": next(next_id), "method": method}
+            if params is not None:
+                request["params"] = params
+            start = time.perf_counter()
+            daemon.stdin.write(json.dumps(request) + "\n")
+            daemon.stdin.flush()
+            response = json.loads(daemon.stdout.readline())
+            return response, time.perf_counter() - start
+
+        try:
+            params = {"paths": [str(root_path)], "format": "json"}
+            first, first_seconds = rpc("analyze", params)
+            assert first["result"]["report"] == one_shot, (
+                "daemon report drifted from one-shot CLI output"
+            )
+
+            warm_samples = []
+            for _ in range(20):
+                response, seconds = rpc("analyze", params)
+                warm_samples.append(seconds)
+            assert response["result"]["report"] == one_shot
+
+            # Single-TU edit turnaround: push new text for one unit,
+            # re-analyze the whole corpus (39 units stay memory-warm).
+            target = str(root_path / "u0.c")
+            edit_samples = []
+            for i in range(20):
+                start = time.perf_counter()
+                rpc("didChange", {"file": target, "text": sources["u0.c"] + "\n" * (i + 1)})
+                response, _ = rpc("analyze", params)
+                edit_samples.append(time.perf_counter() - start)
+            assert response["result"]["cache_misses"] == 1, (
+                "an edit should re-analyse exactly the edited TU"
+            )
+            rpc("shutdown")
+        finally:
+            daemon.stdin.close()
+            daemon.wait(timeout=30)
+
+    out["cold_oneshot_ms"] = {
+        "p50": _percentile(cold_samples, 50),
+        "p99": _percentile(cold_samples, 99),
+    }
+    out["resident_first_ms"] = round(first_seconds * 1000, 2)
+    out["resident_analyze_ms"] = {
+        "p50": _percentile(warm_samples, 50),
+        "p99": _percentile(warm_samples, 99),
+    }
+    out["resident_edit_turnaround_ms"] = {
+        "p50": _percentile(edit_samples, 50),
+        "p99": _percentile(edit_samples, 99),
+    }
+    out["edit_speedup_vs_cold_p50"] = round(
+        out["cold_oneshot_ms"]["p50"] / out["resident_edit_turnaround_ms"]["p50"], 1
+    )
+    return out
 
 
 def measure_flatcore(lattice) -> dict:

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""CI replay harness for the resident daemon.
+
+Runs the one-shot CLI over a corpus, then starts ``python -m
+repro.serve`` and replays a scripted session against it — N ``analyze``
+requests plus M edit/revert cycles — asserting:
+
+* **zero diagnostic drift**: every daemon report is byte-identical to
+  the one-shot CLI's stdout for the same tree state;
+* **residency wins**: the warm resident ``analyze`` p50 beats the cold
+  one-shot p50 (which pays process start, parse, and analysis each run).
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_replay.py examples/multi_tu
+    PYTHONPATH=src python scripts/serve_replay.py examples/multi_tu --whole-program
+
+Exits non-zero on any drift or if residency fails to win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ranked = sorted(samples)
+    return ranked[min(len(ranked) - 1, round(q / 100 * (len(ranked) - 1)))]
+
+
+class DaemonClient:
+    """Blocking JSON-RPC client over the daemon's stdio pipes."""
+
+    def __init__(self, env: dict[str, str]) -> None:
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+            bufsize=1,
+        )
+        self._next_id = 0
+
+    def call(self, method: str, params: dict | None = None) -> tuple[dict, float]:
+        self._next_id += 1
+        request: dict = {"jsonrpc": "2.0", "id": self._next_id, "method": method}
+        if params is not None:
+            request["params"] = params
+        start = time.perf_counter()
+        assert self.proc.stdin is not None and self.proc.stdout is not None
+        self.proc.stdin.write(json.dumps(request) + "\n")
+        self.proc.stdin.flush()
+        line = self.proc.stdout.readline()
+        elapsed = time.perf_counter() - start
+        if not line:
+            raise RuntimeError("daemon closed its stdout mid-session")
+        response = json.loads(line)
+        if "error" in response:
+            raise RuntimeError(f"daemon error on {method}: {response['error']}")
+        return response["result"], elapsed
+
+    def close(self) -> None:
+        try:
+            self.call("shutdown")
+        finally:
+            assert self.proc.stdin is not None
+            self.proc.stdin.close()
+            self.proc.wait(timeout=30)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("corpus", help="directory of .c files to replay over")
+    parser.add_argument("--analyzes", type=int, default=5, metavar="N")
+    parser.add_argument("--edits", type=int, default=3, metavar="M")
+    parser.add_argument("--format", default="json", choices=("json", "sarif", "human"))
+    parser.add_argument("--whole-program", action="store_true")
+    parser.add_argument("--cold-runs", type=int, default=3)
+    args = parser.parse_args()
+
+    corpus = str(Path(args.corpus).resolve())
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", str(REPO / "src"))
+    argv = [sys.executable, "-m", "repro.checker", corpus, "--format", args.format]
+    if args.whole_program:
+        argv.append("--whole-program")
+
+    cold_samples: list[float] = []
+    expected = None
+    for _ in range(args.cold_runs):
+        start = time.perf_counter()
+        proc = subprocess.run(argv, env=env, capture_output=True, text=True)
+        cold_samples.append(time.perf_counter() - start)
+        if expected is None:
+            expected = proc.stdout
+        elif proc.stdout != expected:
+            print("FAIL: one-shot CLI output is not deterministic", file=sys.stderr)
+            return 1
+    assert expected is not None
+
+    units = sorted(Path(corpus).glob("*.c"))
+    if not units:
+        print(f"FAIL: no .c files under {corpus}", file=sys.stderr)
+        return 1
+
+    client = DaemonClient(env)
+    params = {
+        "paths": [corpus],
+        "format": args.format,
+        "whole_program": args.whole_program,
+    }
+    drift = 0
+    warm_samples: list[float] = []
+    try:
+        # First request warms the session (parse + analysis, no process start).
+        result, first = client.call("analyze", params)
+        if result["report"] != expected:
+            drift += 1
+            print("DRIFT: first resident analyze differs from one-shot", file=sys.stderr)
+
+        for i in range(args.analyzes):
+            result, elapsed = client.call("analyze", params)
+            warm_samples.append(elapsed)
+            if result["report"] != expected:
+                drift += 1
+                print(f"DRIFT: resident analyze #{i + 1}", file=sys.stderr)
+
+        # Edit/revert cycles: an overlay edit changes the answer (or at
+        # least must not crash), and the revert converges byte-exactly
+        # back to the one-shot report.
+        for i in range(args.edits):
+            target = str(units[i % len(units)])
+            text = Path(target).read_text(encoding="utf-8")
+            client.call("didChange", {"file": target, "text": text + "\n" * (i + 1)})
+            client.call("analyze", params)  # must stay serviceable mid-edit
+            client.call("didChange", {"file": target, "text": None})
+            result, elapsed = client.call("analyze", params)
+            warm_samples.append(elapsed)
+            if result["report"] != expected:
+                drift += 1
+                print(f"DRIFT: analyze after edit/revert cycle #{i + 1}", file=sys.stderr)
+
+        stats, _ = client.call("stats")
+    finally:
+        client.close()
+
+    cold_p50 = percentile(cold_samples, 50)
+    warm_p50 = percentile(warm_samples, 50)
+    print(
+        f"serve replay: {len(units)} unit(s), {args.analyzes} analyze(s), "
+        f"{args.edits} edit cycle(s), format={args.format}, "
+        f"whole_program={args.whole_program}"
+    )
+    print(f"  cold one-shot p50: {cold_p50 * 1000:.1f} ms ({args.cold_runs} runs)")
+    print(f"  resident first:    {first * 1000:.1f} ms")
+    print(f"  resident p50:      {warm_p50 * 1000:.1f} ms ({len(warm_samples)} requests)")
+    print(
+        "  session cache: "
+        f"{stats['cache']['hits']} hit(s), {stats['cache']['misses']} miss(es), "
+        f"{stats['cache']['memory_hits']} from memory"
+    )
+    if drift:
+        print(f"FAIL: {drift} drifting response(s)", file=sys.stderr)
+        return 1
+    if warm_p50 >= cold_p50:
+        print(
+            f"FAIL: resident p50 ({warm_p50 * 1000:.1f} ms) did not beat "
+            f"cold p50 ({cold_p50 * 1000:.1f} ms)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"  OK: zero drift; resident beats cold by {cold_p50 / warm_p50:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

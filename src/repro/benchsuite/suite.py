@@ -155,7 +155,7 @@ def run_benchmark(
 
 def _run_benchmark_task(
     spec: BenchmarkSpec, cache_dir: str | None, poly_jobs: int | None
-) -> tuple[BenchmarkRow, tuple[int, int, int, int]]:
+) -> tuple[BenchmarkRow, tuple[int, int, int, int, int]]:
     """Process-pool worker: one benchmark end to end.
 
     Top-level so it pickles; returns the worker's cache counters
@@ -165,9 +165,9 @@ def _run_benchmark_task(
     row = run_benchmark(spec, poly_jobs=poly_jobs, cache=cache)
     counters = (
         (cache.stats.hits, cache.stats.misses, cache.stats.stores,
-         cache.stats.binary_hits)
+         cache.stats.binary_hits, cache.stats.memory_hits)
         if cache
-        else (0, 0, 0, 0)
+        else (0, 0, 0, 0, 0)
     )
     return row, counters
 
@@ -200,8 +200,10 @@ def benchmark_rows(
                 )
             )
         if cache_stats is not None:
-            for _row, (hits, misses, stores, binary_hits) in outcomes:
-                cache_stats.merge(CacheStats(hits, misses, stores, binary_hits))
+            for _row, (hits, misses, stores, binary_hits, memory_hits) in outcomes:
+                cache_stats.merge(
+                    CacheStats(hits, misses, stores, binary_hits, memory_hits)
+                )
         return [row for row, _counters in outcomes]
 
     cache = AnalysisCache(cache_dir) if cache_dir else None

@@ -37,8 +37,14 @@ from .engine import (
     check_program,
     check_source,
 )
-from .render import render_diagnostics, render_human, render_json, render_sarif
-from .runner import CheckerReport, check_paths, check_whole_program
+from .render import (
+    render_diagnostics,
+    render_human,
+    render_json,
+    render_report,
+    render_sarif,
+)
+from .runner import CheckerReport, analyze, check_paths, check_whole_program
 
 __all__ = [
     "ALL_CHECKS",
@@ -51,6 +57,7 @@ __all__ = [
     "SinkRule",
     "SourceRule",
     "Span",
+    "analyze",
     "apply_suppressions",
     "assign_fingerprints",
     "check_by_name",
@@ -63,5 +70,6 @@ __all__ = [
     "render_diagnostics",
     "render_human",
     "render_json",
+    "render_report",
     "render_sarif",
 ]

@@ -15,8 +15,8 @@ from pathlib import Path
 
 from .checks import ALL_CHECKS, DEFAULT_CHECKS
 from .diagnostics import Baseline
-from .render import render_diagnostics
-from .runner import check_paths, check_whole_program
+from .render import render_report
+from .runner import analyze
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # ``qlint serve`` — hand the rest of the line to the resident
+        # analysis daemon (``python -m repro.serve``).
+        from ..serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     check_names = [name.strip() for name in args.checks.split(",") if name.strip()]
 
@@ -86,10 +94,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.baseline is not None:
         baseline = Baseline.load(args.baseline)
 
-    entry = check_whole_program if args.whole_program else check_paths
-    report = entry(
+    report = analyze(
         args.paths,
         checks=check_names,
+        whole_program=args.whole_program,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         baseline=baseline,
@@ -98,19 +106,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.write_baseline is not None:
         Baseline.from_diagnostics(report.diagnostics).save(args.write_baseline)
 
-    sources = {}
-    if args.format == "human":
-        for file in report.files:
-            try:
-                sources[file] = Path(file).read_text(encoding="utf-8", errors="replace")
-            except OSError:
-                pass
-    rendered = render_diagnostics(
-        report.diagnostics
-        if args.format == "human" or args.format == "sarif"
-        else [d for d in report.diagnostics if args.show_suppressed or not d.suppressed],
+    rendered = render_report(
+        report,
         format=args.format,
-        sources=sources,
         show_suppressed=args.show_suppressed,
         src_root=args.src_root,
     )

@@ -226,3 +226,42 @@ def render_diagnostics(
     if format == "sarif":
         return render_sarif(diagnostics, src_root=src_root)
     raise ValueError(f"unknown format {format!r} (expected human, json, or sarif)")
+
+
+def render_report(
+    report,
+    format: str = "human",
+    sources: Mapping[str, str] | None = None,
+    show_suppressed: bool = False,
+    src_root: str | None = None,
+) -> str:
+    """Render a :class:`~repro.checker.runner.CheckerReport` exactly the
+    way the one-shot CLI prints it to stdout.
+
+    This is the single rendering path shared by ``python -m
+    repro.checker`` and the ``repro.serve`` daemon, so the two emit
+    byte-identical reports for the same analysis: human and SARIF
+    formats receive every diagnostic (SARIF marks suppressions
+    in-band, the human renderer elides them itself), JSON elides
+    suppressed findings unless ``show_suppressed``.
+
+    For human output the flagged source lines are excerpted from
+    ``sources``; when ``None``, the report's files are read from disk
+    (the CLI behaviour).  A daemon passes its overlay-merged text.
+    """
+    if format == "human" and sources is None:
+        sources = {}
+        for file in report.files:
+            try:
+                sources[file] = Path(file).read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                pass
+    return render_diagnostics(
+        report.diagnostics
+        if format == "human" or format == "sarif"
+        else [d for d in report.diagnostics if show_suppressed or not d.suppressed],
+        format=format,
+        sources=sources,
+        show_suppressed=show_suppressed,
+        src_root=src_root,
+    )

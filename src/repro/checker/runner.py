@@ -20,7 +20,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..constinfer.cache import AnalysisCache
 from .checks import DEFAULT_CHECKS, QualifierCheck, check_by_name, config_digest
@@ -79,13 +79,24 @@ class CheckerReport:
         return ", ".join(parts)
 
 
-def discover_files(paths: Iterable[str | Path]) -> list[Path]:
-    """Explicit files plus every ``*.c`` under directories, sorted."""
+def discover_files(
+    paths: Iterable[str | Path], extra: Iterable[str] = ()
+) -> list[Path]:
+    """Explicit files plus every ``*.c`` under directories, sorted.
+
+    ``extra`` names files that exist only as in-memory overlay text (an
+    editor buffer not yet saved): any of them lying under a listed
+    directory joins the set even though the filesystem has no entry.
+    """
     out: set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
             out.update(path.rglob("*.c"))
+            for name in extra:
+                candidate = Path(name)
+                if candidate.suffix == ".c" and candidate.is_relative_to(path):
+                    out.add(candidate)
         else:
             out.add(path)
     return sorted(out)
@@ -101,40 +112,52 @@ def _cache_options(check_names: tuple[str, ...]) -> dict:
     }
 
 
-def _check_one(
-    path_text: str, check_names: tuple[str, ...], cache_dir: str | None
-) -> tuple[str, list[Diagnostic], str | None, bool]:
-    """Worker: check one file.  Returns (path, diagnostics — fingerprinted
-    and suppression-marked, error, from_cache).  Top-level so it pickles
-    into a process pool."""
+def check_one_source(
+    source: str,
+    path_text: str,
+    check_names: tuple[str, ...],
+    cache: AnalysisCache | None,
+) -> tuple[list[Diagnostic], str | None, bool]:
+    """Check one unit's text: the shared per-file core of the batch
+    runner and the ``repro.serve`` daemon.  Returns (diagnostics —
+    fingerprinted and suppression-marked, error, from_cache)."""
     from .engine import check_source  # deferred: keep worker import light
 
-    path = Path(path_text)
-    try:
-        source = path.read_text(encoding="utf-8", errors="replace")
-    except OSError as exc:
-        return path_text, [], str(exc), False
-
-    cache = AnalysisCache(cache_dir) if cache_dir else None
     key = None
     if cache is not None:
         key = cache.key(CACHE_KIND, source=source, options=_cache_options(check_names))
         cached = cache.get(key)
         if isinstance(cached, list):
-            return path_text, cached, None, True
+            return cached, None, True
 
     checks = tuple(check_by_name(name) for name in check_names)
     try:
         diagnostics = check_source(source, filename=path_text, checks=checks)
     except Exception as exc:  # a bad input file must not kill the batch
-        return path_text, [], f"{type(exc).__name__}: {exc}", False
+        return [], f"{type(exc).__name__}: {exc}", False
 
     sources = {path_text: source}
     diagnostics = assign_fingerprints(diagnostics, sources)
     diagnostics = apply_suppressions(diagnostics, sources)
     if cache is not None and key is not None:
         cache.put(key, diagnostics)
-    return path_text, diagnostics, None, False
+    return diagnostics, None, False
+
+
+def _check_one(
+    path_text: str, check_names: tuple[str, ...], cache_dir: str | None
+) -> tuple[str, list[Diagnostic], str | None, bool]:
+    """Worker: check one file from disk.  Top-level so it pickles into a
+    process pool."""
+    try:
+        source = Path(path_text).read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        return path_text, [], str(exc), False
+    cache = AnalysisCache(cache_dir) if cache_dir else None
+    diagnostics, error, from_cache = check_one_source(
+        source, path_text, check_names, cache
+    )
+    return path_text, diagnostics, error, from_cache
 
 
 def check_paths(
@@ -143,18 +166,29 @@ def check_paths(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     baseline: Baseline | None = None,
+    sources: Mapping[str, str] | None = None,
+    cache: AnalysisCache | None = None,
 ) -> CheckerReport:
-    """Check every ``.c`` file reachable from ``paths``."""
+    """Check every ``.c`` file reachable from ``paths``.
+
+    ``sources`` overlays in-memory text over the filesystem (the daemon's
+    unsaved editor buffers): a file whose path appears there is checked
+    from that text without touching disk.  ``cache`` lends an existing
+    :class:`AnalysisCache` handle — its in-memory tier then persists
+    across calls — and takes precedence over ``cache_dir``; both the
+    overlay and a shared handle imply the serial path (the handle's
+    memory tier cannot span processes).
+    """
     check_names = tuple(
         c if isinstance(c, str) else c.name for c in checks
     )
     for name in check_names:
         check_by_name(name)  # fail fast on typos
-    files = discover_files(paths)
+    files = discover_files(paths, extra=sources or ())
     cache_text = str(cache_dir) if cache_dir is not None else None
 
     report = CheckerReport(files=[str(f) for f in files])
-    if jobs > 1 and len(files) > 1:
+    if jobs > 1 and len(files) > 1 and sources is None and cache is None:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             results = list(
                 pool.map(
@@ -165,7 +199,24 @@ def check_paths(
                 )
             )
     else:
-        results = [_check_one(str(f), check_names, cache_text) for f in files]
+        if cache is None and cache_text is not None:
+            cache = AnalysisCache(cache_text)
+        results = []
+        for file in files:
+            path_text = str(file)
+            overlay = sources.get(path_text) if sources is not None else None
+            if overlay is None:
+                try:
+                    source = file.read_text(encoding="utf-8", errors="replace")
+                except OSError as exc:
+                    results.append((path_text, [], str(exc), False))
+                    continue
+            else:
+                source = overlay
+            diagnostics, error, from_cache = check_one_source(
+                source, path_text, check_names, cache
+            )
+            results.append((path_text, diagnostics, error, from_cache))
 
     for path_text, diagnostics, error, from_cache in results:
         if error is not None:
@@ -181,6 +232,48 @@ def check_paths(
             report.diagnostics
         )
     return report
+
+
+def analyze(
+    paths: Sequence[str | Path],
+    *,
+    checks: Sequence[QualifierCheck | str] = DEFAULT_CHECKS,
+    whole_program: bool = False,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    baseline: Baseline | None = None,
+    sources: Mapping[str, str] | None = None,
+    cache: AnalysisCache | None = None,
+    parse_unit: Callable[[str, str], object] | None = None,
+) -> CheckerReport:
+    """The one-shot analysis entry point: per-file batch or linked
+    whole-program, selected by ``whole_program``.
+
+    Both the CLI (``python -m repro.checker``) and the resident daemon
+    (``python -m repro.serve``) call exactly this function, so for the
+    same inputs they produce the same :class:`CheckerReport` — and, via
+    :func:`repro.checker.render.render_report`, byte-identical output.
+    """
+    if whole_program:
+        return check_whole_program(
+            paths,
+            checks=checks,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            baseline=baseline,
+            sources=sources,
+            cache=cache,
+            parse_unit=parse_unit,
+        )
+    return check_paths(
+        paths,
+        checks=checks,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        baseline=baseline,
+        sources=sources,
+        cache=cache,
+    )
 
 
 def _parse_one_unit(name_text: tuple[str, str]):
@@ -201,6 +294,9 @@ def check_whole_program(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     baseline: Baseline | None = None,
+    sources: Mapping[str, str] | None = None,
+    cache: AnalysisCache | None = None,
+    parse_unit: Callable[[str, str], object] | None = None,
 ) -> CheckerReport:
     """Link every ``.c`` file reachable from ``paths`` into one program
     and check it whole, so qualifier flows through ``extern`` symbols
@@ -212,6 +308,12 @@ def check_whole_program(
     ``errors`` and linked around (best-effort, like a real linker).
     Results are memoised whole: the cache key covers every unit's name
     and text, the enabled check set, and the analyser code fingerprint.
+
+    The daemon hooks: ``sources`` overlays in-memory unit text over the
+    filesystem, ``cache`` lends a long-lived handle (memory tier and
+    all), and ``parse_unit`` — a ``(name, text) -> TranslationUnit``
+    callable — replaces the stock parser so a resident parse memo can
+    serve unchanged units; any of the three implies the serial path.
     """
     from .engine import check_linked_program
     from ..whole.linker import link_units
@@ -219,17 +321,23 @@ def check_whole_program(
     check_names = tuple(c if isinstance(c, str) else c.name for c in checks)
     for name in check_names:
         check_by_name(name)  # fail fast on typos
-    files = discover_files(paths)
+    overlay = sources
+    files = discover_files(paths, extra=overlay or ())
 
     report = CheckerReport(files=[str(f) for f in files])
-    sources: dict[str, str] = {}
+    sources = {}
     for path in files:
+        text = overlay.get(str(path)) if overlay is not None else None
+        if text is not None:
+            sources[str(path)] = text
+            continue
         try:
             sources[str(path)] = path.read_text(encoding="utf-8", errors="replace")
         except OSError as exc:
             report.errors[str(path)] = str(exc)
 
-    cache = AnalysisCache(cache_dir) if cache_dir is not None else None
+    if cache is None and cache_dir is not None:
+        cache = AnalysisCache(cache_dir)
     key = None
     if cache is not None:
         combined = "\x00".join(
@@ -252,7 +360,14 @@ def check_whole_program(
             return report
 
     items = sorted(sources.items())
-    if jobs > 1 and len(items) > 1:
+    if parse_unit is not None:
+        parsed = []
+        for name, text in items:
+            try:
+                parsed.append((name, parse_unit(name, text), None))
+            except Exception as exc:
+                parsed.append((name, None, f"{type(exc).__name__}: {exc}"))
+    elif jobs > 1 and len(items) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             parsed = list(pool.map(_parse_one_unit, items))
     else:

@@ -48,6 +48,14 @@ leading magic bytes at load time:
 A truncated or corrupt binary entry (bad magic, short buffer,
 ``struct.error``) is a miss exactly like a corrupt pickle — never an
 exception out of the cache layer.
+
+Every handle also fronts the directory with a small bounded LRU of
+decoded entries (:class:`_MemoryTier`), so a long-lived process — the
+``repro.serve`` daemon, or a warm benchmark loop — answers repeated
+lookups of the same key without touching disk at all.  Memory hits are
+counted separately (``CacheStats.memory_hits``); the tier is dropped on
+pickling, so process-pool workers start cold and share nothing but the
+directory.
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ import pickle
 import struct
 import tempfile
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -139,18 +148,72 @@ class CacheStats:
     #: Subset of ``hits`` served zero-copy from a v2 binary entry
     #: (mmap + flat buffers, no unpickled object graph).
     binary_hits: int = 0
+    #: Subset of ``hits`` answered by the in-memory LRU tier without
+    #: touching disk at all.
+    memory_hits: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.stores += other.stores
         self.binary_hits += other.binary_hits
+        self.memory_hits += other.memory_hits
 
     def summary(self) -> str:
         return (
             f"{self.hits} hit(s), {self.misses} miss(es), "
-            f"{self.stores} store(s), {self.binary_hits} binary mmap hit(s)"
+            f"{self.stores} store(s), {self.binary_hits} binary mmap hit(s), "
+            f"{self.memory_hits} memory hit(s)"
         )
+
+
+class _MemoryTier:
+    """A bounded LRU of decoded cache entries.
+
+    Keys are ``(accessor, key)`` pairs — the same content-addressed key
+    is cached separately per access shape (``"obj"`` for unpickled
+    values, ``"bytes"`` for raw blobs, ``"entry"`` for decoded
+    constraint payloads) because the decoded forms differ.  Values are
+    whatever the accessor produced; content-addressing makes them
+    immutable-by-convention, so sharing one object across lookups is
+    safe the same way sharing the on-disk entry is.
+    """
+
+    __slots__ = ("maxsize", "_entries")
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple[str, str], object]" = OrderedDict()
+
+    def get(self, accessor: str, key: str):
+        """The cached value (LRU-refreshed), or the ``_MISS`` sentinel."""
+        if self.maxsize <= 0:
+            return _MISS
+        value = self._entries.get((accessor, key), _MISS)
+        if value is not _MISS:
+            self._entries.move_to_end((accessor, key))
+        return value
+
+    def put(self, accessor: str, key: str, value: object) -> None:
+        if self.maxsize <= 0:
+            return
+        entries = self._entries
+        entries[(accessor, key)] = value
+        entries.move_to_end((accessor, key))
+        while len(entries) > self.maxsize:
+            entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Sentinel distinguishing "not in the memory tier" from a cached None.
+_MISS = object()
+
+#: Default bound of the per-handle memory tier.  Small enough that even
+#: pathological values (whole parsed programs) stay modest; a resident
+#: daemon raises it per session.
+DEFAULT_MEMORY_ENTRIES = 256
 
 
 @dataclass
@@ -158,16 +221,27 @@ class AnalysisCache:
     """A content-addressed pickle store rooted at ``root``.
 
     The handle is cheap and picklable (it carries only the root path and
-    its own counters), so process-pool workers can each hold one over
-    the same directory.
+    its own counters; the in-memory LRU tier is dropped on pickling), so
+    process-pool workers can each hold one over the same directory.
     """
 
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self, root: str | os.PathLike, memory_entries: int = DEFAULT_MEMORY_ENTRIES
+    ) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        self.memory = _MemoryTier(memory_entries)
+
+    def __getstate__(self) -> dict:
+        return {"root": self.root, "memory_entries": self.memory.maxsize}
+
+    def __setstate__(self, state: dict) -> None:
+        self.root = state["root"]
+        self.stats = CacheStats()
+        self.memory = _MemoryTier(state.get("memory_entries", DEFAULT_MEMORY_ENTRIES))
 
     # -- keys ----------------------------------------------------------
     def key(
@@ -197,7 +271,13 @@ class AnalysisCache:
 
     def get(self, key: str) -> object | None:
         """The stored value, or ``None`` on miss.  A corrupt or
-        unreadable entry counts as a miss."""
+        unreadable entry counts as a miss; a repeat lookup is answered
+        from the in-memory tier without touching disk."""
+        cached = self.memory.get("obj", key)
+        if cached is not _MISS:
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return cached
         path = self._path(key)
         try:
             blob = path.read_bytes()
@@ -206,13 +286,29 @@ class AnalysisCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        self.memory.put("obj", key, value)
         return value
 
-    def put(self, key: str, value: object) -> None:
-        """Atomically store ``value``; concurrent writers race safely."""
+    def get_bytes(self, key: str) -> bytes | None:
+        """The raw entry blob (any encoding), or ``None`` on miss.
+        Memory-tier-backed like :meth:`get`."""
+        cached = self.memory.get("bytes", key)
+        if cached is not _MISS:
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return cached  # type: ignore[return-value]
+        try:
+            blob = self._path(key).read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.memory.put("bytes", key, blob)
+        return blob
+
+    def _write_atomic(self, key: str, blob: bytes) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -225,23 +321,19 @@ class AnalysisCache:
                 pass
             raise
         self.stats.stores += 1
+
+    def put(self, key: str, value: object) -> None:
+        """Atomically store ``value``; concurrent writers race safely.
+
+        The memory tier is read-through only — it is populated by a
+        successful *disk* read, never by a write — so the on-disk entry
+        stays the source of truth and a corrupt entry is always a miss.
+        """
+        self._write_atomic(key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
 
     def put_bytes(self, key: str, blob: bytes) -> None:
         """Atomically store an already-encoded binary entry."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stats.stores += 1
+        self._write_atomic(key, blob)
 
     def _load_constraints(self, key: str):
         """Load a constraints entry in whichever encoding it was written.
@@ -251,8 +343,15 @@ class AnalysisCache:
         ``("pickle", (constraints, positions))`` for a v1 pickle entry,
         or ``None`` on miss.  Corrupt entries of either encoding —
         truncated headers, short buffers, ``struct.error``, garbage
-        pickles — are misses, never exceptions.
+        pickles — are misses, never exceptions.  A repeat lookup is
+        answered from the in-memory tier (the decoded payload, mapping
+        and all, stays resident) without re-opening the file.
         """
+        cached = self.memory.get("entry", key)
+        if cached is not _MISS:
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return cached
         path = self._path(key)
         try:
             handle = open(path, "rb")
@@ -291,6 +390,7 @@ class AnalysisCache:
                     return None
                 self.stats.hits += 1
                 self.stats.binary_hits += 1
+                self.memory.put("entry", key, ("flat", entry))
                 return ("flat", entry)
             try:
                 handle.seek(0)
@@ -312,6 +412,7 @@ class AnalysisCache:
             return None
         if isinstance(value, tuple) and len(value) == 2:
             self.stats.hits += 1
+            self.memory.put("entry", key, ("pickle", value))
             return ("pickle", value)
         # Well-formed pickle of the wrong shape (written by another tool
         # against the same key): recompute rather than serve it.

@@ -1,0 +1,53 @@
+"""Long-lived qualifier-analysis server (``qlint serve``).
+
+One-shot ``python -m repro.checker`` pays interpreter start-up, parsing,
+constraint generation, and the solve on every invocation — fine for CI,
+wasteful for the edit-analyze loop an editor drives.  This package keeps
+the analysis **resident**: a :class:`~repro.serve.session.Session` holds
+the interned lattice and parsed units, a read-through in-memory tier
+over the content-addressed cache, and the whole-program dependence plan,
+so an unchanged file answers without touching disk and an edit
+re-analyses only the edited unit (plus, in whole-program mode, exactly
+its inverse dependency closure).
+
+The wire protocol is JSON-RPC 2.0 over newline-delimited JSON
+(:mod:`repro.serve.protocol`), served over stdio, a Unix socket, or TCP
+(:mod:`repro.serve.server`); ``analyze`` responses carry the same
+rendered report, byte for byte, as the one-shot CLI.  See
+docs/SERVING.md for the protocol reference and a quickstart.
+"""
+
+from .protocol import (
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    InvalidParams,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    parse_request,
+    result_response,
+)
+from .server import Server
+from .session import SERVE_MEMORY_ENTRIES, Session
+
+__all__ = [
+    "INTERNAL_ERROR",
+    "INVALID_PARAMS",
+    "INVALID_REQUEST",
+    "METHOD_NOT_FOUND",
+    "PARSE_ERROR",
+    "InvalidParams",
+    "ProtocolError",
+    "Request",
+    "SERVE_MEMORY_ENTRIES",
+    "Server",
+    "Session",
+    "encode",
+    "error_response",
+    "parse_request",
+    "result_response",
+]

@@ -1,0 +1,126 @@
+"""The daemon's wire protocol: JSON-RPC 2.0 over newline-delimited JSON.
+
+One request per line, one response per line, UTF-8, no framing headers —
+the same shape LSP's content would take without its ``Content-Length``
+envelope, chosen so a session is scriptable from ``nc``/``socat`` or a
+five-line Python loop (see docs/SERVING.md for a transcript).
+
+Encoding is canonical — compact separators, sorted keys — so golden
+transcripts in tests can compare whole response lines byte-for-byte.
+
+Error handling follows the JSON-RPC 2.0 spec:
+
+* a line that is not valid JSON  → ``PARSE_ERROR`` with ``id: null``;
+* valid JSON that is not a request object → ``INVALID_REQUEST``;
+* an unknown ``method``          → ``METHOD_NOT_FOUND``;
+* missing/ill-typed ``params``   → ``INVALID_PARAMS``;
+* an exception inside a handler  → ``INTERNAL_ERROR``.
+
+A *notification* (no ``id``) never receives a response, per spec — the
+two exceptions being parse and invalid-request errors, where the server
+cannot know whether an ``id`` was intended and answers with ``id: null``.
+The loop itself never dies on bad input; every failure is a response (or
+a counted drop), never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: JSON-RPC 2.0 standard error codes.
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+JSONRPC_VERSION = "2.0"
+
+
+class ProtocolError(Exception):
+    """A request that cannot be dispatched; carries its JSON-RPC code."""
+
+    def __init__(self, code: int, message: str, request_id: Any = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.request_id = request_id
+
+
+class InvalidParams(ProtocolError):
+    """Raised by handlers on missing or ill-typed parameters."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(INVALID_PARAMS, message)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request line."""
+
+    method: str
+    params: dict[str, Any] = field(default_factory=dict)
+    id: Any = None
+    #: True when the request carried no ``id`` at all (a notification):
+    #: it must not be answered, success or failure.
+    is_notification: bool = False
+
+
+def parse_request(line: str) -> Request:
+    """Decode one wire line into a :class:`Request`.
+
+    Raises :class:`ProtocolError` with the appropriate code on malformed
+    input; never returns a half-valid request.
+    """
+    try:
+        raw = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(PARSE_ERROR, f"parse error: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ProtocolError(
+            INVALID_REQUEST, f"request must be an object, got {type(raw).__name__}"
+        )
+    request_id = raw.get("id")
+    if raw.get("jsonrpc", JSONRPC_VERSION) != JSONRPC_VERSION:
+        raise ProtocolError(
+            INVALID_REQUEST, f"unsupported jsonrpc version {raw['jsonrpc']!r}",
+            request_id,
+        )
+    method = raw.get("method")
+    if not isinstance(method, str) or not method:
+        raise ProtocolError(
+            INVALID_REQUEST, "request has no method", request_id
+        )
+    params = raw.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            INVALID_PARAMS,
+            f"params must be an object, got {type(params).__name__}",
+            request_id,
+        )
+    return Request(
+        method=method,
+        params=params,
+        id=request_id,
+        is_notification="id" not in raw,
+    )
+
+
+def encode(message: dict[str, Any]) -> str:
+    """One canonical wire line (compact, sorted keys, trailing newline)."""
+    return json.dumps(message, separators=(",", ":"), sort_keys=True) + "\n"
+
+
+def result_response(request_id: Any, result: Any) -> dict[str, Any]:
+    return {"jsonrpc": JSONRPC_VERSION, "id": request_id, "result": result}
+
+
+def error_response(
+    request_id: Any, code: int, message: str, data: Any = None
+) -> dict[str, Any]:
+    error: dict[str, Any] = {"code": code, "message": message}
+    if data is not None:
+        error["data"] = data
+    return {"jsonrpc": JSONRPC_VERSION, "id": request_id, "error": error}

@@ -1,0 +1,160 @@
+"""The request loop: dispatch wire lines against one resident session.
+
+:class:`Server` is transport-agnostic — :meth:`Server.handle_line` maps
+one request line to at most one response line, and the transports
+(stdio, Unix socket, TCP) are thin wrappers that feed it lines.  The
+loop never dies on bad input: every failure mode becomes a JSON-RPC
+error response (or, for notifications, a counted drop), per
+:mod:`repro.serve.protocol`.
+
+Socket transports serve one connection at a time; the *session* outlives
+connections, so a client can disconnect and a later one still finds the
+caches warm.  ``shutdown`` ends the process loop from any transport.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Any, Callable, IO
+
+from .protocol import (
+    INTERNAL_ERROR,
+    METHOD_NOT_FOUND,
+    ProtocolError,
+    encode,
+    error_response,
+    parse_request,
+    result_response,
+)
+from .session import Session
+
+
+class Server:
+    """Dispatches decoded requests to session handlers."""
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self.shutting_down = False
+        self.handlers: dict[str, Callable[[dict[str, Any]], Any]] = {
+            "analyze": session.analyze,
+            "didChange": session.did_change,
+            "stats": session.stats,
+            "ping": self._ping,
+            "shutdown": self._shutdown,
+        }
+
+    def _ping(self, params: dict[str, Any]) -> dict[str, Any]:
+        return {"pong": True}
+
+    def _shutdown(self, params: dict[str, Any]) -> dict[str, Any]:
+        self.shutting_down = True
+        return {"ok": True}
+
+    def handle_line(self, line: str) -> str | None:
+        """One wire line in, at most one wire line out.
+
+        Returns ``None`` for blank lines and for notifications (which
+        must not be answered); never raises.
+        """
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            # Parse/invalid-request errors answer with id null (or the
+            # id when it could be recovered) even for would-be
+            # notifications: the sender's intent is unknowable.
+            self.session.error_count += 1
+            return encode(error_response(exc.request_id, exc.code, exc.message))
+
+        handler = self.handlers.get(request.method)
+        if handler is None:
+            self.session.error_count += 1
+            if request.is_notification:
+                return None
+            return encode(
+                error_response(
+                    request.id,
+                    METHOD_NOT_FOUND,
+                    f"unknown method {request.method!r}",
+                )
+            )
+
+        counts = self.session.request_counts
+        counts[request.method] = counts.get(request.method, 0) + 1
+        try:
+            result = handler(request.params)
+        except ProtocolError as exc:
+            self.session.error_count += 1
+            if request.is_notification:
+                return None
+            return encode(error_response(request.id, exc.code, exc.message))
+        except Exception as exc:  # the loop survives handler bugs
+            self.session.error_count += 1
+            if request.is_notification:
+                return None
+            return encode(
+                error_response(
+                    request.id, INTERNAL_ERROR, f"{type(exc).__name__}: {exc}"
+                )
+            )
+        if request.is_notification:
+            return None
+        return encode(result_response(request.id, result))
+
+    # -- transports -----------------------------------------------------
+    def serve_stream(self, reader: IO[str], writer: IO[str]) -> int:
+        """Pump one line-oriented stream until EOF or ``shutdown``."""
+        for line in reader:
+            response = self.handle_line(line)
+            if response is not None:
+                writer.write(response)
+                writer.flush()
+            if self.shutting_down:
+                break
+        return 0
+
+    def serve_stdio(self) -> int:
+        import sys
+
+        return self.serve_stream(sys.stdin, sys.stdout)
+
+    def serve_unix(self, path: str | Path) -> int:
+        """Listen on a Unix domain socket; connections served in turn
+        against the same session."""
+        sock_path = Path(path)
+        if sock_path.exists():
+            sock_path.unlink()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(str(sock_path))
+            listener.listen(1)
+            self._accept_loop(listener)
+        finally:
+            listener.close()
+            sock_path.unlink(missing_ok=True)
+        return 0
+
+    def serve_tcp(self, host: str, port: int) -> int:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((host, port))
+            listener.listen(1)
+            self._accept_loop(listener)
+        finally:
+            listener.close()
+        return 0
+
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while not self.shutting_down:
+            conn, _addr = listener.accept()
+            with conn:
+                reader = conn.makefile("r", encoding="utf-8", newline="\n")
+                writer = conn.makefile("w", encoding="utf-8", newline="\n")
+                try:
+                    self.serve_stream(reader, writer)
+                except (BrokenPipeError, ConnectionResetError):
+                    continue  # client vanished; session stays warm

@@ -1,0 +1,312 @@
+"""Resident analysis state: one :class:`Session` per daemon process.
+
+A session owns everything a request needs that a cold ``python -m
+repro.checker`` run would have to rebuild from scratch:
+
+* the **overlay** — in-memory file text pushed by ``didChange`` (unsaved
+  editor buffers), consulted before disk everywhere;
+* a **parse memo** — translation units keyed by (path, text digest), so
+  an unchanged file is never re-parsed, whatever request shape asks;
+* a long-lived :class:`~repro.constinfer.cache.AnalysisCache` handle
+  whose in-memory LRU tier answers repeated lookups without disk — the
+  diagnostics of an unchanged file come back without parse, constraint
+  generation, solve, *or* I/O;
+* the **whole-program plan** — after a ``--whole-program`` analysis, the
+  TU dependence graph and per-unit closure digests
+  (:func:`repro.whole.engine.closure_digests`), so an edit can name
+  exactly which units a re-link will re-analyse while every other unit's
+  summary is served warm.
+
+Analysis itself is *the same code path as the one-shot CLI*
+(:func:`repro.checker.runner.analyze` + ``render_report``), so a
+daemon response's ``report`` string is byte-identical to the stdout of
+``python -m repro.checker`` over the same tree — the differential tests
+and the CI replay hold the two against each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+import time
+from typing import Any
+
+from ..cfront.cparser import parse_c
+from ..checker.checks import DEFAULT_CHECKS, check_by_name
+from ..checker.render import render_report
+from ..checker.runner import analyze as run_analysis
+from ..constinfer.cache import AnalysisCache
+from ..constinfer.engine import StageTimings
+from ..whole.engine import affected_units, closure_digests, tu_dependence_graph
+from ..whole.linker import link_units
+from .protocol import InvalidParams
+
+#: The daemon's memory tier is its whole point — default far above the
+#: one-shot handles' bound so a 40-TU corpus with per-file diagnostics,
+#: parsed programs, and summaries stays fully resident.
+SERVE_MEMORY_ENTRIES = 4096
+
+_FORMATS = ("human", "json", "sarif")
+
+
+class Session:
+    """All resident state of one serving process."""
+
+    def __init__(
+        self,
+        checks: tuple[str, ...] | None = None,
+        cache_dir: str | None = None,
+        jobs: int = 1,
+        memory_entries: int = SERVE_MEMORY_ENTRIES,
+    ) -> None:
+        self.check_names = (
+            tuple(checks) if checks else tuple(c.name for c in DEFAULT_CHECKS)
+        )
+        for name in self.check_names:
+            check_by_name(name)  # fail fast on typos
+        self.jobs = jobs
+        # Without a configured directory the store is still wanted (the
+        # memory tier fronts it; warm restarts just start cold): a
+        # private temp dir that lives exactly as long as the session.
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        if cache_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="qlint-serve-")
+            cache_dir = self._tempdir.name
+        self.cache = AnalysisCache(cache_dir, memory_entries=memory_entries)
+
+        self.overlay: dict[str, str] = {}
+        self.versions: dict[str, int] = {}
+        #: path -> (text sha256, parsed unit); consulted by reference,
+        #: so an unchanged file parses exactly once per session.
+        self._parse_memo: dict[str, tuple[str, Any]] = {}
+        #: After a whole-program analyze: (sorted roots, tu graph,
+        #: unit -> closure digest) for incremental invalidation.
+        self._whole_plan: tuple[tuple[str, ...], Any, dict[str, str]] | None = None
+
+        self.started = time.monotonic()
+        self.request_counts: dict[str, int] = {}
+        self.error_count = 0
+        self._parse_seconds = 0.0
+        self._analyze_seconds = 0.0
+        self._render_seconds = 0.0
+        self._last_analyze_seconds = 0.0
+        self._parsed_units = 0
+        self._memo_hits = 0
+
+    # -- resident parsing ----------------------------------------------
+    def parse_unit(self, name: str, text: str) -> Any:
+        """Parse one unit through the resident memo.
+
+        The memo key is the text digest, so a ``didChange`` invalidates
+        it implicitly — no explicit eviction to get wrong.
+        """
+        digest = hashlib.sha256(text.encode()).hexdigest()
+        memo = self._parse_memo.get(name)
+        if memo is not None and memo[0] == digest:
+            self._memo_hits += 1
+            return memo[1]
+        start = time.perf_counter()
+        unit = parse_c(text, name)
+        self._parse_seconds += time.perf_counter() - start
+        self._parse_memo[name] = (digest, unit)
+        self._parsed_units += 1
+        return unit
+
+    # -- request handlers ----------------------------------------------
+    def analyze(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Run the shared one-shot analysis over the session's view of
+        the tree (overlay over disk) and render it exactly as the CLI
+        would print it."""
+        paths = params.get("paths")
+        if isinstance(paths, str):
+            paths = [paths]
+        if not isinstance(paths, list) or not paths or not all(
+            isinstance(p, str) for p in paths
+        ):
+            raise InvalidParams("analyze needs 'paths': a non-empty list of strings")
+        fmt = params.get("format", "json")
+        if fmt not in _FORMATS:
+            raise InvalidParams(f"unknown format {fmt!r} (expected one of {_FORMATS})")
+        checks = params.get("checks")
+        if checks is not None:
+            if not isinstance(checks, list) or not all(
+                isinstance(c, str) for c in checks
+            ):
+                raise InvalidParams("'checks' must be a list of strings")
+            for name in checks:
+                try:
+                    check_by_name(name)
+                except Exception as exc:
+                    raise InvalidParams(str(exc)) from exc
+        whole = bool(params.get("whole_program", False))
+        show_suppressed = bool(params.get("show_suppressed", False))
+        src_root = params.get("src_root")
+        if src_root is not None and not isinstance(src_root, str):
+            raise InvalidParams("'src_root' must be a string")
+
+        start = time.perf_counter()
+        report = run_analysis(
+            paths,
+            checks=tuple(checks) if checks else self.check_names,
+            whole_program=whole,
+            jobs=self.jobs,
+            sources=self.overlay,
+            cache=self.cache,
+            parse_unit=self.parse_unit if whole else None,
+        )
+        analyzed = time.perf_counter()
+        rendered = render_report(
+            report,
+            format=fmt,
+            sources=self._render_sources(report.files) if fmt == "human" else None,
+            show_suppressed=show_suppressed,
+            src_root=src_root,
+        )
+        end = time.perf_counter()
+        self._analyze_seconds += analyzed - start
+        self._render_seconds += end - analyzed
+        self._last_analyze_seconds = end - start
+
+        if whole:
+            self._whole_plan = self._build_whole_plan(report.files)
+
+        return {
+            "report": rendered,
+            "format": fmt,
+            "exit_code": report.exit_code,
+            "summary": report.summary(),
+            "files": report.files,
+            "errors": report.errors,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "elapsed_ms": round((end - start) * 1000, 3),
+        }
+
+    def did_change(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Install (or with ``text: null`` revert) one file's overlay
+        text.  Names the units the edit invalidates for the last
+        whole-program analysis, per the resident dependence graph."""
+        file = params.get("file")
+        if not isinstance(file, str) or not file:
+            raise InvalidParams("didChange needs 'file': a non-empty string")
+        text = params.get("text")
+        if text is not None and not isinstance(text, str):
+            raise InvalidParams("'text' must be a string or null")
+
+        if text is None:
+            self.overlay.pop(file, None)
+        else:
+            self.overlay[file] = text
+        version = self.versions.get(file, 0) + 1
+        self.versions[file] = version
+
+        invalidated: list[str] | None = None
+        if self._whole_plan is not None:
+            _roots, tu_graph, _digests = self._whole_plan
+            if file in tu_graph.vertices:
+                invalidated = list(affected_units(tu_graph, {file}))
+        out: dict[str, Any] = {
+            "ok": True,
+            "file": file,
+            "version": version,
+            "overlay": text is not None,
+        }
+        if invalidated is not None:
+            out["invalidated_units"] = invalidated
+        return out
+
+    def stats(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Counters and resident-state shape: cache tiers, memo sizes,
+        request counts, and the accumulated stage timings."""
+        timings = StageTimings(
+            parse_seconds=self._parse_seconds,
+            congen_seconds=self._analyze_seconds - self._parse_seconds
+            if self._analyze_seconds > self._parse_seconds
+            else 0.0,
+            solve_seconds=self._render_seconds,
+        )
+        cache = self.cache.stats
+        return {
+            "uptime_ms": round((time.monotonic() - self.started) * 1000, 1),
+            "checks": list(self.check_names),
+            "requests": dict(sorted(self.request_counts.items())),
+            "errors": self.error_count,
+            "cache": {
+                "root": str(self.cache.root),
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "stores": cache.stores,
+                "binary_hits": cache.binary_hits,
+                "memory_hits": cache.memory_hits,
+                "memory_entries": len(self.cache.memory),
+                "memory_limit": self.cache.memory.maxsize,
+            },
+            "resident": {
+                "overlay_files": len(self.overlay),
+                "parsed_units": len(self._parse_memo),
+                "parse_memo_hits": self._memo_hits,
+                "whole_plan_units": (
+                    len(self._whole_plan[2]) if self._whole_plan else 0
+                ),
+            },
+            "stage_totals_ms": {
+                "parse": round(self._parse_seconds * 1000, 3),
+                "analyze": round(self._analyze_seconds * 1000, 3),
+                "render": round(self._render_seconds * 1000, 3),
+            },
+            "stage_timings": timings.summary(),
+            "last_analyze_ms": round(self._last_analyze_seconds * 1000, 3),
+        }
+
+    # -- internals ------------------------------------------------------
+    def _render_sources(self, files: list[str]) -> dict[str, str]:
+        """Source text for human-format excerpts: the session's view —
+        overlay first, then disk (matching what was analysed)."""
+        out: dict[str, str] = {}
+        for file in files:
+            text = self.overlay.get(file)
+            if text is None:
+                try:
+                    from pathlib import Path
+
+                    text = Path(file).read_text(encoding="utf-8", errors="replace")
+                except OSError:
+                    continue
+            out[file] = text
+        return out
+
+    def _build_whole_plan(
+        self, files: list[str]
+    ) -> tuple[tuple[str, ...], Any, dict[str, str]] | None:
+        """Link the current view of ``files`` (parse memo makes this
+        cheap — every unit was just parsed) and snapshot the dependence
+        graph plus per-unit closure digests."""
+        sources: dict[str, str] = {}
+        for file in files:
+            text = self.overlay.get(file)
+            if text is None:
+                try:
+                    from pathlib import Path
+
+                    text = Path(file).read_text(encoding="utf-8", errors="replace")
+                except OSError:
+                    continue
+            sources[file] = text
+        units = []
+        for name in sorted(sources):
+            try:
+                units.append(self.parse_unit(name, sources[name]))
+            except Exception:
+                continue  # unparseable units are linked around, as in the runner
+        try:
+            linked = link_units(units, sources=sources)
+            tu_graph = tu_dependence_graph(linked)
+            digests = closure_digests(linked, tu_graph)
+        except Exception:
+            return None
+        return (tuple(sorted(files)), tu_graph, digests)
+
+    def close(self) -> None:
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None

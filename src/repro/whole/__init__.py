@@ -25,7 +25,13 @@ evaluation over whole multi-file benchmarks:
 """
 
 from .callgraph import WholeProgramCallGraph
-from .engine import WholeProgramRun, run_whole_poly
+from .engine import (
+    WholeProgramRun,
+    affected_units,
+    closure_digests,
+    run_whole_poly,
+    tu_dependence_graph,
+)
 from .linker import (
     LinkDiagnostic,
     LinkedProgram,
@@ -34,7 +40,12 @@ from .linker import (
     link_sources,
     link_units,
 )
-from .summary import TUSummary, shared_layout_digest
+from .summary import (
+    TUSummary,
+    dependency_closure,
+    shared_layout_digest,
+    unit_closure_digest,
+)
 
 __all__ = [
     "LinkDiagnostic",
@@ -43,9 +54,14 @@ __all__ = [
     "TUSummary",
     "WholeProgramCallGraph",
     "WholeProgramRun",
+    "affected_units",
+    "closure_digests",
+    "dependency_closure",
     "link_paths",
     "link_sources",
     "link_units",
     "run_whole_poly",
     "shared_layout_digest",
+    "tu_dependence_graph",
+    "unit_closure_digest",
 ]

@@ -46,10 +46,12 @@ from .callgraph import WholeProgramCallGraph
 from .linker import LinkedProgram
 from .summary import (
     TUSummary,
+    dependency_closure,
     load_summary,
     shared_layout_digest,
     store_summary,
     summary_source_key,
+    unit_closure_digest,
 )
 
 #: Base uid of the whole-program band space.  Far above anything the
@@ -105,20 +107,54 @@ def _tu_graph(
     return FunctionDependenceGraph.from_edges(vertices, edges)
 
 
-def _dependency_closure(
-    group: tuple[str, ...],
-    tu_graph: FunctionDependenceGraph,
+def tu_dependence_graph(linked: LinkedProgram) -> FunctionDependenceGraph:
+    """The cross-TU dependence graph of a linked program, projected onto
+    translation units — the public entry for the incremental re-link
+    machinery (the private callers thread intermediate products)."""
+    callgraph = WholeProgramCallGraph.build(linked.program)
+    return _tu_graph(linked, callgraph.function_graph())
+
+
+def closure_digests(
+    linked: LinkedProgram,
+    tu_graph: FunctionDependenceGraph | None = None,
+) -> dict[str, str]:
+    """Per-unit invalidation digests: ``unit -> unit_closure_digest``.
+
+    A pure function of the linked program.  A resident session snapshots
+    this map, and after an edit compares it against the fresh one —
+    units whose digest moved are exactly the ones whose group summaries
+    a re-link will re-analyse; everything else is served warm.
+    """
+    if tu_graph is None:
+        tu_graph = tu_dependence_graph(linked)
+    layout = shared_layout_digest(linked.program)
+    return {
+        unit: unit_closure_digest(unit, tu_graph, linked.sources, layout)
+        for unit in linked.unit_names
+    }
+
+
+def affected_units(
+    tu_graph: FunctionDependenceGraph, changed: set[str]
 ) -> tuple[str, ...]:
-    """All units this group's analysis depends on, itself included,
-    sorted — the cache key's source set."""
+    """The units a re-link must re-analyse after ``changed`` units were
+    edited: the changed units plus every transitive *dependent* (the
+    inverse of :func:`~repro.whole.summary.dependency_closure`), sorted.
+    Units outside this set keep their summaries byte-for-byte."""
+    dependents: dict[str, set[str]] = {unit: set() for unit in tu_graph.vertices}
+    for unit, deps in tu_graph.edges.items():
+        for dep in deps:
+            if dep in dependents:
+                dependents[dep].add(unit)
     out: set[str] = set()
-    work = list(group)
+    work = [unit for unit in changed if unit in dependents]
     while work:
         unit = work.pop()
         if unit in out:
             continue
         out.add(unit)
-        work.extend(tu_graph.edges.get(unit, ()))
+        work.extend(dependents[unit])
     return tuple(sorted(out))
 
 
@@ -230,7 +266,7 @@ def run_whole_poly(
             if cache is not None:
                 source_key = summary_source_key(
                     units,
-                    _dependency_closure(units, tu_graph),
+                    dependency_closure(units, tu_graph),
                     linked.sources,
                     layout,
                     WHOLE_UID_BASE + (index + 1) * _UID_BAND_SIZE,

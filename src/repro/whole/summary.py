@@ -37,6 +37,7 @@ from typing import Any
 from ..cfront.sema import Program
 from ..constinfer.analysis import ConstPosition
 from ..constinfer.cache import AnalysisCache
+from ..constinfer.fdg import FunctionDependenceGraph
 from ..qual.constraints import QualConstraint
 from ..qual.lattice import QualifierLattice
 from ..qual.poly import QualScheme
@@ -77,6 +78,48 @@ def shared_layout_digest(program: Program) -> str:
                 f"p:{name}:{proto.ret!r}:"
                 f"{tuple(p.type for p in proto.params)!r}:{proto.varargs}\n".encode()
             )
+    return digest.hexdigest()
+
+
+def dependency_closure(
+    group: tuple[str, ...],
+    tu_graph: FunctionDependenceGraph,
+) -> tuple[str, ...]:
+    """All units ``group``'s analysis depends on, itself included,
+    sorted — the source set of its cache key and closure digest."""
+    out: set[str] = set()
+    work = list(group)
+    while work:
+        unit = work.pop()
+        if unit in out:
+            continue
+        out.add(unit)
+        work.extend(tu_graph.edges.get(unit, ()))
+    return tuple(sorted(out))
+
+
+def unit_closure_digest(
+    unit: str,
+    tu_graph: FunctionDependenceGraph,
+    sources: dict[str, str],
+    layout_digest: str,
+) -> str:
+    """Digest of everything that can invalidate ``unit``'s analysis: the
+    texts of its dependency closure (the unit itself plus every unit
+    whose schemes shape its constraints) and the shared symbol layout.
+
+    This is the incremental-invalidation primitive the resident daemon
+    keys on: after an edit, a unit whose closure digest is unchanged is
+    guaranteed (by the same reasoning as the summary cache key) to
+    re-link to an identical summary, so only units whose digest moved
+    need re-analysis.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"unit:{unit}\nlayout:{layout_digest}\n".encode())
+    for member in dependency_closure((unit,), tu_graph):
+        digest.update(f"dep:{member}\n".encode())
+        digest.update(sources.get(member, "").encode())
+        digest.update(b"\x00")
     return digest.hexdigest()
 
 

@@ -1,0 +1,229 @@
+"""Wire-protocol tests for ``repro.serve``: the request-parsing ladder,
+canonical encoding, golden request/response transcripts, and the
+malformed-input contract (every failure is a JSON-RPC error response —
+the loop never crashes)."""
+
+import io
+import json
+
+import pytest
+
+from repro.serve import (
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    ProtocolError,
+    Server,
+    Session,
+    encode,
+    parse_request,
+)
+
+
+@pytest.fixture
+def server(tmp_path):
+    session = Session(cache_dir=str(tmp_path / "cache"))
+    yield Server(session)
+    session.close()
+
+
+# -- parse_request ladder -------------------------------------------------
+
+
+def test_parse_valid_request():
+    req = parse_request('{"jsonrpc":"2.0","id":7,"method":"stats","params":{"a":1}}')
+    assert req.method == "stats"
+    assert req.params == {"a": 1}
+    assert req.id == 7
+    assert not req.is_notification
+
+
+def test_parse_defaults_params_to_empty_dict():
+    req = parse_request('{"jsonrpc":"2.0","id":1,"method":"ping"}')
+    assert req.params == {}
+
+
+def test_missing_id_is_a_notification():
+    req = parse_request('{"jsonrpc":"2.0","method":"didChange","params":{}}')
+    assert req.is_notification
+    # An explicit null id is NOT a notification, per JSON-RPC 2.0.
+    req = parse_request('{"jsonrpc":"2.0","id":null,"method":"ping"}')
+    assert not req.is_notification
+
+
+def test_not_json_raises_parse_error():
+    with pytest.raises(ProtocolError) as exc:
+        parse_request("this is not json")
+    assert exc.value.code == PARSE_ERROR
+
+
+def test_non_object_raises_invalid_request():
+    for line in ("[1,2,3]", '"hello"', "42"):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(line)
+        assert exc.value.code == INVALID_REQUEST
+
+
+def test_wrong_jsonrpc_version_rejected():
+    with pytest.raises(ProtocolError) as exc:
+        parse_request('{"jsonrpc":"1.0","id":3,"method":"ping"}')
+    assert exc.value.code == INVALID_REQUEST
+    assert exc.value.request_id == 3  # id recovered for the error response
+
+
+def test_missing_or_empty_method_rejected():
+    for line in (
+        '{"jsonrpc":"2.0","id":1}',
+        '{"jsonrpc":"2.0","id":1,"method":""}',
+        '{"jsonrpc":"2.0","id":1,"method":5}',
+    ):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(line)
+        assert exc.value.code == INVALID_REQUEST
+
+
+def test_non_object_params_rejected():
+    with pytest.raises(ProtocolError) as exc:
+        parse_request('{"jsonrpc":"2.0","id":1,"method":"ping","params":[1]}')
+    assert exc.value.code == INVALID_PARAMS
+
+
+# -- canonical encoding ---------------------------------------------------
+
+
+def test_encode_is_canonical():
+    line = encode({"b": 1, "a": {"z": True, "m": None}})
+    assert line == '{"a":{"m":null,"z":true},"b":1}\n'
+
+
+# -- golden transcripts ---------------------------------------------------
+# Deterministic request/response pairs compared byte-for-byte: the
+# canonical encoding makes whole lines stable.
+
+GOLDEN = [
+    (
+        '{"jsonrpc":"2.0","id":1,"method":"ping"}',
+        '{"id":1,"jsonrpc":"2.0","result":{"pong":true}}\n',
+    ),
+    (
+        '{"jsonrpc":"2.0","id":"abc","method":"nosuch"}',
+        '{"error":{"code":-32601,"message":"unknown method \'nosuch\'"},'
+        '"id":"abc","jsonrpc":"2.0"}\n',
+    ),
+    (
+        '{"jsonrpc":"2.0","id":2,"method":"didChange",'
+        '"params":{"file":"a.c","text":"int x;\\n"}}',
+        '{"id":2,"jsonrpc":"2.0","result":{"file":"a.c","ok":true,'
+        '"overlay":true,"version":1}}\n',
+    ),
+    (
+        '{"jsonrpc":"2.0","id":3,"method":"didChange","params":{"file":"a.c"}}',
+        '{"id":3,"jsonrpc":"2.0","result":{"file":"a.c","ok":true,'
+        '"overlay":false,"version":2}}\n',
+    ),
+    (
+        '{"jsonrpc":"2.0","id":4,"method":"analyze","params":{}}',
+        '{"error":{"code":-32602,"message":"analyze needs \'paths\': '
+        'a non-empty list of strings"},"id":4,"jsonrpc":"2.0"}\n',
+    ),
+    (
+        '{"jsonrpc":"2.0","id":5,"method":"shutdown"}',
+        '{"id":5,"jsonrpc":"2.0","result":{"ok":true}}\n',
+    ),
+]
+
+
+def test_golden_transcript(server):
+    for request_line, expected in GOLDEN:
+        assert server.handle_line(request_line) == expected
+    assert server.shutting_down
+
+
+# -- malformed input never crashes the loop -------------------------------
+
+
+def test_malformed_lines_yield_errors_not_crashes(server):
+    cases = {
+        "{not json": PARSE_ERROR,
+        "[]": INVALID_REQUEST,
+        '{"jsonrpc":"2.0","id":1}': INVALID_REQUEST,
+        '{"jsonrpc":"2.0","id":1,"method":"ping","params":"x"}': INVALID_PARAMS,
+        '{"jsonrpc":"2.0","id":1,"method":"bogus"}': METHOD_NOT_FOUND,
+        '{"jsonrpc":"2.0","id":1,"method":"analyze","params":{"paths":[]}}': INVALID_PARAMS,
+        '{"jsonrpc":"2.0","id":1,"method":"analyze",'
+        '"params":{"paths":["x.c"],"format":"xml"}}': INVALID_PARAMS,
+        '{"jsonrpc":"2.0","id":1,"method":"analyze",'
+        '"params":{"paths":["x.c"],"checks":["nope"]}}': INVALID_PARAMS,
+        '{"jsonrpc":"2.0","id":1,"method":"didChange","params":{}}': INVALID_PARAMS,
+    }
+    for line, code in cases.items():
+        response = json.loads(server.handle_line(line))
+        assert response["error"]["code"] == code, line
+    # ...and the loop is still alive.
+    assert server.handle_line('{"jsonrpc":"2.0","id":9,"method":"ping"}') == (
+        '{"id":9,"jsonrpc":"2.0","result":{"pong":true}}\n'
+    )
+    assert server.session.error_count == len(cases)
+
+
+def test_handler_exception_becomes_internal_error(server):
+    def boom(params):
+        raise RuntimeError("kaboom")
+
+    server.handlers["boom"] = boom
+    response = json.loads(server.handle_line('{"jsonrpc":"2.0","id":1,"method":"boom"}'))
+    assert response["error"]["code"] == INTERNAL_ERROR
+    assert "kaboom" in response["error"]["message"]
+    # Still serving afterwards.
+    assert json.loads(server.handle_line('{"jsonrpc":"2.0","id":2,"method":"ping"}'))[
+        "result"
+    ] == {"pong": True}
+
+
+def test_notifications_get_no_response(server):
+    assert server.handle_line('{"jsonrpc":"2.0","method":"ping"}') is None
+    assert (
+        server.handle_line('{"jsonrpc":"2.0","method":"didChange","params":{"file":"a.c","text":"x"}}')
+        is None
+    )
+    # The notification still took effect.
+    assert server.session.overlay["a.c"] == "x"
+    # Unknown-method and bad-params notifications are silently dropped...
+    assert server.handle_line('{"jsonrpc":"2.0","method":"nosuch"}') is None
+    assert server.handle_line('{"jsonrpc":"2.0","method":"didChange","params":{}}') is None
+    # ...but unparseable lines answer with id null (sender intent unknowable).
+    response = json.loads(server.handle_line("garbage"))
+    assert response["id"] is None
+    assert response["error"]["code"] == PARSE_ERROR
+
+
+def test_blank_lines_ignored(server):
+    assert server.handle_line("") is None
+    assert server.handle_line("   \n") is None
+
+
+# -- stream pump ----------------------------------------------------------
+
+
+def test_serve_stream_until_shutdown(server):
+    reader = io.StringIO(
+        '{"jsonrpc":"2.0","id":1,"method":"ping"}\n'
+        "\n"
+        '{"jsonrpc":"2.0","id":2,"method":"shutdown"}\n'
+        '{"jsonrpc":"2.0","id":3,"method":"ping"}\n'  # after shutdown: unread
+    )
+    writer = io.StringIO()
+    assert server.serve_stream(reader, writer) == 0
+    lines = writer.getvalue().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["result"] == {"pong": True}
+    assert json.loads(lines[1])["result"] == {"ok": True}
+
+
+def test_serve_stream_stops_at_eof(server):
+    writer = io.StringIO()
+    server.serve_stream(io.StringIO('{"jsonrpc":"2.0","id":1,"method":"ping"}\n'), writer)
+    assert not server.shutting_down
+    assert len(writer.getvalue().splitlines()) == 1

@@ -1,0 +1,140 @@
+"""The incremental re-link API in :mod:`repro.whole`: TU dependence
+graphs, per-unit closure digests, and ``affected_units`` — the
+invalidation primitives the resident daemon keys on.
+
+The load-bearing property, checked directly: after an edit, the set of
+units whose closure digest moved equals ``affected_units`` of the edit —
+so serving every other unit's summary warm is sound."""
+
+from repro.whole import (
+    affected_units,
+    closure_digests,
+    dependency_closure,
+    link_sources,
+    tu_dependence_graph,
+    unit_closure_digest,
+)
+
+# A three-unit chain: top.c calls mid.c's helper, which calls leaf.c's.
+LEAF = (
+    "char *getenv(const char *name);\n"
+    'char *leaf_get(void) { return getenv("X"); }\n'
+)
+MID = (
+    "extern char *leaf_get(void);\n"
+    "char *mid_get(void) { return leaf_get(); }\n"
+)
+TOP = (
+    "int printf(const char *fmt, ...);\n"
+    "extern char *mid_get(void);\n"
+    "void top(void) { printf(mid_get()); }\n"
+)
+
+
+def chain_sources():
+    return {"leaf.c": LEAF, "mid.c": MID, "top.c": TOP}
+
+
+def linked_chain(sources=None):
+    return link_sources(sources or chain_sources())
+
+
+def test_tu_dependence_graph_shape():
+    graph = tu_dependence_graph(linked_chain())
+    assert graph.vertices == ["leaf.c", "mid.c", "top.c"]  # sorted list
+    assert graph.edges["top.c"] == {"mid.c"}
+    assert graph.edges["mid.c"] == {"leaf.c"}
+    assert graph.edges["leaf.c"] == set()
+
+
+def test_dependency_closure_is_downward():
+    graph = tu_dependence_graph(linked_chain())
+    assert dependency_closure(("top.c",), graph) == ("leaf.c", "mid.c", "top.c")
+    assert dependency_closure(("mid.c",), graph) == ("leaf.c", "mid.c")
+    assert dependency_closure(("leaf.c",), graph) == ("leaf.c",)
+
+
+def test_affected_units_is_upward():
+    graph = tu_dependence_graph(linked_chain())
+    assert affected_units(graph, {"leaf.c"}) == ("leaf.c", "mid.c", "top.c")
+    assert affected_units(graph, {"mid.c"}) == ("mid.c", "top.c")
+    assert affected_units(graph, {"top.c"}) == ("top.c",)
+    assert affected_units(graph, {"not-linked.c"}) == ()
+
+
+def test_closure_digests_cover_every_unit():
+    linked = linked_chain()
+    digests = closure_digests(linked)
+    assert set(digests) == {"leaf.c", "mid.c", "top.c"}
+    assert len(set(digests.values())) == 3  # distinct closures, distinct digests
+
+
+def test_body_edit_moves_exactly_the_affected_digests():
+    before = closure_digests(linked_chain())
+
+    # Edit mid.c's function *body* (no signature/global changes).
+    edited = chain_sources()
+    edited["mid.c"] = (
+        "extern char *leaf_get(void);\n"
+        "char *mid_get(void) { char *tmp = leaf_get(); return tmp; }\n"
+    )
+    linked = linked_chain(edited)
+    after = closure_digests(linked)
+
+    moved = {unit for unit in before if before[unit] != after[unit]}
+    graph = tu_dependence_graph(linked)
+    assert moved == set(affected_units(graph, {"mid.c"}))
+    assert moved == {"mid.c", "top.c"}
+    assert before["leaf.c"] == after["leaf.c"]  # leaf summary stays warm
+
+
+def test_leaf_edit_moves_every_digest():
+    before = closure_digests(linked_chain())
+    edited = chain_sources()
+    edited["leaf.c"] = LEAF + "\n"
+    after = closure_digests(linked_chain(edited))
+    assert all(before[unit] != after[unit] for unit in before)
+
+
+def test_layout_change_moves_all_digests():
+    """Adding a global shifts the shared uid layer, so every unit's
+    digest must move — even units textually untouched."""
+    before = closure_digests(linked_chain())
+    edited = chain_sources()
+    edited["top.c"] = "int new_global;\n" + TOP
+    after = closure_digests(linked_chain(edited))
+    assert all(before[unit] != after[unit] for unit in before)
+
+
+def test_unit_closure_digest_is_deterministic():
+    linked = linked_chain()
+    graph = tu_dependence_graph(linked)
+    from repro.whole import shared_layout_digest
+
+    layout = shared_layout_digest(linked.program)
+    one = unit_closure_digest("mid.c", graph, linked.sources, layout)
+    two = unit_closure_digest("mid.c", graph, linked.sources, layout)
+    assert one == two
+    assert one != unit_closure_digest("leaf.c", graph, linked.sources, layout)
+
+
+def test_digest_depends_on_layout_component():
+    linked = linked_chain()
+    graph = tu_dependence_graph(linked)
+    assert unit_closure_digest(
+        "leaf.c", graph, linked.sources, "layout-a"
+    ) != unit_closure_digest("leaf.c", graph, linked.sources, "layout-b")
+
+
+def test_independent_units_do_not_invalidate_each_other():
+    sources = {
+        "a.c": "int a(void) { return 1; }\n",
+        "b.c": "int b(void) { return 2; }\n",
+    }
+    graph = tu_dependence_graph(link_sources(sources))
+    assert affected_units(graph, {"a.c"}) == ("a.c",)
+    before = closure_digests(link_sources(sources))
+    sources["a.c"] = "int a(void) { return 3; }\n"
+    after = closure_digests(link_sources(sources))
+    assert before["b.c"] == after["b.c"]
+    assert before["a.c"] != after["a.c"]
