@@ -1,0 +1,121 @@
+/* args.c - option parsing over the list/strbuf helpers.  The tail of
+ * this file deliberately steps outside the analysed C subset (K&R-style
+ * definition, bitfield struct) so the best-effort CI job exercises real
+ * recovery, not just clean parses. */
+
+#include "list.h"
+#include "strbuf.h"
+
+#define OPT_VERBOSE 1
+#define OPT_QUIET 2
+
+struct options {
+    int flags;
+    const char *output;
+    struct string_list inputs;
+};
+
+void options_init(struct options *opts)
+{
+    opts->flags = 0;
+    opts->output = (const char *)0;
+    list_init(&opts->inputs);
+}
+
+static int is_flag(const char *arg, const char *name)
+{
+    if (arg[0] != '-') {
+        return 0;
+    }
+    return strcmp(arg + 1, name) == 0;
+}
+
+static const char *flag_value(const char *arg)
+{
+    const char *eq;
+
+    eq = strchr(arg, '=');
+    if (!eq) {
+        return (const char *)0;
+    }
+    return eq + 1;
+}
+
+int options_parse(struct options *opts, int argc, const char **argv)
+{
+    int i;
+
+    for (i = 1; i < argc; i = i + 1) {
+        const char *arg;
+
+        arg = argv[i];
+        if (is_flag(arg, "v")) {
+            opts->flags = opts->flags | OPT_VERBOSE;
+        } else if (is_flag(arg, "q")) {
+            opts->flags = opts->flags | OPT_QUIET;
+        } else if (arg[0] == '-' && arg[1] == 'o') {
+            const char *value;
+
+            value = flag_value(arg);
+            if (!value) {
+                return -1;
+            }
+            opts->output = value;
+        } else {
+            if (list_push(&opts->inputs, arg)) {
+                return -1;
+            }
+        }
+    }
+    return 0;
+}
+
+int options_describe(const struct options *opts, strbuf *out)
+{
+    size_t i;
+    size_t n;
+
+    if ((opts->flags & OPT_VERBOSE) && strbuf_addstr(out, "verbose ")) {
+        return -1;
+    }
+    if (opts->output) {
+        if (strbuf_addstr(out, "output=")) {
+            return -1;
+        }
+        if (strbuf_addstr(out, opts->output)) {
+            return -1;
+        }
+        if (strbuf_addch(out, ' ')) {
+            return -1;
+        }
+    }
+    n = list_count(&opts->inputs);
+    for (i = 0; i < n; i = i + 1) {
+        if (strbuf_addstr(out, list_at(&opts->inputs, i))) {
+            return -1;
+        }
+        if (strbuf_addch(out, ' ')) {
+            return -1;
+        }
+    }
+    return strbuf_rtrim(out) >= 0 ? 0 : -1;
+}
+
+/* -- beyond the subset: the rest of this file needs recovery ---------- */
+
+struct packed_flags {
+    unsigned int verbose : 1;
+    unsigned int quiet : 1;
+};
+
+int legacy_sum(a, b)
+    int a;
+    int b;
+{
+    return a + b;
+}
+
+int options_tail_marker(void)
+{
+    return 42;
+}

@@ -1,0 +1,27 @@
+/* list.h - singly linked string list over strbuf-owned text. */
+
+#ifndef LIST_H
+#define LIST_H
+
+#include "types.h"
+
+struct list_item {
+    char *text;
+    struct list_item *next;
+};
+
+struct string_list {
+    struct list_item *head;
+    struct list_item *tail;
+    size_t count;
+};
+
+void list_init(struct string_list *lst);
+void list_clear(struct string_list *lst);
+int list_push(struct string_list *lst, const char *text);
+const char *list_at(const struct string_list *lst, size_t index);
+int list_contains(const struct string_list *lst, const char *needle);
+size_t list_count(const struct string_list *lst);
+void list_reverse(struct string_list *lst);
+
+#endif /* LIST_H */

@@ -1,0 +1,34 @@
+/* strbuf.h - growable string buffer, in the style of classic C utility
+ * libraries.  Hand-written fixture for the resilient-ingestion CI job:
+ * real-world shape (guards, nested includes, macros, typedefs), sized so
+ * the best-effort pipeline has something representative to chew on. */
+
+#ifndef STRBUF_H
+#define STRBUF_H
+
+#include "types.h"
+
+#define STRBUF_INIT_CAP 16
+#define STRBUF_GROWTH 2
+
+struct strbuf {
+    char *buf;
+    size_t len;
+    size_t cap;
+};
+
+typedef struct strbuf strbuf;
+
+void strbuf_init(strbuf *sb);
+void strbuf_release(strbuf *sb);
+int strbuf_grow(strbuf *sb, size_t extra);
+int strbuf_addch(strbuf *sb, int ch);
+int strbuf_addstr(strbuf *sb, const char *s);
+int strbuf_setlen(strbuf *sb, size_t len);
+const char *strbuf_cstr(const strbuf *sb);
+size_t strbuf_avail(const strbuf *sb);
+int strbuf_cmp(const strbuf *a, const strbuf *b);
+void strbuf_swap(strbuf *a, strbuf *b);
+int strbuf_rtrim(strbuf *sb);
+
+#endif /* STRBUF_H */

@@ -1,0 +1,19 @@
+/* types.h - shared typedefs and the tiny slice of libc the fixture
+ * leans on, declared rather than included so the corpus is closed. */
+
+#ifndef TYPES_H
+#define TYPES_H
+
+typedef unsigned long size_t;
+
+void *malloc(size_t n);
+void *realloc(void *p, size_t n);
+void free(void *p);
+void *memcpy(void *dst, const void *src, size_t n);
+void *memset(void *p, int c, size_t n);
+size_t strlen(const char *s);
+int strcmp(const char *a, const char *b);
+char *strchr(const char *s, int c);
+int printf(const char *fmt, ...);
+
+#endif /* TYPES_H */

@@ -1,0 +1,116 @@
+/* list.c - singly linked string list. */
+
+#include "list.h"
+#include "strbuf.h"
+
+static char *copy_text(const char *text)
+{
+    size_t n;
+    char *out;
+
+    n = strlen(text);
+    out = (char *)malloc(n + 1);
+    if (!out) {
+        return (char *)0;
+    }
+    memcpy(out, text, n + 1);
+    return out;
+}
+
+void list_init(struct string_list *lst)
+{
+    lst->head = (struct list_item *)0;
+    lst->tail = (struct list_item *)0;
+    lst->count = 0;
+}
+
+void list_clear(struct string_list *lst)
+{
+    struct list_item *item;
+
+    item = lst->head;
+    while (item) {
+        struct list_item *next;
+
+        next = item->next;
+        free(item->text);
+        free(item);
+        item = next;
+    }
+    list_init(lst);
+}
+
+int list_push(struct string_list *lst, const char *text)
+{
+    struct list_item *item;
+
+    item = (struct list_item *)malloc(sizeof(struct list_item));
+    if (!item) {
+        return -1;
+    }
+    item->text = copy_text(text);
+    if (!item->text) {
+        free(item);
+        return -1;
+    }
+    item->next = (struct list_item *)0;
+    if (lst->tail) {
+        lst->tail->next = item;
+    } else {
+        lst->head = item;
+    }
+    lst->tail = item;
+    lst->count = lst->count + 1;
+    return 0;
+}
+
+const char *list_at(const struct string_list *lst, size_t index)
+{
+    const struct list_item *item;
+
+    if (index >= lst->count) {
+        return (const char *)0;
+    }
+    item = lst->head;
+    while (index > 0) {
+        item = item->next;
+        index = index - 1;
+    }
+    return item->text;
+}
+
+int list_contains(const struct string_list *lst, const char *needle)
+{
+    const struct list_item *item;
+
+    for (item = lst->head; item; item = item->next) {
+        if (strcmp(item->text, needle) == 0) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+size_t list_count(const struct string_list *lst)
+{
+    return lst->count;
+}
+
+void list_reverse(struct string_list *lst)
+{
+    struct list_item *prev;
+    struct list_item *item;
+
+    prev = (struct list_item *)0;
+    item = lst->head;
+    lst->tail = lst->head;
+    while (item) {
+        struct list_item *next;
+
+        next = item->next;
+        item->next = prev;
+        prev = item;
+        item = next;
+    }
+    lst->head = prev;
+}

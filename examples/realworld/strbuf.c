@@ -1,0 +1,147 @@
+/* strbuf.c - growable string buffer implementation. */
+
+#include "strbuf.h"
+
+static char strbuf_slop[1];
+
+void strbuf_init(strbuf *sb)
+{
+    sb->buf = strbuf_slop;
+    sb->len = 0;
+    sb->cap = 0;
+}
+
+void strbuf_release(strbuf *sb)
+{
+    if (sb->cap) {
+        free(sb->buf);
+    }
+    strbuf_init(sb);
+}
+
+int strbuf_grow(strbuf *sb, size_t extra)
+{
+    size_t want;
+    size_t cap;
+    char *fresh;
+
+    want = sb->len + extra + 1;
+    if (want <= sb->cap) {
+        return 0;
+    }
+    cap = sb->cap ? sb->cap : STRBUF_INIT_CAP;
+    while (cap < want) {
+        cap = cap * STRBUF_GROWTH;
+    }
+    if (sb->cap) {
+        fresh = (char *)realloc(sb->buf, cap);
+    } else {
+        fresh = (char *)malloc(cap);
+        if (fresh && sb->len) {
+            memcpy(fresh, sb->buf, sb->len);
+        }
+    }
+    if (!fresh) {
+        return -1;
+    }
+    sb->buf = fresh;
+    sb->cap = cap;
+    return 0;
+}
+
+int strbuf_addch(strbuf *sb, int ch)
+{
+    if (strbuf_grow(sb, 1)) {
+        return -1;
+    }
+    sb->buf[sb->len] = (char)ch;
+    sb->len = sb->len + 1;
+    sb->buf[sb->len] = 0;
+    return 0;
+}
+
+int strbuf_addstr(strbuf *sb, const char *s)
+{
+    size_t n;
+
+    n = strlen(s);
+    if (strbuf_grow(sb, n)) {
+        return -1;
+    }
+    memcpy(sb->buf + sb->len, s, n);
+    sb->len = sb->len + n;
+    sb->buf[sb->len] = 0;
+    return 0;
+}
+
+int strbuf_setlen(strbuf *sb, size_t len)
+{
+    if (len > sb->len && strbuf_grow(sb, len - sb->len)) {
+        return -1;
+    }
+    sb->len = len;
+    if (sb->cap) {
+        sb->buf[len] = 0;
+    }
+    return 0;
+}
+
+const char *strbuf_cstr(const strbuf *sb)
+{
+    return sb->buf;
+}
+
+size_t strbuf_avail(const strbuf *sb)
+{
+    if (!sb->cap) {
+        return 0;
+    }
+    return sb->cap - sb->len - 1;
+}
+
+int strbuf_cmp(const strbuf *a, const strbuf *b)
+{
+    size_t i;
+    size_t n;
+
+    n = a->len < b->len ? a->len : b->len;
+    for (i = 0; i < n; i = i + 1) {
+        if (a->buf[i] != b->buf[i]) {
+            return a->buf[i] < b->buf[i] ? -1 : 1;
+        }
+    }
+    if (a->len == b->len) {
+        return 0;
+    }
+    return a->len < b->len ? -1 : 1;
+}
+
+void strbuf_swap(strbuf *a, strbuf *b)
+{
+    strbuf tmp;
+
+    tmp = *a;
+    *a = *b;
+    *b = tmp;
+}
+
+int strbuf_rtrim(strbuf *sb)
+{
+    int trimmed;
+
+    trimmed = 0;
+    while (sb->len > 0) {
+        int ch;
+
+        ch = sb->buf[sb->len - 1];
+        if (ch != ' ' && ch != '\t' && ch != '\n') {
+            break;
+        }
+        sb->len = sb->len - 1;
+        trimmed = trimmed + 1;
+    }
+    if (sb->cap) {
+        sb->buf[sb->len] = 0;
+    }
+    return trimmed;
+}

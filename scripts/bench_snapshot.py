@@ -110,6 +110,7 @@ def measure() -> dict:
     entry["whole_program"] = measure_whole()
     entry["serve"] = measure_serve()
     entry["testkit_fuzz"] = measure_fuzz()
+    entry["ingest"] = measure_ingest()
     return entry
 
 
@@ -284,6 +285,75 @@ def measure_fuzz() -> dict:
         "c_corpora": report.c_corpora,
         "elapsed_ms": round(report.elapsed_seconds * 1000, 2),
         "programs_per_sec": round(report.programs / report.elapsed_seconds, 1),
+    }
+
+
+def measure_ingest() -> dict:
+    """Resilient ingestion over a 100-TU corpus with a fifth of its
+    units error-seeded: best-effort TUs/sec (cold and warm cache) and
+    the recovered-function ratio against the clean builds of the same
+    seeds.  A crash or a sub-90% ratio aborts the snapshot — the bar
+    the ingestion CI job holds."""
+    from repro.cfront.cast import FuncDef
+    from repro.cfront.cparser import parse_c
+    from repro.checker.runner import analyze
+    from repro.testkit.cgen import corrupt, generate_c_corpus
+
+    n_corpora, per_corpus, corrupt_every = 25, 4, 5
+    clean_functions = 0
+    with tempfile.TemporaryDirectory() as root:
+        root_path = Path(root)
+        total = 0
+        corrupted = 0
+        for seed in range(n_corpora):
+            corpus = generate_c_corpus(seed, n_units=per_corpus, n_families=4)
+            subdir = root_path / f"c{seed}"
+            subdir.mkdir()
+            for name, text in sorted(corpus.sources().items()):
+                clean_functions += sum(
+                    1 for item in parse_c(text, name).items
+                    if isinstance(item, FuncDef)
+                )
+                if total % corrupt_every == corrupt_every - 1:
+                    text = corrupt(text, seed=total, n_errors=1 + total % 3)
+                    corrupted += 1
+                (subdir / name).write_text(text)
+                total += 1
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            start = time.perf_counter()
+            cold = analyze(
+                [str(root_path)], best_effort=True, cache_dir=cache_dir
+            )
+            cold_seconds = time.perf_counter() - start
+            assert cold.errors == {}, "best-effort run reported hard errors"
+
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                warm = analyze(
+                    [str(root_path)], best_effort=True, cache_dir=cache_dir
+                )
+                best = min(best, time.perf_counter() - start)
+            assert warm.cache_misses == 0, "warm rerun did not hit the cache"
+            assert warm.unit_status == cold.unit_status
+
+    recovered = sum(cold.functions.values())
+    ratio = recovered / clean_functions if clean_functions else 0.0
+    assert ratio >= 0.9, f"recovered-function ratio {ratio:.2%} below 90%"
+    return {
+        "corpus_units": total,
+        "corrupted_units": corrupted,
+        "degraded_units": sum(
+            1 for s in cold.unit_status.values() if s != "ok"
+        ),
+        "clean_functions": clean_functions,
+        "recovered_functions": recovered,
+        "recovered_function_ratio": round(ratio, 4),
+        "cold_ms": round(cold_seconds * 1000, 2),
+        "warm_ms": round(best * 1000, 2),
+        "cold_tus_per_sec": round(total / cold_seconds, 1),
+        "warm_tus_per_sec": round(total / best, 1),
     }
 
 

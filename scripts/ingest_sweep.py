@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""CI gate for resilient ingestion.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/ingest_sweep.py
+
+Builds a 100-TU generated corpus with 20% of its units error-seeded
+(:func:`repro.testkit.cgen.corrupt`) and pushes it through every
+pipeline shape — per-file and ``--whole-program``, cold cache and warm
+cache, one-shot and resident daemon — asserting:
+
+* zero uncaught exceptions anywhere;
+* at least 90% of the functions living in valid regions are analysed;
+* SARIF output is byte-stable across independent runs;
+* the daemon survives a good -> broken -> fixed edit cycle with its
+  resident state intact.
+
+The ``examples/realworld`` fixture (multi-hundred-line units with
+includes, plus deliberate out-of-subset tails) is held to the same bar.
+Exits non-zero on the first violated invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cfront.cast import FuncDef  # noqa: E402
+from repro.cfront.cparser import parse_c  # noqa: E402
+from repro.checker.render import render_report  # noqa: E402
+from repro.checker.runner import analyze  # noqa: E402
+from repro.testkit.cgen import corrupt, generate_c_corpus  # noqa: E402
+
+N_CORPORA = 25
+UNITS_PER_CORPUS = 4
+CORRUPT_EVERY = 5  # 20%
+MIN_FUNCTION_RATIO = 0.9
+
+_failures: list[str] = []
+
+
+def check(ok: bool, message: str) -> None:
+    mark = "ok" if ok else "FAIL"
+    print(f"  [{mark}] {message}")
+    if not ok:
+        _failures.append(message)
+
+
+def build_corpus(root: Path) -> tuple[int, int, int]:
+    """Write the seeded corpus; returns (units, corrupted, clean fns)."""
+    total = 0
+    corrupted = 0
+    clean_functions = 0
+    for seed in range(N_CORPORA):
+        corpus = generate_c_corpus(seed, n_units=UNITS_PER_CORPUS, n_families=4)
+        subdir = root / f"c{seed}"
+        subdir.mkdir()
+        for name, text in sorted(corpus.sources().items()):
+            clean_functions += sum(
+                1
+                for item in parse_c(text, name).items
+                if isinstance(item, FuncDef)
+            )
+            if total % CORRUPT_EVERY == CORRUPT_EVERY - 1:
+                text = corrupt(text, seed=total, n_errors=1 + total % 3)
+                corrupted += 1
+            (subdir / name).write_text(text)
+            total += 1
+    return total, corrupted, clean_functions
+
+
+def sweep_one_shot(root: Path, clean_functions: int) -> None:
+    print("one-shot, per-file:")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = analyze([str(root)], best_effort=True, cache_dir=cache_dir, jobs=2)
+        cold_s = time.perf_counter() - start
+        check(cold.errors == {}, "per-file cold: no hard errors")
+        check(
+            set(cold.unit_status) == set(cold.files),
+            "per-file cold: every unit has a status",
+        )
+        recovered = sum(cold.functions.values())
+        ratio = recovered / clean_functions if clean_functions else 0.0
+        check(
+            ratio >= MIN_FUNCTION_RATIO,
+            f"per-file cold: {recovered}/{clean_functions} functions "
+            f"analysed ({ratio:.1%} >= {MIN_FUNCTION_RATIO:.0%})",
+        )
+        print(f"    {len(cold.files)} TUs in {cold_s * 1000:.0f} ms "
+              f"({len(cold.files) / cold_s:.0f} TU/s cold)")
+
+        warm = analyze([str(root)], best_effort=True, cache_dir=cache_dir, jobs=2)
+        check(warm.cache_misses == 0, "per-file warm: fully cache-served")
+        check(
+            warm.unit_status == cold.unit_status
+            and warm.functions == cold.functions
+            and [d.to_dict() for d in warm.diagnostics]
+            == [d.to_dict() for d in cold.diagnostics],
+            "per-file warm: identical to cold",
+        )
+
+    sarif_a = render_report(analyze([str(root)], best_effort=True), format="sarif")
+    sarif_b = render_report(analyze([str(root)], best_effort=True), format="sarif")
+    check(sarif_a == sarif_b, "per-file SARIF byte-stable across runs")
+
+    print("one-shot, whole-program:")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold = analyze(
+            [str(root)],
+            whole_program=True,
+            best_effort=True,
+            cache_dir=cache_dir,
+            jobs=2,
+        )
+        check(
+            set(cold.unit_status) == set(cold.files),
+            "whole cold: every unit has a status",
+        )
+        check(
+            any(s != "ok" for s in cold.unit_status.values())
+            and any(s == "ok" for s in cold.unit_status.values()),
+            "whole cold: broken units linked around, good units kept",
+        )
+        warm = analyze(
+            [str(root)],
+            whole_program=True,
+            best_effort=True,
+            cache_dir=cache_dir,
+            jobs=2,
+        )
+        check(warm.cache_hits > 0, "whole warm: served from cache")
+        check(
+            [d.to_dict() for d in warm.diagnostics]
+            == [d.to_dict() for d in cold.diagnostics],
+            "whole warm: identical to cold",
+        )
+
+
+def sweep_daemon(root: Path) -> None:
+    print("resident daemon:")
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+        bufsize=1,
+    )
+    next_id = iter(range(1, 10_000))
+
+    def rpc(method: str, params: dict | None = None) -> dict:
+        request: dict = {"jsonrpc": "2.0", "id": next(next_id), "method": method}
+        if params is not None:
+            request["params"] = params
+        assert daemon.stdin is not None and daemon.stdout is not None
+        daemon.stdin.write(json.dumps(request) + "\n")
+        daemon.stdin.flush()
+        return json.loads(daemon.stdout.readline())
+
+    try:
+        params = {"paths": [str(root)], "best_effort": True, "format": "json"}
+        first = rpc("analyze", params)
+        check("result" in first, "daemon best-effort analyze answered")
+        result = first.get("result", {})
+        check(result.get("errors") == {}, "daemon analyze: no hard errors")
+        check(bool(result.get("units")), "daemon analyze: degraded units named")
+
+        again = rpc("analyze", params)
+        check(
+            again.get("result", {}).get("report") == result.get("report"),
+            "daemon re-analyze: identical report",
+        )
+
+        # good -> broken -> fixed on one clean unit.
+        target = str(root / "c0" / "u0.c")
+        good_text = Path(target).read_text()
+        good = rpc("didChange", {"file": target, "text": good_text})
+        check(
+            "parse_diagnostics" not in good.get("result", {}),
+            "daemon clean edit: no recovery keys",
+        )
+        broken = rpc(
+            "didChange", {"file": target, "text": good_text + "int broken(;\n"}
+        )
+        check(
+            bool(broken.get("result", {}).get("parse_diagnostics")),
+            "daemon broken edit: parse diagnostics returned",
+        )
+        check(
+            "last_good" in broken.get("result", {}),
+            "daemon broken edit: last-good findings retained",
+        )
+        fixed = rpc("didChange", {"file": target, "text": good_text})
+        check(
+            "parse_diagnostics" not in fixed.get("result", {}),
+            "daemon fixed edit: recovery keys cleared",
+        )
+        after = rpc("analyze", params)
+        check(
+            after.get("result", {}).get("report") == result.get("report"),
+            "daemon analyze after edit cycle: identical report",
+        )
+        rpc("shutdown")
+    finally:
+        if daemon.stdin is not None:
+            daemon.stdin.close()
+        daemon.wait(timeout=60)
+    check(daemon.returncode == 0, "daemon exited cleanly")
+
+
+def sweep_realworld() -> None:
+    print("examples/realworld fixture:")
+    fixture = REPO / "examples" / "realworld"
+    include = (str(fixture / "include"),)
+    report = analyze([str(fixture)], best_effort=True, include_paths=include)
+    check(report.errors == {}, "realworld: no hard errors")
+    check(
+        any(s != "ok" for s in report.unit_status.values()),
+        "realworld: out-of-subset tail actually exercised recovery",
+    )
+
+    # The fixture defines 26 functions; only the K&R-style tail of
+    # args.c is allowed to be lost to recovery (>= 96% analysed).
+    recovered = sum(report.functions.values())
+    check(
+        recovered >= 25,
+        f"realworld: {recovered} functions analysed (>= 25 of 26)",
+    )
+    sarif_a = render_report(
+        analyze([str(fixture)], best_effort=True, include_paths=include),
+        format="sarif",
+        src_root=str(REPO),
+    )
+    sarif_b = render_report(
+        analyze([str(fixture)], best_effort=True, include_paths=include),
+        format="sarif",
+        src_root=str(REPO),
+    )
+    check(sarif_a == sarif_b, "realworld: SARIF byte-stable")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="ingest-sweep-") as tmp:
+        root = Path(tmp)
+        total, corrupted, clean_functions = build_corpus(root)
+        print(
+            f"corpus: {total} TUs, {corrupted} corrupted "
+            f"({corrupted / total:.0%}), {clean_functions} clean functions"
+        )
+        sweep_one_shot(root, clean_functions)
+        sweep_daemon(root)
+    sweep_realworld()
+
+    if _failures:
+        print(f"\n{len(_failures)} invariant(s) violated:")
+        for message in _failures:
+            print(f"  - {message}")
+        return 1
+    print("\nall ingestion invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,13 +6,21 @@ parser needs, ``//`` and ``/* */`` comments, and line continuations.
 Preprocessor directives are skipped line-wise: the analysis consumes
 post-preprocessing C (the paper's benchmarks were similarly fed through
 the system after preprocessing), so ``#include``/``#define`` lines carry
-no information here.
+no information here.  (:mod:`repro.cfront.cpp` is the in-tree minimal
+preprocessor for sources that still carry their directives.)
+
+Two error disciplines share one scanner: the strict path raises
+:class:`CLexError` at the first bad byte (the seed behaviour, kept for
+API users that want hard failures), while the *recovery* path — used by
+the best-effort corpus pipeline — records a structured
+:class:`ParseDiagnostic` per problem and keeps scanning, so one stray
+byte never hides the rest of the file.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class CTokenKind(enum.Enum):
@@ -53,6 +61,11 @@ class CToken:
     text: str
     line: int
     column: int
+    #: Originating file when it differs from the parse's nominal filename
+    #: (tokens pulled in through ``#include`` by the preprocessor).  Empty
+    #: means "the file being parsed", which keeps the strict path and
+    #: every pre-existing constructor unchanged.
+    file: str = field(default="", compare=False)
 
     def __str__(self) -> str:
         return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"
@@ -65,12 +78,79 @@ class CLexError(Exception):
         super().__init__(f"{message} at {line}:{column}")
 
 
-def tokenize_c(source: str, filename: str = "<input>") -> list[CToken]:
-    """Tokenize C source; returns tokens ending with EOF."""
+@dataclass(frozen=True)
+class ParseDiagnostic:
+    """One structured front-end problem from the recovery path.
+
+    Produced by the recovering lexer (``stage="lex"``), the panic-mode
+    parser (``stage="parse"``), and the minimal preprocessor
+    (``stage="cpp"``).  ``severity`` is ``"error"`` for input the front
+    end could not honour and ``"warning"`` for suspicious-but-accepted
+    constructs (macro redefinition, unresolvable includes).
+    """
+
+    file: str
+    line: int
+    column: int
+    message: str
+    stage: str = "parse"  # "lex" | "parse" | "cpp"
+    severity: str = "error"  # "error" | "warning"
+    #: What the parser wanted (e.g. ``";"``), when it knows.
+    expected: str | None = None
+    #: What it saw instead, rendered like ``PUNCT ')'``.
+    found: str | None = None
+    #: The token text recovery synchronised on (``";"``, ``"}"``, a
+    #: declaration keyword, or ``"<eof>"``).
+    sync: str | None = None
+
+    def describe(self) -> str:
+        """The message with its expected/found context, no location —
+        what a checker diagnostic or a daemon response carries."""
+        out = self.message
+        if self.expected is not None:
+            out += f" (expected {self.expected}"
+            if self.found is not None:
+                out += f", found {self.found}"
+            out += ")"
+        elif self.found is not None:
+            out += f" (found {self.found})"
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}:{self.column}: {self.severity}: {self.describe()}"
+
+
+def tokenize_c(
+    source: str,
+    filename: str = "<input>",
+    recover: bool = False,
+    diagnostics: list[ParseDiagnostic] | None = None,
+) -> list[CToken]:
+    """Tokenize C source; returns tokens ending with EOF.
+
+    With ``recover=True`` lexical problems (stray bytes, unterminated
+    comments/strings) are appended to ``diagnostics`` as
+    :class:`ParseDiagnostic` records and scanning continues past them;
+    the strict default raises :class:`CLexError` exactly as before.
+    """
     tokens: list[CToken] = []
     i = 0
     n = len(source)
     line, col = 1, 1
+
+    def problem(message: str, at_line: int, at_col: int) -> None:
+        if not recover:
+            raise CLexError(message, at_line, at_col)
+        if diagnostics is not None:
+            diagnostics.append(
+                ParseDiagnostic(
+                    file=filename,
+                    line=at_line,
+                    column=at_col,
+                    message=message,
+                    stage="lex",
+                )
+            )
 
     def advance(count: int) -> None:
         nonlocal i, line, col
@@ -114,7 +194,9 @@ def tokenize_c(source: str, filename: str = "<input>") -> list[CToken]:
             while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
                 advance(1)
             if i + 1 >= n:
-                raise CLexError("unterminated comment", start_line, start_col)
+                problem("unterminated comment", start_line, start_col)
+                advance(n - i)  # recovery: the comment swallows the tail
+                continue
             advance(2)
             continue
 
@@ -165,12 +247,14 @@ def tokenize_c(source: str, filename: str = "<input>") -> list[CToken]:
 
         if ch == "'":
             j = i + 1
-            while j < n and source[j] != "'":
+            while j < n and source[j] != "'" and not (recover and source[j] == "\n"):
                 if source[j] == "\\":
                     j += 1
                 j += 1
-            if j >= n:
-                raise CLexError("unterminated character constant", tok_line, tok_col)
+            if j >= n or source[j] != "'":
+                problem("unterminated character constant", tok_line, tok_col)
+                advance(j - i)  # recovery: drop the open fragment
+                continue
             text = source[i : j + 1]
             tokens.append(CToken(CTokenKind.CHAR_CONST, text, tok_line, tok_col))
             advance(j + 1 - i)
@@ -178,12 +262,14 @@ def tokenize_c(source: str, filename: str = "<input>") -> list[CToken]:
 
         if ch == '"':
             j = i + 1
-            while j < n and source[j] != '"':
+            while j < n and source[j] != '"' and not (recover and source[j] == "\n"):
                 if source[j] == "\\":
                     j += 1
                 j += 1
-            if j >= n:
-                raise CLexError("unterminated string literal", tok_line, tok_col)
+            if j >= n or source[j] != '"':
+                problem("unterminated string literal", tok_line, tok_col)
+                advance(j - i)  # recovery: drop the open fragment
+                continue
             text = source[i : j + 1]
             tokens.append(CToken(CTokenKind.STRING, text, tok_line, tok_col))
             advance(j + 1 - i)
@@ -195,7 +281,8 @@ def tokenize_c(source: str, filename: str = "<input>") -> list[CToken]:
                 advance(len(punct))
                 break
         else:
-            raise CLexError(f"unexpected character {ch!r}", tok_line, tok_col)
+            problem(f"unexpected character {ch!r}", tok_line, tok_col)
+            advance(1)  # recovery: skip the stray byte
 
     tokens.append(CToken(CTokenKind.EOF, "", line, col))
     return tokens

@@ -19,7 +19,9 @@ declaration.
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 from .cast import (
     Assignment,
@@ -70,6 +72,7 @@ from .clexer import (
     CLexError,
     CToken,
     CTokenKind,
+    ParseDiagnostic,
     parse_char_constant,
     parse_int_constant,
     tokenize_c,
@@ -88,8 +91,10 @@ from .ctypes import (
 
 
 class CParseError(Exception):
-    def __init__(self, message: str, token: CToken):
+    def __init__(self, message: str, token: CToken, expected: str | None = None):
         self.token = token
+        self.message = message
+        self.expected = expected
         super().__init__(
             f"{message} at {token.line}:{token.column} "
             f"(found {token.kind.name} {token.text!r})"
@@ -109,13 +114,26 @@ _ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "<
 
 
 class _CParser:
-    def __init__(self, tokens: list[CToken], filename: str):
+    def __init__(
+        self,
+        tokens: list[CToken],
+        filename: str,
+        recover: bool = False,
+        diagnostics: list[ParseDiagnostic] | None = None,
+    ):
         self.tokens = tokens
         self.pos = 0
         self.filename = filename
         self.typedefs: dict[str, CType] = {}
         self.items: list[TopLevel] = []
         self._anon_counter = 0
+        self.recover = recover
+        self.diagnostics: list[ParseDiagnostic] = (
+            diagnostics if diagnostics is not None else []
+        )
+        #: File of the most recently completed declarator's name token —
+        #: how ``#include``-d declarations keep their home file.
+        self._last_file = filename
 
     # -- token plumbing -------------------------------------------------
     def peek(self, ahead: int = 0) -> CToken:
@@ -144,14 +162,96 @@ class _CParser:
 
     def expect_punct(self, text: str) -> CToken:
         if not self.at_punct(text):
-            raise CParseError(f"expected {text!r}", self.peek())
+            raise CParseError(f"expected {text!r}", self.peek(), expected=text)
         return self.advance()
 
     def expect_ident(self) -> CToken:
         tok = self.peek()
         if tok.kind is not CTokenKind.IDENT:
-            raise CParseError("expected identifier", tok)
+            raise CParseError("expected identifier", tok, expected="identifier")
         return self.advance()
+
+    def _file_of(self, tok: CToken) -> str:
+        return tok.file or self.filename
+
+    # -- panic-mode recovery --------------------------------------------
+    def _record(
+        self, exc: Exception, sync: str | None, at: CToken | None = None
+    ) -> None:
+        """Turn a parse/lex-adjacent exception into a structured
+        diagnostic anchored at the offending token."""
+        tok = exc.token if isinstance(exc, CParseError) else (at or self.peek())
+        message = exc.message if isinstance(exc, CParseError) else str(exc)
+        expected = exc.expected if isinstance(exc, CParseError) else None
+        self.diagnostics.append(
+            ParseDiagnostic(
+                file=self._file_of(tok),
+                line=tok.line,
+                column=tok.column,
+                message=message,
+                stage="parse",
+                expected=expected,
+                found=f"{tok.kind.name} {tok.text!r}",
+                sync=sync,
+            )
+        )
+
+    def _sync_top_level(self) -> str:
+        """Skip to the next point an external declaration can restart:
+        past a ``;`` or a closing ``}`` at bracket depth 0, or just
+        before a storage/type keyword that can open a declaration."""
+        depth = 0
+        moved = False
+        while True:
+            tok = self.peek()
+            if tok.kind is CTokenKind.EOF:
+                return "<eof>"
+            if tok.kind is CTokenKind.PUNCT:
+                if tok.text in ("(", "[", "{"):
+                    depth += 1
+                elif tok.text in (")", "]"):
+                    depth = max(0, depth - 1)
+                elif tok.text == "}":
+                    if depth <= 1:
+                        self.advance()
+                        if depth == 1:
+                            # closed the block we errored inside; eat a
+                            # trailing ';' (struct definitions) and resume
+                            self.accept_punct(";")
+                        return "}"
+                    depth -= 1
+                elif tok.text == ";" and depth == 0:
+                    self.advance()
+                    return ";"
+            elif (
+                moved
+                and depth == 0
+                and tok.kind is CTokenKind.KEYWORD
+                and (tok.text in _STORAGE_KEYWORDS or tok.text in _TYPE_SPEC_KEYWORDS)
+            ):
+                return tok.text
+            self.advance()
+            moved = True
+
+    def _sync_statement(self) -> str:
+        """Skip to the next statement boundary inside a block: past a
+        ``;`` at brace depth 0, or *to* (not past) the block's ``}``."""
+        depth = 0
+        while True:
+            tok = self.peek()
+            if tok.kind is CTokenKind.EOF:
+                return "<eof>"
+            if tok.kind is CTokenKind.PUNCT:
+                if tok.text == "{":
+                    depth += 1
+                elif tok.text == "}":
+                    if depth == 0:
+                        return "}"
+                    depth -= 1
+                elif tok.text == ";" and depth == 0:
+                    self.advance()
+                    return ";"
+            self.advance()
 
     # -- type recognition -----------------------------------------------
     def at_type_start(self, ahead: int = 0) -> bool:
@@ -244,11 +344,12 @@ class _CParser:
                 base, _storage = self.parse_decl_specifiers()
                 while True:
                     name, full_type, line, col = self.parse_declarator(base)
+                    field_file = self._last_file
                     if self.accept_punct(":"):
                         self.parse_conditional()  # bitfield width, ignored
                     if name is not None:
                         fields.append(
-                            FieldDecl(name, full_type, line, col, self.filename)
+                            FieldDecl(name, full_type, line, col, field_file)
                         )
                     if not self.accept_punct(","):
                         break
@@ -256,7 +357,7 @@ class _CParser:
             self.expect_punct("}")
             self.items.append(
                 StructDef(
-                    tag, tuple(fields), is_union, kw.line, kw.column, self.filename
+                    tag, tuple(fields), is_union, kw.line, kw.column, self._file_of(kw)
                 )
             )
         elif tag is None:
@@ -283,7 +384,7 @@ class _CParser:
                     break
             self.expect_punct("}")
             self.items.append(
-                EnumDef(tag, tuple(enumerators), kw.line, kw.column, self.filename)
+                EnumDef(tag, tuple(enumerators), kw.line, kw.column, self._file_of(kw))
             )
         elif tag is None:
             raise CParseError("enum requires a tag or a body", self.peek())
@@ -301,6 +402,7 @@ class _CParser:
         """
         line = self.peek().line
         col = self.peek().column
+        decl_file = self._file_of(self.peek())
         # Pointer prefix: each * may carry qualifiers that attach to the
         # pointer level itself (e.g. ``int * const p``).
         pointer_quals: list[frozenset[str]] = []
@@ -318,6 +420,7 @@ class _CParser:
             name_tok = self.advance()
             name = name_tok.text
             line, col = name_tok.line, name_tok.column
+            decl_file = self._file_of(name_tok)
         elif self.at_punct("(") and self._paren_is_declarator(abstract):
             self.advance()
             # Parse the inner declarator with a placeholder base; we apply
@@ -325,6 +428,7 @@ class _CParser:
             inner_name, placeholder_type, line, col = self.parse_declarator(
                 CBase("__placeholder"), abstract
             )
+            decl_file = self._last_file
             self.expect_punct(")")
             name = inner_name
             inner_transform = placeholder_type
@@ -368,6 +472,9 @@ class _CParser:
                 self._last_params = params
         if inner_transform is not None:
             result = _substitute_placeholder(inner_transform, result)
+        # Publish this declarator's home file last so nested declarator
+        # parses (parameters, grouped declarators) cannot clobber it.
+        self._last_file = decl_file
         return name, result, line, col
 
     def _paren_is_declarator(self, abstract: bool) -> bool:
@@ -404,7 +511,7 @@ class _CParser:
             name, full_type, line, col = self.parse_declarator(base, abstract=True)
             from .ctypes import decay as _decay
 
-            params.append(ParamDecl(name, _decay(full_type), line, col, self.filename))
+            params.append(ParamDecl(name, _decay(full_type), line, col, self._last_file))
             if not self.accept_punct(","):
                 break
         return params, varargs
@@ -417,7 +524,18 @@ class _CParser:
     # -- external declarations --------------------------------------------
     def parse_translation_unit(self) -> TranslationUnit:
         while self.peek().kind is not CTokenKind.EOF:
-            self.parse_external_declaration()
+            if not self.recover:
+                self.parse_external_declaration()
+                continue
+            start = self.pos
+            try:
+                self.parse_external_declaration()
+            except (CParseError, CLexError, ValueError) as exc:
+                at = exc.token if isinstance(exc, CParseError) else self.peek()
+                sync = self._sync_top_level()
+                if self.pos == start and self.peek().kind is not CTokenKind.EOF:
+                    self.advance()  # progress guarantee
+                self._record(exc, sync, at)
         return TranslationUnit(self.items, self.filename)
 
     def parse_external_declaration(self) -> None:
@@ -432,6 +550,7 @@ class _CParser:
         while True:
             self._last_params = []
             name, full_type, line, col = self.parse_declarator(base)
+            decl_file = self._last_file
             params: list[ParamDecl] = list(self._last_params)
 
             if storage == "typedef":
@@ -439,11 +558,12 @@ class _CParser:
                     raise CParseError("typedef requires a name", self.peek())
                 self.typedefs[name] = full_type
                 self.items.append(
-                    TypedefDecl(name, full_type, line, col, self.filename)
+                    TypedefDecl(name, full_type, line, col, decl_file)
                 )
             elif isinstance(full_type, CFunc) and first and self.at_punct("{"):
+                if name is None:
+                    raise CParseError("function definition requires a name", self.peek())
                 body = self.parse_compound()
-                assert name is not None
                 self.items.append(
                     FuncDef(
                         name,
@@ -454,12 +574,13 @@ class _CParser:
                         storage,
                         line,
                         col,
-                        self.filename,
+                        decl_file,
                     )
                 )
                 return
             elif isinstance(full_type, CFunc):
-                assert name is not None
+                if name is None:
+                    raise CParseError("function declaration requires a name", self.peek())
                 self.items.append(
                     FuncDecl(
                         name,
@@ -469,16 +590,17 @@ class _CParser:
                         storage,
                         line,
                         col,
-                        self.filename,
+                        decl_file,
                     )
                 )
             else:
                 init: Optional[CExpr] = None
                 if self.accept_punct("="):
                     init = self.parse_initializer()
-                assert name is not None
+                if name is None:
+                    raise CParseError("declaration requires a name", self.peek())
                 self.items.append(
-                    VarDecl(name, full_type, init, storage, line, col, self.filename)
+                    VarDecl(name, full_type, init, storage, line, col, decl_file)
                 )
 
             first = False
@@ -503,7 +625,36 @@ class _CParser:
         brace = self.expect_punct("{")
         body: list[CStmt] = []
         while not self.at_punct("}"):
-            body.append(self.parse_statement())
+            if not self.recover:
+                body.append(self.parse_statement())
+                continue
+            if self.peek().kind is CTokenKind.EOF:
+                self.diagnostics.append(
+                    ParseDiagnostic(
+                        file=self._file_of(brace),
+                        line=brace.line,
+                        column=brace.column,
+                        message="unterminated block",
+                        stage="parse",
+                        expected="}",
+                        found="EOF ''",
+                        sync="<eof>",
+                    )
+                )
+                return Compound(tuple(body), line=brace.line, col=brace.column)
+            start = self.pos
+            try:
+                body.append(self.parse_statement())
+            except (CParseError, CLexError, ValueError) as exc:
+                at = exc.token if isinstance(exc, CParseError) else self.peek()
+                sync = self._sync_statement()
+                if (
+                    self.pos == start
+                    and not self.at_punct("}")
+                    and self.peek().kind is not CTokenKind.EOF
+                ):
+                    self.advance()  # progress guarantee
+                self._record(exc, sync, at)
         self.expect_punct("}")
         return Compound(tuple(body), line=brace.line, col=brace.column)
 
@@ -513,8 +664,10 @@ class _CParser:
         if not self.at_punct(";"):
             while True:
                 name, full_type, line, col = self.parse_declarator(base)
+                decl_file = self._last_file
                 if storage == "typedef":
-                    assert name is not None
+                    if name is None:
+                        raise CParseError("typedef requires a name", self.peek())
                     self.typedefs[name] = full_type
                     if not self.accept_punct(","):
                         break
@@ -522,9 +675,10 @@ class _CParser:
                 init: Optional[CExpr] = None
                 if self.accept_punct("="):
                     init = self.parse_initializer()
-                assert name is not None
+                if name is None:
+                    raise CParseError("declaration requires a name", self.peek())
                 decls.append(
-                    VarDecl(name, full_type, init, storage, line, col, self.filename)
+                    VarDecl(name, full_type, init, storage, line, col, decl_file)
                 )
                 if not self.accept_punct(","):
                     break
@@ -827,3 +981,83 @@ def parse_c(source: str, filename: str = "<input>") -> TranslationUnit:
     """
     tokens = tokenize_c(source, filename)
     return _CParser(tokens, filename).parse_translation_unit()
+
+
+@dataclass
+class ParseResult:
+    """A best-effort parse: the recovered :class:`TranslationUnit` plus
+    every front-end problem met along the way.
+
+    ``unit`` holds all declarations the panic-mode parser salvaged —
+    possibly every one (``ok``), possibly a subset.  ``diagnostics``
+    aggregates preprocessor, lexer, and parser records in source order
+    of discovery.
+    """
+
+    unit: TranslationUnit
+    diagnostics: list[ParseDiagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing error-severity was recorded (warnings —
+        macro redefinitions, unresolved includes — don't clear it)."""
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    @property
+    def errors(self) -> list[ParseDiagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+
+def parse_c_resilient(
+    source: str,
+    filename: str = "<input>",
+    include_paths: Sequence[str] = (),
+    loader=None,
+) -> ParseResult:
+    """Parse C source, preprocessing directives and recovering from
+    errors instead of raising.
+
+    Runs the minimal preprocessor (:mod:`repro.cfront.cpp`), the
+    recovering lexer, and the panic-mode parser, and never raises on
+    malformed input: the result carries whatever declarations could be
+    salvaged plus a :class:`ParseDiagnostic` per problem.  Spans and
+    diagnostics point at the original files — including ``#include``-d
+    headers — via the preprocessor's line map.
+    """
+    from .cpp import preprocess
+
+    diagnostics: list[ParseDiagnostic] = []
+    pre = preprocess(source, filename, include_paths=include_paths, loader=loader)
+    diagnostics.extend(pre.diagnostics)
+
+    lex_from = len(diagnostics)
+    tokens = tokenize_c(pre.text, filename, recover=True, diagnostics=diagnostics)
+    if pre.line_map is not None:
+        remap = pre.line_map
+
+        def _remap_line(line: int) -> tuple[str, int]:
+            if 1 <= line <= len(remap):
+                return remap[line - 1]
+            return filename, line
+
+        new_tokens = []
+        for tok in tokens:
+            src_file, src_line = _remap_line(tok.line)
+            new_tokens.append(
+                dataclasses.replace(
+                    tok,
+                    line=src_line,
+                    file="" if src_file == filename else src_file,
+                )
+            )
+        tokens = new_tokens
+        for idx in range(lex_from, len(diagnostics)):
+            d = diagnostics[idx]
+            src_file, src_line = _remap_line(d.line)
+            diagnostics[idx] = dataclasses.replace(
+                d, file=src_file, line=src_line
+            )
+
+    parser = _CParser(tokens, filename, recover=True, diagnostics=diagnostics)
+    unit = parser.parse_translation_unit()
+    return ParseResult(unit, diagnostics)

@@ -75,6 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit SARIF artifact URIs relative to this directory "
         "(declared as the SRCROOT uriBase)",
     )
+    parser.add_argument(
+        "--best-effort",
+        action="store_true",
+        help="resilient ingestion: preprocess #include/#define/#ifdef, "
+        "recover from parse errors panic-mode style, and analyse "
+        "whatever each unit kept (parse problems become parse-error/"
+        "preprocessor findings; units get ok/partial/skipped status)",
+    )
+    parser.add_argument(
+        "--include-dir",
+        "-I",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="add DIR to the #include search path (best-effort mode; "
+        "repeatable)",
+    )
     return parser
 
 
@@ -101,6 +118,8 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         baseline=baseline,
+        best_effort=args.best_effort,
+        include_paths=tuple(args.include_dir),
     )
 
     if args.write_baseline is not None:
@@ -119,6 +138,9 @@ def main(argv: list[str] | None = None) -> int:
 
     for file, error in sorted(report.errors.items()):
         print(f"qlint: error: {file}: {error}", file=sys.stderr)
+    for file, status in sorted(report.unit_status.items()):
+        if status != "ok":
+            print(f"qlint: {status}: {file}", file=sys.stderr)
     if baseline is not None:
         for diag in report.new_findings:
             print(f"qlint: new finding not in baseline: {diag.span}: {diag.message}", file=sys.stderr)

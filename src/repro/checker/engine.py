@@ -473,6 +473,80 @@ def check_source(
     return check_program(program, checks)
 
 
+#: Check name for front-end (lexer/parser) error findings.
+PARSE_CHECK = "parse-error"
+
+#: Check name for preprocessor findings (``stage="cpp"`` diagnostics).
+CPP_CHECK = "preprocessor"
+
+
+def parse_findings(parse_diagnostics) -> list[Diagnostic]:
+    """Convert front-end :class:`~repro.cfront.clexer.ParseDiagnostic`
+    records into checker diagnostics, so they fingerprint, suppress,
+    and render (human/JSON/SARIF) exactly like qualifier findings."""
+    out: list[Diagnostic] = []
+    for d in parse_diagnostics:
+        out.append(
+            Diagnostic(
+                check=CPP_CHECK if d.stage == "cpp" else PARSE_CHECK,
+                qualifier="syntax",
+                severity="error" if d.severity == "error" else "warning",
+                message=d.describe(),
+                span=Span(d.file, d.line, d.column),
+            )
+        )
+    return out
+
+
+def _unit_status(result) -> str:
+    """Classify one resilient parse: ``ok`` (no errors), ``partial``
+    (errors but declarations salvaged), ``skipped`` (nothing usable)."""
+    if result.ok:
+        return "ok"
+    return "partial" if result.unit.items else "skipped"
+
+
+def check_source_resilient(
+    source: str,
+    filename: str = "<input>",
+    checks: tuple[QualifierCheck, ...] = DEFAULT_CHECKS,
+    include_paths: tuple[str, ...] = (),
+) -> tuple[list[Diagnostic], str, int]:
+    """Best-effort single-unit check: preprocess, parse with panic-mode
+    recovery, and analyse whatever was salvaged.
+
+    Never raises on bad input.  Returns ``(diagnostics, status,
+    functions)`` where diagnostics merge front-end findings with
+    qualifier findings in span order, status is ``ok``/``partial``/
+    ``skipped``, and functions counts the definitions that were
+    actually analysed.
+    """
+    from ..cfront.cparser import parse_c_resilient
+
+    result = parse_c_resilient(source, filename, include_paths=include_paths)
+    status = _unit_status(result)
+    diagnostics = parse_findings(result.diagnostics)
+    functions = 0
+    try:
+        program = Program.from_units([result.unit])
+        functions = len(program.functions)
+        diagnostics.extend(check_program(program, checks))
+    except Exception as exc:  # salvaged subset the analysis can't hold
+        status = "skipped"
+        functions = 0
+        diagnostics.append(
+            Diagnostic(
+                check=PARSE_CHECK,
+                qualifier="syntax",
+                severity="error",
+                message=f"analysis failed on recovered unit: "
+                f"{type(exc).__name__}: {exc}",
+                span=Span(filename, 0, 0),
+            )
+        )
+    return sorted(diagnostics, key=_sort_key), status, functions
+
+
 def check_linked_program(
     linked, checks: tuple[QualifierCheck, ...] = DEFAULT_CHECKS
 ) -> list[Diagnostic]:

@@ -75,12 +75,20 @@ def render_human(
 # ---------------------------------------------------------------------------
 
 
-def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+def render_json(
+    diagnostics: Iterable[Diagnostic],
+    unit_status: Mapping[str, str] | None = None,
+) -> str:
     payload = {
         "tool": "qlint",
         "version": QLINT_VERSION,
         "diagnostics": [d.to_dict() for d in diagnostics],
     }
+    if unit_status:
+        # Best-effort ingestion only — inserted before serialisation so
+        # key order stays deterministic, omitted entirely otherwise so
+        # strict-mode output is byte-identical to the pre-ingestion tool.
+        payload["units"] = {k: unit_status[k] for k in sorted(unit_status)}
     return json.dumps(payload, indent=2) + "\n"
 
 
@@ -148,7 +156,9 @@ def _sarif_rules(diagnostics: list[Diagnostic]) -> list[dict]:
 
 
 def render_sarif(
-    diagnostics: Iterable[Diagnostic], src_root: str | None = None
+    diagnostics: Iterable[Diagnostic],
+    src_root: str | None = None,
+    unit_status: Mapping[str, str] | None = None,
 ) -> str:
     """A SARIF 2.1.0 log: one run, one result per diagnostic, the
     qualifier-flow trace as a codeFlow/threadFlow, fingerprints under
@@ -204,6 +214,16 @@ def render_sarif(
         run["originalUriBaseIds"] = {
             "SRCROOT": {"uri": uri if uri.endswith("/") else uri + "/"}
         }
+    if unit_status:
+        # Best-effort ingestion statuses, keyed by portable URI.  Absent
+        # on strict runs (and on clean best-effort corpora) so those
+        # SARIF logs stay byte-identical to the pre-ingestion tool's.
+        run["properties"] = {
+            "qlint/unitStatus": {
+                _relative_uri(file, src_root)[0]: unit_status[file]
+                for file in sorted(unit_status)
+            }
+        }
     log = {
         "$schema": SARIF_SCHEMA,
         "version": "2.1.0",
@@ -218,13 +238,14 @@ def render_diagnostics(
     sources: Mapping[str, str] | None = None,
     show_suppressed: bool = False,
     src_root: str | None = None,
+    unit_status: Mapping[str, str] | None = None,
 ) -> str:
     if format == "human":
         return render_human(diagnostics, sources, show_suppressed=show_suppressed)
     if format == "json":
-        return render_json(diagnostics)
+        return render_json(diagnostics, unit_status=unit_status)
     if format == "sarif":
-        return render_sarif(diagnostics, src_root=src_root)
+        return render_sarif(diagnostics, src_root=src_root, unit_status=unit_status)
     raise ValueError(f"unknown format {format!r} (expected human, json, or sarif)")
 
 
@@ -256,6 +277,11 @@ def render_report(
                 sources[file] = Path(file).read_text(encoding="utf-8", errors="replace")
             except OSError:
                 pass
+    # Unit statuses appear only when ingestion actually degraded a unit,
+    # so strict runs and clean best-effort corpora render byte-identically
+    # to the pre-ingestion tool.
+    statuses = getattr(report, "unit_status", None) or {}
+    degraded = {f: s for f, s in statuses.items() if s != "ok"}
     return render_diagnostics(
         report.diagnostics
         if format == "human" or format == "sarif"
@@ -264,4 +290,5 @@ def render_report(
         sources=sources,
         show_suppressed=show_suppressed,
         src_root=src_root,
+        unit_status=degraded or None,
     )

@@ -52,6 +52,14 @@ class CheckerReport:
     #: reported (both empty when no baseline was given).
     new_findings: list[Diagnostic] = field(default_factory=list)
     lost_fingerprints: set[str] = field(default_factory=set)
+    #: Best-effort runs only: file -> "ok" | "partial" | "skipped".
+    #: ``partial`` units were analysed on their recovered declaration
+    #: subset; ``skipped`` units contributed nothing but their parse
+    #: diagnostics.  Strict runs leave this empty.
+    unit_status: dict[str, str] = field(default_factory=dict)
+    #: Best-effort runs only: file -> number of function definitions
+    #: that were actually analysed (the recovered-function numerator).
+    functions: dict[str, int] = field(default_factory=dict)
 
     @property
     def active(self) -> list[Diagnostic]:
@@ -74,6 +82,10 @@ class CheckerReport:
         ]
         if self.errors:
             parts.append(f"{len(self.errors)} error(s)")
+        partial = sum(1 for s in self.unit_status.values() if s == "partial")
+        skipped = sum(1 for s in self.unit_status.values() if s == "skipped")
+        if partial or skipped:
+            parts.append(f"{partial} partial / {skipped} skipped unit(s)")
         if self.cache_hits or self.cache_misses:
             parts.append(f"cache {self.cache_hits} hit(s) / {self.cache_misses} miss(es)")
         return ", ".join(parts)
@@ -102,14 +114,25 @@ def discover_files(
     return sorted(out)
 
 
-def _cache_options(check_names: tuple[str, ...]) -> dict:
+def _cache_options(
+    check_names: tuple[str, ...],
+    best_effort: bool = False,
+    include_paths: tuple[str, ...] = (),
+) -> dict:
     """The cache-key options for one run's check configuration: the
     enabled names *and* a digest of their full rule sets, so editing a
-    check's sources/sinks invalidates cached diagnostics."""
-    return {
+    check's sources/sinks invalidates cached diagnostics.  Best-effort
+    runs key separately (their payloads carry status/function counts,
+    and the include path list changes what an ``#include`` resolves to).
+    """
+    options = {
         "checks": ",".join(check_names),
         "config": config_digest(check_names),
     }
+    if best_effort:
+        options["ingest"] = "best-effort"
+        options["include_paths"] = "\x00".join(include_paths)
+    return options
 
 
 def check_one_source(
@@ -117,47 +140,91 @@ def check_one_source(
     path_text: str,
     check_names: tuple[str, ...],
     cache: AnalysisCache | None,
-) -> tuple[list[Diagnostic], str | None, bool]:
+    best_effort: bool = False,
+    include_paths: tuple[str, ...] = (),
+) -> tuple[list[Diagnostic], str | None, bool, str, int]:
     """Check one unit's text: the shared per-file core of the batch
     runner and the ``repro.serve`` daemon.  Returns (diagnostics —
-    fingerprinted and suppression-marked, error, from_cache)."""
-    from .engine import check_source  # deferred: keep worker import light
+    fingerprinted and suppression-marked, error, from_cache, status,
+    analysed-function count).
+
+    Strict mode (the default) raises nothing but reports a parse/sema
+    failure as ``error`` with no diagnostics — the seed behaviour.
+    Best-effort mode never reports ``error`` for bad *content*: the
+    front end recovers what it can, problems come back as parse-error/
+    preprocessor diagnostics, and ``status`` says how much of the unit
+    survived (``ok`` / ``partial`` / ``skipped``).
+    """
+    from .engine import check_source, check_source_resilient  # deferred: keep worker import light
 
     key = None
     if cache is not None:
-        key = cache.key(CACHE_KIND, source=source, options=_cache_options(check_names))
+        key = cache.key(
+            CACHE_KIND,
+            source=source,
+            options=_cache_options(check_names, best_effort, include_paths),
+        )
         cached = cache.get(key)
-        if isinstance(cached, list):
-            return cached, None, True
+        if not best_effort and isinstance(cached, list):
+            return cached, None, True, "ok", 0
+        if best_effort and isinstance(cached, dict):
+            return (
+                list(cached.get("diagnostics", [])),
+                None,
+                True,
+                str(cached.get("status", "ok")),
+                int(cached.get("functions", 0)),
+            )
 
     checks = tuple(check_by_name(name) for name in check_names)
-    try:
-        diagnostics = check_source(source, filename=path_text, checks=checks)
-    except Exception as exc:  # a bad input file must not kill the batch
-        return [], f"{type(exc).__name__}: {exc}", False
+    status = "ok"
+    functions = 0
+    if best_effort:
+        diagnostics, status, functions = check_source_resilient(
+            source, filename=path_text, checks=checks, include_paths=include_paths
+        )
+    else:
+        try:
+            diagnostics = check_source(source, filename=path_text, checks=checks)
+        except Exception as exc:  # a bad input file must not kill the batch
+            return [], f"{type(exc).__name__}: {exc}", False, "skipped", 0
 
     sources = {path_text: source}
     diagnostics = assign_fingerprints(diagnostics, sources)
     diagnostics = apply_suppressions(diagnostics, sources)
     if cache is not None and key is not None:
-        cache.put(key, diagnostics)
-    return diagnostics, None, False
+        if best_effort:
+            cache.put(
+                key,
+                {
+                    "diagnostics": diagnostics,
+                    "status": status,
+                    "functions": functions,
+                },
+            )
+        else:
+            cache.put(key, diagnostics)
+    return diagnostics, None, False, status, functions
 
 
 def _check_one(
-    path_text: str, check_names: tuple[str, ...], cache_dir: str | None
-) -> tuple[str, list[Diagnostic], str | None, bool]:
+    path_text: str,
+    check_names: tuple[str, ...],
+    cache_dir: str | None,
+    best_effort: bool = False,
+    include_paths: tuple[str, ...] = (),
+) -> tuple[str, list[Diagnostic], str | None, bool, str, int]:
     """Worker: check one file from disk.  Top-level so it pickles into a
     process pool."""
     try:
         source = Path(path_text).read_text(encoding="utf-8", errors="replace")
     except OSError as exc:
-        return path_text, [], str(exc), False
+        return path_text, [], str(exc), False, "skipped", 0
     cache = AnalysisCache(cache_dir) if cache_dir else None
-    diagnostics, error, from_cache = check_one_source(
-        source, path_text, check_names, cache
+    diagnostics, error, from_cache, status, functions = check_one_source(
+        source, path_text, check_names, cache, best_effort, include_paths
     )
-    return path_text, diagnostics, error, from_cache
+    return path_text, diagnostics, error, from_cache, status, functions
 
 
 def check_paths(
@@ -168,6 +235,8 @@ def check_paths(
     baseline: Baseline | None = None,
     sources: Mapping[str, str] | None = None,
     cache: AnalysisCache | None = None,
+    best_effort: bool = False,
+    include_paths: Sequence[str] = (),
 ) -> CheckerReport:
     """Check every ``.c`` file reachable from ``paths``.
 
@@ -178,6 +247,11 @@ def check_paths(
     across calls — and takes precedence over ``cache_dir``; both the
     overlay and a shared handle imply the serial path (the handle's
     memory tier cannot span processes).
+
+    ``best_effort`` turns on resilient ingestion: the preprocessor runs
+    (``include_paths`` searched for ``#include``), parse errors recover
+    instead of failing the file, and the report carries per-unit
+    ``unit_status`` / analysed-function counts.
     """
     check_names = tuple(
         c if isinstance(c, str) else c.name for c in checks
@@ -186,6 +260,7 @@ def check_paths(
         check_by_name(name)  # fail fast on typos
     files = discover_files(paths, extra=sources or ())
     cache_text = str(cache_dir) if cache_dir is not None else None
+    include_tuple = tuple(str(p) for p in include_paths)
 
     report = CheckerReport(files=[str(f) for f in files])
     if jobs > 1 and len(files) > 1 and sources is None and cache is None:
@@ -196,6 +271,8 @@ def check_paths(
                     [str(f) for f in files],
                     [check_names] * len(files),
                     [cache_text] * len(files),
+                    [best_effort] * len(files),
+                    [include_tuple] * len(files),
                 )
             )
     else:
@@ -209,19 +286,24 @@ def check_paths(
                 try:
                     source = file.read_text(encoding="utf-8", errors="replace")
                 except OSError as exc:
-                    results.append((path_text, [], str(exc), False))
+                    results.append((path_text, [], str(exc), False, "skipped", 0))
                     continue
             else:
                 source = overlay
-            diagnostics, error, from_cache = check_one_source(
-                source, path_text, check_names, cache
+            diagnostics, error, from_cache, status, functions = check_one_source(
+                source, path_text, check_names, cache, best_effort, include_tuple
             )
-            results.append((path_text, diagnostics, error, from_cache))
+            results.append(
+                (path_text, diagnostics, error, from_cache, status, functions)
+            )
 
-    for path_text, diagnostics, error, from_cache in results:
+    for path_text, diagnostics, error, from_cache, status, functions in results:
         if error is not None:
             report.errors[path_text] = error
         report.diagnostics.extend(diagnostics)
+        if best_effort:
+            report.unit_status[path_text] = status
+            report.functions[path_text] = functions
         if from_cache:
             report.cache_hits += 1
         else:
@@ -245,6 +327,8 @@ def analyze(
     sources: Mapping[str, str] | None = None,
     cache: AnalysisCache | None = None,
     parse_unit: Callable[[str, str], object] | None = None,
+    best_effort: bool = False,
+    include_paths: Sequence[str] = (),
 ) -> CheckerReport:
     """The one-shot analysis entry point: per-file batch or linked
     whole-program, selected by ``whole_program``.
@@ -253,6 +337,9 @@ def analyze(
     (``python -m repro.serve``) call exactly this function, so for the
     same inputs they produce the same :class:`CheckerReport` — and, via
     :func:`repro.checker.render.render_report`, byte-identical output.
+
+    ``best_effort`` selects resilient ingestion (preprocessing, parser
+    recovery, partial analysis) in either mode.
     """
     if whole_program:
         return check_whole_program(
@@ -264,6 +351,8 @@ def analyze(
             sources=sources,
             cache=cache,
             parse_unit=parse_unit,
+            best_effort=best_effort,
+            include_paths=include_paths,
         )
     return check_paths(
         paths,
@@ -273,6 +362,8 @@ def analyze(
         baseline=baseline,
         sources=sources,
         cache=cache,
+        best_effort=best_effort,
+        include_paths=include_paths,
     )
 
 
@@ -288,6 +379,18 @@ def _parse_one_unit(name_text: tuple[str, str]):
         return name, None, f"{type(exc).__name__}: {exc}"
 
 
+def _parse_one_unit_resilient(name_text_paths: tuple[str, str, tuple[str, ...]]):
+    """Worker: resilient parse of one named source.  Returns (name,
+    ParseResult-or-None, error).  Top-level so it pickles into a pool."""
+    from ..cfront.cparser import parse_c_resilient
+
+    name, text, include_paths = name_text_paths
+    try:
+        return name, parse_c_resilient(text, name, include_paths=include_paths), None
+    except Exception as exc:  # recovery itself must never kill the batch
+        return name, None, f"{type(exc).__name__}: {exc}"
+
+
 def check_whole_program(
     paths: Sequence[str | Path],
     checks: Sequence[QualifierCheck | str] = DEFAULT_CHECKS,
@@ -297,6 +400,8 @@ def check_whole_program(
     sources: Mapping[str, str] | None = None,
     cache: AnalysisCache | None = None,
     parse_unit: Callable[[str, str], object] | None = None,
+    best_effort: bool = False,
+    include_paths: Sequence[str] = (),
 ) -> CheckerReport:
     """Link every ``.c`` file reachable from ``paths`` into one program
     and check it whole, so qualifier flows through ``extern`` symbols
@@ -312,15 +417,29 @@ def check_whole_program(
     The daemon hooks: ``sources`` overlays in-memory unit text over the
     filesystem, ``cache`` lends a long-lived handle (memory tier and
     all), and ``parse_unit`` — a ``(name, text) -> TranslationUnit``
-    callable — replaces the stock parser so a resident parse memo can
-    serve unchanged units; any of the three implies the serial path.
+    callable (or ``-> ParseResult`` under ``best_effort``) — replaces
+    the stock parser so a resident parse memo can serve unchanged
+    units; any of the three implies the serial path.
+
+    With ``best_effort`` every unit parses resiliently: partial units
+    link with whatever declarations they kept, wholly unusable units
+    are linked around with status ``skipped``, and front-end findings
+    join the linked program's diagnostics.
     """
-    from .engine import check_linked_program
+    from .engine import (
+        _sort_key,
+        _unit_status,
+        check_linked_program,
+        parse_findings,
+    )
+    from ..cfront.cast import FuncDef, TranslationUnit
+    from ..cfront.cparser import ParseResult
     from ..whole.linker import link_units
 
     check_names = tuple(c if isinstance(c, str) else c.name for c in checks)
     for name in check_names:
         check_by_name(name)  # fail fast on typos
+    include_tuple = tuple(str(p) for p in include_paths)
     overlay = sources
     files = discover_files(paths, extra=overlay or ())
 
@@ -335,6 +454,9 @@ def check_whole_program(
             sources[str(path)] = path.read_text(encoding="utf-8", errors="replace")
         except OSError as exc:
             report.errors[str(path)] = str(exc)
+            if best_effort:
+                report.unit_status[str(path)] = "skipped"
+                report.functions[str(path)] = 0
 
     if cache is None and cache_dir is not None:
         cache = AnalysisCache(cache_dir)
@@ -347,11 +469,21 @@ def check_whole_program(
             WHOLE_CACHE_KIND,
             source=combined,
             mode="whole",
-            options=_cache_options(check_names),
+            options=_cache_options(check_names, best_effort, include_tuple),
         )
         cached = cache.get(key)
-        if isinstance(cached, list):
-            report.diagnostics = list(cached)
+        hit = (
+            isinstance(cached, dict)
+            if best_effort
+            else isinstance(cached, list)
+        )
+        if hit:
+            if best_effort:
+                report.diagnostics = list(cached.get("diagnostics", []))
+                report.unit_status.update(cached.get("unit_status", {}))
+                report.functions.update(cached.get("functions", {}))
+            else:
+                report.diagnostics = list(cached)
             report.cache_hits = 1
             if baseline is not None:
                 report.new_findings, report.lost_fingerprints = baseline.compare(
@@ -367,6 +499,19 @@ def check_whole_program(
                 parsed.append((name, parse_unit(name, text), None))
             except Exception as exc:
                 parsed.append((name, None, f"{type(exc).__name__}: {exc}"))
+    elif best_effort and jobs > 1 and len(items) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            parsed = list(
+                pool.map(
+                    _parse_one_unit_resilient,
+                    [(name, text, include_tuple) for name, text in items],
+                )
+            )
+    elif best_effort:
+        parsed = [
+            _parse_one_unit_resilient((name, text, include_tuple))
+            for name, text in items
+        ]
     elif jobs > 1 and len(items) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             parsed = list(pool.map(_parse_one_unit, items))
@@ -374,10 +519,30 @@ def check_whole_program(
         parsed = [_parse_one_unit(item) for item in items]
 
     units = []
+    front_findings: list[Diagnostic] = []
     for name, unit, error in parsed:
         if error is not None:
             report.errors[name] = error
-        elif unit is not None:
+            if best_effort:
+                report.unit_status[name] = "skipped"
+                report.functions[name] = 0
+            continue
+        if isinstance(unit, ParseResult):
+            # Resilient parse (best-effort worker or the daemon memo):
+            # keep the salvaged unit, surface its front-end findings.
+            front_findings.extend(parse_findings(unit.diagnostics))
+            if best_effort:
+                report.unit_status[name] = _unit_status(unit)
+                report.functions[name] = sum(
+                    1 for item in unit.unit.items if isinstance(item, FuncDef)
+                )
+            unit = unit.unit
+        elif best_effort and isinstance(unit, TranslationUnit):
+            report.unit_status[name] = "ok"
+            report.functions[name] = sum(
+                1 for item in unit.items if isinstance(item, FuncDef)
+            )
+        if unit is not None:
             units.append(unit)
 
     try:
@@ -390,12 +555,24 @@ def check_whole_program(
         report.cache_misses = 1
         return report
 
+    if front_findings:
+        diagnostics = sorted(diagnostics + front_findings, key=_sort_key)
     diagnostics = assign_fingerprints(diagnostics, sources)
     diagnostics = apply_suppressions(diagnostics, sources)
     report.diagnostics = diagnostics
     report.cache_misses = 1
     if cache is not None and key is not None:
-        cache.put(key, diagnostics)
+        if best_effort:
+            cache.put(
+                key,
+                {
+                    "diagnostics": diagnostics,
+                    "unit_status": dict(report.unit_status),
+                    "functions": dict(report.functions),
+                },
+            )
+        else:
+            cache.put(key, diagnostics)
 
     if baseline is not None:
         report.new_findings, report.lost_fingerprints = baseline.compare(

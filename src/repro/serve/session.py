@@ -31,7 +31,7 @@ import tempfile
 import time
 from typing import Any
 
-from ..cfront.cparser import parse_c
+from ..cfront.cparser import parse_c, parse_c_resilient
 from ..checker.checks import DEFAULT_CHECKS, check_by_name
 from ..checker.render import render_report
 from ..checker.runner import analyze as run_analysis
@@ -79,6 +79,18 @@ class Session:
         #: path -> (text sha256, parsed unit); consulted by reference,
         #: so an unchanged file parses exactly once per session.
         self._parse_memo: dict[str, tuple[str, Any]] = {}
+        #: path -> (text sha256, include paths, ParseResult) — the
+        #: resilient twin of the parse memo, shared by ``didChange``
+        #: syntax probing and best-effort whole-program analyses.
+        self._resilient_memo: dict[str, tuple[str, tuple[str, ...], Any]] = {}
+        #: ``-I`` search paths from the most recent ``analyze`` request;
+        #: ``didChange`` syntax probes resolve headers the same way the
+        #: last analysis did.
+        self._include_paths: tuple[str, ...] = ()
+        #: path -> rendered finding dicts from the last analysis in
+        #: which the file was clean; served when a later edit breaks
+        #: the file, so resident diagnostics never vanish mid-typing.
+        self._last_good: dict[str, list[dict[str, Any]]] = {}
         #: After a whole-program analyze: (sorted roots, tu graph,
         #: unit -> closure digest) for incremental invalidation.
         self._whole_plan: tuple[tuple[str, ...], Any, dict[str, str]] | None = None
@@ -112,6 +124,22 @@ class Session:
         self._parsed_units += 1
         return unit
 
+    def parse_unit_resilient(self, name: str, text: str) -> Any:
+        """Resilient parse through the memo: returns the
+        :class:`~repro.cfront.cparser.ParseResult` for this exact text,
+        parsing at most once per (path, digest)."""
+        digest = hashlib.sha256(text.encode()).hexdigest()
+        memo = self._resilient_memo.get(name)
+        if memo is not None and memo[0] == digest and memo[1] == self._include_paths:
+            self._memo_hits += 1
+            return memo[2]
+        start = time.perf_counter()
+        result = parse_c_resilient(text, name, include_paths=self._include_paths)
+        self._parse_seconds += time.perf_counter() - start
+        self._resilient_memo[name] = (digest, self._include_paths, result)
+        self._parsed_units += 1
+        return result
+
     # -- request handlers ----------------------------------------------
     def analyze(self, params: dict[str, Any]) -> dict[str, Any]:
         """Run the shared one-shot analysis over the session's view of
@@ -139,11 +167,25 @@ class Session:
                 except Exception as exc:
                     raise InvalidParams(str(exc)) from exc
         whole = bool(params.get("whole_program", False))
+        best_effort = bool(params.get("best_effort", False))
+        include_paths = params.get("include_paths", [])
+        if isinstance(include_paths, str):
+            include_paths = [include_paths]
+        if not isinstance(include_paths, list) or not all(
+            isinstance(p, str) for p in include_paths
+        ):
+            raise InvalidParams("'include_paths' must be a list of strings")
+        # Remembered session-wide: didChange syntax probes resolve
+        # headers exactly as the most recent analysis did.
+        self._include_paths = tuple(include_paths)
         show_suppressed = bool(params.get("show_suppressed", False))
         src_root = params.get("src_root")
         if src_root is not None and not isinstance(src_root, str):
             raise InvalidParams("'src_root' must be a string")
 
+        parse_unit = None
+        if whole:
+            parse_unit = self.parse_unit_resilient if best_effort else self.parse_unit
         start = time.perf_counter()
         report = run_analysis(
             paths,
@@ -152,7 +194,9 @@ class Session:
             jobs=self.jobs,
             sources=self.overlay,
             cache=self.cache,
-            parse_unit=self.parse_unit if whole else None,
+            parse_unit=parse_unit,
+            best_effort=best_effort,
+            include_paths=self._include_paths,
         )
         analyzed = time.perf_counter()
         rendered = render_report(
@@ -170,7 +214,18 @@ class Session:
         if whole:
             self._whole_plan = self._build_whole_plan(report.files)
 
-        return {
+        # Remember each clean file's findings so a later edit that breaks
+        # the file can still serve resident diagnostics (see didChange).
+        for file in report.files:
+            if file in report.errors:
+                continue
+            if report.unit_status.get(file, "ok") != "ok":
+                continue
+            self._last_good[file] = [
+                d.to_dict() for d in report.diagnostics if d.span.file == file
+            ]
+
+        out: dict[str, Any] = {
             "report": rendered,
             "format": fmt,
             "exit_code": report.exit_code,
@@ -181,6 +236,14 @@ class Session:
             "cache_misses": report.cache_misses,
             "elapsed_ms": round((end - start) * 1000, 3),
         }
+        if any(status != "ok" for status in report.unit_status.values()):
+            # Best-effort degradations only — absent on strict runs and on
+            # clean best-effort corpora, so existing golden transcripts
+            # stay byte-stable.
+            out["units"] = {
+                f: s for f, s in sorted(report.unit_status.items()) if s != "ok"
+            }
+        return out
 
     def did_change(self, params: dict[str, Any]) -> dict[str, Any]:
         """Install (or with ``text: null`` revert) one file's overlay
@@ -213,6 +276,26 @@ class Session:
         }
         if invalidated is not None:
             out["invalidated_units"] = invalidated
+        if text is not None:
+            # Probe the new text with the resilient parser.  When the edit
+            # no longer parses, the response carries the parse diagnostics
+            # *and* the file's last-good qualifier findings, so resident
+            # state survives mid-typing syntax errors.  Clean edits add no
+            # keys — the existing golden transcripts stay byte-stable.
+            result = self.parse_unit_resilient(file, text)
+            errors = result.errors
+            if errors:
+                out["parse_diagnostics"] = [
+                    {
+                        "file": d.file,
+                        "line": d.line,
+                        "column": d.column,
+                        "severity": d.severity,
+                        "message": d.describe(),
+                    }
+                    for d in result.diagnostics
+                ]
+                out["last_good"] = self._last_good.get(file, [])
         return out
 
     def stats(self, params: dict[str, Any]) -> dict[str, Any]:
@@ -244,6 +327,7 @@ class Session:
             "resident": {
                 "overlay_files": len(self.overlay),
                 "parsed_units": len(self._parse_memo),
+                "resilient_units": len(self._resilient_memo),
                 "parse_memo_hits": self._memo_hits,
                 "whole_plan_units": (
                     len(self._whole_plan[2]) if self._whole_plan else 0

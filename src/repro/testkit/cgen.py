@@ -31,6 +31,7 @@ Everything is a pure function of the seed.
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass, field, replace
 
 
@@ -96,6 +97,68 @@ class CCorpus:
             if unit not in assignment:
                 assignment[rng.randrange(len(assignment))] = unit
         return CCorpus(self.seed, self.modules, assignment, units)
+
+
+# ---------------------------------------------------------------------------
+# Error seeding
+# ---------------------------------------------------------------------------
+
+#: Crude token split for corruption: identifiers/numbers, or any single
+#: non-space character.  Good enough to pick realistic deletion points.
+_TOKEN_RE = re.compile(r"\w+|[^\s\w]")
+
+
+def _corrupt_delete_token(text: str, rng: random.Random) -> str:
+    """Drop one token somewhere past the shared header block."""
+    matches = list(_TOKEN_RE.finditer(text))
+    if len(matches) < 8:
+        return text
+    victim = matches[rng.randrange(len(matches) // 2, len(matches))]
+    return text[: victim.start()] + text[victim.end() :]
+
+
+def _corrupt_unbalance_brace(text: str, rng: random.Random) -> str:
+    """Delete one ``{`` or ``}``, unbalancing a block."""
+    braces = [i for i, ch in enumerate(text) if ch in "{}"]
+    if not braces:
+        return _corrupt_delete_token(text, rng)
+    victim = rng.choice(braces)
+    return text[:victim] + text[victim + 1 :]
+
+
+def _corrupt_truncate_decl(text: str, rng: random.Random) -> str:
+    """Cut the unit mid-declaration: everything after a random point in
+    the second half is gone, usually leaving an unterminated block."""
+    if len(text) < 16:
+        return text
+    cut = rng.randrange(len(text) // 2, len(text))
+    return text[:cut]
+
+
+_CORRUPTIONS: dict[str, object] = {
+    "delete-token": _corrupt_delete_token,
+    "unbalance-brace": _corrupt_unbalance_brace,
+    "truncate-decl": _corrupt_truncate_decl,
+}
+
+
+def corrupt(source: str, seed: int, n_errors: int = 1) -> str:
+    """Seed ``n_errors`` syntax errors into C source text.
+
+    Each error is one of: delete a token, delete a brace (unbalancing a
+    block), or truncate the unit mid-declaration.  Pure function of
+    ``(source, seed, n_errors)``.  A mutation can happen to leave the
+    text parseable (deleting a redundant token); the ingestion oracle
+    only demands that recovery never crashes and stays conservative, so
+    benign mutations are fine.
+    """
+    rng = random.Random(seed)
+    text = source
+    kinds = sorted(_CORRUPTIONS)
+    for _ in range(max(1, n_errors)):
+        mutate = _CORRUPTIONS[rng.choice(kinds)]
+        text = mutate(text, rng)  # type: ignore[operator]
+    return text
 
 
 class CCorpusGenerator:

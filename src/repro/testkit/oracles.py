@@ -47,7 +47,14 @@ C corpora (:func:`check_c_corpus`):
 ``checker``
     qlint over the linked program twice (independently linked) must
     render byte-identical SARIF, and the rule-id multiset must survive
-    re-partitioning.
+    re-partitioning;
+``ingest``
+    resilient ingestion is conservative: every *clean* unit pushed
+    through the recovery path (:func:`repro.cfront.parse_c_resilient`)
+    must report zero diagnostics and yield an AST repr-identical to the
+    strict parser's, with byte-identical checker findings — and every
+    *corrupted* unit (:func:`repro.testkit.cgen.corrupt` error seeding)
+    must never crash the resilient front end or the best-effort checker.
 
 Engines are injectable through :class:`EngineConfig` so the mutation
 smoke test (and any future bug-seeding harness) can swap in a broken
@@ -583,6 +590,9 @@ def check_c_corpus(
     if cfg.enabled("checker"):
         out.extend(_checker_oracle(sources, repartitioned))
 
+    if cfg.enabled("ingest"):
+        out.extend(_ingest_oracle(sources, corpus.seed))
+
     return out
 
 
@@ -622,6 +632,78 @@ def _checker_oracle(
     return out
 
 
+def _ingest_oracle(sources: dict[str, str], seed: int) -> list[Disagreement]:
+    """Recovery conservatism: clean units through the resilient path are
+    indistinguishable from the strict path; corrupted units never crash."""
+    from ..cfront.cparser import parse_c, parse_c_resilient
+    from ..checker.engine import check_source, check_source_resilient
+    from .cgen import corrupt
+
+    out: list[Disagreement] = []
+    for name in sorted(sources):
+        text = sources[name]
+
+        # Clean unit: recovery must be invisible.
+        try:
+            strict_unit = parse_c(text, name)
+        except Exception:
+            continue  # a corpus bug, not an ingestion disagreement
+        result = parse_c_resilient(text, name)
+        if result.diagnostics:
+            out.append(
+                Disagreement(
+                    "ingest",
+                    f"{name}: clean unit produced {len(result.diagnostics)} "
+                    f"diagnostic(s) through recovery: {result.diagnostics[0]}",
+                )
+            )
+        elif repr(result.unit) != repr(strict_unit):
+            out.append(
+                Disagreement(
+                    "ingest",
+                    f"{name}: recovery path AST differs from strict parse",
+                )
+            )
+        try:
+            strict_findings = [d.to_dict() for d in check_source(text, name)]
+        except Exception:
+            strict_findings = None
+        if strict_findings is not None:
+            resilient_findings, status, _functions = check_source_resilient(
+                text, name
+            )
+            if status != "ok":
+                out.append(
+                    Disagreement(
+                        "ingest", f"{name}: clean unit got status {status!r}"
+                    )
+                )
+            if [d.to_dict() for d in resilient_findings] != strict_findings:
+                out.append(
+                    Disagreement(
+                        "ingest",
+                        f"{name}: best-effort findings differ from strict "
+                        f"findings on a clean unit",
+                    )
+                )
+
+        # Corrupted unit: the resilient path must hold whatever we feed it.
+        for salt in range(3):
+            broken = corrupt(text, seed + salt, n_errors=1 + salt)
+            try:
+                parse_c_resilient(broken, name)
+                check_source_resilient(broken, name)
+            except Exception as exc:
+                out.append(
+                    Disagreement(
+                        "ingest",
+                        f"{name}: corrupted unit (seed {seed + salt}) crashed "
+                        f"the resilient path: {type(exc).__name__}: {exc}",
+                    )
+                )
+    return out
+
+
 #: Every oracle family, for CLI validation and reporting.
 ALL_ORACLES: tuple[str, ...] = (
     "solver",
@@ -635,6 +717,7 @@ ALL_ORACLES: tuple[str, ...] = (
     "metamorphic-repartition",
     "subject-reduction",
     "checker",
+    "ingest",
 )
 
 

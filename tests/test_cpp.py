@@ -1,0 +1,247 @@
+"""Minimal-preprocessor tests: include resolution and cycles, nested
+conditionals, object-like macros with redefinition warnings, and
+line-map fidelity (a finding inside an included header must report the
+header's own path and line)."""
+
+from repro.cfront import parse_c_resilient, preprocess
+from repro.cfront.cpp import PreprocessResult
+
+
+def loader_for(files):
+    """An in-memory include loader over a {path: text} dict."""
+
+    def load(path):
+        return files.get(path)
+
+    return load
+
+
+# -- identity fast path ----------------------------------------------------
+
+
+def test_directive_free_source_is_identity():
+    src = "int f(const int *p) {\n    return p[0];\n}\n"
+    result = preprocess(src, "a.c")
+    assert isinstance(result, PreprocessResult)
+    assert result.text == src
+    assert result.line_map is None  # signals "no remap needed"
+    assert result.diagnostics == []
+
+
+# -- object-like macros ----------------------------------------------------
+
+
+def test_define_substitutes_word_boundaries_only():
+    src = "#define N 4\nint buf[N];\nint xN;\n"
+    result = preprocess(src, "a.c")
+    assert "int buf[4];" in result.text
+    assert "int xN;" in result.text  # no substitution inside identifiers
+
+
+def test_macro_redefinition_warns():
+    src = "#define N 4\n#define N 8\nint buf[N];\n"
+    result = preprocess(src, "a.c")
+    warnings = [d for d in result.diagnostics if d.severity == "warning"]
+    assert any("redefin" in d.message for d in warnings)
+    assert "int buf[8];" in result.text  # later definition wins
+
+
+def test_undef_then_use_leaves_identifier():
+    src = "#define N 4\n#undef N\nint buf[N];\n"
+    result = preprocess(src, "a.c")
+    assert "int buf[N];" in result.text
+
+
+def test_function_like_macro_warned_and_skipped():
+    src = "#define MAX(a, b) ((a) > (b) ? (a) : (b))\nint x;\n"
+    result = preprocess(src, "a.c")
+    assert any(
+        d.severity == "warning" and "function-like" in d.message
+        for d in result.diagnostics
+    )
+    assert "int x;" in result.text
+
+
+# -- conditionals ----------------------------------------------------------
+
+
+def test_ifdef_skips_undefined_region():
+    src = "#ifdef MISSING\nint hidden;\n#endif\nint shown;\n"
+    result = preprocess(src, "a.c")
+    assert "hidden" not in result.text
+    assert "int shown;" in result.text
+
+
+def test_nested_ifdefs():
+    src = (
+        "#define OUTER 1\n"
+        "#ifdef OUTER\n"
+        "int a;\n"
+        "#ifdef INNER\n"
+        "int b;\n"
+        "#else\n"
+        "int c;\n"
+        "#endif\n"
+        "#endif\n"
+        "#ifndef OUTER\n"
+        "int d;\n"
+        "#endif\n"
+    )
+    result = preprocess(src, "a.c")
+    kept = result.text
+    assert "int a;" in kept
+    assert "int b;" not in kept
+    assert "int c;" in kept
+    assert "int d;" not in kept
+
+
+def test_inactive_outer_suppresses_inner_branches():
+    src = (
+        "#ifdef MISSING\n"
+        "#ifdef ALSO_MISSING\n"
+        "int a;\n"
+        "#else\n"
+        "int b;\n"
+        "#endif\n"
+        "#endif\n"
+        "int keep;\n"
+    )
+    result = preprocess(src, "a.c")
+    assert "int a;" not in result.text
+    assert "int b;" not in result.text
+    assert "int keep;" in result.text
+
+
+def test_unterminated_conditional_diagnosed():
+    src = "#ifdef X\nint a;\n"
+    result = preprocess(src, "a.c")
+    assert any(
+        d.stage == "cpp" and "unterminated" in d.message.lower()
+        for d in result.diagnostics
+    )
+
+
+def test_stray_endif_diagnosed():
+    result = preprocess("#endif\nint a;\n", "a.c")
+    assert any(d.severity == "error" for d in result.diagnostics)
+    assert "int a;" in result.text
+
+
+def test_if_defined_expression():
+    src = "#define A 1\n#if defined(A) && !defined(B)\nint yes;\n#endif\n"
+    result = preprocess(src, "a.c")
+    assert "int yes;" in result.text
+
+
+def test_if_arithmetic_with_hex_literal():
+    src = "#define LIMIT 0x10\n#if LIMIT > 0x0F\nint big;\n#endif\n"
+    result = preprocess(src, "a.c")
+    assert "int big;" in result.text
+
+
+def test_unevaluable_if_keeps_region_with_warning():
+    src = "#if SOME_MACRO(1)\nint kept;\n#endif\n"
+    result = preprocess(src, "a.c")
+    assert "int kept;" in result.text  # conservative: keep when unsure
+    assert any(d.severity == "warning" for d in result.diagnostics)
+
+
+# -- includes --------------------------------------------------------------
+
+
+def test_quoted_include_spliced():
+    files = {"h.h": "int from_header;\n"}
+    result = preprocess('#include "h.h"\nint local;\n', "a.c", loader=loader_for(files))
+    assert "int from_header;" in result.text
+    assert "int local;" in result.text
+    assert "h.h" in result.includes
+
+
+def test_angle_include_searches_paths_only():
+    files = {"inc/std.h": "int from_std;\n"}
+    result = preprocess(
+        "#include <std.h>\nint local;\n",
+        "a.c",
+        include_paths=("inc",),
+        loader=loader_for(files),
+    )
+    assert "int from_std;" in result.text
+
+
+def test_missing_include_is_a_warning_not_a_crash():
+    result = preprocess('#include "nope.h"\nint x;\n', "a.c", loader=loader_for({}))
+    assert any(
+        d.severity == "warning" and "nope.h" in d.message for d in result.diagnostics
+    )
+    assert "int x;" in result.text
+
+
+def test_include_cycle_detected():
+    files = {
+        "a.h": '#include "b.h"\nint a_sym;\n',
+        "b.h": '#include "a.h"\nint b_sym;\n',
+    }
+    result = preprocess('#include "a.h"\n', "main.c", loader=loader_for(files))
+    cycle = [d for d in result.diagnostics if "cycle" in d.message.lower()]
+    assert cycle, [str(d) for d in result.diagnostics]
+    # The chain names the files involved.
+    assert "a.h" in cycle[0].message and "b.h" in cycle[0].message
+    # Each header's own symbols still survive once.
+    assert "int a_sym;" in result.text
+    assert "int b_sym;" in result.text
+
+
+def test_macros_cross_include_boundaries():
+    files = {"config.h": "#define SIZE 3\n"}
+    result = preprocess(
+        '#include "config.h"\nint buf[SIZE];\n', "a.c", loader=loader_for(files)
+    )
+    assert "int buf[3];" in result.text
+
+
+# -- line maps -------------------------------------------------------------
+
+
+def test_line_map_points_into_original_files():
+    files = {"h.h": "int helper(int *p) {\n    *p = 1;\n    return 0;\n}\n"}
+    src = '#include "h.h"\nint local;\n'
+    result = preprocess(src, "a.c", loader=loader_for(files))
+    assert result.line_map is not None
+    # Output line 2 ("    *p = 1;") came from h.h line 2.
+    idx = result.text.split("\n").index("    *p = 1;")
+    assert result.line_map[idx] == ("h.h", 2)
+    # "int local;" maps back to a.c line 2.
+    idx = result.text.split("\n").index("int local;")
+    assert result.line_map[idx] == ("a.c", 2)
+
+
+def test_parse_diagnostic_in_header_reports_header_location():
+    files = {"bad.h": "int broken(;\nint fine;\n"}
+    src = '#include "bad.h"\nint ok(void) { return 1; }\n'
+    result = parse_c_resilient(src, "a.c", loader=loader_for(files))
+    errors = [d for d in result.diagnostics if d.severity == "error"]
+    assert errors
+    # The offending token sits in bad.h line 1, and the diagnostic says so.
+    assert any(d.file == "bad.h" and d.line == 1 for d in errors), [
+        str(d) for d in errors
+    ]
+    # Recovery still salvaged the clean declarations around it.
+    names = [getattr(item, "name", None) for item in result.unit.items]
+    assert "fine" in names and "ok" in names
+
+
+def test_conditional_skips_preserve_following_lines_in_map():
+    src = "#ifdef MISSING\nint skipped;\n#endif\nint kept(void) { return 0; }\n"
+    result = parse_c_resilient(src, "a.c")
+    assert result.ok
+    func = result.unit.items[0]
+    # The definition sits on line 4 of the original file.
+    assert func.line == 4
+
+
+def test_error_directive_reported():
+    result = preprocess('#error "unsupported"\nint x;\n', "a.c")
+    assert any(
+        d.severity == "error" and "unsupported" in d.message
+        for d in result.diagnostics
+    )

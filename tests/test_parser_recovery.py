@@ -1,0 +1,137 @@
+"""Panic-mode recovery tests: a parse error yields a structured
+diagnostic and a partial translation unit, never an exception; recovery
+is conservative (clean sources are untouched); and the error-seeding
+fuzz loop never crashes the resilient front end."""
+
+import pytest
+
+from repro.cfront import parse_c, parse_c_resilient
+from repro.cfront.cparser import CParseError
+from repro.checker.engine import check_source_resilient
+from repro.testkit.cgen import corrupt, generate_c_corpus
+
+CLEAN = """\
+int reader(const int *p) {
+    return p[0];
+}
+int writer(int *p) {
+    p[0] = 1;
+    return p[0];
+}
+"""
+
+
+# -- conservatism ----------------------------------------------------------
+
+
+def test_clean_source_identical_through_recovery():
+    strict = parse_c(CLEAN, "a.c")
+    result = parse_c_resilient(CLEAN, "a.c")
+    assert result.ok
+    assert result.diagnostics == []
+    assert repr(result.unit) == repr(strict)
+
+
+def test_strict_parser_still_raises():
+    with pytest.raises(CParseError):
+        parse_c("int broken(;\n", "a.c")
+
+
+# -- structured diagnostics ------------------------------------------------
+
+
+def test_diagnostic_carries_location_and_expectation():
+    result = parse_c_resilient("int broken(;\nint fine;\n", "a.c")
+    assert not result.ok
+    err = result.errors[0]
+    assert err.file == "a.c"
+    assert err.line == 1
+    assert err.column > 0
+    assert err.severity == "error"
+    assert err.stage == "parse"
+    # The rendered form is gcc-style file:line:col.
+    assert str(err).startswith("a.c:1:")
+
+
+def test_recovery_salvages_surrounding_declarations():
+    src = "int before(void) { return 1; }\nint broken(;\n" + CLEAN
+    result = parse_c_resilient(src, "a.c")
+    assert not result.ok
+    names = [getattr(item, "name", None) for item in result.unit.items]
+    assert "before" in names
+    assert "reader" in names
+    assert "writer" in names
+
+
+def test_statement_level_recovery_keeps_function():
+    src = (
+        "int f(int *p) {\n"
+        "    p[0] = 1;\n"
+        "    $$$;\n"
+        "    p[1] = 2;\n"
+        "    return p[0];\n"
+        "}\n"
+        "int g(void) { return 0; }\n"
+    )
+    result = parse_c_resilient(src, "a.c")
+    assert not result.ok
+    names = [getattr(item, "name", None) for item in result.unit.items]
+    assert "f" in names  # the broken statement is dropped, not the function
+    assert "g" in names
+
+
+def test_unterminated_block_diagnosed_not_crashed():
+    result = parse_c_resilient("int f(void) {\n    return 1;\n", "a.c")
+    assert not result.ok
+    assert any("unterminated" in d.message for d in result.errors)
+    names = [getattr(item, "name", None) for item in result.unit.items]
+    assert "f" in names
+
+
+def test_lexer_problems_become_diagnostics():
+    result = parse_c_resilient("int x; /* never closed\n", "a.c")
+    assert any(d.stage == "lex" for d in result.diagnostics)
+    names = [getattr(item, "name", None) for item in result.unit.items]
+    assert "x" in names
+
+
+def test_multiple_errors_all_recorded():
+    src = "int a(;\nint ok1;\nint b(;\nint ok2;\n"
+    result = parse_c_resilient(src, "a.c")
+    assert len(result.errors) >= 2
+    names = [getattr(item, "name", None) for item in result.unit.items]
+    assert "ok1" in names and "ok2" in names
+
+
+def test_empty_and_garbage_inputs_never_raise():
+    for text in ("", ";", "}}}}", "$$$", "((((", "int", "int f(void"):
+        result = parse_c_resilient(text, "a.c")
+        assert isinstance(result.diagnostics, list)
+
+
+# -- seeded-corruption fuzz loop ------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_corrupted_corpus_units_never_crash(seed):
+    corpus = generate_c_corpus(seed)
+    for name, text in sorted(corpus.sources().items()):
+        for salt in range(2):
+            broken = corrupt(text, seed * 31 + salt, n_errors=salt + 1)
+            result = parse_c_resilient(broken, name)
+            assert isinstance(result.diagnostics, list)
+            diagnostics, status, functions = check_source_resilient(broken, name)
+            assert status in ("ok", "partial", "skipped")
+            assert functions >= 0
+
+
+def test_corrupt_is_deterministic():
+    src = CLEAN * 3
+    assert corrupt(src, 42) == corrupt(src, 42)
+    assert corrupt(src, 42, n_errors=3) == corrupt(src, 42, n_errors=3)
+
+
+def test_corrupt_changes_text():
+    src = CLEAN * 3
+    changed = sum(1 for seed in range(10) if corrupt(src, seed) != src)
+    assert changed >= 8  # mutations may occasionally be no-ops, most aren't
