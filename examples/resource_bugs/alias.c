@@ -1,0 +1,12 @@
+/* Seeded bug: freeing through an alias, then through the original.
+ * The copy makes p and q must-aliases, so the strong update at
+ * free(q) marks both and the second free is a double-free. */
+void *malloc(unsigned long size);
+void free(void *ptr);
+
+void alias_release(void) {
+    char *p = malloc(16);
+    char *q = p;
+    free(q);
+    free(p); /* BUG: p aliases q, which was already freed */
+}

@@ -1,0 +1,27 @@
+/* No planted bugs: allocation is released on every path, ownership
+ * hand-off through a return is not a leak, and a borrowing use before
+ * the free is fine.  qlint's linearity pack must report nothing. */
+void *malloc(unsigned long size);
+void free(void *ptr);
+unsigned long strlen(const char *s);
+int fill(void *buf);
+
+int balanced(void) {
+    char *buf = malloc(64);
+    if (!buf)
+        return -1;
+    if (fill(buf) < 0) {
+        free(buf);
+        return -2;
+    }
+    unsigned long n = strlen(buf);
+    free(buf);
+    return (int)n;
+}
+
+char *handoff(void) {
+    char *out = malloc(8);
+    if (!out)
+        return 0;
+    return out; /* ownership transfers to the caller: not a leak */
+}

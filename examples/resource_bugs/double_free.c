@@ -1,0 +1,18 @@
+/* Seeded bug: the error path frees the buffer, then the shared
+ * cleanup frees it again.  qlint --checks ...,double-free must report
+ * double-free at the second free with a malloc -> free -> free flow
+ * path. */
+void *malloc(unsigned long size);
+void free(void *ptr);
+int fill(void *buf);
+
+int load(void) {
+    char *buf = malloc(64);
+    if (!buf)
+        return -1;
+    if (fill(buf) < 0) {
+        free(buf);
+    }
+    free(buf); /* BUG: buf may already have been freed */
+    return 0;
+}

@@ -1,0 +1,19 @@
+/* Seeded bug: the early-return error path exits with the allocation
+ * still held.  qlint must report resource-leak on that return with an
+ * allocation -> exit flow path; the normal path frees and is clean.
+ * (The bail-out tests getchar, not a call that takes the pointer —
+ * passing the pointer to an unknown callee would count as a possible
+ * ownership hand-off and deliberately suppress the leak.) */
+void *malloc(unsigned long size);
+void free(void *ptr);
+int getchar(void);
+
+int run(void) {
+    char *text = malloc(128);
+    if (!text)
+        return -1;
+    if (getchar() < 0)
+        return -2; /* BUG: text leaks on this exit path */
+    free(text);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/* Annotation-suggestion oracle: each declaration below has one
+ * known-correct qualifier that `qlint suggest` must rank in its top 3.
+ *
+ *   env  -> tainted  (getenv return)
+ *   buf  -> alloc    (owned allocation, released before exit)
+ *   c    -> dynamic  (getchar return)
+ *   name_from_env return -> tainted (returns environment data)
+ */
+char *getenv(const char *name);
+void *malloc(unsigned long size);
+void free(void *ptr);
+int getchar(void);
+int snoop(const char *s, int c);
+
+int probe(void) {
+    char *env = getenv("HOME");
+    char *buf = malloc(16);
+    int c = getchar();
+    int out = snoop(env, c);
+    free(buf);
+    return out;
+}
+
+char *name_from_env(void) {
+    return getenv("USER");
+}

@@ -1,0 +1,14 @@
+/* Seeded bug: the buffer is released and then handed to a borrowing
+ * callee.  qlint must report use-after-free at the strlen call with a
+ * free -> use flow path. */
+void *malloc(unsigned long size);
+void free(void *ptr);
+unsigned long strlen(const char *s);
+
+unsigned long last_length(void) {
+    char *name = malloc(32);
+    if (!name)
+        return 0;
+    free(name);
+    return strlen(name); /* BUG: name was freed above */
+}

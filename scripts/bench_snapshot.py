@@ -111,6 +111,7 @@ def measure() -> dict:
     entry["serve"] = measure_serve()
     entry["testkit_fuzz"] = measure_fuzz()
     entry["ingest"] = measure_ingest()
+    entry["flowsens"] = measure_flowsens()
     return entry
 
 
@@ -355,6 +356,69 @@ def measure_ingest() -> dict:
         "cold_tus_per_sec": round(total / cold_seconds, 1),
         "warm_tus_per_sec": round(total / best, 1),
     }
+
+
+def measure_flowsens() -> dict:
+    """Flow-sensitive linearity pack: lowering and resource-analysis
+    throughput (functions/sec) over seeded resource programs, plus the
+    full pack through the checker over the committed corpus, cold vs
+    warm diagnostic cache."""
+    from repro.checker.checks import ALL_CHECKS
+    from repro.checker.runner import analyze
+    from repro.flowsens.linear import analyze_function_resources
+    from repro.flowsens.lower import lower_function
+    from repro.qual.qualifiers import resource_lattice
+    from repro.testkit.cgen import generate_resource_program
+
+    lattice = resource_lattice()
+    fdefs = []
+    for seed in range(16):
+        program = Program.from_source(
+            generate_resource_program(seed).source, filename=f"r{seed}.c"
+        )
+        fdefs.extend(program.functions.values())
+
+    lower_seconds = best_of(
+        lambda: [lower_function(f, lattice) for f in fdefs], repeats=3
+    )
+    lowered = [lower_function(f, lattice) for f in fdefs]
+    analyze_seconds = best_of(
+        lambda: [analyze_function_resources(fn, lattice) for fn in lowered],
+        repeats=3,
+    )
+
+    out: dict = {
+        "functions": len(fdefs),
+        "lower_ms": round(lower_seconds * 1000, 2),
+        "analyze_ms": round(analyze_seconds * 1000, 2),
+        "lower_functions_per_sec": round(len(fdefs) / lower_seconds, 1),
+        "analyze_functions_per_sec": round(len(fdefs) / analyze_seconds, 1),
+    }
+
+    corpus = REPO / "examples" / "resource_bugs"
+    check_names = tuple(c.name for c in ALL_CHECKS)
+    out["corpus_files"] = len(sorted(corpus.glob("*.c")))
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = analyze([str(corpus)], checks=check_names, cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - start
+        assert cold.cache_hits == 0, "cold run unexpectedly hit the cache"
+
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            warm = analyze(
+                [str(corpus)], checks=check_names, cache_dir=cache_dir
+            )
+            best = min(best, time.perf_counter() - start)
+        assert warm.cache_misses == 0, "warm rerun did not hit the cache"
+        assert [d.to_dict() for d in warm.diagnostics] == [
+            d.to_dict() for d in cold.diagnostics
+        ], "warm pack diagnostics differ from cold"
+
+    out["pack_cold_ms"] = round(cold_seconds * 1000, 2)
+    out["pack_warm_ms"] = round(best * 1000, 2)
+    return out
 
 
 def measure_checker() -> dict:

@@ -69,6 +69,10 @@ class QualifierCheck:
     #: casts-away-const-style: violations come from the syntactic cast
     #: classifier, not from the constraint system.
     syntactic_casts: bool = False
+    #: linearity-pack checks: findings come from the flow-sensitive
+    #: resource analysis (:mod:`repro.flowsens.linear`) over lowered
+    #: function bodies, not from the flow-insensitive constraint system.
+    flow_pack: bool = False
 
     @property
     def positive(self) -> bool:
@@ -191,14 +195,76 @@ BINDING_TIME = QualifierCheck(
     ),
 )
 
+DOUBLE_FREE = QualifierCheck(
+    name="double-free",
+    qualifier="freed",
+    severity="error",
+    description=(
+        "A pointer that may already have been released must not be "
+        "freed again (flow-sensitive linearity pack)."
+    ),
+    message="{variable} may already have been freed when it is freed again",
+    flow_pack=True,
+)
+
+USE_AFTER_FREE = QualifierCheck(
+    name="use-after-free",
+    qualifier="freed",
+    severity="error",
+    description=(
+        "A pointer that may already have been released must not be "
+        "dereferenced, passed to a borrowing callee, or returned "
+        "(flow-sensitive linearity pack)."
+    ),
+    message="{variable} may have been freed before this use",
+    flow_pack=True,
+)
+
+RESOURCE_LEAK = QualifierCheck(
+    name="resource-leak",
+    qualifier="alloc",
+    severity="warning",
+    description=(
+        "Every allocation must be released (or handed off) on every "
+        "path out of the owning function (flow-sensitive linearity "
+        "pack)."
+    ),
+    message=(
+        "allocation held by {variable} may not be released on this "
+        "exit path"
+    ),
+    flow_pack=True,
+)
+
 ALL_CHECKS: tuple[QualifierCheck, ...] = (
+    TAINTED_FORMAT,
+    CASTS_AWAY_CONST,
+    NONNULL_DEREF,
+    BINDING_TIME,
+    DOUBLE_FREE,
+    USE_AFTER_FREE,
+    RESOURCE_LEAK,
+)
+
+#: The checks ``qlint`` runs when ``--checks`` is not given.  The
+#: linearity pack is opt-in (``--checks double-free,use-after-free,
+#: resource-leak`` or by listing all seven): its flow-sensitive pass
+#: costs a per-function lowering + solve on top of the shared
+#: inference, and existing baselines were recorded against the
+#: flow-insensitive four.
+DEFAULT_CHECKS: tuple[QualifierCheck, ...] = (
     TAINTED_FORMAT,
     CASTS_AWAY_CONST,
     NONNULL_DEREF,
     BINDING_TIME,
 )
 
-DEFAULT_CHECKS: tuple[QualifierCheck, ...] = ALL_CHECKS
+#: The three linearity-pack checks, for callers enabling them as a set.
+FLOW_PACK_CHECKS: tuple[QualifierCheck, ...] = (
+    DOUBLE_FREE,
+    USE_AFTER_FREE,
+    RESOURCE_LEAK,
+)
 
 
 def config_digest(check_names: tuple[str, ...]) -> str:

@@ -95,6 +95,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_suggest_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checker suggest",
+        description=(
+            "rank inferred qualifier annotations (tainted, dynamic, "
+            "alloc) per declaration, with feature-heuristic confidence"
+        ),
+    )
+    parser.add_argument("paths", nargs="+", help=".c files or directories")
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="maximum suggestions per declaration (default: 3)",
+    )
+    parser.add_argument(
+        "--output", "-o", default=None, help="write here instead of stdout"
+    )
+    parser.add_argument(
+        "--include-dir",
+        "-I",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="add DIR to the #include search path (repeatable)",
+    )
+    return parser
+
+
+def suggest_main(argv: list[str]) -> int:
+    from .runner import discover_files
+    from .suggest import (
+        render_suggestions_human,
+        render_suggestions_json,
+        suggest_paths,
+    )
+
+    args = build_suggest_parser().parse_args(argv)
+    files = [str(p) for p in discover_files(args.paths)]
+    suggestions, errors = suggest_paths(
+        files, include_paths=tuple(args.include_dir), top=args.top
+    )
+    if args.format == "json":
+        rendered = render_suggestions_json(suggestions)
+    else:
+        rendered = render_suggestions_human(suggestions)
+    if args.output is not None:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+    else:
+        sys.stdout.write(rendered)
+    for file, error in sorted(errors.items()):
+        print(f"qlint: error: {file}: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -104,6 +165,9 @@ def main(argv: list[str] | None = None) -> int:
         from ..serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "suggest":
+        # ``qlint suggest`` — annotation-suggestion mode.
+        return suggest_main(argv[1:])
     args = build_parser().parse_args(argv)
     check_names = [name.strip() for name in args.checks.split(",") if name.strip()]
 

@@ -410,6 +410,65 @@ def _cast_diagnostics(program: Program, check: QualifierCheck) -> list[Diagnosti
 
 
 # ---------------------------------------------------------------------------
+# Flow-sensitive linearity pack (double-free / use-after-free / leak)
+# ---------------------------------------------------------------------------
+
+
+def _flow_pack_diagnostics(
+    program: Program, checks: tuple[QualifierCheck, ...]
+) -> list[Diagnostic]:
+    """Run the resource pack over every function body.
+
+    Each function is lowered into the flowsens language and analysed
+    independently (:mod:`repro.flowsens.lower` /
+    :mod:`repro.flowsens.linear`); engine-side findings are adapted to
+    diagnostics here so the flowsens package stays checker-free.
+    Functions the lowering marks unstructured (goto/switch) and shapes
+    the engine cannot analyse are skipped — best-effort, like the rest
+    of the resilient pipeline."""
+    from ..flowsens.linear import analyze_function_resources
+    from ..flowsens.lower import lower_function
+    from ..qual.qualifiers import resource_lattice
+
+    by_name = {c.name: c for c in checks}
+    out: list[Diagnostic] = []
+    lattice = resource_lattice()
+    for fdef in program.functions.values():
+        try:
+            lowered = lower_function(fdef, lattice)
+            findings = analyze_function_resources(lowered, lattice)
+        except Exception:
+            # Salvaged/partial ASTs can hold shapes the lowering has
+            # never seen; resource findings are best-effort extras and
+            # must never take down the unit.
+            continue
+        for finding in findings:
+            check = by_name.get(finding.kind)
+            if check is None:
+                continue
+            out.append(
+                Diagnostic(
+                    check=check.name,
+                    qualifier=check.qualifier,
+                    severity=check.severity,
+                    message=check.message.format(
+                        variable=finding.variable,
+                        function=finding.function,
+                    ),
+                    span=Span(finding.file, finding.line, finding.col),
+                    flow=tuple(
+                        FlowStep(
+                            note=step.note,
+                            span=Span(step.file, step.line, step.col),
+                        )
+                        for step in finding.flow
+                    ),
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
 
@@ -432,7 +491,13 @@ def check_program(
         if check.syntactic_casts:
             diagnostics.extend(_cast_diagnostics(program, check))
 
-    flow_checks = tuple(c for c in checks if not c.syntactic_casts)
+    pack_checks = tuple(c for c in checks if c.flow_pack)
+    if pack_checks:
+        diagnostics.extend(_flow_pack_diagnostics(program, pack_checks))
+
+    flow_checks = tuple(
+        c for c in checks if not c.syntactic_casts and not c.flow_pack
+    )
     if flow_checks:
         inference = CheckerInference(program, lattice_for(flow_checks))
         _create_shared_cells(inference)

@@ -14,6 +14,12 @@ constraints between adjacent points except across strong updates.
   analysis, solved with the unchanged atomic solver.
 * :mod:`repro.flowsens.heap` — the weak-update half: flow-insensitive
   heap cells behind a small flow-sensitive points-to map.
+* :mod:`repro.flowsens.lower` — best-effort lowering from cfront
+  function bodies into this language (pointer events, branches, loops,
+  havoc for everything unsupported).
+* :mod:`repro.flowsens.linear` — the linearity/resource pack: alloc/
+  freed qualifier tracking with strong updates, detecting double-free,
+  use-after-free, and leak-on-exit-path with flow-path diagnostics.
 """
 
 from .analysis import (
@@ -30,8 +36,10 @@ from .language import (
     AssertStmt,
     Block,
     CopyPtr,
+    ExitPoint,
     FlowExpr,
     FlowStmt,
+    FreeCell,
     Havoc,
     If,
     Join,
@@ -40,9 +48,29 @@ from .language import (
     NewCell,
     Refine,
     StoreCell,
+    UseCell,
     VarRef,
     While,
     block,
+)
+from .linear import (
+    DOUBLE_FREE,
+    RESOURCE_LEAK,
+    USE_AFTER_FREE,
+    FlowPathStep,
+    ResourceAnalysis,
+    ResourceEvidence,
+    ResourceFinding,
+    ResourceReport,
+    analyze_function_resources,
+    analyze_lowered,
+)
+from .lower import (
+    DEFAULT_POLICY,
+    AllocSite,
+    LoweredFunction,
+    LowerPolicy,
+    lower_function,
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]

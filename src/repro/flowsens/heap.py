@@ -30,7 +30,10 @@ from .language import (
     AssertStmt,
     Block,
     CopyPtr,
+    ExitPoint,
+    FlowExpr,
     FlowStmt,
+    FreeCell,
     Havoc,
     If,
     Join,
@@ -39,6 +42,7 @@ from .language import (
     NewCell,
     Refine,
     StoreCell,
+    UseCell,
     VarRef,
     While,
 )
@@ -67,15 +71,25 @@ class HeapFlowAnalysis:
         self.cell_vars: dict[str, QualVar] = {}
 
     # -- plumbing --------------------------------------------------------
-    def _emit(self, lhs: Qual, rhs: Qual, reason: str) -> None:
-        self.constraints.append(QualConstraint(lhs, rhs, Origin(reason)))
+    def _emit(
+        self, lhs: Qual, rhs: Qual, reason: str, at: FlowStmt | None = None
+    ) -> None:
+        self.constraints.append(QualConstraint(lhs, rhs, self._origin(reason, at)))
+
+    @staticmethod
+    def _origin(reason: str, at: FlowStmt | None = None) -> Origin:
+        """Origin for one constraint; statements lowered from C carry a
+        span, so flow paths through lowered programs name file:line:col."""
+        if at is not None and at.line:
+            return Origin(reason, at.file or None, at.line, at.col or None)
+        return Origin(reason)
 
     def cell(self, site: str) -> QualVar:
         if site not in self.cell_vars:
             self.cell_vars[site] = fresh_qual_var(f"cell_{site}_")
         return self.cell_vars[site]
 
-    def _eval(self, expr, state: _State) -> Qual:
+    def _eval(self, expr: FlowExpr, state: _State) -> Qual:
         match expr:
             case VarRef(name=name):
                 if name not in state.vals:
@@ -122,27 +136,35 @@ class HeapFlowAnalysis:
                 self.cell(site)
                 out = state.copy()
                 out.ptrs[p] = frozenset({site})
-                out.vals.pop(p, None)
+                # The pointer variable's own value (the pointer itself)
+                # is fresh and unconstrained — defined, so value packs
+                # can mention p without tripping the undefined-use check.
+                out.vals[p] = fresh_qual_var(f"{p}_ptr")
                 return out
 
             case CopyPtr(target=q, source=p):
                 sites = self._sites_of(state, p)
                 out = state.copy()
                 out.ptrs[q] = sites
-                out.vals.pop(q, None)
+                # q's value IS p's value (the copied pointer), so value
+                # qualifiers riding the pointer itself follow the copy.
+                copied = state.vals.get(p)
+                out.vals[q] = (
+                    copied if copied is not None else fresh_qual_var(f"{q}_ptr")
+                )
                 return out
 
             case StoreCell(pointer=p, value=value):
                 stored = self._eval(value, state)
                 for site in self._sites_of(state, p):
                     # weak update: the value joins the cell's contents
-                    self._emit(stored, self.cell(site), f"store into {site}")
+                    self._emit(stored, self.cell(site), f"store into {site}", stmt)
                 return state
 
             case LoadCell(target=x, pointer=p):
                 loaded = fresh_qual_var(f"{x}_load")
                 for site in self._sites_of(state, p):
-                    self._emit(self.cell(site), loaded, f"load from {site}")
+                    self._emit(self.cell(site), loaded, f"load from {site}", stmt)
                 out = state.copy()
                 out.vals[x] = loaded
                 out.ptrs.pop(x, None)
@@ -151,11 +173,18 @@ class HeapFlowAnalysis:
             case Assign(target=x, value=value):
                 rhs = self._eval(value, state)
                 after = fresh_qual_var(f"{x}_")
-                self._emit(rhs, after, f"assign {x}")
+                self._emit(rhs, after, f"assign {x}", stmt)
                 out = state.copy()
                 out.vals[x] = after
                 out.ptrs.pop(x, None)
                 return out
+
+            case FreeCell() | UseCell() | ExitPoint():
+                # Resource events: meaningful only to the linearity pack
+                # (:class:`repro.flowsens.linear.ResourceAnalysis`), which
+                # overrides them.  Generic qualifier packs flow straight
+                # through, so any pack can analyze lowered C programs.
+                return state
 
             case Havoc(target=x):
                 out = state.copy()
@@ -231,7 +260,8 @@ class HeapFlowAnalysis:
         program: Block,
         initial: dict[str, LatticeElement] | None = None,
     ) -> FlowResult:
-        state = _State(dict(initial or {}), {})
+        vals: dict[str, Qual] = dict(initial or {})
+        state = _State(vals, {})
         final = self._block(program, state)
 
         mentioned = [

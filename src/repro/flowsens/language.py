@@ -82,6 +82,12 @@ FlowExpr = Union[VarRef, Literal, Join]
 @dataclass(frozen=True)
 class FlowStmt:
     label: str = field(default="", kw_only=True, compare=False)
+    #: Optional source span for statements lowered from real C
+    #: (:mod:`repro.flowsens.lower`); zero/empty when hand-written.
+    #: Carried into constraint origins so flow paths name file:line:col.
+    line: int = field(default=0, kw_only=True, compare=False)
+    col: int = field(default=0, kw_only=True, compare=False)
+    file: str = field(default="", kw_only=True, compare=False)
 
 
 @dataclass(frozen=True)
@@ -186,6 +192,37 @@ class CopyPtr(FlowStmt):
 
     target: str
     source: str
+
+
+# ---------------------------------------------------------------------------
+# Resource events: interpreted by the linearity pack
+# (:mod:`repro.flowsens.linear`); the generic analyses treat them as
+# no-ops so any qualifier pack can run over lowered C programs.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FreeCell(FlowStmt):
+    """``free(p)`` — the resource held by ``p`` (and its must-aliases)
+    is released.  Generic analyses ignore it."""
+
+    pointer: str
+
+
+@dataclass(frozen=True)
+class UseCell(FlowStmt):
+    """``p`` is observed (dereferenced, passed to a borrowing callee,
+    returned).  The linearity pack checks use-after-free here; generic
+    analyses ignore it."""
+
+    pointer: str
+
+
+@dataclass(frozen=True)
+class ExitPoint(FlowStmt):
+    """A function exit (``return`` or falling off the end).  The
+    linearity pack checks leak obligations for every live local here;
+    generic analyses ignore it."""
 
 
 Block = tuple[FlowStmt, ...]

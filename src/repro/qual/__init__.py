@@ -31,11 +31,14 @@ from .lattice import (
 )
 from .qualifiers import (
     ALL_QUALIFIERS,
+    ALLOC,
     CONST,
     DYNAMIC,
+    FREED,
     LOCAL,
     NONNULL,
     NONZERO,
+    RELEASED,
     SORTED,
     TAINTED,
     binding_time_lattice,
@@ -44,6 +47,7 @@ from .qualifiers import (
     make_lattice,
     nonnull_lattice,
     paper_figure2_lattice,
+    resource_lattice,
     sorted_lattice,
     taint_lattice,
 )

@@ -33,10 +33,27 @@ TAINTED: Qualifier = positive("tainted")
 SORTED: Qualifier = negative("sorted")
 LOCAL: Qualifier = negative("local")
 
+# Linearity / resource-tracking qualifiers (the use-exactly-once pack
+# riding the flow-sensitive engine; see docs/FLOWSENS.md):
+#
+# * ``alloc`` (positive) — the value MAY hold a live allocation whose
+#   release is this code's obligation.
+# * ``freed`` (positive) — the value MAY already have been released;
+#   freeing or using it again is a double-free / use-after-free.
+# * ``released`` (negative) — the value has DEFINITELY been released on
+#   every path reaching this point.  Negative polarity makes joins
+#   intersect it, so must-information dies at merges exactly when one
+#   incoming path did not release — which is what leak-on-exit-path
+#   detection needs (``alloc`` present and ``released`` absent).
+ALLOC: Qualifier = positive("alloc")
+FREED: Qualifier = positive("freed")
+RELEASED: Qualifier = negative("released")
+
 #: Every qualifier mentioned in the paper, keyed by name.
 ALL_QUALIFIERS: dict[str, Qualifier] = {
     q.name: q
-    for q in (CONST, NONZERO, DYNAMIC, NONNULL, TAINTED, SORTED, LOCAL)
+    for q in (CONST, NONZERO, DYNAMIC, NONNULL, TAINTED, SORTED, LOCAL,
+              ALLOC, FREED, RELEASED)
 }
 
 
@@ -78,6 +95,18 @@ def sorted_lattice() -> QualifierLattice:
 def local_lattice() -> QualifierLattice:
     """Titanium local pointers: local <= possibly-remote (absence)."""
     return QualifierLattice([LOCAL])
+
+
+def resource_lattice() -> QualifierLattice:
+    """The linearity pack's lattice: may-hold-allocation (``alloc``),
+    may-be-freed (``freed``), definitely-released (``released``).
+
+    Bottom is ``{released}`` (negatives are present at bottom): a value
+    that never held an allocation carries no obligation.  A malloc seeds
+    ``{alloc}`` (obligation incurred, not yet discharged); a free
+    strongly updates to ``{freed, released}`` (discharged, and any later
+    free/use is an error)."""
+    return QualifierLattice([ALLOC, FREED, RELEASED])
 
 
 def make_lattice(*names: str) -> QualifierLattice:

@@ -38,6 +38,7 @@ class Server:
         self.shutting_down = False
         self.handlers: dict[str, Callable[[dict[str, Any]], Any]] = {
             "analyze": session.analyze,
+            "suggest": session.suggest,
             "didChange": session.did_change,
             "stats": session.stats,
             "ping": self._ping,

@@ -245,6 +245,79 @@ class Session:
             }
         return out
 
+    def suggest(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Annotation-suggestion mode over the session's view of the
+        tree (overlay over disk).  Rendering goes through the same
+        :mod:`repro.checker.suggest` renderers as ``qlint suggest``, so
+        a daemon response's ``report`` string is byte-identical to the
+        one-shot CLI's stdout over the same files."""
+        from ..checker.runner import discover_files
+        from ..checker.suggest import (
+            render_suggestions_human,
+            render_suggestions_json,
+            suggest_source,
+        )
+
+        paths = params.get("paths")
+        if isinstance(paths, str):
+            paths = [paths]
+        if not isinstance(paths, list) or not paths or not all(
+            isinstance(p, str) for p in paths
+        ):
+            raise InvalidParams("suggest needs 'paths': a non-empty list of strings")
+        fmt = params.get("format", "human")
+        if fmt not in ("human", "json"):
+            raise InvalidParams(
+                f"unknown format {fmt!r} (expected 'human' or 'json')"
+            )
+        top = params.get("top", 3)
+        if not isinstance(top, int) or top < 1:
+            raise InvalidParams("'top' must be a positive integer")
+        include_paths = params.get("include_paths", [])
+        if isinstance(include_paths, str):
+            include_paths = [include_paths]
+        if not isinstance(include_paths, list) or not all(
+            isinstance(p, str) for p in include_paths
+        ):
+            raise InvalidParams("'include_paths' must be a list of strings")
+
+        start = time.perf_counter()
+        files = [str(p) for p in discover_files(paths)]
+        suggestions = []
+        errors: dict[str, str] = {}
+        for file in files:
+            text = self.overlay.get(file)
+            if text is None:
+                try:
+                    from pathlib import Path
+
+                    text = Path(file).read_text(encoding="utf-8")
+                except OSError as exc:
+                    errors[file] = str(exc)
+                    continue
+            suggestions.extend(
+                suggest_source(
+                    text, file, include_paths=tuple(include_paths), top=top
+                )
+            )
+        analyzed = time.perf_counter()
+        if fmt == "json":
+            rendered = render_suggestions_json(suggestions)
+        else:
+            rendered = render_suggestions_human(suggestions)
+        end = time.perf_counter()
+        self._analyze_seconds += analyzed - start
+        self._render_seconds += end - analyzed
+        return {
+            "report": rendered,
+            "format": fmt,
+            "suggestions": [s.to_dict() for s in suggestions],
+            "files": files,
+            "errors": errors,
+            "exit_code": 1 if errors else 0,
+            "elapsed_ms": round((end - start) * 1000, 3),
+        }
+
     def did_change(self, params: dict[str, Any]) -> dict[str, Any]:
         """Install (or with ``text: null`` revert) one file's overlay
         text.  Names the units the edit invalidates for the last

@@ -506,3 +506,147 @@ class CCorpusGenerator:
 def generate_c_corpus(seed: int, **kwargs) -> CCorpus:
     """One seeded multi-TU C corpus."""
     return CCorpusGenerator(seed).corpus(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Seeded resource-bug programs (the flow-sensitive linearity pack)
+# ---------------------------------------------------------------------------
+
+_RESOURCE_PROTOS = (
+    "void *malloc(unsigned long size);",
+    "void free(void *ptr);",
+    "unsigned long strlen(const char *s);",
+    "int getchar(void);",
+)
+
+
+@dataclass(frozen=True)
+class ResourceProgram:
+    """One seeded single-TU program with known planted resource bugs.
+
+    ``expected`` is the set of linearity-pack check names the planted
+    bugs must produce (and the clean functions must not add to)."""
+
+    seed: int
+    source: str
+    expected: frozenset[str]
+
+
+#: template kind -> (check name or None, body template).  Branch
+#: conditions test ``getchar()`` rather than calls that take the
+#: pointer: passing the pointer to an unknown callee counts as a
+#: possible ownership hand-off and deliberately suppresses findings.
+_RESOURCE_TEMPLATES: dict[str, tuple[str | None, str]] = {
+    "double_free": (
+        "double-free",
+        "int {fn}(void) {{\n"
+        "{dead}"
+        "    char *{p} = malloc(32);\n"
+        "    if (!{p})\n"
+        "        return -1;\n"
+        "    if (getchar() < 0) {{\n"
+        "        free({p});\n"
+        "    }}\n"
+        "    free({p});\n"
+        "    return 0;\n"
+        "}}\n",
+    ),
+    "leak": (
+        "resource-leak",
+        "int {fn}(void) {{\n"
+        "{dead}"
+        "    char *{p} = malloc(64);\n"
+        "    if (!{p})\n"
+        "        return -1;\n"
+        "    if (getchar() < 0)\n"
+        "        return -2;\n"
+        "    free({p});\n"
+        "    return 0;\n"
+        "}}\n",
+    ),
+    "use_after_free": (
+        "use-after-free",
+        "unsigned long {fn}(void) {{\n"
+        "{dead}"
+        "    char *{p} = malloc(16);\n"
+        "    if (!{p})\n"
+        "        return 0;\n"
+        "    free({p});\n"
+        "    return strlen({p});\n"
+        "}}\n",
+    ),
+    "alias": (
+        "double-free",
+        "void {fn}(void) {{\n"
+        "{dead}"
+        "    char *{p} = malloc(8);\n"
+        "    char *{q} = {p};\n"
+        "    free({q});\n"
+        "    free({p});\n"
+        "}}\n",
+    ),
+    "clean": (
+        None,
+        "int {fn}(void) {{\n"
+        "{dead}"
+        "    char *{p} = malloc(32);\n"
+        "    if (!{p})\n"
+        "        return -1;\n"
+        "    unsigned long {n} = strlen({p});\n"
+        "    free({p});\n"
+        "    return (int){n};\n"
+        "}}\n",
+    ),
+    "handoff": (
+        None,
+        "char *{fn}(void) {{\n"
+        "{dead}"
+        "    char *{p} = malloc(8);\n"
+        "    if (!{p})\n"
+        "        return 0;\n"
+        "    return {p};\n"
+        "}}\n",
+    ),
+}
+
+
+def generate_resource_program(
+    seed: int, rename_salt: int = 0, dead_decls: bool = False
+) -> ResourceProgram:
+    """One seeded program of planted resource bugs and clean controls.
+
+    The structure (which templates, in which order) is a pure function
+    of ``seed`` alone; ``rename_salt`` alpha-renames every local and
+    ``dead_decls`` inserts unused scalar declarations, so the three
+    variants of one seed are metamorphic siblings whose linearity-pack
+    findings must agree."""
+    rng = random.Random(seed)
+    kinds = sorted(_RESOURCE_TEMPLATES)
+    chosen = [rng.choice(kinds) for _ in range(rng.randint(3, 6))]
+    if all(_RESOURCE_TEMPLATES[k][0] is None for k in chosen):
+        chosen[0] = "double_free"
+
+    def v(base: str, i: int) -> str:
+        return f"{base}{i}" if rename_salt == 0 else f"{base}{i}_r{rename_salt}"
+
+    parts: list[str] = list(_RESOURCE_PROTOS) + [""]
+    expected: set[str] = set()
+    for i, kind in enumerate(chosen):
+        check, template = _RESOURCE_TEMPLATES[kind]
+        if check is not None:
+            expected.add(check)
+        dead = ""
+        if dead_decls:
+            dead = f"    int unused{i} = 0;\n    int spare{i} = unused{i};\n"
+        parts.append(
+            template.format(
+                fn=f"fn{i}_{kind}",
+                p=v("p", i),
+                q=v("q", i),
+                n=v("n", i),
+                dead=dead,
+            )
+        )
+    return ResourceProgram(
+        seed=seed, source="\n".join(parts), expected=frozenset(expected)
+    )

@@ -48,6 +48,13 @@ C corpora (:func:`check_c_corpus`):
     qlint over the linked program twice (independently linked) must
     render byte-identical SARIF, and the rule-id multiset must survive
     re-partitioning;
+``resource``
+    the flow-sensitive linearity pack over a seeded resource program
+    (:func:`repro.testkit.cgen.generate_resource_program`): every
+    planted double-free/use-after-free/leak is found (and nothing
+    else), the finding multiset is invariant under alpha-renaming and
+    dead-declaration insertion, and a cold vs. warm cached run renders
+    byte-identical SARIF;
 ``ingest``
     resilient ingestion is conservative: every *clean* unit pushed
     through the recovery path (:func:`repro.cfront.parse_c_resilient`)
@@ -593,6 +600,9 @@ def check_c_corpus(
     if cfg.enabled("ingest"):
         out.extend(_ingest_oracle(sources, corpus.seed))
 
+    if cfg.enabled("resource"):
+        out.extend(check_resource_program(corpus.seed))
+
     return out
 
 
@@ -704,6 +714,125 @@ def _ingest_oracle(sources: dict[str, str], seed: int) -> list[Disagreement]:
     return out
 
 
+def check_resource_program(seed: int) -> list[Disagreement]:
+    """The linearity-pack oracle over one seeded resource program
+    (:func:`repro.testkit.cgen.generate_resource_program`):
+
+    * every planted bug kind is found and nothing else is (the clean
+      control functions add no findings), each finding carrying a
+      multi-step flow path;
+    * **metamorphic-rename** — alpha-renaming every local must not move
+      the finding multiset (kind, line, flow length);
+    * **metamorphic-deadlet** — inserting dead scalar declarations must
+      not change the (kind, flow length) multiset;
+    * **cache** — a cold and a warm cached run over the same file must
+      render byte-identical SARIF.
+    """
+    from ..checker.checks import ALL_CHECKS, FLOW_PACK_CHECKS
+    from ..checker.engine import check_source_resilient
+    from ..checker.render import render_report
+    from ..checker.runner import analyze as run_analysis
+    from .cgen import generate_resource_program
+
+    out: list[Disagreement] = []
+    pack_names = {c.name for c in FLOW_PACK_CHECKS}
+
+    def pack_findings(source: str) -> list | None:
+        try:
+            diags, status, _functions = check_source_resilient(
+                source, "resource.c", checks=ALL_CHECKS
+            )
+        except Exception as exc:
+            out.append(
+                Disagreement("resource", f"resilient check crashed: {exc}")
+            )
+            return None
+        if status != "ok":
+            out.append(
+                Disagreement(
+                    "resource", f"generated program got status {status!r}"
+                )
+            )
+        return [d for d in diags if d.check in pack_names]
+
+    base = generate_resource_program(seed)
+    found = pack_findings(base.source)
+    if found is None:
+        return out
+    kinds = {d.check for d in found}
+    if kinds != set(base.expected):
+        out.append(
+            Disagreement(
+                "resource",
+                f"seed {seed}: planted {sorted(base.expected)} but the "
+                f"pack reported {sorted(kinds)}",
+            )
+        )
+    for d in found:
+        if len(d.flow) < 2:
+            out.append(
+                Disagreement(
+                    "resource",
+                    f"seed {seed}: {d.check} at line {d.span.line} lacks a "
+                    f"multi-step flow path",
+                )
+            )
+
+    def signature(diags: list, with_lines: bool) -> list[tuple]:
+        return sorted(
+            (d.check, len(d.flow)) + ((d.span.line,) if with_lines else ())
+            for d in diags
+        )
+
+    renamed = pack_findings(generate_resource_program(seed, rename_salt=3).source)
+    if renamed is not None and signature(found, True) != signature(renamed, True):
+        out.append(
+            Disagreement(
+                "resource",
+                f"seed {seed}: findings moved under alpha-renaming: "
+                f"{signature(found, True)} vs {signature(renamed, True)}",
+            )
+        )
+
+    dead = pack_findings(generate_resource_program(seed, dead_decls=True).source)
+    if dead is not None and signature(found, False) != signature(dead, False):
+        out.append(
+            Disagreement(
+                "resource",
+                f"seed {seed}: findings moved under dead declarations: "
+                f"{signature(found, False)} vs {signature(dead, False)}",
+            )
+        )
+
+    check_names = tuple(c.name for c in ALL_CHECKS)
+    with tempfile.TemporaryDirectory(prefix="testkit-flowsens-") as tmp:
+        from pathlib import Path
+
+        path = Path(tmp) / "resource.c"
+        path.write_text(base.source, encoding="utf-8")
+        cache_dir = Path(tmp) / "cache"
+        try:
+            cold = run_analysis([path], checks=check_names, cache_dir=cache_dir)
+            warm = run_analysis([path], checks=check_names, cache_dir=cache_dir)
+        except Exception as exc:
+            out.append(Disagreement("resource", f"cached runs crashed: {exc}"))
+        else:
+            if warm.cache_hits < 1:
+                out.append(
+                    Disagreement("resource", "warm run did not hit the cache")
+                )
+            if render_report(cold, format="sarif") != render_report(
+                warm, format="sarif"
+            ):
+                out.append(
+                    Disagreement(
+                        "resource",
+                        "cold and warm cached runs rendered different SARIF",
+                    )
+                )
+    return out
+
+
 #: Every oracle family, for CLI validation and reporting.
 ALL_ORACLES: tuple[str, ...] = (
     "solver",
@@ -718,6 +847,7 @@ ALL_ORACLES: tuple[str, ...] = (
     "subject-reduction",
     "checker",
     "ingest",
+    "resource",
 )
 
 

@@ -180,3 +180,99 @@ class TestErrors:
             AssertStmt("x", taint.element("tainted"), label="ok"),
         )
         assert analyze_heap_flow(program, taint).ok
+
+
+class TestWeakUpdateCorners:
+    """The corners the lowering leans on: branch merges over aliased
+    cells, points-to joins at loop heads, and CopyPtr chains."""
+
+    def test_aliased_cells_merge_across_branches(self, taint):
+        # p -> site_a on one branch, site_b on the other; after the
+        # merge a store through p must weak-update BOTH cells.
+        program = block(
+            Assign("flag", lit(taint)),
+            NewCell("a", "site_a"),
+            NewCell("b", "site_b"),
+            If("flag", then=(CopyPtr("p", "a"),), else_=(CopyPtr("p", "b"),)),
+            StoreCell("p", lit(taint, "tainted")),
+            LoadCell("x", "b"),
+            AssertStmt("x", taint.element(), label="sink-b"),
+        )
+        assert not analyze_heap_flow(program, taint).ok
+
+    def test_branch_merge_keeps_unaliased_cell_clean(self, taint):
+        # a third cell never aliased by p must not be hit by the store.
+        program = block(
+            Assign("flag", lit(taint)),
+            NewCell("a", "site_a"),
+            NewCell("b", "site_b"),
+            NewCell("c", "site_c"),
+            If("flag", then=(CopyPtr("p", "a"),), else_=(CopyPtr("p", "b"),)),
+            StoreCell("p", lit(taint, "tainted")),
+            LoadCell("x", "c"),
+            AssertStmt("x", taint.element(), label="sink-c"),
+        )
+        assert analyze_heap_flow(program, taint).ok
+
+    def test_loop_head_join_carries_body_alias(self, taint):
+        # the alias q -> p's cell is created inside the body; the join
+        # at the loop head must keep it live for the store on the next
+        # iteration, so p's cell is dirty after the loop.
+        program = block(
+            Assign("n", lit(taint)),
+            NewCell("p", "site"),
+            While(
+                "n",
+                body=(
+                    CopyPtr("q", "p"),
+                    StoreCell("q", lit(taint, "tainted")),
+                ),
+            ),
+            LoadCell("x", "p"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        assert not analyze_heap_flow(program, taint).ok
+
+    def test_loop_head_join_unions_entry_and_back_edge(self, taint):
+        # at the head p may point to site_a (entry) or site_b (back
+        # edge); a store at the top of the body must hit both.
+        program = block(
+            Assign("n", lit(taint)),
+            NewCell("a", "site_a"),
+            NewCell("b", "site_b"),
+            CopyPtr("p", "a"),
+            While(
+                "n",
+                body=(
+                    StoreCell("p", lit(taint, "tainted")),
+                    CopyPtr("p", "b"),
+                ),
+            ),
+            LoadCell("x", "a"),
+            AssertStmt("x", taint.element(), label="sink-a"),
+        )
+        assert not analyze_heap_flow(program, taint).ok
+
+    def test_copyptr_chain_three_deep(self, taint):
+        program = block(
+            NewCell("p", "site"),
+            CopyPtr("q", "p"),
+            CopyPtr("r", "q"),
+            StoreCell("r", lit(taint, "tainted")),
+            LoadCell("x", "p"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        assert not analyze_heap_flow(program, taint).ok
+
+    def test_copyptr_chain_broken_by_strong_repoint(self, taint):
+        # repointing q at a fresh cell breaks the chain: the store
+        # through q no longer reaches p's cell.
+        program = block(
+            NewCell("p", "site"),
+            CopyPtr("q", "p"),
+            NewCell("q", "fresh"),
+            StoreCell("q", lit(taint, "tainted")),
+            LoadCell("x", "p"),
+            AssertStmt("x", taint.element(), label="sink"),
+        )
+        assert analyze_heap_flow(program, taint).ok

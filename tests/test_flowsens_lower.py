@@ -1,0 +1,201 @@
+"""Tests for the C -> flowsens lowering layer (repro.flowsens.lower):
+pointer events, alloc-site recording, control-flow translation, and the
+havoc story for everything the small language cannot express."""
+
+import pytest
+
+from repro.cfront.sema import Program
+from repro.flowsens.language import (
+    Assign,
+    CopyPtr,
+    ExitPoint,
+    FlowStmt,
+    FreeCell,
+    Havoc,
+    If,
+    NewCell,
+    UseCell,
+    While,
+)
+from repro.flowsens.lower import DEFAULT_POLICY, LowerPolicy, lower_function
+from repro.qual.qualifiers import resource_lattice
+
+PROTOS = """
+void *malloc(unsigned long size);
+void free(void *ptr);
+unsigned long strlen(const char *s);
+int getchar(void);
+int mystery(char *s);
+"""
+
+
+@pytest.fixture
+def lattice():
+    return resource_lattice()
+
+
+def lowered(source, name, lattice):
+    program = Program.from_source(PROTOS + source, filename="t.c")
+    return lower_function(program.functions[name], lattice)
+
+
+def flatten(stmts):
+    for s in stmts:
+        yield s
+        if isinstance(s, If):
+            yield from flatten(s.then)
+            yield from flatten(s.else_)
+        elif isinstance(s, While):
+            yield from flatten(s.body)
+
+
+def of_type(fn, kind):
+    return [s for s in flatten(fn.body) if isinstance(s, kind)]
+
+
+class TestPointerEvents:
+    def test_malloc_becomes_newcell_with_alloc_site(self, lattice):
+        fn = lowered(
+            "void f(void) { char *p = malloc(8); free(p); }", "f", lattice
+        )
+        sites = [
+            s for s in of_type(fn, NewCell) if s.target == "p"
+        ]
+        assert sites
+        recorded = [fn.alloc_sites[s.site] for s in sites if s.site in fn.alloc_sites]
+        assert recorded and recorded[0].callee == "malloc"
+        assert recorded[0].kind == "heap"
+        assert "p" in fn.pointer_vars
+
+    def test_free_becomes_freecell(self, lattice):
+        fn = lowered(
+            "void f(void) { char *p = malloc(8); free(p); }", "f", lattice
+        )
+        assert [s.pointer for s in of_type(fn, FreeCell)] == ["p"]
+
+    def test_borrower_call_becomes_usecell(self, lattice):
+        fn = lowered(
+            "unsigned long f(void) { char *p = malloc(8);\n"
+            "unsigned long n = strlen(p); free(p); return n; }",
+            "f",
+            lattice,
+        )
+        assert any(s.pointer == "p" for s in of_type(fn, UseCell))
+
+    def test_unknown_callee_escapes_pointer(self, lattice):
+        # mystery() may stash or release p: the lowering must both use
+        # the cell (a freed pointer reaching it is a UAF) and havoc the
+        # variable (ownership may have transferred).
+        fn = lowered(
+            "void f(void) { char *p = malloc(8); mystery(p); }", "f", lattice
+        )
+        assert any(s.pointer == "p" for s in of_type(fn, UseCell))
+        assert any(s.target == "p" for s in of_type(fn, Havoc))
+
+    def test_pointer_copy_becomes_copyptr(self, lattice):
+        fn = lowered(
+            "void f(void) { char *p = malloc(8); char *q = p; free(q); }",
+            "f",
+            lattice,
+        )
+        assert any(
+            s.target == "q" and s.source == "p" for s in of_type(fn, CopyPtr)
+        )
+
+
+class TestControlFlow:
+    def test_if_else_lowers_to_if(self, lattice):
+        fn = lowered(
+            "int f(int x) { if (x) { return 1; } else { return 2; } }",
+            "f",
+            lattice,
+        )
+        assert of_type(fn, If)
+
+    def test_early_return_folds_continuation(self, lattice):
+        # `if (!p) return -1;` must split the path: the fall-through
+        # continuation lowers inside the non-terminating branch, so the
+        # free() is only seen where p is non-null.
+        fn = lowered(
+            "int f(void) { char *p = malloc(8);\n"
+            "if (!p) return -1;\n"
+            "free(p); return 0; }",
+            "f",
+            lattice,
+        )
+        ifs = of_type(fn, If)
+        assert ifs
+        folded = ifs[0]
+        # one arm exits, the other carries the rest (with the free)
+        arms = [folded.then, folded.else_]
+        exits = [any(isinstance(s, ExitPoint) for s in flatten(a)) for a in arms]
+        frees = [any(isinstance(s, FreeCell) for s in flatten(a)) for a in arms]
+        assert exits != frees  # the free lives on the non-exit arm only
+
+    def test_while_lowers_to_while(self, lattice):
+        fn = lowered(
+            "void f(void) { int n = getchar(); while (n) { n = getchar(); } }",
+            "f",
+            lattice,
+        )
+        assert of_type(fn, While)
+
+    def test_every_function_reaches_an_exit(self, lattice):
+        fn = lowered("void f(void) { int x = 0; }", "f", lattice)
+        assert of_type(fn, ExitPoint)
+
+
+class TestDegradation:
+    def test_goto_marks_unstructured(self, lattice):
+        fn = lowered(
+            "void f(void) { char *p = malloc(8); goto out;\nout: free(p); }",
+            "f",
+            lattice,
+        )
+        assert fn.unstructured
+        assert any("goto" in note for note in fn.notes)
+
+    def test_structured_function_is_not_marked(self, lattice):
+        fn = lowered(
+            "void f(void) { char *p = malloc(8); free(p); }", "f", lattice
+        )
+        assert not fn.unstructured
+
+    def test_spans_are_stamped(self, lattice):
+        fn = lowered(
+            "void f(void) { char *p = malloc(8); free(p); }", "f", lattice
+        )
+        free = of_type(fn, FreeCell)[0]
+        assert free.file == "t.c" and free.line > 0
+
+    def test_temps_cannot_collide_with_c_identifiers(self, lattice):
+        fn = lowered(
+            "int f(int x) { if (x) { return 1; } return 0; }",
+            "f",
+            lattice,
+        )
+        temps = [
+            s.target
+            for s in flatten(fn.body)
+            if isinstance(s, Assign) and s.target.startswith("%")
+        ]
+        assert temps  # condition temps use %, illegal in C identifiers
+
+    def test_scalar_param_is_havocked(self, lattice):
+        fn = lowered("int f(int x) { return x; }", "f", lattice)
+        assert any(s.target == "x" for s in of_type(fn, Havoc))
+
+    def test_policy_is_extensible(self, lattice):
+        # a custom allocator/releaser pair behaves like malloc/free
+        policy = LowerPolicy(
+            allocators={**DEFAULT_POLICY.allocators, "acquire": "custom"},
+            releasers={**DEFAULT_POLICY.releasers, "release": 0},
+        )
+        program = Program.from_source(
+            "char *acquire(void);\nvoid release(char *p);\n"
+            "void f(void) { char *p = acquire(); release(p); }",
+            filename="t.c",
+        )
+        fn = lower_function(program.functions["f"], lattice, policy)
+        assert fn.alloc_sites
+        assert any(isinstance(s, FreeCell) for s in flatten(fn.body))

@@ -1,0 +1,112 @@
+"""The seeded resource-bug corpus and its oracles: every planted bug in
+examples/resource_bugs is found with a multi-step flow path, the clean
+files and the real-world fixture stay silent, findings survive the
+metamorphic transforms, and cold/warm cached runs render byte-identical
+SARIF."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.checker.checks import ALL_CHECKS, DEFAULT_CHECKS, FLOW_PACK_CHECKS
+from repro.checker.render import render_report
+from repro.checker.runner import analyze
+from repro.testkit.cgen import generate_resource_program
+from repro.testkit.oracles import check_resource_program
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = REPO / "examples" / "resource_bugs"
+REALWORLD = REPO / "examples" / "realworld"
+
+ALL_NAMES = tuple(c.name for c in ALL_CHECKS)
+PACK_NAMES = {c.name for c in FLOW_PACK_CHECKS}
+
+
+@pytest.fixture(scope="module")
+def corpus_report():
+    return analyze([CORPUS], checks=ALL_NAMES)
+
+
+def pack_findings(report):
+    return [d for d in report.diagnostics if d.check in PACK_NAMES]
+
+
+class TestSeededCorpus:
+    def test_every_planted_bug_is_found(self, corpus_report):
+        by_file = {}
+        for d in pack_findings(corpus_report):
+            by_file.setdefault(Path(d.span.file).name, set()).add(d.check)
+        assert "double-free" in by_file.get("double_free.c", set())
+        assert "double-free" in by_file.get("alias.c", set())
+        assert "resource-leak" in by_file.get("leak_on_path.c", set())
+        assert "use-after-free" in by_file.get("use_after_free.c", set())
+
+    def test_clean_files_stay_silent(self, corpus_report):
+        files = {Path(d.span.file).name for d in pack_findings(corpus_report)}
+        assert "clean.c" not in files
+        assert "suggest.c" not in files
+
+    def test_every_finding_has_a_multi_step_flow_path(self, corpus_report):
+        for d in pack_findings(corpus_report):
+            assert len(d.flow) >= 2, (d.check, d.span)
+
+    def test_corpus_matches_checked_in_baseline(self, monkeypatch):
+        from repro.checker.diagnostics import Baseline
+
+        # fingerprints cover the path as spelled; the baseline is
+        # recorded repo-relative, exactly as CI invokes qlint
+        monkeypatch.chdir(REPO)
+        report = analyze(["examples/resource_bugs"], checks=ALL_NAMES)
+        baseline = Baseline.load(CORPUS / "qlint-baseline.json")
+        current = {d.fingerprint for d in report.diagnostics}
+        assert current == set(baseline.fingerprints)
+
+    def test_default_checks_exclude_the_pack(self):
+        report = analyze([CORPUS], checks=tuple(c.name for c in DEFAULT_CHECKS))
+        assert pack_findings(report) == []
+
+
+class TestRealWorldFixture:
+    def test_realworld_has_zero_resource_findings(self):
+        report = analyze(
+            [REALWORLD],
+            checks=ALL_NAMES,
+            best_effort=True,
+            include_paths=(str(REALWORLD / "include"),),
+        )
+        assert pack_findings(report) == []
+
+
+class TestByteStability:
+    def test_cold_and_warm_sarif_are_identical(self, tmp_path):
+        cache = tmp_path / "cache"
+        cold = analyze([CORPUS], checks=ALL_NAMES, cache_dir=cache)
+        warm = analyze([CORPUS], checks=ALL_NAMES, cache_dir=cache)
+        assert warm.cache_hits >= 1
+        assert render_report(cold, format="sarif") == render_report(
+            warm, format="sarif"
+        )
+
+
+class TestSeededGeneratorOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_oracle_passes(self, seed):
+        assert check_resource_program(seed) == []
+
+    def test_generator_is_deterministic(self):
+        a = generate_resource_program(11)
+        b = generate_resource_program(11)
+        assert a == b
+
+    def test_rename_salt_changes_text_not_structure(self):
+        base = generate_resource_program(11)
+        renamed = generate_resource_program(11, rename_salt=2)
+        assert base.source != renamed.source
+        assert base.expected == renamed.expected
+        assert base.source.count("\n") == renamed.source.count("\n")
+
+    def test_dead_decls_add_lines_only(self):
+        base = generate_resource_program(11)
+        dead = generate_resource_program(11, dead_decls=True)
+        assert dead.source.count("\n") > base.source.count("\n")
+        assert base.expected == dead.expected
