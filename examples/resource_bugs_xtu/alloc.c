@@ -1,0 +1,12 @@
+/* Allocation side of the cross-TU corpus: make_buffer returns an
+ * owned pointer (every return is NULL or a fresh malloc), so the
+ * whole-program ownership summary is "returns owned".  Callers in the
+ * other units inherit the obligation to release it. */
+void *malloc(unsigned long size);
+
+char *make_buffer(unsigned long n) {
+    char *p = malloc(n);
+    if (!p)
+        return 0;
+    return p;
+}

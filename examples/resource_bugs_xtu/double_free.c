@@ -1,0 +1,15 @@
+/* Planted cross-TU double-free: give_back (free_helper.c) frees its
+ * argument on every path, so the explicit free after the call releases
+ * the same allocation twice.  qlint --whole-program must report
+ * double-free with a flow path through give_back's unit. */
+void free(void *ptr);
+char *make_buffer(unsigned long n);
+void give_back(char *p);
+
+void drop_twice(void) {
+    char *b = make_buffer(16);
+    if (!b)
+        return;
+    give_back(b);
+    free(b); /* BUG: give_back already freed b */
+}

@@ -1,0 +1,14 @@
+/* Release side of the cross-TU corpus.  give_back frees its argument
+ * on every path ("frees arg 0" summary); observe only reads it
+ * ("borrows").  The summaries let callers in other units model these
+ * calls precisely instead of havocking every pointer argument. */
+void free(void *ptr);
+unsigned long strlen(const char *s);
+
+void give_back(char *p) {
+    free(p);
+}
+
+unsigned long observe(const char *p) {
+    return strlen(p);
+}

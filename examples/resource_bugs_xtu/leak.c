@@ -1,0 +1,14 @@
+/* Planted cross-TU leak: the allocation happens in alloc.c
+ * (make_buffer returns owned) and is lost here — observe only borrows,
+ * nothing frees, and the function exits still holding the buffer.
+ * qlint --whole-program must report resource-leak with a flow path
+ * that names both units. */
+unsigned long observe(const char *p);
+char *make_buffer(unsigned long n);
+
+unsigned long lose_buffer(void) {
+    char *b = make_buffer(32);
+    if (!b)
+        return 0;
+    return observe(b); /* BUG: b still owned at exit — leaked */
+}

@@ -1,0 +1,17 @@
+/* Clean ownership transfer: allocate in one unit, release through the
+ * helper in another.  The summaries prove the hand-off balances —
+ * make_buffer's "returns owned" obligation is discharged by
+ * give_back's "frees arg 0" — so qlint --whole-program reports
+ * nothing here. */
+char *make_buffer(unsigned long n);
+void give_back(char *p);
+unsigned long observe(const char *p);
+
+unsigned long hand_off(void) {
+    char *b = make_buffer(64);
+    if (!b)
+        return 0;
+    unsigned long n = observe(b);
+    give_back(b);
+    return n;
+}

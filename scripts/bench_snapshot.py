@@ -418,6 +418,33 @@ def measure_flowsens() -> dict:
 
     out["pack_cold_ms"] = round(cold_seconds * 1000, 2)
     out["pack_warm_ms"] = round(best * 1000, 2)
+
+    # Whole-program pack over the cross-TU ownership corpus: linking,
+    # the bottom-up summary fixpoint, and the summary-aware lowering,
+    # cold vs warm through the per-unit ownership cache tier.
+    xtu = REPO / "examples" / "resource_bugs_xtu"
+    out["xtu_files"] = len(sorted(xtu.glob("*.c")))
+    with tempfile.TemporaryDirectory() as cache_dir:
+        start = time.perf_counter()
+        cold = analyze(
+            [str(xtu)], checks=check_names, whole_program=True, cache_dir=cache_dir
+        )
+        xtu_cold_seconds = time.perf_counter() - start
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            warm = analyze(
+                [str(xtu)],
+                checks=check_names,
+                whole_program=True,
+                cache_dir=cache_dir,
+            )
+            best = min(best, time.perf_counter() - start)
+        assert [d.to_dict() for d in warm.diagnostics] == [
+            d.to_dict() for d in cold.diagnostics
+        ], "warm whole-program pack diagnostics differ from cold"
+    out["xtu_whole_cold_ms"] = round(xtu_cold_seconds * 1000, 2)
+    out["xtu_whole_warm_ms"] = round(best * 1000, 2)
     return out
 
 

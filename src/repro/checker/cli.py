@@ -117,6 +117,21 @@ def build_suggest_parser() -> argparse.ArgumentParser:
         help="maximum suggestions per declaration (default: 3)",
     )
     parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help=(
+            "link all units and infer cross-TU ownership summaries "
+            "before suggesting (resolved callees stop counting as "
+            "escapes, raising alloc confidence)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed cache for whole-program summaries",
+    )
+    parser.add_argument(
         "--output", "-o", default=None, help="write here instead of stdout"
     )
     parser.add_argument(
@@ -136,13 +151,25 @@ def suggest_main(argv: list[str]) -> int:
         render_suggestions_human,
         render_suggestions_json,
         suggest_paths,
+        suggest_paths_whole,
     )
 
     args = build_suggest_parser().parse_args(argv)
     files = [str(p) for p in discover_files(args.paths)]
-    suggestions, errors = suggest_paths(
-        files, include_paths=tuple(args.include_dir), top=args.top
-    )
+    if args.whole_program:
+        from ..constinfer.cache import AnalysisCache
+
+        cache = AnalysisCache(args.cache_dir) if args.cache_dir else None
+        suggestions, errors = suggest_paths_whole(
+            files,
+            include_paths=tuple(args.include_dir),
+            top=args.top,
+            cache=cache,
+        )
+    else:
+        suggestions, errors = suggest_paths(
+            files, include_paths=tuple(args.include_dir), top=args.top
+        )
     if args.format == "json":
         rendered = render_suggestions_json(suggestions)
     else:

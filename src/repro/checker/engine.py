@@ -415,7 +415,9 @@ def _cast_diagnostics(program: Program, check: QualifierCheck) -> list[Diagnosti
 
 
 def _flow_pack_diagnostics(
-    program: Program, checks: tuple[QualifierCheck, ...]
+    program: Program,
+    checks: tuple[QualifierCheck, ...],
+    ownership=None,
 ) -> list[Diagnostic]:
     """Run the resource pack over every function body.
 
@@ -423,19 +425,28 @@ def _flow_pack_diagnostics(
     independently (:mod:`repro.flowsens.lower` /
     :mod:`repro.flowsens.linear`); engine-side findings are adapted to
     diagnostics here so the flowsens package stays checker-free.
-    Functions the lowering marks unstructured (goto/switch) and shapes
-    the engine cannot analyse are skipped — best-effort, like the rest
-    of the resilient pipeline."""
+    ``ownership`` carries inferred callee summaries
+    (:mod:`repro.whole.ownership`, whole-program mode only): summarised
+    call sites lower to the callee's declared effect instead of the
+    unknown-callee havoc, which is what lets a finding's flow path
+    cross translation units.  Functions the lowering marks unstructured
+    (goto/switch) and shapes the engine cannot analyse are skipped —
+    best-effort, like the rest of the resilient pipeline."""
     from ..flowsens.linear import analyze_function_resources
-    from ..flowsens.lower import lower_function
+    from ..flowsens.lower import DEFAULT_POLICY, lower_function
     from ..qual.qualifiers import resource_lattice
 
+    policy = DEFAULT_POLICY
+    if ownership:
+        from ..flowsens.ownership import with_summaries
+
+        policy = with_summaries(DEFAULT_POLICY, ownership)
     by_name = {c.name: c for c in checks}
     out: list[Diagnostic] = []
     lattice = resource_lattice()
     for fdef in program.functions.values():
         try:
-            lowered = lower_function(fdef, lattice)
+            lowered = lower_function(fdef, lattice, policy)
             findings = analyze_function_resources(lowered, lattice)
         except Exception:
             # Salvaged/partial ASTs can hold shapes the lowering has
@@ -478,12 +489,16 @@ def _sort_key(d: Diagnostic):
 
 
 def check_program(
-    program: Program, checks: tuple[QualifierCheck, ...] = DEFAULT_CHECKS
+    program: Program,
+    checks: tuple[QualifierCheck, ...] = DEFAULT_CHECKS,
+    *,
+    ownership=None,
 ) -> list[Diagnostic]:
     """Run every enabled check over one semantic program.  Diagnostics
     come back in deterministic (file, line, column, check) order, without
     fingerprints or suppressions — the runner adds those (it holds the
-    source text)."""
+    source text).  ``ownership`` (whole-program mode) feeds inferred
+    callee summaries to the resource pack."""
     checks = tuple(checks)
     diagnostics: list[Diagnostic] = []
 
@@ -493,7 +508,9 @@ def check_program(
 
     pack_checks = tuple(c for c in checks if c.flow_pack)
     if pack_checks:
-        diagnostics.extend(_flow_pack_diagnostics(program, pack_checks))
+        diagnostics.extend(
+            _flow_pack_diagnostics(program, pack_checks, ownership)
+        )
 
     flow_checks = tuple(
         c for c in checks if not c.syntactic_casts and not c.flow_pack
@@ -613,7 +630,10 @@ def check_source_resilient(
 
 
 def check_linked_program(
-    linked, checks: tuple[QualifierCheck, ...] = DEFAULT_CHECKS
+    linked,
+    checks: tuple[QualifierCheck, ...] = DEFAULT_CHECKS,
+    *,
+    cache=None,
 ) -> list[Diagnostic]:
     """Run the checks over a whole linked program
     (:class:`repro.whole.linker.LinkedProgram`).
@@ -623,7 +643,13 @@ def check_linked_program(
     ordinary checks run over the merged program, so qualifier flows that
     cross translation units — a tainted value returned by one file's
     function and printed by another's — surface with flow paths spanning
-    both files (every constraint origin carries its own filename)."""
+    both files (every constraint origin carries its own filename).
+
+    When the resource pack is enabled, per-function ownership summaries
+    are inferred bottom-up over the cross-TU call graph first
+    (:func:`repro.whole.ownership.ownership_for_linked`, per-unit
+    cached through ``cache``), so pack findings cross units too: an
+    allocation in one file lost or double-freed in another."""
     diagnostics = [
         Diagnostic(
             check=f"link-{link_diag.kind}",
@@ -634,7 +660,19 @@ def check_linked_program(
         )
         for link_diag in linked.diagnostics
     ]
-    diagnostics.extend(check_program(linked.program, checks))
+    ownership = None
+    if any(c.flow_pack for c in checks):
+        try:
+            from ..whole.ownership import ownership_for_linked
+
+            ownership = ownership_for_linked(linked, cache=cache)
+        except Exception:
+            # Summaries are an accuracy upgrade, never a requirement:
+            # without them every call site keeps the havoc firewall.
+            ownership = None
+    diagnostics.extend(
+        check_program(linked.program, checks, ownership=ownership)
+    )
     return sorted(diagnostics, key=_sort_key)
 
 

@@ -548,7 +548,9 @@ def check_whole_program(
     try:
         linked = link_units(units, sources=sources)
         diagnostics = check_linked_program(
-            linked, tuple(check_by_name(name) for name in check_names)
+            linked,
+            tuple(check_by_name(name) for name in check_names),
+            cache=cache,
         )
     except Exception as exc:
         report.errors["<whole-program>"] = f"{type(exc).__name__}: {exc}"

@@ -90,13 +90,23 @@ class Suggestion:
 _VALUE_QUALIFIERS = ("tainted", "dynamic")
 
 
-def confidence(path_length: int, fan_in: int, casts: int) -> float:
+def confidence(
+    path_length: int, fan_in: int, casts: int, escapes: int = 0
+) -> float:
     """Feature-heuristic confidence in ``(0, 1]``; monotone decreasing
-    in every feature, 1.0 for a direct single-writer, cast-free flow."""
+    in every feature, 1.0 for a direct single-writer, cast-free flow.
+
+    ``escapes`` counts the declaring function's residual unknown-callee
+    havocs: each one is a door the resource could have left through
+    that the analysis could not see, so it discounts the evidence.
+    Ownership summaries (whole-program mode) resolve call sites and
+    lower this count — the same declaration gains confidence when its
+    callees are summarised."""
     path_factor = 1.0 / (1.0 + 0.25 * max(0, path_length - 1))
     fan_factor = 1.0 / (1.0 + 0.15 * max(0, fan_in - 1))
     cast_factor = 0.9 ** min(casts, 5)
-    return round(path_factor * fan_factor * cast_factor, 4)
+    escape_factor = 0.93 ** min(escapes, 5)
+    return round(path_factor * fan_factor * cast_factor * escape_factor, 4)
 
 
 def _function_casts(fdef: FuncDef) -> int:
@@ -282,17 +292,28 @@ def _best_path(
     return best if best is not None else 1
 
 
-def _resource_suggestions(program: Program) -> list[Suggestion]:
-    """``alloc`` suggestions from the flow-sensitive linearity pack."""
+def _resource_suggestions(
+    program: Program, ownership=None
+) -> list[Suggestion]:
+    """``alloc`` suggestions from the flow-sensitive linearity pack.
+
+    ``ownership`` carries inferred callee summaries (whole-program
+    mode): summarised call sites stop counting as escapes, so the same
+    declaration's confidence rises when its callees are resolved."""
     from ..flowsens.linear import analyze_lowered
-    from ..flowsens.lower import lower_function
+    from ..flowsens.lower import DEFAULT_POLICY, lower_function
     from ..qual.qualifiers import resource_lattice
 
+    policy = DEFAULT_POLICY
+    if ownership:
+        from ..flowsens.ownership import with_summaries
+
+        policy = with_summaries(DEFAULT_POLICY, ownership)
     out: list[Suggestion] = []
     lattice = resource_lattice()
     for fdef in program.functions.values():
         try:
-            lowered = lower_function(fdef, lattice)
+            lowered = lower_function(fdef, lattice, policy)
             if lowered.unstructured:
                 continue
             report = analyze_lowered(lowered, lattice)
@@ -317,7 +338,10 @@ def _resource_suggestions(program: Program) -> list[Suggestion]:
                     kind=kind,
                     qualifier=ev.qualifier,
                     confidence=confidence(
-                        ev.path_length, ev.fan_in, casts
+                        ev.path_length,
+                        ev.fan_in,
+                        casts,
+                        lowered.escape_calls,
                     ),
                     path_length=ev.path_length,
                     fan_in=ev.fan_in,
@@ -327,11 +351,13 @@ def _resource_suggestions(program: Program) -> list[Suggestion]:
     return out
 
 
-def suggest_program(program: Program, top: int = 3) -> list[Suggestion]:
+def suggest_program(
+    program: Program, top: int = 3, *, ownership=None
+) -> list[Suggestion]:
     """Ranked qualifier suggestions for every declaration in
     ``program``; at most ``top`` per declaration."""
     all_suggestions = _value_suggestions(program) + _resource_suggestions(
-        program
+        program, ownership
     )
     grouped: dict[tuple[str, int, int, str], list[Suggestion]] = {}
     for s in all_suggestions:
@@ -396,6 +422,79 @@ def suggest_paths(
                 source, str(path), include_paths=include_paths, top=top
             )
         )
+    return out, errors
+
+
+def suggest_paths_whole(
+    paths: list[str],
+    include_paths: tuple[str, ...] = (),
+    top: int = 3,
+    sources=None,
+    cache=None,
+    parse_unit=None,
+) -> tuple[list[Suggestion], dict[str, str]]:
+    """Whole-program suggestions: link every unit, infer ownership
+    summaries bottom-up over the cross-TU call graph, and suggest over
+    the merged program — so ``alloc`` confidence reflects resolved
+    callees instead of discounting every cross-unit call as an escape.
+
+    The daemon hooks mirror :func:`repro.checker.runner.check_whole_program`:
+    ``sources`` overlays in-memory unit text, ``cache`` lends a
+    long-lived :class:`~repro.constinfer.cache.AnalysisCache` for the
+    per-unit ownership tier, and ``parse_unit`` replaces the stock
+    resilient parser.  CLI and daemon both funnel through here, which
+    is what makes their outputs byte-identical."""
+    from ..cfront.cparser import parse_c_resilient
+    from ..whole.linker import link_units
+    from .runner import discover_files
+
+    files = discover_files(paths, extra=sources or ())
+    out: list[Suggestion] = []
+    errors: dict[str, str] = {}
+    unit_sources: dict[str, str] = {}
+    for path in files:
+        text = sources.get(str(path)) if sources is not None else None
+        if text is None:
+            try:
+                with open(path, "r") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                errors[str(path)] = str(exc)
+                continue
+        unit_sources[str(path)] = text
+
+    units = []
+    for name in sorted(unit_sources):
+        text = unit_sources[name]
+        try:
+            if parse_unit is not None:
+                parsed = parse_unit(name, text)
+            else:
+                parsed = parse_c_resilient(
+                    text, name, include_paths=include_paths
+                )
+        except Exception as exc:
+            errors[name] = f"{type(exc).__name__}: {exc}"
+            continue
+        unit = getattr(parsed, "unit", parsed)
+        if unit is not None:
+            units.append(unit)
+
+    try:
+        linked = link_units(units, sources=unit_sources)
+    except Exception as exc:
+        errors["<whole-program>"] = f"{type(exc).__name__}: {exc}"
+        return out, errors
+    try:
+        from ..whole.ownership import ownership_for_linked
+
+        ownership = ownership_for_linked(linked, cache=cache)
+    except Exception:
+        ownership = None
+    try:
+        out = suggest_program(linked.program, top=top, ownership=ownership)
+    except Exception:
+        out = []
     return out, errors
 
 

@@ -101,8 +101,17 @@ ENTRY_VERSION = 1
 _ENTRY_HEADER = struct.Struct("<4sHHQQ")
 
 #: The packages whose source code determines cached output (the checker
-#: stores finished diagnostics, so its code is part of the key too).
-_FINGERPRINTED_PACKAGES = ("cfront", "checker", "constinfer", "qual", "whole")
+#: stores finished diagnostics, so its code is part of the key too;
+#: flowsens feeds the resource-pack diagnostics and ownership
+#: summaries, so it must invalidate them as well).
+_FINGERPRINTED_PACKAGES = (
+    "cfront",
+    "checker",
+    "constinfer",
+    "flowsens",
+    "qual",
+    "whole",
+)
 
 _code_fingerprint_memo: str | None = None
 

@@ -35,6 +35,7 @@ from .language import (
     Assign,
     AssertStmt,
     Block,
+    CallVia,
     CopyPtr,
     ExitPoint,
     FlowExpr,
@@ -71,6 +72,16 @@ from .lower import (
     LoweredFunction,
     LowerPolicy,
     lower_function,
+)
+from .ownership import (
+    PARAM_BORROWS,
+    PARAM_ESCAPES,
+    PARAM_FREES,
+    OwnershipSummary,
+    escaping_summary,
+    infer_function_ownership,
+    join_summaries,
+    with_summaries,
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]

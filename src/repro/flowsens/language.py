@@ -168,6 +168,9 @@ class NewCell(FlowStmt):
 
     target: str
     site: str
+    #: Set when the allocation was substituted from a callee's
+    #: "returns owned" ownership summary (:mod:`repro.flowsens.ownership`).
+    via: "CallVia | None" = field(default=None, kw_only=True)
 
 
 @dataclass(frozen=True)
@@ -202,11 +205,28 @@ class CopyPtr(FlowStmt):
 
 
 @dataclass(frozen=True)
+class CallVia:
+    """Provenance of a resource event that was *substituted* from a
+    callee's ownership summary (:mod:`repro.flowsens.ownership`): the
+    callee's name and definition span.  The linearity pack threads it
+    into the flow path so a cross-TU finding names both the call site
+    and the callee's defining unit."""
+
+    callee: str
+    file: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
 class FreeCell(FlowStmt):
     """``free(p)`` — the resource held by ``p`` (and its must-aliases)
     is released.  Generic analyses ignore it."""
 
     pointer: str
+    #: Set when the free was substituted from a callee's ownership
+    #: summary rather than a direct releaser call.
+    via: "CallVia | None" = field(default=None, kw_only=True)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ from ..qual.solver import Solution, shortest_flow_path, solve
 from .analysis import FlowError
 from .heap import HeapFlowAnalysis, _State
 from .language import (
+    CallVia,
     CopyPtr,
     ExitPoint,
     FlowStmt,
@@ -47,6 +48,13 @@ from .language import (
     While,
 )
 from .lower import LoweredFunction
+
+
+def _via_stmt(via: CallVia) -> FlowStmt:
+    """A synthetic statement carrying the callee's definition span, so
+    summary-substituted events anchor one flow step in the defining
+    unit (the cross-file half of a cross-TU finding)."""
+    return FlowStmt(line=via.line, col=via.col, file=via.file)
 
 #: check names, shared with the checker's registry
 DOUBLE_FREE = "double-free"
@@ -148,12 +156,30 @@ class ResourceAnalysis(HeapFlowAnalysis):
                 info = self.fn.alloc_sites.get(site)
                 if info is not None:
                     seeded = fresh_qual_var(f"{p}_alloc")
-                    self._emit(
-                        self._alloc_el,
-                        seeded,
-                        f"{p} receives allocation from {info.callee}",
-                        stmt,
-                    )
+                    if stmt.via is not None:
+                        # Substituted from an ownership summary: chain
+                        # through the callee's definition so the flow
+                        # path steps into the defining unit.
+                        mid = fresh_qual_var(f"{p}_viaalloc")
+                        self._emit(
+                            self._alloc_el,
+                            mid,
+                            f"{stmt.via.callee} returns a fresh allocation",
+                            _via_stmt(stmt.via),
+                        )
+                        self._emit(
+                            mid,
+                            seeded,
+                            f"{p} receives allocation from {info.callee}",
+                            stmt,
+                        )
+                    else:
+                        self._emit(
+                            self._alloc_el,
+                            seeded,
+                            f"{p} receives allocation from {info.callee}",
+                            stmt,
+                        )
                     out.vals[p] = seeded
                     self._remember(p, seeded)
                 return out
@@ -172,9 +198,24 @@ class ResourceAnalysis(HeapFlowAnalysis):
                     self._oblige(DOUBLE_FREE, p, current, stmt)
                 # Strong update: p definitely holds the freed value now.
                 freed = fresh_qual_var(f"{p}_freed")
-                self._emit(
-                    self._freed_strong, freed, f"{p} is freed here", stmt
-                )
+                if stmt.via is not None:
+                    mid = fresh_qual_var(f"{p}_viafree")
+                    self._emit(
+                        self._freed_strong,
+                        mid,
+                        f"{stmt.via.callee} frees its argument",
+                        _via_stmt(stmt.via),
+                    )
+                    self._emit(
+                        mid,
+                        freed,
+                        f"{p} is passed to {stmt.via.callee} here",
+                        stmt,
+                    )
+                else:
+                    self._emit(
+                        self._freed_strong, freed, f"{p} is freed here", stmt
+                    )
                 out.vals[p] = freed
                 self._remember(p, freed)
                 # Aliases: a pointer sharing exactly p's one points-to

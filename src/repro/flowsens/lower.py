@@ -33,7 +33,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Mapping, Optional, Sequence, TypeVar, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, TypeVar, Union
+
+if TYPE_CHECKING:
+    from .ownership import OwnershipSummary
 
 from ..cfront.cast import (
     Assignment,
@@ -78,6 +81,7 @@ from ..qual.lattice import LatticeElement, LatticeError, QualifierLattice
 from .language import (
     Assign,
     Block,
+    CallVia,
     CopyPtr,
     ExitPoint,
     FlowExpr,
@@ -189,6 +193,12 @@ class LowerPolicy:
     sources: Mapping[str, tuple[str, ...]] = field(
         default_factory=lambda: DEFAULT_SOURCES
     )
+    #: Inferred ownership summaries of resolved callees, by program-level
+    #: name (:mod:`repro.flowsens.ownership`).  A summarised call site
+    #: lowers to the callee's declared effect (``FreeCell`` / ``UseCell``
+    #: / ``NewCell``) instead of the unknown-callee havoc; only callees
+    #: absent here keep the escape firewall.
+    summaries: Mapping[str, "OwnershipSummary"] = field(default_factory=dict)
 
 
 DEFAULT_POLICY = LowerPolicy()
@@ -224,6 +234,10 @@ class LoweredFunction:
     unstructured: bool
     #: Human-readable notes about lowering degradations (havocs etc.).
     notes: tuple[str, ...]
+    #: Call sites where an unknown callee escaped a pointer argument —
+    #: the residual havoc count after summary substitution.  Feeds the
+    #: suggestion mode's confidence discount.
+    escape_calls: int = 0
 
     @property
     def stmt_count(self) -> int:
@@ -331,6 +345,7 @@ class _Lowerer:
         self.alloc_sites: dict[str, AllocSite] = {}
         self.notes: list[str] = []
         self.unstructured = False
+        self.escape_calls = 0
         self._counter = itertools.count()
 
     # -- helpers ----------------------------------------------------------
@@ -524,20 +539,72 @@ class _Lowerer:
                 a = _strip(arg)
                 if isinstance(a, Ident):
                     pre += self._use(a.name, e)
+        elif name is not None and name in self.policy.summaries:
+            summary = self.policy.summaries[name]
+            pre += self._summary_arg_events(e, summary)
+            if summary.returns_owned:
+                # Result not captured (handled in _assign_ident): the
+                # fresh allocation has no variable to track.
+                self._note(f"uncaptured allocation from {name}")
         else:
             # Unknown callee: every pointer argument is used AND escapes
             # (the callee may retain or free it).
+            escaped_any = False
             for arg in e.args:
                 for ident in _idents_in(arg):
                     if ident in self.pointer_vars:
                         pre += self._use(ident, e)
-                        pre += self._escape(ident, e)
+                        escape = self._escape(ident, e)
+                        escaped_any = escaped_any or bool(escape)
+                        pre += escape
+            if escaped_any:
+                self.escape_calls += 1
         value: FlowExpr = self.bottom
         if name is not None and name in self.policy.sources:
             el = self._source_element(self.policy.sources[name])
             if el is not None:
                 value = Literal(el)
         return pre, value
+
+    def _summary_arg_events(
+        self, e: Call, summary: "OwnershipSummary"
+    ) -> list[FlowStmt]:
+        """Lower the per-argument effects a callee's ownership summary
+        declares: FREES discharges (``FreeCell`` with call-via
+        provenance), BORROWS observes (``UseCell``), ESCAPES keeps the
+        unknown-callee havoc.  Arguments beyond the summarised
+        parameter list (varargs) escape conservatively."""
+        from .ownership import PARAM_BORROWS, PARAM_FREES
+
+        via = CallVia(
+            callee=summary.name,
+            file=summary.file,
+            line=summary.line,
+            col=summary.col,
+        )
+        pre: list[FlowStmt] = []
+        for i, arg in enumerate(e.args):
+            verdict = summary.params[i] if i < len(summary.params) else None
+            a = _strip(arg)
+            if verdict == PARAM_FREES:
+                if isinstance(a, Ident) and a.name in self.known:
+                    pre.append(
+                        self._at(FreeCell(pointer=a.name, via=via), e)
+                    )
+                    continue
+                self._note(
+                    f"release of non-variable argument to {summary.name}"
+                )
+            elif verdict == PARAM_BORROWS:
+                if isinstance(a, Ident):
+                    pre += self._use(a.name, e)
+                continue
+            # ESCAPES / varargs / non-variable FREES argument: firewall.
+            for ident in _idents_in(arg):
+                if ident in self.pointer_vars:
+                    pre += self._use(ident, e)
+                    pre += self._escape(ident, e)
+        return pre
 
     # -- assignments ------------------------------------------------------
     def _assignment(self, e: Assignment) -> tuple[list[FlowStmt], Optional[str]]:
@@ -607,6 +674,41 @@ class _Lowerer:
                     col=rhs.col,
                 )
                 pre.append(self._at(NewCell(target=name, site=site), at))
+                self.known.add(name)
+                self.tracked.add(name)
+                self.pointer_vars.add(name)
+                return pre, name
+            summary = self.policy.summaries.get(callee)
+            if summary is not None and summary.returns_owned:
+                # p = make_buffer(...): the callee's summary says every
+                # return is a fresh owned allocation, so the call site
+                # is an allocation site of the summarised kind — the
+                # caller inherits the leak obligation.
+                pre = []
+                for arg in rhs.args:
+                    p, _ = self._expr(arg)
+                    pre += p
+                pre += self._summary_arg_events(rhs, summary)
+                site = (
+                    f"{callee}@{rhs.line}:{rhs.col}#{next(self._counter)}"
+                )
+                self.alloc_sites[site] = AllocSite(
+                    site=site,
+                    callee=callee,
+                    kind=summary.returns_kind,
+                    file=self.f.file,
+                    line=rhs.line,
+                    col=rhs.col,
+                )
+                via = CallVia(
+                    callee=summary.name,
+                    file=summary.file,
+                    line=summary.line,
+                    col=summary.col,
+                )
+                pre.append(
+                    self._at(NewCell(target=name, site=site, via=via), at)
+                )
                 self.known.add(name)
                 self.tracked.add(name)
                 self.pointer_vars.add(name)
@@ -822,6 +924,54 @@ class _Lowerer:
         )
         return consumed
 
+    def _value_idents(self, e: CExpr) -> list[str]:
+        """Idents whose pointer value may reach the value of ``e``.
+
+        Like :func:`_idents_in`, except that the arguments of a call
+        whose callee is a known borrower or carries an ownership
+        summary are excluded: the call site already applied the
+        callee's contract, and such a callee cannot smuggle an
+        argument out through its result — borrowers only observe, and
+        a summarised function that returns (an alias of) a parameter
+        is summarised ``escapes``, which the call lowering applied."""
+        match e:
+            case Call(func=Ident(name=name)) if name is not None and (
+                name in self.policy.borrowers or name in self.policy.summaries
+            ):
+                return []
+            case Call(func=func, args=args):
+                out = self._value_idents(func)
+                for a in args:
+                    out += self._value_idents(a)
+                return out
+            case Unary(operand=operand):
+                return self._value_idents(operand)
+            case Binary(left=left, right=right):
+                return self._value_idents(left) + self._value_idents(right)
+            case Assignment(target=target, value=value):
+                return self._value_idents(target) + self._value_idents(value)
+            case Conditional(cond=cond, then=then, other=other):
+                return (
+                    self._value_idents(cond)
+                    + self._value_idents(then)
+                    + self._value_idents(other)
+                )
+            case Cast(operand=operand):
+                return self._value_idents(operand)
+            case Comma(left=left, right=right):
+                return self._value_idents(left) + self._value_idents(right)
+            case Member(base=base):
+                return self._value_idents(base)
+            case Index(base=base, index=index):
+                return self._value_idents(base) + self._value_idents(index)
+            case InitList(items=items):
+                flat: list[str] = []
+                for item in items:
+                    flat += self._value_idents(item)
+                return flat
+            case _:
+                return _idents_in(e)
+
     def _return(self, s: ReturnStmt) -> list[FlowStmt]:
         out: list[FlowStmt] = []
         if s.value is not None:
@@ -829,7 +979,7 @@ class _Lowerer:
             out += pre
             # A returned pointer is observed (use-after-free check) and
             # then owned by the caller (escape — no leak obligation).
-            for ident in dict.fromkeys(_idents_in(s.value)):
+            for ident in dict.fromkeys(self._value_idents(s.value)):
                 if ident in self.pointer_vars:
                     out += self._use(ident, s)
                     out += self._escape(ident, s)
@@ -988,6 +1138,7 @@ class _Lowerer:
             alloc_sites=self.alloc_sites,
             unstructured=self.unstructured,
             notes=tuple(self.notes),
+            escape_calls=self.escape_calls,
         )
 
 

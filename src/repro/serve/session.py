@@ -255,6 +255,7 @@ class Session:
         from ..checker.suggest import (
             render_suggestions_human,
             render_suggestions_json,
+            suggest_paths_whole,
             suggest_source,
         )
 
@@ -280,26 +281,44 @@ class Session:
             isinstance(p, str) for p in include_paths
         ):
             raise InvalidParams("'include_paths' must be a list of strings")
+        whole = bool(params.get("whole_program", False))
+        # Resilient probes (didChange) resolve headers with the session's
+        # remembered -I paths; keep the memo keys consistent with them.
+        self._include_paths = tuple(include_paths)
 
         start = time.perf_counter()
         files = [str(p) for p in discover_files(paths)]
         suggestions = []
         errors: dict[str, str] = {}
-        for file in files:
-            text = self.overlay.get(file)
-            if text is None:
-                try:
-                    from pathlib import Path
-
-                    text = Path(file).read_text(encoding="utf-8")
-                except OSError as exc:
-                    errors[file] = str(exc)
-                    continue
-            suggestions.extend(
-                suggest_source(
-                    text, file, include_paths=tuple(include_paths), top=top
-                )
+        if whole:
+            # Same shared path the CLI takes, with the session's overlay,
+            # cache, and resilient parse memo threaded in.  The ownership
+            # cache is keyed by dependency-closure source digests, so a
+            # didChange on one unit re-links exactly its dependents.
+            suggestions, errors = suggest_paths_whole(
+                files,
+                include_paths=tuple(include_paths),
+                top=top,
+                sources=self.overlay,
+                cache=self.cache,
+                parse_unit=self.parse_unit_resilient,
             )
+        else:
+            for file in files:
+                text = self.overlay.get(file)
+                if text is None:
+                    try:
+                        from pathlib import Path
+
+                        text = Path(file).read_text(encoding="utf-8")
+                    except OSError as exc:
+                        errors[file] = str(exc)
+                        continue
+                suggestions.extend(
+                    suggest_source(
+                        text, file, include_paths=tuple(include_paths), top=top
+                    )
+                )
         analyzed = time.perf_counter()
         if fmt == "json":
             rendered = render_suggestions_json(suggestions)

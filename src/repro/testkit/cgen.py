@@ -650,3 +650,193 @@ def generate_resource_program(
     return ResourceProgram(
         seed=seed, source="\n".join(parts), expected=frozenset(expected)
     )
+
+
+# ---------------------------------------------------------------------------
+# Seeded cross-TU ownership programs (whole-program linearity pack)
+# ---------------------------------------------------------------------------
+
+#: scenario kind -> (check name or None, body template).  Every
+#: scenario calls the shared ownership helpers — ``{mk}`` returns an
+#: owned pointer, ``{rel}`` frees its argument, ``{peek}`` borrows,
+#: ``{chain}`` frees through a helper chain — so nothing here is
+#: findable without the cross-TU summaries.  ``xfp`` releases through a
+#: function pointer: the call site is unresolved, the Havoc firewall
+#: must swallow the obligation, and no finding may appear.
+_XTU_TEMPLATES: dict[str, tuple[str | None, str]] = {
+    "xleak": (
+        "resource-leak",
+        "unsigned long {fn}(void) {{\n"
+        "    char *{p} = {mk}(32);\n"
+        "    if (!{p})\n"
+        "        return 0;\n"
+        "    return {peek}({p});\n"
+        "}}\n",
+    ),
+    "xdouble": (
+        "double-free",
+        "void {fn}(void) {{\n"
+        "    char *{p} = {mk}(16);\n"
+        "    if (!{p})\n"
+        "        return;\n"
+        "    {rel}({p});\n"
+        "    free({p});\n"
+        "}}\n",
+    ),
+    "xchain": (
+        "double-free",
+        "void {fn}(void) {{\n"
+        "    char *{p} = {mk}(8);\n"
+        "    if (!{p})\n"
+        "        return;\n"
+        "    {chain}({p});\n"
+        "    {rel}({p});\n"
+        "}}\n",
+    ),
+    "xuaf": (
+        "use-after-free",
+        "unsigned long {fn}(void) {{\n"
+        "    char *{p} = {mk}(16);\n"
+        "    if (!{p})\n"
+        "        return 0;\n"
+        "    {rel}({p});\n"
+        "    return {peek}({p});\n"
+        "}}\n",
+    ),
+    "xclean": (
+        None,
+        "unsigned long {fn}(void) {{\n"
+        "    char *{p} = {mk}(64);\n"
+        "    if (!{p})\n"
+        "        return 0;\n"
+        "    unsigned long {n} = {peek}({p});\n"
+        "    {rel}({p});\n"
+        "    return {n};\n"
+        "}}\n",
+    ),
+    "xfp": (
+        None,
+        "void {fn}(void) {{\n"
+        "    void (*{f})(char *) = {rel};\n"
+        "    char *{p} = {mk}(8);\n"
+        "    if (!{p})\n"
+        "        return;\n"
+        "    {f}({p});\n"
+        "}}\n",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ResourceXTUProgram:
+    """One seeded multi-TU program with known planted cross-TU resource
+    bugs.  ``units`` maps unit name to source text; ``expected`` is the
+    set of linearity-pack check names the planted bugs must produce
+    under ``--whole-program`` (and nothing else may appear)."""
+
+    seed: int
+    units: dict[str, str]
+    expected: frozenset[str]
+    rename_salt: int = 0
+    n_units: int = 3
+    partition_salt: int = 0
+
+    def sources(self) -> dict[str, str]:
+        return dict(self.units)
+
+    def repartitioned(self, salt: int, n_units: int | None = None) -> "ResourceXTUProgram":
+        """The same functions dealt onto a fresh unit assignment: the
+        whole-program finding multiset must not move."""
+        return generate_resource_xtu_program(
+            self.seed,
+            rename_salt=self.rename_salt,
+            n_units=n_units if n_units is not None else self.n_units,
+            partition_salt=salt,
+        )
+
+
+def generate_resource_xtu_program(
+    seed: int,
+    rename_salt: int = 0,
+    n_units: int = 3,
+    partition_salt: int = 0,
+) -> ResourceXTUProgram:
+    """One seeded cross-TU ownership program.
+
+    The allocation helper, the release helpers, and the consumer
+    functions are dealt across ``n_units`` translation units, so every
+    planted bug needs the whole-program ownership summaries to connect
+    alloc and free sites.  The structure (which scenarios, in which
+    order) is a pure function of ``seed`` alone; ``rename_salt``
+    alpha-renames every local and ``partition_salt`` reshuffles the
+    unit assignment, so the variants of one seed are metamorphic
+    siblings whose whole-program findings must agree."""
+    rng = random.Random(seed)
+    kinds = sorted(_XTU_TEMPLATES)
+    chosen = [rng.choice(kinds) for _ in range(rng.randint(3, 6))]
+    if all(_XTU_TEMPLATES[k][0] is None for k in chosen):
+        chosen[0] = "xleak"
+
+    def v(base: str, i: int) -> str:
+        return f"{base}{i}" if rename_salt == 0 else f"{base}{i}_s{rename_salt}"
+
+    mk, rel, peek, chain = "mk_buf", "rel_buf", "peek_buf", "chain_rel"
+    helpers = [
+        f"char *{mk}(unsigned long n) {{\n"
+        "    char *h = malloc(n);\n"
+        "    if (!h)\n"
+        "        return 0;\n"
+        "    return h;\n"
+        "}\n",
+        f"void {rel}(char *h) {{\n    free(h);\n}}\n",
+        f"unsigned long {peek}(const char *h) {{\n    return strlen(h);\n}}\n",
+        f"void {chain}(char *h) {{\n    {rel}(h);\n}}\n",
+    ]
+    protos = list(_RESOURCE_PROTOS) + [
+        f"char *{mk}(unsigned long n);",
+        f"void {rel}(char *h);",
+        f"unsigned long {peek}(const char *h);",
+        f"void {chain}(char *h);",
+    ]
+
+    chunks: list[str] = list(helpers)
+    expected: set[str] = set()
+    for i, kind in enumerate(chosen):
+        check, template = _XTU_TEMPLATES[kind]
+        if check is not None:
+            expected.add(check)
+        chunks.append(
+            template.format(
+                fn=f"fn{i}_{kind}",
+                p=v("p", i),
+                n=v("n", i),
+                f=v("f", i),
+                mk=mk,
+                rel=rel,
+                peek=peek,
+                chain=chain,
+            )
+        )
+
+    units = max(2, n_units)
+    prng = random.Random((seed, partition_salt, units).__hash__())
+    assignment = [prng.randrange(units) for _ in chunks]
+    # Keep the corpus genuinely cross-TU: the allocation helper must
+    # not share a unit with every consumer.
+    if len(set(assignment)) == 1:
+        assignment[0] = (assignment[0] + 1) % units
+    header = "\n".join(protos)
+    out: dict[str, str] = {}
+    for unit in range(units):
+        body = "\n".join(
+            chunk for chunk, owner in zip(chunks, assignment) if owner == unit
+        )
+        out[f"xtu{unit}.c"] = f"{header}\n\n{body}\n"
+    return ResourceXTUProgram(
+        seed=seed,
+        units=out,
+        expected=frozenset(expected),
+        rename_salt=rename_salt,
+        n_units=units,
+        partition_salt=partition_salt,
+    )

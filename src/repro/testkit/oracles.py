@@ -55,6 +55,14 @@ C corpora (:func:`check_c_corpus`):
     else), the finding multiset is invariant under alpha-renaming and
     dead-declaration insertion, and a cold vs. warm cached run renders
     byte-identical SARIF;
+``resource-whole``
+    the whole-program linearity pack over a seeded cross-TU ownership
+    program (:func:`repro.testkit.cgen.generate_resource_xtu_program`):
+    every planted cross-TU bug kind is found (and nothing else), each
+    finding carries a multi-step flow path, the finding multiset is
+    invariant under alpha-renaming and TU re-partitioning, and
+    cold vs. warm cache and ``jobs=1`` vs. ``jobs=N`` runs render
+    byte-identical SARIF;
 ``ingest``
     resilient ingestion is conservative: every *clean* unit pushed
     through the recovery path (:func:`repro.cfront.parse_c_resilient`)
@@ -603,6 +611,9 @@ def check_c_corpus(
     if cfg.enabled("resource"):
         out.extend(check_resource_program(corpus.seed))
 
+    if cfg.enabled("resource-whole"):
+        out.extend(check_resource_xtu(corpus.seed, jobs=cfg.jobs))
+
     return out
 
 
@@ -833,6 +844,146 @@ def check_resource_program(seed: int) -> list[Disagreement]:
     return out
 
 
+def check_resource_xtu(seed: int, jobs: int = 2) -> list[Disagreement]:
+    """The whole-program linearity-pack oracle over one seeded cross-TU
+    ownership program
+    (:func:`repro.testkit.cgen.generate_resource_xtu_program`):
+
+    * every planted cross-TU bug kind is found and nothing else is
+      (the clean transfer and the function-pointer dispatch add no
+      findings), each finding carrying a multi-step flow path;
+    * **metamorphic-rename** — alpha-renaming every local must not move
+      the (kind, flow length) multiset;
+    * **metamorphic-repartition** — re-dealing the functions onto a
+      different unit assignment must not move the (kind, message,
+      flow length) multiset;
+    * **cache / jobs** — cold vs. warm cached runs and ``jobs=1`` vs.
+      ``jobs=N`` runs over the same tree must render byte-identical
+      SARIF.
+    """
+    from pathlib import Path
+
+    from ..checker.checks import ALL_CHECKS, FLOW_PACK_CHECKS
+    from ..checker.render import render_report
+    from ..checker.runner import analyze as run_analysis
+    from .cgen import generate_resource_xtu_program
+
+    out: list[Disagreement] = []
+    pack_names = {c.name for c in FLOW_PACK_CHECKS}
+    check_names = tuple(c.name for c in ALL_CHECKS)
+
+    def run_whole(prog, tmp: str, jobs: int = 1, cache_dir=None):
+        root = Path(tmp)
+        for name, text in prog.units.items():
+            (root / name).write_text(text, encoding="utf-8")
+        return run_analysis(
+            [root],
+            checks=check_names,
+            whole_program=True,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
+
+    def pack_findings(prog, label: str) -> list | None:
+        try:
+            with tempfile.TemporaryDirectory(prefix="testkit-xtu-") as tmp:
+                report = run_whole(prog, tmp)
+        except Exception as exc:
+            out.append(
+                Disagreement("resource-whole", f"{label} run crashed: {exc}")
+            )
+            return None
+        if report.errors:
+            out.append(
+                Disagreement(
+                    "resource-whole",
+                    f"{label} run reported errors: {report.errors}",
+                )
+            )
+        return [d for d in report.diagnostics if d.check in pack_names]
+
+    base = generate_resource_xtu_program(seed)
+    found = pack_findings(base, "base")
+    if found is None:
+        return out
+    kinds = {d.check for d in found}
+    if kinds != set(base.expected):
+        out.append(
+            Disagreement(
+                "resource-whole",
+                f"seed {seed}: planted {sorted(base.expected)} but the "
+                f"whole-program pack reported {sorted(kinds)}",
+            )
+        )
+    for d in found:
+        if len(d.flow) < 2:
+            out.append(
+                Disagreement(
+                    "resource-whole",
+                    f"seed {seed}: {d.check} at line {d.span.line} lacks a "
+                    f"multi-step flow path",
+                )
+            )
+
+    def signature(diags: list, with_message: bool) -> list[tuple]:
+        return sorted(
+            (d.check, len(d.flow)) + ((d.message,) if with_message else ())
+            for d in diags
+        )
+
+    renamed = pack_findings(
+        generate_resource_xtu_program(seed, rename_salt=3), "renamed"
+    )
+    if renamed is not None and signature(found, False) != signature(renamed, False):
+        out.append(
+            Disagreement(
+                "resource-whole",
+                f"seed {seed}: findings moved under alpha-renaming: "
+                f"{signature(found, False)} vs {signature(renamed, False)}",
+            )
+        )
+
+    moved = pack_findings(base.repartitioned(seed + 0x5EED), "repartitioned")
+    if moved is not None and signature(found, True) != signature(moved, True):
+        out.append(
+            Disagreement(
+                "resource-whole",
+                f"seed {seed}: findings moved under TU re-partitioning: "
+                f"{signature(found, True)} vs {signature(moved, True)}",
+            )
+        )
+
+    try:
+        with tempfile.TemporaryDirectory(prefix="testkit-xtu-") as tmp:
+            from pathlib import Path as _Path
+
+            cache_dir = _Path(tmp) / "cache"
+            cold = run_whole(base, tmp, cache_dir=cache_dir)
+            warm = run_whole(base, tmp, cache_dir=cache_dir)
+            wide = run_whole(base, tmp, jobs=max(2, jobs))
+            narrow = run_whole(base, tmp, jobs=1)
+    except Exception as exc:
+        out.append(
+            Disagreement("resource-whole", f"replay runs crashed: {exc}")
+        )
+        return out
+    if render_report(cold, format="sarif") != render_report(warm, format="sarif"):
+        out.append(
+            Disagreement(
+                "resource-whole",
+                "cold and warm cached whole-program runs rendered different SARIF",
+            )
+        )
+    if render_report(narrow, format="sarif") != render_report(wide, format="sarif"):
+        out.append(
+            Disagreement(
+                "resource-whole",
+                f"whole-program SARIF differs between jobs=1 and jobs={max(2, jobs)}",
+            )
+        )
+    return out
+
+
 #: Every oracle family, for CLI validation and reporting.
 ALL_ORACLES: tuple[str, ...] = (
     "solver",
@@ -848,6 +999,7 @@ ALL_ORACLES: tuple[str, ...] = (
     "checker",
     "ingest",
     "resource",
+    "resource-whole",
 )
 
 

@@ -40,6 +40,7 @@ from .linker import (
     link_sources,
     link_units,
 )
+from .ownership import infer_ownership_summaries, ownership_for_linked
 from .summary import (
     TUSummary,
     dependency_closure,
@@ -57,9 +58,11 @@ __all__ = [
     "affected_units",
     "closure_digests",
     "dependency_closure",
+    "infer_ownership_summaries",
     "link_paths",
     "link_sources",
     "link_units",
+    "ownership_for_linked",
     "run_whole_poly",
     "shared_layout_digest",
     "tu_dependence_graph",

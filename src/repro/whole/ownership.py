@@ -1,0 +1,187 @@
+"""Whole-program ownership summaries: bottom-up over the call graph.
+
+The per-function inference (:mod:`repro.flowsens.ownership`) summarises
+one function *given* its callees' summaries.  This module supplies
+them: the cross-TU function dependence graph's SCCs come out of
+:meth:`~repro.constinfer.fdg.FunctionDependenceGraph.sccs` in reverse
+topological order (callees first), so a single pass computes every
+summary bottom-up.  Recursive components get a conservative fixpoint:
+the first round treats in-component callees as unknown (the havoc
+firewall — pessimistic, hence sound), then re-infers under the current
+environment and widens with :func:`~repro.flowsens.ownership.join_summaries`
+until the environment is stable — i.e. until re-inference is consistent
+with what callers were told, the standard coinductive justification.
+The verdict lattice is finite (three points per parameter, a boolean
+for the return), so widening terminates; a bounded iteration count with
+an all-escapes fallback guards the theory against implementation bugs.
+
+:func:`ownership_for_linked` adds the cache tier: summaries are stored
+per *unit*, keyed by the same dependency-closure source key as the
+qualifier summaries in :mod:`repro.whole.summary` — a function's
+ownership facts depend only on its unit's sources and the sources of
+the units it (transitively) calls into, so an edit invalidates exactly
+the dependency closure, and a fully-warm load skips inference entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..cfront.sema import Program
+from ..constinfer.cache import AnalysisCache
+from ..flowsens.lower import DEFAULT_POLICY, LowerPolicy
+from ..flowsens.ownership import (
+    OwnershipSummary,
+    escaping_summary,
+    infer_function_ownership,
+    join_summaries,
+    with_summaries,
+)
+from ..qual.lattice import QualifierLattice
+from ..qual.qualifiers import resource_lattice
+from .callgraph import WholeProgramCallGraph
+from .linker import LinkedProgram
+from .summary import (
+    dependency_closure,
+    load_ownership,
+    shared_layout_digest,
+    store_ownership,
+    summary_source_key,
+)
+
+
+def _infer_one(
+    program: Program,
+    name: str,
+    lattice: QualifierLattice,
+    policy: LowerPolicy,
+    env: Mapping[str, OwnershipSummary],
+) -> Optional[OwnershipSummary]:
+    return infer_function_ownership(
+        program.functions[name],
+        lattice,
+        with_summaries(policy, env),
+    )
+
+
+def _fix_scc(
+    component: list[str],
+    program: Program,
+    lattice: QualifierLattice,
+    policy: LowerPolicy,
+    env: dict[str, OwnershipSummary],
+) -> None:
+    """Stabilise one recursive component under the conservative join."""
+    members = sorted(component)
+    widest = max(
+        (len(program.functions[n].params) for n in members), default=0
+    )
+    # Each widening round moves at least one verdict strictly up a
+    # three-point lattice (or flips returns_owned off), so this bound
+    # is generous; overrunning it means a bug, answered with top.
+    limit = 4 + len(members) * (widest + 2)
+    current: dict[str, OwnershipSummary] = {}
+    for _ in range(limit):
+        scoped = {**env, **current}
+        new: dict[str, OwnershipSummary] = {}
+        for name in members:
+            inferred = _infer_one(program, name, lattice, policy, scoped)
+            if inferred is None:
+                inferred = escaping_summary(program.functions[name])
+            new[name] = inferred
+        if not current:
+            # Round 0 ran with in-component callees unknown (havoc):
+            # already conservative, now check self-consistency.
+            current = new
+            continue
+        widened = {
+            name: join_summaries(current[name], new[name])
+            for name in members
+        }
+        if widened == current:
+            env.update(current)
+            return
+        current = widened
+    env.update(
+        {name: escaping_summary(program.functions[name]) for name in members}
+    )
+
+
+def infer_ownership_summaries(
+    program: Program,
+    callgraph: Optional[WholeProgramCallGraph] = None,
+    policy: LowerPolicy = DEFAULT_POLICY,
+) -> dict[str, OwnershipSummary]:
+    """Summaries for every summarisable defined function, bottom-up.
+
+    Functions that cannot be summarised (unstructured control flow) are
+    simply absent — call sites naming them keep the unknown-callee
+    havoc, which is the sound default.
+    """
+    cg = callgraph if callgraph is not None else WholeProgramCallGraph.build(program)
+    fdg = cg.function_graph()
+    lattice = resource_lattice()
+    env: dict[str, OwnershipSummary] = {}
+    for component in fdg.sccs():
+        if fdg.is_recursive(component):
+            _fix_scc(component, program, lattice, policy, env)
+        else:
+            name = component[0]
+            summary = _infer_one(program, name, lattice, policy, env)
+            if summary is not None:
+                env[name] = summary
+    return env
+
+
+def ownership_for_linked(
+    linked: LinkedProgram,
+    cache: Optional[AnalysisCache] = None,
+    policy: LowerPolicy = DEFAULT_POLICY,
+) -> dict[str, OwnershipSummary]:
+    """Ownership summaries for a linked program, cached per unit.
+
+    Each unit's map is keyed by its dependency-closure sources (same
+    key shape as the qualifier summaries), so a fully-warm load
+    assembles the program's environment without running inference, and
+    an edit invalidates exactly the closure of the edited unit.
+    """
+    program = linked.program
+    cg = WholeProgramCallGraph.build(program)
+    if cache is None or not linked.sources:
+        return infer_ownership_summaries(program, cg, policy)
+
+    from .engine import _tu_graph
+
+    tu_graph = _tu_graph(linked, cg.function_graph())
+    layout = shared_layout_digest(program)
+    source_keys: dict[str, str] = {}
+    warm: dict[str, dict[str, OwnershipSummary]] = {}
+    for unit in linked.unit_names:
+        skey = summary_source_key(
+            (unit,),
+            dependency_closure((unit,), tu_graph),
+            linked.sources,
+            layout,
+            0,
+        )
+        source_keys[unit] = skey
+        cached = load_ownership(cache, source_key=skey)
+        if cached is not None:
+            warm[unit] = cached
+    if len(warm) == len(linked.unit_names):
+        env: dict[str, OwnershipSummary] = {}
+        for unit in linked.unit_names:
+            env.update(warm[unit])
+        return env
+
+    env = infer_ownership_summaries(program, cg, policy)
+    by_unit: dict[str, dict[str, OwnershipSummary]] = {
+        unit: {} for unit in linked.unit_names
+    }
+    for name, summary in env.items():
+        unit = linked.tu_of_function.get(name)
+        if unit is not None and unit in by_unit:
+            by_unit[unit][name] = summary
+    for unit in linked.unit_names:
+        store_ownership(cache, by_unit[unit], source_key=source_keys[unit])
+    return env

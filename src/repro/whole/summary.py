@@ -45,6 +45,12 @@ from ..qual.poly import QualScheme
 #: Cache entry kind for per-TU-group summary blobs.
 SUMMARY_KIND = "tu-summary"
 
+#: Cache entry kind for per-unit ownership-summary maps
+#: (:mod:`repro.whole.ownership`).  Keyed exactly like qualifier
+#: summaries — a unit's ownership facts depend on the same dependency
+#: closure, so one edit invalidates both kinds together.
+OWNERSHIP_KIND = "tu-ownership"
+
 
 @dataclass
 class TUSummary:
@@ -166,3 +172,33 @@ def store_summary(
         SUMMARY_KIND, source=source_key, lattice=lattice, mode="whole", options=options
     )
     cache.put(key, summary)
+
+
+def ownership_cache_key(cache: AnalysisCache, source_key: str) -> str:
+    """Cache key of one unit's ownership-summary map.  Exposed (rather
+    than inlined into load/store) so tests can pin the invalidation
+    invariant: editing a unit must move exactly the keys of its
+    dependents' closures."""
+    return cache.key(
+        OWNERSHIP_KIND,
+        source=source_key,
+        lattice=None,
+        mode="whole",
+        options={"pack": "ownership"},
+    )
+
+
+def load_ownership(
+    cache: AnalysisCache, *, source_key: str
+) -> dict[str, Any] | None:
+    cached = cache.get(ownership_cache_key(cache, source_key))
+    return cached if isinstance(cached, dict) else None
+
+
+def store_ownership(
+    cache: AnalysisCache,
+    summaries: dict[str, Any],
+    *,
+    source_key: str,
+) -> None:
+    cache.put(ownership_cache_key(cache, source_key), summaries)

@@ -1,0 +1,348 @@
+"""Ownership summaries: the per-function verdict lattice, the
+bottom-up SCC fixpoint over the cross-TU call graph, and the per-unit
+cache tier whose invalidation must track the dependency closure."""
+
+import pytest
+
+from repro.cfront import parse_c
+from repro.constinfer.cache import AnalysisCache
+from repro.flowsens.ownership import (
+    PARAM_BORROWS,
+    PARAM_ESCAPES,
+    PARAM_FREES,
+    OwnershipSummary,
+    escaping_summary,
+    infer_function_ownership,
+    join_summaries,
+)
+from repro.whole.engine import affected_units, tu_dependence_graph
+from repro.whole.linker import link_units
+from repro.whole.ownership import infer_ownership_summaries, ownership_for_linked
+from repro.whole.summary import ownership_cache_key
+
+PROTOS = (
+    "void *malloc(unsigned long size);\n"
+    "void free(void *ptr);\n"
+    "unsigned long strlen(const char *s);\n"
+)
+
+
+def fdef(source, name, filename="t.c"):
+    unit = parse_c(PROTOS + source, filename)
+    for item in unit.items:
+        if getattr(item, "name", None) == name and getattr(item, "body", None) is not None:
+            return item
+    raise AssertionError(f"no function {name!r}")
+
+
+def verdicts(source, name, **kwargs):
+    summary = infer_function_ownership(fdef(source, name), **kwargs)
+    assert summary is not None
+    return summary
+
+
+def whole_env(sources):
+    units = [parse_c(PROTOS + text, fname) for fname, text in sorted(sources.items())]
+    linked = link_units(units)
+    return infer_ownership_summaries(linked.program)
+
+
+# -- per-function verdicts -------------------------------------------------
+
+
+def test_free_on_every_path_is_frees():
+    s = verdicts("void rel(char *p) { free(p); }", "rel")
+    assert s.params == (PARAM_FREES,)
+    assert not s.returns_owned
+
+
+def test_read_only_use_is_borrows():
+    s = verdicts(
+        "unsigned long peek(const char *p) { return strlen(p); }", "peek"
+    )
+    assert s.params == (PARAM_BORROWS,)
+
+
+def test_conditional_free_is_escapes():
+    s = verdicts(
+        "int getchar(void);\n"
+        "void maybe(char *p) { if (getchar() < 0) free(p); }",
+        "maybe",
+    )
+    assert s.params == (PARAM_ESCAPES,)
+
+
+def test_global_stash_is_escapes():
+    s = verdicts("char *g_keep;\nvoid stash(char *p) { g_keep = p; }", "stash")
+    assert s.params == (PARAM_ESCAPES,)
+
+
+def test_returning_param_is_escapes():
+    s = verdicts("char *ident(char *p) { return p; }", "ident")
+    assert s.params == (PARAM_ESCAPES,)
+
+
+def test_scalar_params_are_borrows():
+    s = verdicts("int add(int a, int b) { return a + b; }", "add")
+    assert s.params == (PARAM_BORROWS, PARAM_BORROWS)
+
+
+def test_returns_owned_allocation():
+    s = verdicts(
+        "char *mk(unsigned long n) {\n"
+        "    char *p = malloc(n);\n"
+        "    if (!p)\n"
+        "        return 0;\n"
+        "    return p;\n"
+        "}\n",
+        "mk",
+    )
+    assert s.returns_owned
+    assert s.returns_kind == "heap"
+
+
+def test_returning_borrowed_pointer_is_not_owned():
+    s = verdicts("char *same(char *p) { return p; }", "same")
+    assert not s.returns_owned
+
+
+# -- the verdict lattice ---------------------------------------------------
+
+
+def _summary(params, returns_owned=False, kind="heap"):
+    return OwnershipSummary(
+        name="f",
+        params=tuple(params),
+        returns_owned=returns_owned,
+        returns_kind=kind if returns_owned else "",
+    )
+
+
+def test_join_is_idempotent():
+    a = _summary([PARAM_FREES], returns_owned=True)
+    assert join_summaries(a, a) == a
+
+
+def test_join_of_unequal_verdicts_is_escapes():
+    a = _summary([PARAM_FREES])
+    b = _summary([PARAM_BORROWS])
+    assert join_summaries(a, b).params == (PARAM_ESCAPES,)
+
+
+def test_join_drops_disagreeing_returns_owned():
+    a = _summary([PARAM_BORROWS], returns_owned=True)
+    b = _summary([PARAM_BORROWS], returns_owned=False)
+    assert not join_summaries(a, b).returns_owned
+
+
+def test_escaping_summary_is_top():
+    f = fdef("void two(char *a, int b) { free(a); }", "two")
+    top = escaping_summary(f)
+    assert top.params == (PARAM_ESCAPES, PARAM_ESCAPES)
+    inferred = infer_function_ownership(f)
+    assert join_summaries(inferred, top).params == top.params
+
+
+# -- bottom-up composition -------------------------------------------------
+
+
+def test_helper_chain_composes():
+    env = whole_env(
+        {
+            "a.c": "void rel(char *p) { free(p); }\n",
+            "b.c": "void rel(char *p);\nvoid chain(char *p) { rel(p); }\n",
+        }
+    )
+    assert env["rel"].params == (PARAM_FREES,)
+    assert env["chain"].params == (PARAM_FREES,)
+
+
+def test_unknown_callee_keeps_escape():
+    env = whole_env(
+        {"a.c": "void mystery(char *p);\nvoid fwd(char *p) { mystery(p); }\n"}
+    )
+    assert env["fwd"].params == (PARAM_ESCAPES,)
+
+
+def test_function_pointer_call_keeps_escape():
+    env = whole_env(
+        {
+            "a.c": "void rel(char *p) { free(p); }\n"
+            "void dispatch(char *p) {\n"
+            "    void (*f)(char *) = rel;\n"
+            "    f(p);\n"
+            "}\n"
+        }
+    )
+    assert env["rel"].params == (PARAM_FREES,)
+    assert env["dispatch"].params == (PARAM_ESCAPES,)
+
+
+def test_direct_recursion_terminates_conservatively():
+    env = whole_env(
+        {
+            "a.c": "int getchar(void);\n"
+            "void drain(char *p) {\n"
+            "    if (getchar() < 0) {\n"
+            "        free(p);\n"
+            "        return;\n"
+            "    }\n"
+            "    drain(p);\n"
+            "}\n"
+        }
+    )
+    # Any sound verdict is acceptable; the point is termination plus a
+    # self-consistent result that is at least as high as the truth.
+    assert env["drain"].params[0] in (PARAM_FREES, PARAM_ESCAPES)
+
+
+def test_mutual_recursion_terminates_conservatively():
+    env = whole_env(
+        {
+            "a.c": "void pong(char *p);\n"
+            "int getchar(void);\n"
+            "void ping(char *p) {\n"
+            "    if (getchar() < 0)\n"
+            "        free(p);\n"
+            "    else\n"
+            "        pong(p);\n"
+            "}\n",
+            "b.c": "void ping(char *p);\n"
+            "void pong(char *p) { ping(p); }\n",
+        }
+    )
+    assert env["ping"].params[0] in (PARAM_FREES, PARAM_ESCAPES)
+    assert env["pong"].params[0] in (PARAM_FREES, PARAM_ESCAPES)
+
+
+def test_recursive_owned_return_is_summarised():
+    env = whole_env(
+        {
+            "a.c": "int getchar(void);\n"
+            "char *grow(unsigned long n) {\n"
+            "    char *p = malloc(n);\n"
+            "    if (p)\n"
+            "        return p;\n"
+            "    if (getchar() < 0)\n"
+            "        return 0;\n"
+            "    return grow(n);\n"
+            "}\n"
+        }
+    )
+    assert "grow" in env  # terminated with some self-consistent answer
+
+
+# -- the per-unit cache tier ----------------------------------------------
+
+
+def _link(sources):
+    units = [parse_c(text, fname) for fname, text in sorted(sources.items())]
+    return link_units(units, sources=dict(sources))
+
+
+XTU_SOURCES = {
+    "a.c": PROTOS + "char *mk(unsigned long n) {\n"
+    "    char *p = malloc(n);\n"
+    "    if (!p)\n"
+    "        return 0;\n"
+    "    return p;\n"
+    "}\n",
+    "b.c": PROTOS + "char *mk(unsigned long n);\n"
+    "void rel(char *p) { free(p); }\n",
+    "c.c": PROTOS + "char *mk(unsigned long n);\n"
+    "void rel(char *p);\n"
+    "unsigned long go(void) {\n"
+    "    char *p = mk(8);\n"
+    "    if (!p)\n"
+    "        return 0;\n"
+    "    rel(p);\n"
+    "    return 1;\n"
+    "}\n",
+}
+
+
+def test_warm_load_equals_cold_inference(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    linked = _link(XTU_SOURCES)
+    cold = ownership_for_linked(linked, cache=cache)
+    warm = ownership_for_linked(_link(XTU_SOURCES), cache=cache)
+    assert warm == cold
+    assert cold["mk"].returns_owned
+    assert cold["rel"].params == (PARAM_FREES,)
+
+
+def test_cache_is_consulted_on_warm_load(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    ownership_for_linked(_link(XTU_SOURCES), cache=cache)
+    before = cache.stats.hits
+    ownership_for_linked(_link(XTU_SOURCES), cache=cache)
+    assert cache.stats.hits > before
+
+
+def test_edit_invalidates_exactly_the_dependency_closure(tmp_path):
+    """Pin the ``affected_units`` invariant: a unit's ownership cache
+    key moves under an edit iff the unit is in the dependency closure
+    of the edited unit."""
+    cache = AnalysisCache(tmp_path / "cache")
+    linked = _link(XTU_SOURCES)
+    keys = {
+        unit: ownership_cache_key(cache, skey)
+        for unit, skey in _source_keys(linked).items()
+    }
+
+    edited = dict(XTU_SOURCES)
+    edited["b.c"] = edited["b.c"].replace(
+        "void rel(char *p) { free(p); }",
+        "void rel(char *p) { if (p) free(p); }",
+    )
+    relinked = _link(edited)
+    new_keys = {
+        unit: ownership_cache_key(cache, skey)
+        for unit, skey in _source_keys(relinked).items()
+    }
+
+    tu_graph = tu_dependence_graph(relinked)
+    closure = set(affected_units(tu_graph, {"b.c"}))
+    assert "c.c" in closure  # c calls into b
+    for unit in XTU_SOURCES:
+        if unit in closure:
+            assert new_keys[unit] != keys[unit], unit
+        else:
+            assert new_keys[unit] == keys[unit], unit
+
+
+def _source_keys(linked):
+    from repro.whole.callgraph import WholeProgramCallGraph
+    from repro.whole.engine import _tu_graph
+    from repro.whole.summary import (
+        dependency_closure,
+        shared_layout_digest,
+        summary_source_key,
+    )
+
+    cg = WholeProgramCallGraph.build(linked.program)
+    tu_graph = _tu_graph(linked, cg.function_graph())
+    layout = shared_layout_digest(linked.program)
+    return {
+        unit: summary_source_key(
+            (unit,),
+            dependency_closure((unit,), tu_graph),
+            linked.sources,
+            layout,
+            0,
+        )
+        for unit in linked.unit_names
+    }
+
+
+def test_stale_summary_is_not_served_after_edit(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    ownership_for_linked(_link(XTU_SOURCES), cache=cache)
+
+    edited = dict(XTU_SOURCES)
+    edited["b.c"] = XTU_SOURCES["b.c"].replace(
+        "void rel(char *p) { free(p); }",
+        "char *g_keep;\nvoid rel(char *p) { g_keep = p; }",
+    )
+    env = ownership_for_linked(_link(edited), cache=cache)
+    assert env["rel"].params == (PARAM_ESCAPES,)

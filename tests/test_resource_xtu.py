@@ -1,0 +1,183 @@
+"""The cross-TU ownership corpus and its oracles: every planted
+cross-unit bug in examples/resource_bugs_xtu is found *only* under
+``--whole-program``, each finding's flow path names both units, the
+clean transfer stays silent, the checked-in baseline holds, CLI and
+daemon render byte-identical output, and the seeded generator's
+``resource-whole`` oracle passes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checker.checks import ALL_CHECKS, FLOW_PACK_CHECKS
+from repro.checker.render import render_report
+from repro.checker.runner import analyze
+from repro.testkit.cgen import generate_resource_xtu_program
+from repro.testkit.oracles import check_resource_xtu
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = REPO / "examples" / "resource_bugs_xtu"
+REALWORLD = REPO / "examples" / "realworld"
+
+ALL_NAMES = tuple(c.name for c in ALL_CHECKS)
+PACK_NAMES = {c.name for c in FLOW_PACK_CHECKS}
+
+
+@pytest.fixture(scope="module")
+def corpus_report():
+    return analyze([CORPUS], checks=ALL_NAMES, whole_program=True)
+
+
+def pack_findings(report):
+    return [d for d in report.diagnostics if d.check in PACK_NAMES]
+
+
+class TestPlantedCorpus:
+    def test_both_planted_bugs_are_found(self, corpus_report):
+        by_file = {}
+        for d in pack_findings(corpus_report):
+            by_file.setdefault(Path(d.span.file).name, set()).add(d.check)
+        assert by_file == {
+            "leak.c": {"resource-leak"},
+            "double_free.c": {"double-free"},
+        }
+
+    def test_leak_flow_path_names_both_units(self, corpus_report):
+        (leak,) = [
+            d for d in pack_findings(corpus_report) if d.check == "resource-leak"
+        ]
+        files = {Path(s.span.file).name for s in leak.flow}
+        files.add(Path(leak.span.file).name)
+        assert {"alloc.c", "leak.c"} <= files
+        assert any("make_buffer" in s.note for s in leak.flow)
+
+    def test_double_free_flow_path_names_both_units(self, corpus_report):
+        (dbl,) = [
+            d for d in pack_findings(corpus_report) if d.check == "double-free"
+        ]
+        files = {Path(s.span.file).name for s in dbl.flow}
+        files.add(Path(dbl.span.file).name)
+        assert {"free_helper.c", "double_free.c"} <= files
+        assert any("give_back" in s.note for s in dbl.flow)
+
+    def test_clean_transfer_stays_silent(self, corpus_report):
+        files = {Path(d.span.file).name for d in pack_findings(corpus_report)}
+        assert "transfer.c" not in files
+
+    def test_per_file_mode_reports_nothing(self):
+        # Without summaries every helper call is an unknown callee and
+        # the Havoc firewall swallows the obligations.
+        report = analyze([CORPUS], checks=ALL_NAMES, whole_program=False)
+        assert pack_findings(report) == []
+
+    def test_corpus_matches_checked_in_baseline(self, monkeypatch):
+        from repro.checker.diagnostics import Baseline
+
+        monkeypatch.chdir(REPO)
+        report = analyze(
+            ["examples/resource_bugs_xtu"], checks=ALL_NAMES, whole_program=True
+        )
+        baseline = Baseline.load(CORPUS / "qlint-baseline.json")
+        current = {d.fingerprint for d in report.diagnostics}
+        assert current == set(baseline.fingerprints)
+
+
+class TestRealWorldFixture:
+    def test_realworld_has_zero_pack_findings_under_summaries(self):
+        report = analyze(
+            [REALWORLD],
+            checks=ALL_NAMES,
+            whole_program=True,
+            best_effort=True,
+            include_paths=(str(REALWORLD / "include"),),
+        )
+        assert pack_findings(report) == []
+
+
+class TestByteStability:
+    def test_cold_and_warm_sarif_are_identical(self, tmp_path):
+        cache = tmp_path / "cache"
+        cold = analyze(
+            [CORPUS], checks=ALL_NAMES, whole_program=True, cache_dir=cache
+        )
+        warm = analyze(
+            [CORPUS], checks=ALL_NAMES, whole_program=True, cache_dir=cache
+        )
+        assert warm.cache_hits >= 1
+        assert render_report(cold, format="sarif") == render_report(
+            warm, format="sarif"
+        )
+
+    def test_jobs_one_and_many_sarif_are_identical(self):
+        narrow = analyze([CORPUS], checks=ALL_NAMES, whole_program=True, jobs=1)
+        wide = analyze([CORPUS], checks=ALL_NAMES, whole_program=True, jobs=2)
+        assert render_report(narrow, format="sarif") == render_report(
+            wide, format="sarif"
+        )
+
+    def test_cli_and_daemon_reports_are_byte_identical(self, tmp_path):
+        from repro.serve import Session
+
+        report = analyze([CORPUS], checks=ALL_NAMES, whole_program=True)
+        cli_rendered = render_report(report, format="json")
+        session = Session(checks=ALL_NAMES, cache_dir=str(tmp_path / "cache"))
+        try:
+            out = session.analyze(
+                {
+                    "paths": [str(CORPUS)],
+                    "whole_program": True,
+                    "format": "json",
+                }
+            )
+        finally:
+            session.close()
+        assert out["report"] == cli_rendered
+
+    def test_cli_and_daemon_whole_suggest_are_byte_identical(self, tmp_path, capsys):
+        from repro.checker.cli import suggest_main
+        from repro.serve import Session
+
+        code = suggest_main(["--whole-program", "--format", "json", str(CORPUS)])
+        cli_rendered = capsys.readouterr().out
+        assert code == 0
+        session = Session(cache_dir=str(tmp_path / "cache"))
+        try:
+            out = session.suggest(
+                {
+                    "paths": [str(CORPUS)],
+                    "whole_program": True,
+                    "format": "json",
+                }
+            )
+        finally:
+            session.close()
+        assert out["report"] == cli_rendered
+        assert out["errors"] == {}
+
+
+class TestSeededGeneratorOracle:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_oracle_passes(self, seed):
+        assert check_resource_xtu(seed) == []
+
+    def test_generator_is_deterministic(self):
+        a = generate_resource_xtu_program(11)
+        b = generate_resource_xtu_program(11)
+        assert a == b
+
+    def test_repartition_preserves_functions(self):
+        base = generate_resource_xtu_program(11)
+        moved = base.repartitioned(99)
+        assert base.expected == moved.expected
+        concat = "".join(base.units[n] for n in sorted(base.units))
+        moved_concat = "".join(moved.units[n] for n in sorted(moved.units))
+        # Same function bodies, dealt differently.
+        assert sorted(concat.splitlines()) == sorted(moved_concat.splitlines())
+        assert base.units != moved.units
+
+    def test_rename_salt_changes_text_not_structure(self):
+        base = generate_resource_xtu_program(11)
+        renamed = generate_resource_xtu_program(11, rename_salt=2)
+        assert base.units != renamed.units
+        assert base.expected == renamed.expected

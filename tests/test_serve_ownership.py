@@ -1,0 +1,165 @@
+"""Daemon staleness across ownership-summary edits: a ``didChange`` on
+the translation unit that *defines* a helper must re-link its dependents
+before the next whole-program ``analyze``/``suggest`` is served — the
+good → edit-ownership → fixed cycle round-trips as a golden transcript,
+and the daemon's whole-program suggest stays byte-identical to the CLI
+over the same overlay-free tree."""
+
+import json
+
+import pytest
+
+from repro.checker.checks import ALL_CHECKS
+from repro.serve import Server, Session
+
+ALL_NAMES = tuple(c.name for c in ALL_CHECKS)
+
+PROTOS = (
+    "void *malloc(unsigned long size);\n"
+    "void free(void *ptr);\n"
+    "unsigned long strlen(const char *s);\n"
+)
+
+#: give() borrows: the caller's explicit free balances the allocation.
+HELPER_BORROWS = PROTOS + (
+    "unsigned long give(char *p) {\n"
+    "    return strlen(p);\n"
+    "}\n"
+)
+#: give() frees: the caller's explicit free is now a double-free.
+HELPER_FREES = PROTOS + (
+    "unsigned long give(char *p) {\n"
+    "    free(p);\n"
+    "    return 0;\n"
+    "}\n"
+)
+CALLER = PROTOS + (
+    "unsigned long give(char *p);\n"
+    "void run(void) {\n"
+    "    char *b = malloc(8);\n"
+    "    if (!b)\n"
+    "        return;\n"
+    "    give(b);\n"
+    "    free(b);\n"
+    "}\n"
+)
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "helper.c").write_text(HELPER_BORROWS)
+    (tmp_path / "src" / "caller.c").write_text(CALLER)
+    return tmp_path
+
+
+@pytest.fixture
+def session(corpus):
+    s = Session(checks=ALL_NAMES, cache_dir=str(corpus / "cache"))
+    yield s
+    s.close()
+
+
+def pack_checks(result):
+    report = json.loads(result["report"])
+    return sorted(d["check"] for d in report["diagnostics"])
+
+
+def test_ownership_edit_is_visible_to_next_whole_analyze(session, corpus):
+    src = str(corpus / "src")
+    helper = str(corpus / "src" / "helper.c")
+
+    clean = session.analyze({"paths": [src], "whole_program": True})
+    assert pack_checks(clean) == []
+
+    # The edit changes only helper.c, but it flips give()'s summary
+    # from borrows to frees — caller.c must be re-linked against it.
+    out = session.did_change({"file": helper, "text": HELPER_FREES})
+    assert str(corpus / "src" / "caller.c") in out["invalidated_units"]
+
+    broken = session.analyze({"paths": [src], "whole_program": True})
+    assert pack_checks(broken) == ["double-free"]
+
+    session.did_change({"file": helper, "text": None})
+    fixed = session.analyze({"paths": [src], "whole_program": True})
+    assert pack_checks(fixed) == []
+
+
+def test_ownership_edit_is_visible_to_next_whole_suggest(session, corpus):
+    src = str(corpus / "src")
+    helper = str(corpus / "src" / "helper.c")
+
+    before = session.suggest({"paths": [src], "whole_program": True, "format": "json"})
+    session.did_change({"file": helper, "text": HELPER_FREES})
+    after = session.suggest({"paths": [src], "whole_program": True, "format": "json"})
+    # The overlay edit reaches the linked program: the helper's own
+    # suggestions move (its parameter is now freed, not borrowed).
+    assert before["report"] != after["report"]
+    assert before["errors"] == after["errors"] == {}
+
+
+def test_whole_suggest_sees_summaries_per_file_does_not(session, corpus):
+    src = str(corpus / "src")
+    flat = session.suggest({"paths": [src], "format": "json"})
+    whole = session.suggest({"paths": [src], "whole_program": True, "format": "json"})
+
+    def confidence(result, name):
+        for s in result["suggestions"]:
+            if s["name"] == name and s["qualifier"] == "alloc":
+                return s["confidence"]
+        return None
+
+    flat_b = confidence(flat, "b")
+    whole_b = confidence(whole, "b")
+    assert flat_b is not None and whole_b is not None
+    # Per-file, give() is an unknown callee and counts as an escape;
+    # whole-program its borrows summary lifts the discount.
+    assert whole_b > flat_b
+
+
+def test_golden_transcript_good_edit_ownership_fixed(corpus):
+    session = Session(checks=ALL_NAMES, cache_dir=str(corpus / "cache"))
+    server = Server(session)
+    src = str(corpus / "src")
+    helper = str(corpus / "src" / "helper.c")
+
+    def req(i, method, **params):
+        return json.dumps(
+            {"jsonrpc": "2.0", "id": i, "method": method, "params": params},
+            sort_keys=True,
+        )
+
+    try:
+        # 1. Whole-program analyze: the balanced hand-off is clean.
+        response = json.loads(
+            server.handle_line(req(1, "analyze", paths=[src], whole_program=True))
+        )
+        assert response["result"]["exit_code"] == 0
+        assert pack_checks(response["result"]) == []
+
+        # 2. Ownership edit: helper.c's summary flips to frees; the
+        #    response names the dependent caller unit as invalidated.
+        response = json.loads(
+            server.handle_line(req(2, "didChange", file=helper, text=HELPER_FREES))
+        )
+        result = response["result"]
+        assert result["ok"] is True
+        assert "parse_diagnostics" not in result
+        assert str(corpus / "src" / "caller.c") in result["invalidated_units"]
+
+        # 3. The next analyze serves re-linked facts, not stale ones.
+        response = json.loads(
+            server.handle_line(req(3, "analyze", paths=[src], whole_program=True))
+        )
+        assert response["result"]["exit_code"] == 1
+        assert pack_checks(response["result"]) == ["double-free"]
+
+        # 4. Revert: clean again, byte-identical to step 1's report.
+        server.handle_line(req(4, "didChange", file=helper, text=None))
+        response = json.loads(
+            server.handle_line(req(5, "analyze", paths=[src], whole_program=True))
+        )
+        assert response["result"]["exit_code"] == 0
+        assert pack_checks(response["result"]) == []
+    finally:
+        session.close()
